@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Ablation: detection-triggered cluster-wide power capping
+ * (paper §III-B).
+ *
+ * "Although the data center can apply cluster-wide power capping to
+ * eliminate any hidden power spikes, such security measures may well
+ * be overkill and could significantly affect other legitimate
+ * service requests." This bench quantifies both halves of that
+ * sentence on a PS cluster under a dense CPU-virus attack:
+ *
+ *  - fine-grained metering (5-10 s) detects spikes and the capping
+ *    response buys survival time — at a visible throughput cost;
+ *  - coarse metering (Table I's blind regimes) flags nothing, so
+ *    the "response" neither costs nor protects anything.
+ */
+
+#include <iostream>
+
+#include "attack/attacker.h"
+#include "attack/virus_trace.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pad;
+
+namespace {
+
+struct Result {
+    double survival;
+    double throughput;
+    std::uint64_t detections;
+};
+
+Result
+run(bool response, Tick interval, const bench::ClusterWorkload &cw)
+{
+    core::DataCenterConfig cfg =
+        bench::clusterConfig(core::SchemeKind::PS);
+    cfg.clusterBudgetFraction = 0.70;
+    cfg.detectorResponse = response;
+    cfg.detectorInterval = interval;
+    core::DataCenter dc(cfg, cw.workload.get());
+    dc.runCoarseUntil(kTicksPerDay + 11 * kTicksPerHour);
+
+    attack::AttackerConfig ac;
+    ac.controlledNodes = 4;
+    ac.prepareSec = 60.0;
+    ac.maxDrainSec = 400.0;
+    ac.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
+                                     ac.kind);
+    attack::TwoPhaseAttacker attacker(ac);
+
+    core::AttackScenario sc;
+    sc.targetPolicy = core::TargetPolicy::Fixed;
+    sc.targetRack = core::rackByLoadPercentile(
+        *cw.workload, cfg, dc.now(), dc.now() + kTicksPerHour, 90.0);
+    sc.durationSec = 1500.0;
+    const auto out = dc.runAttack(attacker, sc);
+    return Result{out.survivalSec, out.throughput,
+                  dc.detectionsFlagged()};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== ablation: detection-triggered cluster-wide "
+                 "capping (PS + detector) ===\n\n";
+    const auto cw = bench::makeClusterWorkload(3.0);
+
+    TextTable table("dense CPU attack, single hot victim rack");
+    table.setHeader({"metering", "detections", "survival (s)",
+                     "throughput"});
+    {
+        const auto off = run(false, 10 * kTicksPerSecond, cw);
+        table.addRow({"(response off)", "-",
+                      formatFixed(off.survival, 0),
+                      formatFixed(off.throughput, 3)});
+    }
+    const std::pair<std::string, Tick> intervals[] = {
+        {"5s", 5 * kTicksPerSecond},
+        {"10s", 10 * kTicksPerSecond},
+        {"60s", 60 * kTicksPerSecond},
+        {"5m", 5 * kTicksPerMinute},
+    };
+    for (const auto &[name, ticks] : intervals) {
+        const auto r = run(true, ticks, cw);
+        table.addRow({name, std::to_string(r.detections),
+                      formatFixed(r.survival, 0),
+                      formatFixed(r.throughput, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n(fine metering + blanket capping buys survival "
+                 "at a throughput cost — the paper's 'overkill'; "
+                 "coarse metering sees nothing, so the response "
+                 "protects nothing)\n";
+    return 0;
+}

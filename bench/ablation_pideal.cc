@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: the vDEB controller's ideal discharge cap P_ideal.
+ *
+ * Algorithm 1 bounds per-unit discharge because unbounded rates
+ * accelerate lead-acid aging (paper §IV-B.1). This bench sweeps
+ * P_ideal and reports the trade-off it controls:
+ *
+ *  - balancing quality: SOC spread across racks after a day under
+ *    vDEB (smaller = vulnerable racks hidden faster);
+ *  - survival under a standard multi-rack attack;
+ *  - battery wear: the worst per-unit aging inflicted.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "attack/virus_trace.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pad;
+
+int
+main()
+{
+    std::cout << "=== ablation: vDEB ideal discharge cap P_ideal ===\n\n";
+    const auto cw = bench::makeClusterWorkload(3.0);
+
+    TextTable table("P_ideal sweep (vDEB-only scheme)");
+    table.setHeader({"P_ideal (W)", "min rack SOC mid-peak",
+                     "SOC stddev (%)", "survival (s)",
+                     "max unit wear (x1e-3)"});
+
+    for (double pideal : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
+        // Balancing quality over a power-constrained day: the PDU at
+        // 70% of nameplate forces the pool to work every peak.
+        core::DataCenterConfig cfg =
+            bench::clusterConfig(core::SchemeKind::VdebOnly);
+        cfg.clusterBudgetFraction = 0.70;
+        cfg.vdeb.idealDischargePower = pideal;
+        core::DataCenter dc(cfg, cw.workload.get());
+        dc.runCoarseUntil(kTicksPerDay + 13 * kTicksPerHour);
+        const double spread = dc.socStdDevPercent();
+        double minSoc = 1.0;
+        for (double s : dc.allSocs())
+            minSoc = std::min(minSoc, s);
+
+        // Survival + wear under the standard attack.
+        bench::ClusterAttackParams p;
+        p.scheme = core::SchemeKind::VdebOnly;
+        p.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
+                                        p.kind);
+        const auto out = bench::runClusterAttack(p, cw);
+        (void)out;
+
+        // Wear: drive one DEB at the capped rate for a full drain
+        // and report the aging model's verdict (cluster wear data
+        // would need per-unit export; the unit-level number shows
+        // the rate-stress trend Algorithm 1 is guarding against).
+        battery::BatteryUnit unit(
+            "ablation.deb",
+            core::defaultDebConfig(cfg.rackNameplate()));
+        double drained = 0.0;
+        while (!unit.unavailable() && drained < 1e7) {
+            drained += unit.discharge(pideal, 10.0);
+            if (pideal <= 0.0)
+                break;
+        }
+        table.addRow({formatFixed(pideal, 0),
+                      formatPercent(minSoc, 1),
+                      formatFixed(spread, 2),
+                      formatFixed(out.survivalSec, 0),
+                      formatFixed(unit.wear() * 1e3, 3)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n(low caps balance slowly but stress cells least; "
+                 "high caps shave aggressively at an aging cost -- "
+                 "the reason Algorithm 1 bounds the assignment)\n";
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Reproduces paper Fig. 14: "Shedding less than 3% load could avoid
+ * aggressive battery usage" — a workload with periodic data
+ * center-wide surges creates massive vulnerable-rack strips under a
+ * conventional design; PAD's Level-3 load shedding closes the power
+ * shortfall by sleeping a small fraction of servers and flattens the
+ * battery usage map.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pad;
+
+namespace {
+
+struct SurgeResult {
+    int vulnerableRackSteps = 0;
+    double minSoc = 1.0;
+    double maxShedRatio = 0.0;
+    double meanShedRatio = 0.0;
+    std::vector<double> shedSeries;
+};
+
+SurgeResult
+runScheme(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
+          double days)
+{
+    core::DataCenterConfig cfg = bench::clusterConfig(scheme);
+    core::DataCenter dc(cfg, cw.workload.get());
+    dc.setRecordHistory(true);
+    dc.runCoarseUntil(static_cast<Tick>(days * kTicksPerDay));
+
+    SurgeResult out;
+    for (const auto &row : dc.socHistory()) {
+        for (double s : row) {
+            out.minSoc = std::min(out.minSoc, s);
+            out.vulnerableRackSteps += s < 0.30;
+        }
+    }
+    out.shedSeries = dc.shedHistory();
+    double acc = 0.0;
+    for (double s : out.shedSeries) {
+        out.maxShedRatio = std::max(out.maxShedRatio, s);
+        acc += s;
+    }
+    out.meanShedRatio =
+        out.shedSeries.empty() ? 0.0 : acc / out.shedSeries.size();
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Fig. 14: periodic cluster-wide surges and "
+                 "Level-3 load shedding ===\n\n";
+    const double days = 2.0;
+    // Surge every 8 hours, strong enough to exceed the PDU budget.
+    const auto cw = bench::makeClusterWorkload(days, 8.0);
+
+    const auto before = runScheme(core::SchemeKind::PS, cw, days);
+    const auto after = runScheme(core::SchemeKind::Pad, cw, days);
+
+    TextTable table("battery vulnerability before/after shedding");
+    table.setHeader({"scheme", "vulnerable rack-steps", "min SOC",
+                     "max shed ratio", "mean shed ratio"});
+    table.addRow("before (conventional)",
+                 {static_cast<double>(before.vulnerableRackSteps),
+                  before.minSoc, before.maxShedRatio,
+                  before.meanShedRatio});
+    table.addRow("after (PAD shedding)",
+                 {static_cast<double>(after.vulnerableRackSteps),
+                  after.minSoc, after.maxShedRatio,
+                  after.meanShedRatio});
+    table.print(std::cout);
+
+    std::cout << "\nshedding episodes (coarse steps with servers "
+                 "asleep):\n";
+    TextTable series("");
+    series.setHeader({"timestamp(x5min)", "shed ratio (%)"});
+    int shown = 0;
+    for (std::size_t i = 0; i < after.shedSeries.size(); ++i) {
+        if (after.shedSeries[i] <= 0.0)
+            continue;
+        series.addRow(std::to_string(i),
+                      {after.shedSeries[i] * 100.0});
+        if (++shown >= 24)
+            break;
+    }
+    if (shown == 0)
+        series.addRow({"(none)", "-"});
+    series.print(std::cout);
+
+    std::cout << "\n(paper: a shedding ratio of about 3% of servers "
+                 "achieves a balanced battery usage map, avoiding "
+                 "the vulnerable blue strips)\n";
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Reproduces paper Fig. 16: "The overall data center throughput
+ * during the attack period" —
+ *
+ *  (A) normalized throughput vs attack rate (the fraction of the
+ *      cluster's racks hosting malicious nodes: 16-50%);
+ *  (B) normalized throughput vs attack peak width (0.2-0.6 s).
+ *
+ * Paper observations: throughput can drop ~10% at a 50% attack rate
+ * under existing schemes; width hurts more than rate; PAD stays
+ * within ~5% for a 0.6 s spike while PSPC and Conv lose 12% / 17%.
+ */
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+using namespace pad;
+
+namespace {
+
+constexpr double kWindowSec = 1500.0;
+
+const core::SchemeKind kSchemes[] = {
+    core::SchemeKind::PS, core::SchemeKind::PSPC,
+    core::SchemeKind::Conv, core::SchemeKind::Pad};
+
+double
+throughput(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
+           const attack::SpikeTrain &train, double attackRate)
+{
+    bench::ClusterAttackParams p;
+    p.scheme = scheme;
+    p.train = train;
+    p.durationSec = kWindowSec;
+    // "Attack rate" = fraction of the cluster's racks hosting
+    // malicious nodes (16% ~ 1/6 ... 50% ~ 1/2 of the racks).
+    p.victimRacks =
+        std::max(1, static_cast<int>(attackRate * 22.0 + 0.5));
+    return bench::runClusterAttack(p, cw).throughput;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Fig. 16: data center throughput during the "
+                 "attack period ===\n\n";
+    const auto cw = bench::makeClusterWorkload(3.0);
+
+    {
+        TextTable table("(A) normalized throughput vs attack rate");
+        table.setHeader({"scheme", "16%", "20%", "25%", "33%", "50%"});
+        for (core::SchemeKind scheme : kSchemes) {
+            std::vector<double> row;
+            for (double rate : {0.16, 0.20, 0.25, 0.33, 0.50}) {
+                attack::SpikeTrain train{1.0, 4.0, 1.0, 0.55};
+                row.push_back(throughput(scheme, cw, train, rate));
+            }
+            table.addRow(core::schemeName(scheme), row, 3);
+        }
+        table.print(std::cout);
+        std::cout << "(paper: more aggressive attack rates degrade "
+                     "existing schemes up to ~10%; PAD avoids "
+                     "unnecessary capping)\n\n";
+    }
+
+    {
+        TextTable table("(B) normalized throughput vs attack width");
+        table.setHeader(
+            {"scheme", "0.2s", "0.3s", "0.4s", "0.5s", "0.6s"});
+        for (core::SchemeKind scheme : kSchemes) {
+            std::vector<double> row;
+            for (double w : {0.2, 0.3, 0.4, 0.5, 0.6}) {
+                attack::SpikeTrain train{w, 6.0, 1.0, 0.55};
+                row.push_back(throughput(scheme, cw, train, 0.25));
+            }
+            table.addRow(core::schemeName(scheme), row, 3);
+        }
+        table.print(std::cout);
+        std::cout << "(paper: peak width has the larger impact; PAD "
+                     "keeps the loss under ~5% at 0.6 s where PSPC "
+                     "and Conv lose 12% and 17%)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reproduces paper Fig. 17: "Cost efficiency analysis" — sweeping
+ * the µDEB super-capacitor capacity and reporting (left axis) its
+ * capital cost as a percentage of the vDEB battery investment and
+ * (right axis) the normalized survival time of a rack defending
+ * hidden spikes with that µDEB.
+ *
+ * Paper headline: growing the µDEB from ~1% to ~15% of the vDEB
+ * cost extends emergency handling capability by nearly 40x.
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "core/cost_model.h"
+#include "util/table.h"
+
+using namespace pad;
+
+namespace {
+
+/** Time a spike-shaving µDEB keeps a drained rack alive. */
+double
+udebSurvival(double farads)
+{
+    bench::RackLabConfig cfg;
+    cfg.servers = 5;
+    cfg.budgetFraction = 0.65;
+    cfg.overshoot = 0.08;
+    cfg.normalUtil = 0.42;
+    cfg.maliciousNodes = 2;
+    cfg.kind = attack::VirusKind::CpuIntensive;
+    cfg.train = attack::SpikeTrain{2.0, 6.0, 1.0, 0.55};
+    cfg.withUdeb = true;
+    cfg.udebFarads = farads;
+    const auto out = bench::runRackLab(cfg, 3600.0);
+    return out.firstOverloadSec < 0.0 ? 3600.0 : out.firstOverloadSec;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Fig. 17: cost efficiency of the uDEB ===\n\n";
+
+    core::CostModel cost;
+    battery::BatteryUnitConfig deb;
+    deb.capacityWh = 72.4; // the per-rack vDEB cabinet
+
+    const double capacities[] = {2,  3,  4,  5,    6,  7.5, 10, 12.5,
+                                 15, 17.5, 20, 25, 30, 35,  40, 45,
+                                 50, 55, 60, 80};
+
+    double baseSurvival = -1.0;
+    TextTable table("uDEB capacity sweep");
+    table.setHeader({"capacitance (F)", "usable Wh", "cost ratio "
+                     "(uDEB/vDEB)", "survival (s)",
+                     "normalized survival"});
+    for (double f : capacities) {
+        core::MicroDebConfig udeb;
+        udeb.cap.capacitanceF = f;
+        const double ratio = cost.costRatio(udeb, deb);
+        const double surv = udebSurvival(f);
+        if (baseSurvival < 0.0)
+            baseSurvival = surv;
+        battery::SuperCapacitor probe("probe", udeb.cap);
+        table.addRow(
+            {formatFixed(f, 1),
+             formatFixed(joulesToWattHours(probe.usableCapacity()), 2),
+             formatPercent(ratio, 1), formatFixed(surv, 0),
+             formatFixed(surv / baseSurvival, 1) + "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "\n(paper: cost grows roughly linearly with "
+                 "capacity; a small increase in uDEB capacity has a "
+                 "large impact on survival — 1% to 15% of vDEB cost "
+                 "buys ~40x emergency handling capability)\n";
+    return 0;
+}

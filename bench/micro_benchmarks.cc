@@ -1,0 +1,124 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the simulator's hot paths:
+ * the KiBaM closed-form step, the Algorithm-1 vDEB assignment, the
+ * breaker thermal update, event-queue throughput, workload fine
+ * sampling, and the server power model.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "battery/kibam.h"
+#include "core/vdeb.h"
+#include "power/circuit_breaker.h"
+#include "power/server_power_model.h"
+#include "sim/event_queue.h"
+#include "trace/synthetic_trace.h"
+#include "trace/workload.h"
+
+using namespace pad;
+
+namespace {
+
+void
+BM_KibamStep(benchmark::State &state)
+{
+    battery::Kibam model(battery::KibamParams{260640.0, 0.625, 4.5e-4});
+    double power = 500.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.step(power, 0.1));
+        if (model.depleted()) {
+            model.resetFull();
+            power = 500.0;
+        }
+    }
+}
+BENCHMARK(BM_KibamStep);
+
+void
+BM_KibamMaxSustainable(benchmark::State &state)
+{
+    battery::Kibam model(battery::KibamParams{260640.0, 0.625, 4.5e-4});
+    model.setSoc(0.6);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.maxSustainablePower(1.0));
+}
+BENCHMARK(BM_KibamMaxSustainable);
+
+void
+BM_VdebAssign(benchmark::State &state)
+{
+    const auto n = static_cast<std::size_t>(state.range(0));
+    core::VdebController ctl(core::VdebConfig{800.0});
+    std::vector<Joules> soc(n);
+    for (std::size_t i = 0; i < n; ++i)
+        soc[i] = 1000.0 + 137.0 * static_cast<double>(i % 17);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            ctl.assign(soc, 90000.0, 86000.0));
+}
+BENCHMARK(BM_VdebAssign)->Arg(22)->Arg(220)->Arg(2200);
+
+void
+BM_BreakerObserve(benchmark::State &state)
+{
+    power::CircuitBreakerConfig cfg;
+    cfg.ratedPower = 5000.0;
+    power::CircuitBreaker cb("bm.cb", cfg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cb.observe(5200.0, 0.1));
+        if (cb.tripped())
+            cb.reset();
+    }
+}
+BENCHMARK(BM_BreakerObserve);
+
+void
+BM_EventQueueScheduleAndRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(i * 7 % 997, [&sink] { ++sink; });
+        q.runUntil(1000);
+        benchmark::DoNotOptimize(sink);
+    }
+}
+BENCHMARK(BM_EventQueueScheduleAndRun);
+
+void
+BM_WorkloadFineSample(benchmark::State &state)
+{
+    trace::SyntheticTraceConfig tc;
+    tc.machines = 220;
+    tc.days = 1.0;
+    const auto events = trace::SyntheticGoogleTrace(tc).generate();
+    trace::Workload w(events, tc.machines, kTicksPerDay);
+    Tick t = 0;
+    int machine = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(w.utilFine(machine, t));
+        t = (t + 137) % kTicksPerDay;
+        machine = (machine + 1) % tc.machines;
+    }
+}
+BENCHMARK(BM_WorkloadFineSample);
+
+void
+BM_ServerPowerModel(benchmark::State &state)
+{
+    power::ServerPowerModel model(power::ServerPowerConfig{});
+    double u = 0.0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.power(u, 0.9));
+        u += 0.001;
+        if (u > 1.0)
+            u = 0.0;
+    }
+}
+BENCHMARK(BM_ServerPowerModel);
+
+} // namespace
+
+BENCHMARK_MAIN();

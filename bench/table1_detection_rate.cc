@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Reproduces paper Table I: "Detection rate under different power
+ * metering schemes" — the fraction of hidden spikes flagged by an
+ * interval-averaging meter, swept over metering interval {5 s, 10 s,
+ * 30 s, 60 s, 5 m, 10 m, 15 m} x {1, 4} malicious servers x spike
+ * width {1 s, 4 s} x frequency {1, 6}/min, over a 15-minute attack.
+ *
+ * With several controlled servers the attacker round-robins the
+ * spikes, so each server's own metered feed carries only 1/N of the
+ * schedule — that is why per-server detection *drops* when the
+ * attacker owns more machines, while very wide frequent spikes
+ * saturate any interval (the 100% cells).
+ */
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "metering/detector.h"
+#include "util/table.h"
+
+using namespace pad;
+
+namespace {
+
+constexpr double kWindowSec = 15.0 * 60.0;
+
+double
+detectionRate(int servers, double widthSec, double perMinute,
+              Tick interval)
+{
+    bench::RackLabConfig cfg;
+    cfg.maliciousNodes = servers;
+    cfg.servers = std::max(5, servers);
+    cfg.kind = attack::VirusKind::CpuIntensive;
+    cfg.train = attack::SpikeTrain{widthSec, perMinute, 1.0, 0.55};
+    const auto traces = bench::runRackLabServers(cfg, kWindowSec);
+
+    metering::DetectorConfig dc;
+    dc.interval = interval;
+    dc.relativeMargin = 0.05;
+
+    int detected = 0;
+    int total = 0;
+    for (int s = 0; s < servers; ++s) {
+        metering::SpikeDetector det("t1.det" + std::to_string(s), dc,
+                                    traces.baseline);
+        const auto &power = traces.power[static_cast<std::size_t>(s)];
+        const Tick stepTicks = secondsToTicks(traces.stepSec);
+        for (double p : power)
+            det.observe(p, stepTicks);
+        for (const auto &[start, end] :
+             traces.spikes[static_cast<std::size_t>(s)]) {
+            std::vector<std::pair<Tick, Tick>> win{
+                {secondsToTicks(start), secondsToTicks(end)}};
+            detected += det.detectionRate(win) > 0.5 ? 1 : 0;
+            ++total;
+        }
+    }
+    return total ? static_cast<double>(detected) / total : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table I: detection rate under different power "
+                 "metering schemes ===\n\n";
+
+    const std::pair<std::string, Tick> intervals[] = {
+        {"5s", 5 * kTicksPerSecond},   {"10s", 10 * kTicksPerSecond},
+        {"30s", 30 * kTicksPerSecond}, {"60s", 60 * kTicksPerSecond},
+        {"5m", 5 * kTicksPerMinute},   {"10m", 10 * kTicksPerMinute},
+        {"15m", 15 * kTicksPerMinute},
+    };
+
+    TextTable table("detection rate (% of launched spikes flagged)");
+    table.setHeader({"interval", "1srv W=1s 1/min", "1srv W=1s 6/min",
+                     "1srv W=4s 1/min", "1srv W=4s 6/min",
+                     "4srv W=1s 1/min", "4srv W=1s 6/min",
+                     "4srv W=4s 1/min", "4srv W=4s 6/min"});
+    for (const auto &[name, ticks] : intervals) {
+        std::vector<std::string> row{name};
+        for (int servers : {1, 4}) {
+            for (double w : {1.0, 4.0}) {
+                for (double f : {1.0, 6.0}) {
+                    row.push_back(formatPercent(
+                        detectionRate(servers, w, f, ticks), 1));
+                }
+            }
+        }
+        table.addRow(row);
+    }
+    table.print(std::cout);
+
+    std::cout
+        << "\n(paper Table I trends: fine metering catches about half "
+           "of rare narrow spikes;\n coarse metering is blind to them; "
+           "wide frequent spikes raise the duty cycle\n enough that "
+           "even coarse intervals flag everything; per-server "
+           "detection drops\n when the attacker spreads spikes over "
+           "more machines)\n";
+    return 0;
+}

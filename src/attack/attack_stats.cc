@@ -1,0 +1,28 @@
+#include "attack/attack_stats.h"
+
+namespace pad::attack {
+
+void
+AttackStats::observe(Tick now, Watts power, Watts limit, bool tripped)
+{
+    const bool over = power > limit;
+    if (over && !inOverload_) {
+        ++effective_;
+        onsets_.push_back(now);
+        if (firstOverload_ == kTickNever)
+            firstOverload_ = now;
+    }
+    inOverload_ = over;
+    if (tripped && firstTrip_ == kTickNever)
+        firstTrip_ = now;
+}
+
+double
+AttackStats::survivalSeconds(double horizonSec) const
+{
+    if (firstOverload_ == kTickNever)
+        return horizonSec;
+    return ticksToSeconds(firstOverload_ - attackStart_);
+}
+
+} // namespace pad::attack

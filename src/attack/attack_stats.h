@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Bookkeeping for attack outcomes: spikes launched, effective
+ * attacks (paper: "power draw exceeds a pre-determined limit"),
+ * breaker trips, and survival time.
+ */
+
+#ifndef PAD_ATTACK_ATTACK_STATS_H
+#define PAD_ATTACK_ATTACK_STATS_H
+
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::attack {
+
+/**
+ * Accumulates attack outcome events during a simulation window.
+ *
+ * An "effective attack" is a maximal run of consecutive observation
+ * steps whose power exceeds the overload limit: crossing into
+ * overload counts one effective attack; staying in overload does not
+ * count again until the draw first falls back below the limit.
+ */
+class AttackStats
+{
+  public:
+    /**
+     * Observe one fine-grained step.
+     *
+     * @param now      simulation time at the step start
+     * @param power    aggregate rack/cluster draw, watts
+     * @param limit    overload limit (budget x (1 + overshoot))
+     * @param tripped  whether a breaker tripped during the step
+     */
+    void observe(Tick now, Watts power, Watts limit, bool tripped);
+
+    /** Mark the attack start time (for survival-time accounting). */
+    void setAttackStart(Tick t) { attackStart_ = t; }
+
+    /** Number of effective attacks (overload-crossing events). */
+    int effectiveAttacks() const { return effective_; }
+
+    /** Tick of the first overload event; kTickNever when none. */
+    Tick firstOverloadTick() const { return firstOverload_; }
+
+    /** Tick of the first breaker trip; kTickNever when none. */
+    Tick firstTripTick() const { return firstTrip_; }
+
+    /**
+     * Survival time in seconds: attack start to first overload.
+     * Returns @p horizonSec when no overload ever happened.
+     */
+    double survivalSeconds(double horizonSec) const;
+
+    /** Ticks of each effective-attack onset. */
+    const std::vector<Tick> &overloadOnsets() const { return onsets_; }
+
+  private:
+    int effective_ = 0;
+    bool inOverload_ = false;
+    Tick attackStart_ = 0;
+    Tick firstOverload_ = kTickNever;
+    Tick firstTrip_ = kTickNever;
+    std::vector<Tick> onsets_;
+};
+
+} // namespace pad::attack
+
+#endif // PAD_ATTACK_ATTACK_STATS_H

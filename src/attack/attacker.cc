@@ -1,0 +1,105 @@
+#include "attack/attacker.h"
+
+#include "util/logging.h"
+
+namespace pad::attack {
+
+TwoPhaseAttacker::TwoPhaseAttacker(const AttackerConfig &config)
+    : config_(config), virus_(config.kind, config.train, config.seed)
+{
+    PAD_ASSERT(config_.controlledNodes >= 1);
+    PAD_ASSERT(config_.prepareSec >= 0.0);
+    PAD_ASSERT(config_.cappingConfirmSec > 0.0);
+    PAD_ASSERT(config_.maxDrainSec > 0.0);
+    PAD_ASSERT(config_.learnRounds >= 1);
+    PAD_ASSERT(config_.recoverSec >= 0.0);
+}
+
+void
+TwoPhaseAttacker::advance(double nowSec)
+{
+    switch (phase_) {
+      case Phase::Prepare:
+        if (nowSec >= config_.prepareSec) {
+            phase_ = Phase::Drain;
+            drainStart_ = nowSec;
+        }
+        break;
+      case Phase::Drain:
+        // Time-based fallback: the attacker will not drain forever.
+        if (nowSec - drainStart_ >= config_.maxDrainSec)
+            finishRound(nowSec, -1.0);
+        break;
+      case Phase::Recover:
+        if (nowSec - recoverStart_ >= config_.recoverSec) {
+            phase_ = Phase::Drain;
+            drainStart_ = nowSec;
+            cappedSince_ = -1.0;
+        }
+        break;
+      case Phase::Spike:
+        break;
+    }
+}
+
+void
+TwoPhaseAttacker::observePerformance(double nowSec,
+                                     double executedFraction, double dt)
+{
+    PAD_ASSERT(dt > 0.0);
+    if (phase_ != Phase::Drain)
+        return;
+    const bool capped = executedFraction < 0.97;
+    if (!capped) {
+        cappedSince_ = -1.0;
+        return;
+    }
+    if (cappedSince_ < 0.0)
+        cappedSince_ = nowSec;
+    if (nowSec + dt - cappedSince_ >= config_.cappingConfirmSec) {
+        // Throttling confirmed: the DEB must be exhausted. Record
+        // the observed autonomy and end this learning round.
+        finishRound(nowSec + dt, cappedSince_ - drainStart_);
+    }
+}
+
+void
+TwoPhaseAttacker::finishRound(double nowSec, double autonomy)
+{
+    if (autonomy >= 0.0) {
+        learnedAutonomy_ = autonomy;
+        samples_.push_back(autonomy);
+    }
+    ++roundsDone_;
+    if (roundsDone_ >= config_.learnRounds) {
+        enterSpike(nowSec);
+    } else {
+        phase_ = Phase::Recover;
+        recoverStart_ = nowSec;
+    }
+}
+
+void
+TwoPhaseAttacker::enterSpike(double nowSec)
+{
+    phase_ = Phase::Spike;
+    spikeStart_ = nowSec;
+}
+
+double
+TwoPhaseAttacker::demandedUtil(int node, double nowSec) const
+{
+    PAD_ASSERT(node >= 0 && node < config_.controlledNodes);
+    switch (phase_) {
+      case Phase::Prepare:
+      case Phase::Recover:
+        return virus_.signature().restUtil;
+      case Phase::Drain:
+        return virus_.phaseOneUtil();
+      case Phase::Spike:
+        return virus_.phaseTwoUtil(nowSec - spikeStart_);
+    }
+    PAD_PANIC("unreachable attacker phase");
+}
+
+} // namespace pad::attack

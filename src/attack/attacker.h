@@ -1,0 +1,142 @@
+/**
+ * @file
+ * The two-phase attacker of paper §III-A.
+ *
+ * 1) Preparation: the adversary has already placed VMs on a small
+ *    group of physical machines inside the victim rack (co-location
+ *    via [24]); we model the nodes as given.
+ * 2) Phase I ("identify vulnerable status"): run a sustained
+ *    non-offending visible peak to drain the rack's DEB. The attacker
+ *    watches its *own VM performance*: when the DEB runs out the data
+ *    center falls back to DVFS capping, which the attacker observes
+ *    as throttling — a performance side channel revealing that backup
+ *    energy is low, and over repeated rounds, the DEB's autonomy.
+ * 3) Phase II ("launch offending spikes"): keep the battery drained
+ *    and emit short high spikes that utilization-averaged monitoring
+ *    cannot see.
+ */
+
+#ifndef PAD_ATTACK_ATTACKER_H
+#define PAD_ATTACK_ATTACKER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "attack/power_virus.h"
+
+namespace pad::attack {
+
+/** Attacker configuration. */
+struct AttackerConfig {
+    /** Number of physical nodes under the attacker's control. */
+    int controlledNodes = 1;
+    /** Virus family deployed on those nodes. */
+    VirusKind kind = VirusKind::CpuIntensive;
+    /** Phase-II spike train. */
+    SpikeTrain train;
+    /** Low-profile warm-up before Phase I, seconds. */
+    double prepareSec = 10.0;
+    /**
+     * Consecutive seconds of observed throttling that convince the
+     * attacker the backup is exhausted.
+     */
+    double cappingConfirmSec = 5.0;
+    /**
+     * Give-up bound: if no throttling is ever observed, switch to
+     * Phase II anyway after draining this long (the attacker cannot
+     * wait forever; vDEB exploits this).
+     */
+    double maxDrainSec = 900.0;
+    /**
+     * Phase-I learning rounds: the paper's adversary drains the
+     * victim repeatedly ("after multiple times of learning") to
+     * estimate the DEB capacity before striking. Each round after
+     * the first is preceded by a recovery pause.
+     */
+    int learnRounds = 1;
+    /** Low-profile pause between learning rounds, seconds. */
+    double recoverSec = 600.0;
+    /** Determinism seed. */
+    std::uint64_t seed = 99;
+};
+
+/**
+ * Deterministic attacker strategy driven by wall-clock time and the
+ * performance side channel.
+ */
+class TwoPhaseAttacker
+{
+  public:
+    /** Attack progress states. */
+    enum class Phase {
+        Prepare, ///< blending in at low utilization
+        Drain,   ///< Phase I: sustained visible peak
+        Recover, ///< pause between Phase-I learning rounds
+        Spike,   ///< Phase II: offending hidden spikes
+    };
+
+    explicit TwoPhaseAttacker(const AttackerConfig &config);
+
+    /**
+     * Utilization the attacker demands on controlled node @p node at
+     * @p nowSec seconds since the attack began. Call advance() (or
+     * feed observations) before sampling each step.
+     */
+    double demandedUtil(int node, double nowSec) const;
+
+    /**
+     * Feed the performance side channel: @p executedFraction is the
+     * ratio of executed to demanded work on the attacker's VMs over
+     * the last @p dt seconds (1.0 = no throttling).
+     */
+    void observePerformance(double nowSec, double executedFraction,
+                            double dt);
+
+    /** Move time forward; handles the time-based transitions. */
+    void advance(double nowSec);
+
+    /** Current phase. */
+    Phase phase() const { return phase_; }
+
+    /** Seconds (attack-relative) when Phase II began; <0 if not yet. */
+    double phaseTwoStartSec() const { return spikeStart_; }
+
+    /**
+     * Autonomy learned from the side channel: seconds from drain
+     * start to confirmed throttling in the last completed round;
+     * <0 when never observed.
+     */
+    double learnedAutonomySec() const { return learnedAutonomy_; }
+
+    /** Autonomy observations from every completed learning round. */
+    const std::vector<double> &
+    autonomySamples() const
+    {
+        return samples_;
+    }
+
+    /** The deployed virus. */
+    const PowerVirus &virus() const { return virus_; }
+
+    /** Static configuration. */
+    const AttackerConfig &config() const { return config_; }
+
+  private:
+    void enterSpike(double nowSec);
+    void finishRound(double nowSec, double autonomy);
+
+    AttackerConfig config_;
+    PowerVirus virus_;
+    Phase phase_ = Phase::Prepare;
+    double drainStart_ = -1.0;
+    double recoverStart_ = -1.0;
+    double spikeStart_ = -1.0;
+    double cappedSince_ = -1.0;
+    double learnedAutonomy_ = -1.0;
+    int roundsDone_ = 0;
+    std::vector<double> samples_;
+};
+
+} // namespace pad::attack
+
+#endif // PAD_ATTACK_ATTACKER_H

@@ -1,0 +1,149 @@
+#include "attack/power_virus.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::attack {
+
+namespace {
+
+/** splitmix64 for deterministic per-spike jitter. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double
+unitHash(std::uint64_t x)
+{
+    return static_cast<double>(mix(x) >> 11) /
+           static_cast<double>(1ULL << 53);
+}
+
+} // namespace
+
+std::string
+virusKindName(VirusKind kind)
+{
+    switch (kind) {
+      case VirusKind::CpuIntensive:
+        return "CPU-Intensive";
+      case VirusKind::MemIntensive:
+        return "Mem-Intensive";
+      case VirusKind::IoIntensive:
+        return "IO-Intensive";
+    }
+    PAD_PANIC("unreachable virus kind");
+}
+
+VirusSignature
+virusSignature(VirusKind kind)
+{
+    // Calibrated to the paper's real-system characterization:
+    // CPU viruses reach nameplate with sharp edges, Mem viruses a bit
+    // less, IO viruses max out well below peak with sluggish, noisy
+    // transitions (paper Fig. 8 discussion).
+    switch (kind) {
+      case VirusKind::CpuIntensive:
+        return VirusSignature{1.00, 0.10, 0.03, 0.30, 0.85};
+      case VirusKind::MemIntensive:
+        return VirusSignature{0.88, 0.20, 0.05, 0.28, 0.85};
+      case VirusKind::IoIntensive:
+        return VirusSignature{0.66, 0.50, 0.12, 0.25, 0.85};
+    }
+    PAD_PANIC("unreachable virus kind");
+}
+
+PowerVirus::PowerVirus(VirusKind kind, const SpikeTrain &train,
+                       std::uint64_t seed)
+    : kind_(kind), sig_(virusSignature(kind)), train_(train), seed_(seed)
+{
+    PAD_ASSERT(train_.widthSec > 0.0);
+    PAD_ASSERT(train_.perMinute > 0.0);
+    PAD_ASSERT(train_.height > 0.0 && train_.height <= 1.0);
+}
+
+double
+PowerVirus::phaseOneUtil() const
+{
+    // Phase I is a sustained "non-offending" visible peak: the virus
+    // runs flat out, which the data center reads as a busy tenant.
+    return sig_.maxUtil;
+}
+
+double
+PowerVirus::spikeAmplitude(int index) const
+{
+    const double jitter =
+        1.0 + sig_.jitter * (2.0 * unitHash(seed_ ^
+                                            static_cast<std::uint64_t>(
+                                                index)) -
+                             1.0);
+    return std::clamp(train_.height * sig_.maxUtil * jitter, 0.0, 1.0);
+}
+
+double
+PowerVirus::spikeStart(int index) const
+{
+    PAD_ASSERT(index >= 0);
+    // Small deterministic phase jitter avoids pathological alignment
+    // with metering interval boundaries.
+    const double base = train_.periodSec() * static_cast<double>(index);
+    const double wiggle =
+        0.1 * train_.periodSec() *
+        unitHash(seed_ ^ 0xabcdULL ^ static_cast<std::uint64_t>(index));
+    return base + wiggle;
+}
+
+int
+PowerVirus::spikesWithin(double windowSec) const
+{
+    int n = 0;
+    while (spikeStart(n) + train_.widthSec <= windowSec)
+        ++n;
+    return n;
+}
+
+double
+PowerVirus::phaseTwoUtil(double sinceStart) const
+{
+    const double pressure = train_.pressure >= 0.0
+                                ? train_.pressure
+                                : sig_.phaseTwoPressure;
+    const double base = pressure * sig_.maxUtil;
+    if (sinceStart < 0.0)
+        return base;
+
+    // Locate the spike whose window could contain this instant.
+    const double period = train_.periodSec();
+    int idx = static_cast<int>(sinceStart / period);
+    for (int probe = std::max(0, idx - 1); probe <= idx + 1; ++probe) {
+        const double start = spikeStart(probe);
+        const double rise = sig_.riseTimeSec;
+        const double fall = sig_.riseTimeSec;
+        const double top = spikeAmplitude(probe);
+        const double rel = sinceStart - start;
+        if (rel < 0.0 || rel > rise + train_.widthSec + fall)
+            continue;
+        if (top <= base)
+            return base;
+        double level;
+        if (rel < rise) {
+            level = rel / rise; // ramp up
+        } else if (rel < rise + train_.widthSec) {
+            level = 1.0; // sustained peak
+        } else {
+            level = 1.0 - (rel - rise - train_.widthSec) / fall;
+        }
+        return base + (top - base) * level;
+    }
+    return base;
+}
+
+} // namespace pad::attack

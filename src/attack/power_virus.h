@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Power virus models (paper §III).
+ *
+ * A power virus is a malicious load crafted to manipulate a server's
+ * power draw. The paper characterizes three flavours on real
+ * hardware (Table II): CPU-intensive (threaded Tachyon ray tracer),
+ * memory-intensive (STREAM), and IO-intensive (Apache bench). Their
+ * key differences for the attack are the peak power they can reach
+ * and how sharply they can modulate it:
+ *
+ *  - CPU viruses reach essentially nameplate power with sub-second
+ *    rise time and therefore make the best hidden spikes;
+ *  - Mem viruses reach somewhat lower peaks;
+ *  - IO viruses "cannot effectively trigger high spikes in Phase II"
+ *    and may fail entirely when the power budget is adequate.
+ */
+
+#ifndef PAD_ATTACK_POWER_VIRUS_H
+#define PAD_ATTACK_POWER_VIRUS_H
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pad::attack {
+
+/** Benchmark family the virus is built from. */
+enum class VirusKind {
+    CpuIntensive,
+    MemIntensive,
+    IoIntensive,
+};
+
+/** Human-readable virus kind name. */
+std::string virusKindName(VirusKind kind);
+
+/** All virus kinds, for sweeps. */
+inline constexpr VirusKind kAllVirusKinds[] = {
+    VirusKind::CpuIntensive,
+    VirusKind::MemIntensive,
+    VirusKind::IoIntensive,
+};
+
+/** Power-behaviour signature of a virus kind. */
+struct VirusSignature {
+    /** Highest utilization the virus can drive (fraction of peak). */
+    double maxUtil = 1.0;
+    /** 10-90% rise time of a spike, seconds. */
+    double riseTimeSec = 0.1;
+    /** Relative amplitude jitter between repetitions. */
+    double jitter = 0.03;
+    /** Low-profile utilization during the Preparation phase. */
+    double restUtil = 0.30;
+    /**
+     * Between-spike utilization in Phase II as a fraction of
+     * maxUtil: the attacker keeps pressure on the drained battery so
+     * headroom never appears to recharge it ("the attacker first
+     * needs to use the visible peak to drain the battery" — and keep
+     * it drained, paper §III-A.3).
+     */
+    double phaseTwoPressure = 0.85;
+};
+
+/** Signature table for the three characterized virus kinds. */
+VirusSignature virusSignature(VirusKind kind);
+
+/**
+ * Spike-train parameters for a Phase-II hidden-spike attack.
+ */
+struct SpikeTrain {
+    /** Spike width (sustained peak duration), seconds. */
+    double widthSec = 1.0;
+    /** Spikes per minute. */
+    double perMinute = 1.0;
+    /** Spike height as a fraction of the virus's maxUtil. */
+    double height = 1.0;
+    /**
+     * Between-spike pressure override (fraction of maxUtil); <0
+     * keeps the virus signature's default. Cluster attacks keep the
+     * default high pressure to starve battery recharge; testbed
+     * characterizations (Fig. 12) rest near 55%.
+     */
+    double pressure = -1.0;
+
+    /** Seconds between consecutive spike starts. */
+    double
+    periodSec() const
+    {
+        return 60.0 / perMinute;
+    }
+};
+
+/**
+ * One power virus instance: a kind plus its Phase-II spike train.
+ *
+ * The virus exposes its demanded utilization as a pure function of
+ * time so fine-grained simulations stay deterministic.
+ */
+class PowerVirus
+{
+  public:
+    /**
+     * @param kind  benchmark family
+     * @param train Phase-II spike schedule
+     * @param seed  per-instance determinism for jitter
+     */
+    PowerVirus(VirusKind kind, const SpikeTrain &train,
+               std::uint64_t seed = 1);
+
+    /**
+     * Demanded utilization in Phase I (sustained visible peak used to
+     * drain the victim's battery).
+     */
+    double phaseOneUtil() const;
+
+    /**
+     * Demanded utilization at @p sinceStart seconds into Phase II.
+     * Produces restUtil between spikes and a trapezoidal spike of the
+     * configured width/height at each scheduled firing, with
+     * deterministic per-spike jitter.
+     */
+    double phaseTwoUtil(double sinceStart) const;
+
+    /** Number of spikes launched within @p windowSec of Phase II. */
+    int spikesWithin(double windowSec) const;
+
+    /** Start time (seconds into Phase II) of spike @p index. */
+    double spikeStart(int index) const;
+
+    /** Virus kind. */
+    VirusKind kind() const { return kind_; }
+
+    /** Behaviour signature. */
+    const VirusSignature &signature() const { return sig_; }
+
+    /** Spike-train parameters. */
+    const SpikeTrain &train() const { return train_; }
+
+  private:
+    double spikeAmplitude(int index) const;
+
+    VirusKind kind_;
+    VirusSignature sig_;
+    SpikeTrain train_;
+    std::uint64_t seed_;
+};
+
+} // namespace pad::attack
+
+#endif // PAD_ATTACK_POWER_VIRUS_H

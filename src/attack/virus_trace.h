@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Synthesizer for the measured power-virus traces of paper Fig. 12.
+ *
+ * The paper collects attack power traces on its scaled-down hardware
+ * platform with a precision power analyzer and feeds them into the
+ * trace-driven simulator. Lacking that hardware, this synthesizer
+ * emits the same two canonical shapes at 1 Hz:
+ *
+ *  - "dense and extensive": frequent wide spikes, high duty cycle;
+ *  - "sparse and light-weighted": occasional narrow spikes.
+ *
+ * Values are percent-of-peak like the figure's y-axis.
+ */
+
+#ifndef PAD_ATTACK_VIRUS_TRACE_H
+#define PAD_ATTACK_VIRUS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/power_virus.h"
+
+namespace pad::attack {
+
+/** The two collected attack styles of Fig. 12. */
+enum class AttackStyle {
+    /** Frequent, wide, aggressive spikes. */
+    Dense,
+    /** Occasional, narrow, light spikes. */
+    Sparse,
+};
+
+/** Human-readable style name. */
+std::string attackStyleName(AttackStyle style);
+
+/** All styles, for sweeps. */
+inline constexpr AttackStyle kAllAttackStyles[] = {
+    AttackStyle::Dense,
+    AttackStyle::Sparse,
+};
+
+/** Spike-train parameters matching one attack style. */
+SpikeTrain spikeTrainFor(AttackStyle style, VirusKind kind);
+
+/**
+ * Render a virus power trace (percent of peak, one sample/second).
+ *
+ * @param kind       virus family
+ * @param style      dense or sparse
+ * @param seconds    trace length
+ * @param seed       determinism
+ * @return one utilization-percent sample per second
+ */
+std::vector<double> synthesizeVirusTrace(VirusKind kind, AttackStyle style,
+                                         int seconds,
+                                         std::uint64_t seed = 7);
+
+} // namespace pad::attack
+
+#endif // PAD_ATTACK_VIRUS_TRACE_H

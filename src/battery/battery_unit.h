@@ -1,0 +1,157 @@
+/**
+ * @file
+ * A deployable distributed-energy-backup (DEB) unit: a KiBaM cell
+ * stack plus the protection and telemetry electronics the paper's
+ * threat model depends on — low-voltage disconnect (LVD), a maximum
+ * safe discharge rate, and SOC reporting.
+ *
+ * Facebook's Open Rack battery cabinet (paper ref [2]) isolates the
+ * battery through an independent LVD when terminal voltage drops to
+ * 1.75 V/cell; we model that as an SOC threshold with reconnect
+ * hysteresis. The maximum discharge rate mirrors the lead-acid
+ * data-sheet bound the paper cites (48 A for a 2 Ah cell, ref [25]).
+ */
+
+#ifndef PAD_BATTERY_BATTERY_UNIT_H
+#define PAD_BATTERY_BATTERY_UNIT_H
+
+#include <string>
+
+#include "battery/aging_model.h"
+#include "battery/kibam.h"
+#include "battery/voltage_model.h"
+#include "util/types.h"
+
+namespace pad::battery {
+
+/** Static configuration for a DEB unit. */
+struct BatteryUnitConfig {
+    /** Rated energy capacity. */
+    WattHours capacityWh = 72.4;
+    /** KiBaM available-well fraction. */
+    double kibamC = 0.625;
+    /** KiBaM rate constant, 1/s. */
+    double kibamK = 4.5e-4;
+    /** Maximum safe discharge power. */
+    Watts maxDischargePower = 6000.0;
+    /** Maximum charge power accepted. */
+    Watts maxChargePower = 1500.0;
+    /** LVD trips (battery disconnects) at/below this SOC. */
+    double lvdDisconnectSoc = 0.125;
+    /** LVD reconnects once SOC recovers to this level. */
+    double lvdReconnectSoc = 0.25;
+    /** Cycle/calendar aging parameters (telemetry). */
+    AgingModelConfig aging;
+    /** Terminal-voltage model parameters (telemetry). */
+    VoltageModelConfig voltage;
+};
+
+/**
+ * One rack- or server-level battery backup unit.
+ */
+class BatteryUnit
+{
+  public:
+    /**
+     * @param name   telemetry name, e.g. "rack7.deb"
+     * @param config static configuration
+     */
+    BatteryUnit(std::string name, const BatteryUnitConfig &config);
+
+    /**
+     * Draw up to @p requested watts for @p dt seconds.
+     *
+     * The delivery is bounded by the configured maximum discharge
+     * rate, the LVD state, and the available-well charge. Tripping
+     * the LVD mid-step cuts delivery for the remainder.
+     *
+     * @return energy actually delivered, joules
+     */
+    Joules discharge(Watts requested, double dt);
+
+    /**
+     * Push up to @p offered watts of charge for @p dt seconds.
+     * @return energy actually absorbed, joules
+     */
+    Joules charge(Watts offered, double dt);
+
+    /**
+     * Let the unit idle for @p dt seconds (wells equalize; a tripped
+     * LVD may reconnect as the available well recovers).
+     */
+    void rest(double dt);
+
+    /** State of charge in [0, 1]. */
+    double soc() const { return model_.soc(); }
+
+    /** True when the LVD has isolated the battery from the load. */
+    bool disconnected() const { return lvdTripped_; }
+
+    /** True when no usable backup energy remains (empty or LVD). */
+    bool unavailable() const { return lvdTripped_ || model_.depleted(); }
+
+    /** Largest power deliverable over the next @p dt seconds. */
+    Watts availablePower(double dt) const;
+
+    /**
+     * Estimated autonomy: how long the unit could sustain @p load
+     * before disconnecting, by forward-simulating a copy.
+     */
+    double estimateAutonomySeconds(Watts load, double resolution = 1.0) const;
+
+    /** Total energy discharged over the unit's lifetime, joules. */
+    Joules lifetimeDischarged() const { return totalDischarged_; }
+
+    /** Total energy absorbed while charging, joules. */
+    Joules lifetimeCharged() const { return totalCharged_; }
+
+    /** Equivalent full cycles so far. */
+    double equivalentFullCycles() const;
+
+    /** Number of LVD disconnect events. */
+    int lvdTrips() const { return lvdTrips_; }
+
+    /** Normalized wear from cycling and calendar aging (1 = EOL). */
+    double wear() const { return aging_.wear(); }
+
+    /** The full aging bookkeeping. */
+    const AgingModel &aging() const { return aging_; }
+
+    /** Terminal pack voltage at the given load, volts. */
+    double terminalVoltage(Watts load = 0.0) const;
+
+    /** Per-cell terminal voltage at the given load, volts. */
+    double cellVoltage(Watts load = 0.0) const;
+
+    /** Rated capacity in joules. */
+    Joules capacity() const { return model_.params().capacity; }
+
+    /** Stored energy in joules. */
+    Joules stored() const { return model_.stored(); }
+
+    /** Force a state of charge (testing / scenario setup). */
+    void setSoc(double soc);
+
+    /** Telemetry name. */
+    const std::string &name() const { return name_; }
+
+    /** Static configuration. */
+    const BatteryUnitConfig &config() const { return config_; }
+
+  private:
+    void updateLvd();
+
+    std::string name_;
+    BatteryUnitConfig config_;
+    Kibam model_;
+    AgingModel aging_;
+    VoltageModel voltage_;
+    bool lvdTripped_ = false;
+    int lvdTrips_ = 0;
+    Joules totalDischarged_ = 0.0;
+    Joules totalCharged_ = 0.0;
+};
+
+} // namespace pad::battery
+
+#endif // PAD_BATTERY_BATTERY_UNIT_H

@@ -1,0 +1,85 @@
+#include "battery/charge_policy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace pad::battery {
+
+ChargePolicyKind
+chargePolicyFromName(const std::string &name)
+{
+    if (name == "online")
+        return ChargePolicyKind::Online;
+    if (name == "offline")
+        return ChargePolicyKind::Offline;
+    PAD_FATAL("unknown charge policy: {}", name);
+}
+
+std::string
+chargePolicyName(ChargePolicyKind kind)
+{
+    return kind == ChargePolicyKind::Online ? "online" : "offline";
+}
+
+ChargeController::ChargeController(const ChargeControllerConfig &config)
+    : config_(config)
+{
+    PAD_ASSERT(config_.offlineStartSoc < config_.offlineStopSoc);
+}
+
+bool
+ChargeController::wantsCharge(const BatteryUnit &unit,
+                              std::size_t index) const
+{
+    if (config_.kind == ChargePolicyKind::Online)
+        return unit.soc() < 0.999;
+
+    if (recharging_.size() <= index)
+        recharging_.resize(index + 1, false);
+    const double soc = unit.soc();
+    if (recharging_[index]) {
+        if (soc >= config_.offlineStopSoc)
+            recharging_[index] = false;
+    } else if (soc <= config_.offlineStartSoc) {
+        recharging_[index] = true;
+    }
+    return recharging_[index];
+}
+
+Joules
+ChargeController::recharge(std::vector<BatteryUnit *> &units,
+                           Watts headroom, double dt)
+{
+    PAD_ASSERT(dt >= 0.0);
+    if (headroom <= 0.0 || dt == 0.0 || units.empty())
+        return 0.0;
+
+    // Collect candidates ordered lowest SOC first so that the most
+    // vulnerable units recover first when headroom is scarce.
+    std::vector<std::size_t> order(units.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return units[a]->soc() < units[b]->soc();
+                     });
+
+    Joules absorbed = 0.0;
+    Watts remaining = headroom;
+    for (std::size_t idx : order) {
+        if (remaining <= 0.0)
+            break;
+        BatteryUnit &unit = *units[idx];
+        if (!wantsCharge(unit, idx))
+            continue;
+        const Watts offer =
+            std::min(remaining, unit.config().maxChargePower);
+        const Joules got = unit.charge(offer, dt);
+        absorbed += got;
+        remaining -= got / dt;
+    }
+    return absorbed;
+}
+
+} // namespace pad::battery

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Super-capacitor model for the µDEB spike-shaving device.
+ *
+ * The paper motivates super-capacitors for µDEB because shaving a
+ * transient spike needs very little energy but very high power
+ * output, and battery cells age under high current while caps do
+ * not. We model a capacitor bank of C farads on a DC bus with a
+ * usable voltage window [vMin, vMax]; stored usable energy is
+ * E = C/2 (v^2 - vMin^2) and power is limited only by the bank's
+ * current rating.
+ */
+
+#ifndef PAD_BATTERY_SUPERCAP_H
+#define PAD_BATTERY_SUPERCAP_H
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pad::battery {
+
+/** Static configuration for a super-capacitor bank. */
+struct SuperCapConfig {
+    /** Bank capacitance in farads. */
+    double capacitanceF = 2.0;
+    /** Fully charged bus voltage, volts. */
+    double vMax = 48.0;
+    /** Minimum usable voltage (converter cutoff), volts. */
+    double vMin = 24.0;
+    /** Maximum output power, watts. */
+    Watts maxPower = 50000.0;
+    /** Round-trip efficiency applied on discharge. */
+    double efficiency = 0.95;
+};
+
+/**
+ * Super-capacitor bank with instantaneous (ORing-style) response.
+ */
+class SuperCapacitor
+{
+  public:
+    /**
+     * @param name   telemetry name, e.g. "rack4.udeb"
+     * @param config static configuration
+     */
+    SuperCapacitor(std::string name, const SuperCapConfig &config);
+
+    /**
+     * Draw up to @p requested watts for @p dt seconds.
+     * @return energy actually delivered, joules
+     */
+    Joules discharge(Watts requested, double dt);
+
+    /**
+     * Push up to @p offered watts of charge for @p dt seconds.
+     * @return energy actually absorbed, joules
+     */
+    Joules charge(Watts offered, double dt);
+
+    /** Usable stored energy above the cutoff voltage, joules. */
+    Joules usableEnergy() const;
+
+    /** Total energy window (full to cutoff), joules. */
+    Joules usableCapacity() const;
+
+    /** State of charge over the usable window, in [0, 1]. */
+    double soc() const;
+
+    /** Present bus voltage, volts. */
+    double voltage() const { return voltage_; }
+
+    /** True when no usable energy remains. */
+    bool depleted() const { return usableEnergy() <= 1e-9; }
+
+    /** Maximum power deliverable right now for @p dt seconds. */
+    Watts availablePower(double dt) const;
+
+    /** Lifetime energy delivered, joules. */
+    Joules lifetimeDischarged() const { return totalDischarged_; }
+
+    /** Number of discharge engagements (spikes shaved). */
+    int engagements() const { return engagements_; }
+
+    /** Reset to fully charged. */
+    void resetFull() { voltage_ = config_.vMax; }
+
+    /** Set the state of charge over the usable window. */
+    void setSoc(double soc);
+
+    /** Telemetry name. */
+    const std::string &name() const { return name_; }
+
+    /** Static configuration. */
+    const SuperCapConfig &config() const { return config_; }
+
+  private:
+    std::string name_;
+    SuperCapConfig config_;
+    double voltage_;
+    Joules totalDischarged_ = 0.0;
+    int engagements_ = 0;
+};
+
+} // namespace pad::battery
+
+#endif // PAD_BATTERY_SUPERCAP_H

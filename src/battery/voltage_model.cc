@@ -1,0 +1,67 @@
+#include "battery/voltage_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::battery {
+
+VoltageModel::VoltageModel(const VoltageModelConfig &config)
+    : config_(config)
+{
+    PAD_ASSERT(config_.cellsInSeries >= 1);
+    PAD_ASSERT(config_.vCellFull > config_.vCellEmpty);
+    PAD_ASSERT(config_.internalResistanceOhm >= 0.0);
+    PAD_ASSERT(config_.nominalVoltage > 0.0);
+}
+
+double
+VoltageModel::headFraction(const Kibam &state)
+{
+    const double full =
+        state.params().c * state.params().capacity;
+    if (full <= 0.0)
+        return 0.0;
+    return std::clamp(state.available() / full, 0.0, 1.0);
+}
+
+double
+VoltageModel::openCircuitVoltage(const Kibam &state) const
+{
+    const double perCell =
+        config_.vCellEmpty +
+        (config_.vCellFull - config_.vCellEmpty) * headFraction(state);
+    return perCell * config_.cellsInSeries;
+}
+
+double
+VoltageModel::terminalVoltage(const Kibam &state, Watts load) const
+{
+    PAD_ASSERT(load >= 0.0);
+    const double voc = openCircuitVoltage(state);
+    const double current = load / config_.nominalVoltage;
+    return voc - current * config_.internalResistanceOhm;
+}
+
+double
+VoltageModel::cellVoltage(const Kibam &state, Watts load) const
+{
+    return terminalVoltage(state, load) / config_.cellsInSeries;
+}
+
+Watts
+VoltageModel::powerAtCellCutoff(const Kibam &state,
+                                double vCellCutoff) const
+{
+    // Solve V_oc - (P / V_nom) R = cutoff x cells for P.
+    const double voc = openCircuitVoltage(state);
+    const double vCut = vCellCutoff * config_.cellsInSeries;
+    if (config_.internalResistanceOhm <= 0.0)
+        return voc > vCut ? 1e12 : 0.0;
+    const Watts p = (voc - vCut) * config_.nominalVoltage /
+                    config_.internalResistanceOhm;
+    return std::max(0.0, p);
+}
+
+} // namespace pad::battery

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Terminal-voltage model layered on the kinetic battery state.
+ *
+ * The LVD hardware the paper describes (Facebook V1 isolates at
+ * 1.75 V/cell) senses voltage, not charge. For lead-acid chemistry
+ * the open-circuit voltage tracks the available-well head (acid
+ * concentration at the plates) roughly linearly, and the terminal
+ * voltage adds an ohmic drop proportional to load current:
+ *
+ *   V_oc   = vEmpty + (vFull - vEmpty) x head
+ *   V_term = V_oc - I x R_internal
+ *
+ * This model is used for telemetry and for validating that the
+ * SOC-threshold LVD in BatteryUnit matches a voltage-threshold LVD.
+ */
+
+#ifndef PAD_BATTERY_VOLTAGE_MODEL_H
+#define PAD_BATTERY_VOLTAGE_MODEL_H
+
+#include "battery/kibam.h"
+#include "util/types.h"
+
+namespace pad::battery {
+
+/** Per-cell electrical parameters (lead-acid defaults). */
+struct VoltageModelConfig {
+    /** Cells in series (6 for a 12 V block). */
+    int cellsInSeries = 6;
+    /** Open-circuit voltage per cell at full head, volts. */
+    double vCellFull = 2.10;
+    /** Open-circuit voltage per cell at empty head, volts. */
+    double vCellEmpty = 1.70;
+    /** Internal resistance of the whole string, ohms. */
+    double internalResistanceOhm = 0.02;
+    /** Nominal bus voltage used to convert power to current. */
+    double nominalVoltage = 12.0;
+};
+
+/**
+ * Maps a Kibam state and load power to pack voltages.
+ */
+class VoltageModel
+{
+  public:
+    explicit VoltageModel(const VoltageModelConfig &config = {});
+
+    /** Open-circuit pack voltage for the given kinetic state. */
+    double openCircuitVoltage(const Kibam &state) const;
+
+    /**
+     * Terminal pack voltage under load.
+     *
+     * @param state kinetic battery state
+     * @param load  discharge power, watts (>= 0)
+     */
+    double terminalVoltage(const Kibam &state, Watts load) const;
+
+    /** Per-cell terminal voltage under load. */
+    double cellVoltage(const Kibam &state, Watts load) const;
+
+    /**
+     * Load power at which the cell voltage hits @p vCellCutoff for
+     * the given state (the power the LVD would allow).
+     */
+    Watts powerAtCellCutoff(const Kibam &state, double vCellCutoff) const;
+
+    /** Static configuration. */
+    const VoltageModelConfig &config() const { return config_; }
+
+  private:
+    /** Available-well head fraction in [0, 1]. */
+    static double headFraction(const Kibam &state);
+
+    VoltageModelConfig config_;
+};
+
+} // namespace pad::battery
+
+#endif // PAD_BATTERY_VOLTAGE_MODEL_H

@@ -1,0 +1,66 @@
+#include "core/campaign.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pad::core {
+
+CampaignDriver::CampaignDriver(DataCenter &dc,
+                               std::vector<CampaignAttack> attacks)
+    : dc_(dc), attacks_(std::move(attacks))
+{
+    std::stable_sort(attacks_.begin(), attacks_.end(),
+                     [](const CampaignAttack &a,
+                        const CampaignAttack &b) {
+                         return a.startAt < b.startAt;
+                     });
+}
+
+CampaignReport
+CampaignDriver::run(Tick until)
+{
+    CampaignReport report;
+    const double demandBefore = dc_.perf().demandedWork();
+    const double execBefore = dc_.perf().executedWork();
+
+    // Order the strikes through the event queue; between events the
+    // data center runs normal coarse operation.
+    sim::EventQueue events;
+    for (std::size_t i = 0; i < attacks_.size(); ++i) {
+        if (attacks_[i].startAt >= dc_.now() &&
+            attacks_[i].startAt < until)
+            events.schedule(attacks_[i].startAt, [this, i, &report] {
+                const CampaignAttack &strike = attacks_[i];
+                attack::TwoPhaseAttacker attacker(strike.attacker);
+                const AttackOutcome out =
+                    dc_.runAttack(attacker, strike.scenario);
+                CampaignStrike record;
+                record.startedAt = strike.startAt;
+                record.survivalSec = out.survivalSec;
+                record.effectiveAttacks = out.rack.effectiveAttacks();
+                record.throughput = out.throughput;
+                record.overloaded =
+                    out.survivalSec < strike.scenario.durationSec;
+                report.successfulStrikes += record.overloaded;
+                report.strikes.push_back(record);
+            });
+    }
+
+    while (true) {
+        const Tick next = events.nextEventTick();
+        if (next == kTickNever || next > until)
+            break;
+        dc_.runCoarseUntil(next);
+        events.runUntil(next);
+    }
+    dc_.runCoarseUntil(until);
+
+    const double demanded = dc_.perf().demandedWork() - demandBefore;
+    const double executed = dc_.perf().executedWork() - execBefore;
+    report.overallThroughput =
+        demanded > 0.0 ? executed / demanded : 1.0;
+    return report;
+}
+
+} // namespace pad::core

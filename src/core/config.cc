@@ -1,0 +1,23 @@
+#include "core/config.h"
+
+namespace pad::core {
+
+battery::BatteryUnitConfig
+defaultDebConfig(Watts rackNameplate, double seconds)
+{
+    battery::BatteryUnitConfig cfg;
+    // "Sustains `seconds` under full load" is delivered autonomy: at
+    // a full-rack draw the available well collapses to the LVD floor
+    // when roughly 60% of rated charge has been delivered (KiBaM
+    // rate-capacity effect), so the rated capacity is sized up.
+    cfg.capacityWh = joulesToWattHours(rackNameplate * seconds / 0.6);
+    // The cabinet must carry the full rack when shaving deep peaks,
+    // but recharges slowly (trickle charging, ~C/5): the paper's
+    // premise that aggressively used batteries "do not receive
+    // timely recharge" depends on exactly this asymmetry.
+    cfg.maxDischargePower = rackNameplate * 1.2;
+    cfg.maxChargePower = rackNameplate * 0.05;
+    return cfg;
+}
+
+} // namespace pad::core

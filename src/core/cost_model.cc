@@ -1,0 +1,36 @@
+#include "core/cost_model.h"
+
+#include "battery/supercap.h"
+#include "util/logging.h"
+
+namespace pad::core {
+
+CostModel::CostModel(const CostModelConfig &config) : config_(config)
+{
+    PAD_ASSERT(config_.supercapCostPerWh > 0.0);
+    PAD_ASSERT(config_.batteryCostPerWh > 0.0);
+}
+
+double
+CostModel::udebCost(const MicroDebConfig &udeb, int racks) const
+{
+    battery::SuperCapacitor probe("cost.probe", udeb.cap);
+    const WattHours perRack = joulesToWattHours(probe.usableCapacity());
+    return perRack * config_.supercapCostPerWh * racks;
+}
+
+double
+CostModel::vdebCost(const battery::BatteryUnitConfig &deb,
+                    int racks) const
+{
+    return deb.capacityWh * config_.batteryCostPerWh * racks;
+}
+
+double
+CostModel::costRatio(const MicroDebConfig &udeb,
+                     const battery::BatteryUnitConfig &deb) const
+{
+    return udebCost(udeb, 1) / vdebCost(deb, 1);
+}
+
+} // namespace pad::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Capital-cost model for the PAD hardware additions (paper §VI-D,
+ * Fig. 17). The µDEB super-capacitors cost 10-30 $/Wh (paper
+ * §IV-B.2); the vDEB reuses lead-acid cabinets the data center
+ * already owns, so only the µDEB is treated as overhead and the
+ * figure reports its cost as a percentage of the vDEB investment.
+ */
+
+#ifndef PAD_CORE_COST_MODEL_H
+#define PAD_CORE_COST_MODEL_H
+
+#include "battery/battery_unit.h"
+#include "core/udeb.h"
+
+namespace pad::core {
+
+/** Unit prices. */
+struct CostModelConfig {
+    /** Super-capacitor cost, $/Wh (paper: 10-30). */
+    double supercapCostPerWh = 20.0;
+    /** Installed lead-acid cost, $/Wh. */
+    double batteryCostPerWh = 4.0;
+};
+
+/**
+ * Dollar figures for the evaluated deployment.
+ */
+class CostModel
+{
+  public:
+    explicit CostModel(const CostModelConfig &config = {});
+
+    /** Total µDEB cost for @p racks racks, dollars. */
+    double udebCost(const MicroDebConfig &udeb, int racks) const;
+
+    /** Total vDEB (battery cabinet) cost for @p racks racks. */
+    double vdebCost(const battery::BatteryUnitConfig &deb,
+                    int racks) const;
+
+    /** µDEB cost as a fraction of vDEB cost. */
+    double costRatio(const MicroDebConfig &udeb,
+                     const battery::BatteryUnitConfig &deb) const;
+
+    /** Static configuration. */
+    const CostModelConfig &config() const { return config_; }
+
+  private:
+    CostModelConfig config_;
+};
+
+} // namespace pad::core
+
+#endif // PAD_CORE_COST_MODEL_H

@@ -1,0 +1,998 @@
+#include "core/datacenter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace pad::core {
+
+namespace {
+
+/** Stable pseudo-random shedding priority for a server id. */
+int
+shedPriority(std::size_t serverIdx)
+{
+    return static_cast<int>((serverIdx * 2654435761ULL) % 97);
+}
+
+} // namespace
+
+Joules
+DataCenter::RackState::stored() const
+{
+    Joules total = 0.0;
+    for (const auto &u : debs)
+        total += u->stored();
+    return total;
+}
+
+Joules
+DataCenter::RackState::capacity() const
+{
+    Joules total = 0.0;
+    for (const auto &u : debs)
+        total += u->capacity();
+    return total;
+}
+
+double
+DataCenter::RackState::soc() const
+{
+    return stored() / std::max(capacity(), 1e-9);
+}
+
+Watts
+DataCenter::RackState::availablePower(double dt) const
+{
+    Watts total = 0.0;
+    for (const auto &u : debs)
+        total += u->availablePower(dt);
+    return total;
+}
+
+bool
+DataCenter::RackState::unavailable() const
+{
+    for (const auto &u : debs)
+        if (!u->unavailable())
+            return false;
+    return true;
+}
+
+Watts
+DataCenter::RackState::discharge(Watts want, double dtSec,
+                                 const std::vector<Watts> &unitDrawBound)
+{
+    PAD_ASSERT(unitDrawBound.size() == debs.size());
+    if (want <= 0.0) {
+        rest(dtSec);
+        return 0.0;
+    }
+    const Joules total = stored();
+    Watts delivered = 0.0;
+    for (std::size_t i = 0; i < debs.size(); ++i) {
+        const double share =
+            total > 0.0 ? debs[i]->stored() / total : 0.0;
+        const Watts ask =
+            std::min(want * share, unitDrawBound[i]);
+        if (ask > 0.0)
+            delivered += debs[i]->discharge(ask, dtSec) / dtSec;
+        else
+            debs[i]->rest(dtSec);
+    }
+    return delivered;
+}
+
+void
+DataCenter::RackState::rest(double dtSec)
+{
+    for (auto &u : debs)
+        u->rest(dtSec);
+}
+
+void
+DataCenter::RackState::recharge(Watts headroom, double dtSec)
+{
+    std::vector<battery::BatteryUnit *> units;
+    units.reserve(debs.size());
+    for (auto &u : debs)
+        units.push_back(u.get());
+    charger->recharge(units, headroom, dtSec);
+}
+
+int
+rackByLoadPercentile(const trace::Workload &workload,
+                     const DataCenterConfig &config, Tick from, Tick to,
+                     double percentile)
+{
+    PAD_ASSERT(to > from);
+    PAD_ASSERT(percentile >= 0.0 && percentile <= 100.0);
+    power::ServerPowerModel model(config.server);
+    std::vector<std::pair<double, int>> byPower;
+    for (int r = 0; r < config.racks; ++r) {
+        double acc = 0.0;
+        int samples = 0;
+        for (Tick t = from; t < to; t += config.coarseStep) {
+            for (int s = 0; s < config.serversPerRack; ++s) {
+                const int machine = r * config.serversPerRack + s;
+                acc += model.power(workload.utilAt(machine, t));
+            }
+            ++samples;
+        }
+        byPower.emplace_back(acc / std::max(samples, 1), r);
+    }
+    std::sort(byPower.begin(), byPower.end());
+    const auto idx = static_cast<std::size_t>(
+        percentile / 100.0 *
+        static_cast<double>(byPower.size() - 1));
+    return byPower[idx].second;
+}
+
+DataCenter::DataCenter(const DataCenterConfig &config,
+                       const trace::Workload *workload)
+    : config_(config),
+      traits_(config.overrideTraits ? config.traits
+                                    : schemeTraits(config.scheme)),
+      workload_(workload), serverModel_(config.server),
+      vdeb_(config.vdeb), policy_(true)
+{
+    PAD_ASSERT(workload_ != nullptr);
+    PAD_ASSERT(config_.racks > 0 && config_.serversPerRack > 0);
+    PAD_ASSERT(workload_->machines() >= config_.totalServers(),
+               "workload has fewer machines than the cluster");
+
+    racks_.resize(static_cast<std::size_t>(config_.racks));
+    assigned_.assign(racks_.size(), 0.0);
+    shed_.assign(static_cast<std::size_t>(config_.totalServers()), false);
+
+    for (int r = 0; r < config_.racks; ++r) {
+        auto &rack = racks_[static_cast<std::size_t>(r)];
+        const std::string base = "rack" + std::to_string(r);
+        if (config_.debPlacement ==
+            DataCenterConfig::DebPlacement::RackCabinet) {
+            rack.debs.push_back(std::make_unique<battery::BatteryUnit>(
+                base + ".deb", config_.deb));
+        } else {
+            // Split the cabinet into per-server BBUs, same total
+            // capacity, per-unit rate limits scaled down.
+            battery::BatteryUnitConfig unit = config_.deb;
+            const double n = config_.serversPerRack;
+            unit.capacityWh /= n;
+            unit.maxDischargePower /= n;
+            unit.maxChargePower /= n;
+            for (int s = 0; s < config_.serversPerRack; ++s)
+                rack.debs.push_back(
+                    std::make_unique<battery::BatteryUnit>(
+                        base + ".bbu" + std::to_string(s), unit));
+        }
+        if (traits_.udebSpikes)
+            rack.udeb =
+                std::make_unique<MicroDeb>(base + ".udeb", config_.udeb);
+        // Without sharing, the enforcement point is the rack's soft
+        // overload limit: sustained violation trips the circuit.
+        // With iPDU sharing, draws up to the wire's hard rating are
+        // legitimate, so only that rating is breaker-protected.
+        power::CircuitBreakerConfig bc = config_.rackBreaker;
+        bc.ratedPower =
+            traits_.vdebSharing
+                ? config_.rackBudget() * config_.rackBreakerMargin
+                : config_.rackOverloadLimit();
+        bc.holdRatio = 1.02;
+        bc.thermalCapacity = 0.5;
+        rack.breaker = std::make_unique<power::CircuitBreaker>(
+            base + ".breaker", bc);
+        rack.charger = std::make_unique<battery::ChargeController>(
+            config_.charge);
+        if (config_.detectorResponse)
+            rack.meter = std::make_unique<power::PowerMeter>(
+                base + ".meter", config_.detectorInterval);
+    }
+}
+
+void
+DataCenter::detectorStep(const StepPower &step, Tick dt)
+{
+    if (!config_.detectorResponse)
+        return;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        auto &rack = racks_[r];
+        rack.meter->observe(step.rackDraw[r], dt);
+        const auto &readings = rack.meter->readings();
+        for (; rack.meterScanned < readings.size();
+             ++rack.meterScanned) {
+            const Watts avg = readings[rack.meterScanned].average;
+            // Flag when the metered average rises measurably above
+            // the rack's rolling expectation.
+            if (rack.vpEnergy > 0.0 &&
+                avg > rack.vpEnergy * (1.0 + config_.detectorMargin)) {
+                ++detections_;
+                clusterCapUntil_ =
+                    now_ + secondsToTicks(config_.detectorCapHoldSec);
+            }
+        }
+    }
+}
+
+int
+DataCenter::machineId(int rack, int server) const
+{
+    return rack * config_.serversPerRack + server;
+}
+
+std::size_t
+DataCenter::serverIndex(int rack, int server) const
+{
+    return static_cast<std::size_t>(machineId(rack, server));
+}
+
+bool
+DataCenter::isShed(int rack, int server) const
+{
+    return shed_[serverIndex(rack, server)];
+}
+
+double
+DataCenter::serverDemand(int rack, int server, Tick t, bool fine) const
+{
+    const int machine = machineId(rack, server);
+    return fine ? workload_->utilFine(machine, t)
+                : workload_->utilAt(machine, t);
+}
+
+DataCenter::StepPower
+DataCenter::computeStep(Tick t, double dtSec, bool fine,
+                        const attack::TwoPhaseAttacker *attacker,
+                        const AttackScenario *scenario,
+                        const std::vector<bool> *victimMask,
+                        double attackRelSec, bool attackerActive,
+                        sched::PerfMonitor *windowPerf)
+{
+    StepPower step;
+    step.rackPower.assign(racks_.size(), 0.0);
+    step.rackDraw.assign(racks_.size(), 0.0);
+    step.rackUncapped.assign(racks_.size(), 0.0);
+    step.serverPower.assign(
+        static_cast<std::size_t>(config_.totalServers()), 0.0);
+
+    for (int r = 0; r < config_.racks; ++r) {
+        auto &rack = racks_[static_cast<std::size_t>(r)];
+
+        // A rack whose breaker tripped is dark until service is
+        // restored; its demanded work is lost outright.
+        if (t < rack.downUntil) {
+            for (int s = 0; s < config_.serversPerRack; ++s) {
+                const double demand = serverDemand(r, s, t, fine);
+                const bool malicious =
+                    victimMask && (*victimMask)[static_cast<
+                                      std::size_t>(r)] &&
+                    scenario && s < scenario->maliciousNodes;
+                if (!malicious) {
+                    perf_.recordShed(demand, dtSec);
+                    if (windowPerf)
+                        windowPerf->recordShed(demand, dtSec);
+                }
+            }
+            continue;
+        }
+
+        double rackTotal = 0.0;
+        double rackUncapped = 0.0;
+        for (int s = 0; s < config_.serversPerRack; ++s) {
+            double demand = serverDemand(r, s, t, fine);
+            bool malicious = false;
+            if (attacker && scenario && victimMask &&
+                (*victimMask)[static_cast<std::size_t>(r)] &&
+                s < scenario->maliciousNodes) {
+                malicious = true;
+                if (attackerActive)
+                    demand = std::max(
+                        demand, attacker->demandedUtil(s, attackRelSec));
+            }
+
+            double powerW;
+            double executed;
+            if (isShed(r, s)) {
+                powerW = config_.sleepPower;
+                executed = 0.0;
+                step.shedSuppressed +=
+                    serverModel_.power(demand, rack.dvfs) - powerW;
+            } else {
+                powerW = serverModel_.power(demand, rack.dvfs);
+                executed = serverModel_.executed(demand, rack.dvfs);
+                rackUncapped += serverModel_.power(demand, 1.0);
+            }
+            step.serverPower[serverIndex(r, s)] = powerW;
+            rackTotal += powerW;
+
+            if (!malicious) {
+                perf_.record(demand, executed, dtSec);
+                if (windowPerf)
+                    windowPerf->record(demand, executed, dtSec);
+            }
+        }
+        step.rackPower[static_cast<std::size_t>(r)] = rackTotal;
+        step.rackUncapped[static_cast<std::size_t>(r)] = rackUncapped;
+        step.totalPower += rackTotal;
+    }
+    return step;
+}
+
+void
+DataCenter::applyShaving(StepPower &step, double dtSec)
+{
+    const Watts budget = config_.rackBudget();
+    const Watts hardLimit = budget * config_.rackBreakerMargin;
+    step.rackShaved.assign(racks_.size(), 0.0);
+
+    const bool perServer =
+        config_.debPlacement ==
+        DataCenterConfig::DebPlacement::PerServer;
+
+    // Bound on what each unit may offset: its own server's draw with
+    // per-server placement, the rack's draw for a cabinet.
+    auto unitBounds = [&](std::size_t r) {
+        auto &rack = racks_[r];
+        std::vector<Watts> bounds(rack.debs.size());
+        if (perServer) {
+            for (std::size_t s = 0; s < bounds.size(); ++s)
+                bounds[s] = step.serverPower[serverIndex(
+                    static_cast<int>(r), static_cast<int>(s))];
+        } else {
+            bounds[0] = step.rackPower[r];
+        }
+        return bounds;
+    };
+
+    if (traits_.vdebSharing) {
+        // Cluster-level assignment (Algorithm 1) against the PDU
+        // budget, recomputed from live SOC each step.
+        std::vector<Joules> soc(racks_.size());
+        for (std::size_t r = 0; r < racks_.size(); ++r)
+            soc[r] = racks_[r].stored();
+        const VdebAssignment plan = vdeb_.assign(
+            soc, step.totalPower, config_.clusterBudget());
+        assigned_ = plan.power;
+
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            auto &rack = racks_[r];
+            const double powerW = step.rackPower[r];
+            const auto bounds = unitBounds(r);
+            // A rack cannot offset more than its own draw.
+            const Watts want = std::min(plan.power[r], powerW);
+            Watts shaved = 0.0;
+            if (traits_.peakShaving && want > 0.0)
+                shaved = rack.discharge(want, dtSec, bounds);
+            else
+                rack.rest(dtSec);
+            double draw = powerW - shaved;
+            // Protect the rack's own wire: extra local discharge if
+            // the draw still exceeds the hard circuit rating.
+            if (draw > hardLimit) {
+                const Watts extra = rack.discharge(
+                    draw - hardLimit, dtSec, bounds);
+                draw -= extra;
+                shaved += extra;
+            }
+            step.rackDraw[r] = draw;
+            step.rackShaved[r] = shaved;
+        }
+    } else {
+        const Watts serverBudget =
+            budget / static_cast<double>(config_.serversPerRack);
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            auto &rack = racks_[r];
+            const double powerW = step.rackPower[r];
+            Watts shaved = 0.0;
+            if (!traits_.peakShaving) {
+                rack.rest(dtSec);
+            } else if (perServer) {
+                // Each BBU shaves only its own server's excess over
+                // the per-server share of the rack budget.
+                for (std::size_t s = 0; s < rack.debs.size(); ++s) {
+                    const Watts p = step.serverPower[serverIndex(
+                        static_cast<int>(r), static_cast<int>(s))];
+                    const Watts excess =
+                        std::max(0.0, p - serverBudget);
+                    if (excess > 0.0)
+                        shaved += rack.debs[s]->discharge(
+                                      excess, dtSec) /
+                                  dtSec;
+                    else
+                        rack.debs[s]->rest(dtSec);
+                }
+            } else {
+                const Watts excess = std::max(0.0, powerW - budget);
+                if (excess > 0.0)
+                    shaved = rack.discharge(excess, dtSec,
+                                            unitBounds(r));
+                else
+                    rack.rest(dtSec);
+            }
+            step.rackDraw[r] = powerW - shaved;
+            step.rackShaved[r] = shaved;
+        }
+    }
+
+    step.totalDraw = std::accumulate(step.rackDraw.begin(),
+                                     step.rackDraw.end(), 0.0);
+}
+
+std::vector<Watts>
+DataCenter::rackLimits(const StepPower &step) const
+{
+    const Watts budget = config_.rackBudget();
+    const Watts hardLimit = budget * config_.rackBreakerMargin;
+    std::vector<Watts> limits(racks_.size());
+
+    if (!traits_.vdebSharing) {
+        std::fill(limits.begin(), limits.end(),
+                  config_.rackOverloadLimit());
+        return limits;
+    }
+
+    // Capacity sharing: the iPDU may raise a rack's soft limit by
+    // the headroom the *other* racks actually leave on the PDU
+    // (natural slack plus what their batteries freed), never beyond
+    // the rack's hard circuit rating.
+    Watts totalHeadroom = 0.0;
+    for (std::size_t r = 0; r < racks_.size(); ++r)
+        totalHeadroom += std::max(0.0, budget - step.rackDraw[r]);
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        const Watts own = std::max(0.0, budget - step.rackDraw[r]);
+        const Watts shared = totalHeadroom - own;
+        const Watts allocation =
+            std::min(hardLimit, budget + shared);
+        limits[r] = allocation * (1.0 + config_.overshootTolerance);
+    }
+    return limits;
+}
+
+void
+DataCenter::applyUdeb(StepPower &step, const std::vector<Watts> &limits,
+                      double dtSec)
+{
+    // µDEB: automatic ORing response.
+    //
+    // Without sharing it lets sustained above-budget (but
+    // below-limit) operation pass -- those visible peaks belong to
+    // peak shaving/capping -- and absorbs only the offending part of
+    // hidden spikes.
+    //
+    // Under vDEB sharing the pool normally holds every rack at its
+    // budget, so anything still above budget after shaving is pool
+    // shortfall (e.g. a synchronized LVD cascade mid-spike); the
+    // µDEB bridges those seconds until the software policy escalates
+    // -- the "last line of defense against hidden spikes".
+    if (!traits_.udebSpikes)
+        return;
+    const Watts budget = config_.rackBudget();
+    // Under sharing, µDEBs stay out of the pool's way: they engage
+    // only while the PDU itself is over budget (pool shortfall).
+    const bool poolShortfall =
+        step.totalDraw > config_.clusterBudget() + 1e-6;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        auto &rack = racks_[r];
+        if (!rack.udeb)
+            continue;
+        Watts residual = 0.0;
+        if (traits_.vdebSharing) {
+            if (poolShortfall)
+                residual = std::max(0.0, step.rackDraw[r] - budget);
+        } else {
+            residual =
+                std::max(0.0, step.rackDraw[r] - limits[r] * 0.999);
+        }
+        // A zero-residual step disengages the ORing and resets its
+        // engagement-duration guard.
+        const Watts shaved = rack.udeb->shave(residual, dtSec);
+        if (shaved > 0.0) {
+            step.rackDraw[r] -= shaved;
+            step.totalDraw -= shaved;
+        }
+    }
+}
+
+void
+DataCenter::rechargeAll(const StepPower &step, double dtSec)
+{
+    const Watts budget = config_.rackBudget();
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        auto &rack = racks_[r];
+        Watts headroom = std::max(0.0, budget - step.rackDraw[r]);
+        // µDEB refills first: tiny energy, highest urgency. Called
+        // even with zero headroom so an idle step resets the ORing
+        // engagement guard.
+        if (rack.udeb && step.rackDraw[r] <= budget)
+            headroom -= rack.udeb->recharge(headroom, dtSec);
+        if (headroom <= 0.0)
+            continue;
+        // A unit that discharged this step cannot also charge.
+        if (step.rackShaved[r] > 0.0)
+            continue;
+        rack.recharge(headroom, dtSec);
+    }
+}
+
+void
+DataCenter::controlDecisions(const StepPower &step, double dtSec)
+{
+    const Watts budget = config_.rackBudget();
+
+    // Visible-peak detection: exponential moving average of each
+    // rack's power against its budget.
+    const double alpha =
+        1.0 - std::exp(-dtSec / ticksToSeconds(config_.vpWindow));
+    bool vp = false;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        auto &rack = racks_[r];
+        rack.vpEnergy += alpha * (step.rackPower[r] - rack.vpEnergy);
+        if (rack.vpEnergy > budget)
+            vp = true;
+    }
+    visiblePeak_ = vp;
+
+    // DVFS capping (PSPC): cap a rack once its DEB's remaining
+    // runtime at the present excess falls under a safety window --
+    // power managers cap on estimated battery minutes, not on the
+    // instant the cabinet dies.
+    if (traits_.dvfsCapping) {
+        constexpr double kRuntimeWindowSec = 300.0;
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            auto &rack = racks_[r];
+            // Trigger on what the rack would draw at full frequency,
+            // otherwise the cap un-sets itself every control period.
+            const Watts excess = step.rackUncapped[r] - budget;
+            const Joules floor = config_.deb.lvdDisconnectSoc *
+                                 rack.capacity();
+            const Joules usable =
+                std::max(0.0, rack.stored() - floor);
+            const bool needCap =
+                excess > 0.0 && usable < excess * kRuntimeWindowSec;
+            rack.dvfs = needCap ? traits_.dvfsFactor : 1.0;
+        }
+    }
+
+    // Detector-triggered cluster-wide capping (paper §III-B): blunt
+    // but immediate once an anomaly is flagged.
+    if (config_.detectorResponse) {
+        if (now_ < clusterCapUntil_) {
+            for (auto &rack : racks_)
+                rack.dvfs = traits_.dvfsFactor;
+        } else if (!traits_.dvfsCapping) {
+            for (auto &rack : racks_)
+                rack.dvfs = 1.0;
+        }
+    }
+
+    // Hierarchical policy + Level-3 shedding (PAD).
+    if (traits_.shedding) {
+        // The pool is "available" while it can still deliver a
+        // meaningful share of the cluster budget; LVD-tripped units
+        // hold stranded charge that counts for nothing.
+        Watts poolPower = 0.0;
+        for (const auto &rack : racks_)
+            poolPower += rack.availablePower(1.0);
+        bool udebOk = !traits_.udebSpikes;
+        for (const auto &rack : racks_)
+            if (rack.udeb && !rack.udeb->depleted())
+                udebOk = true;
+
+        PolicyInputs in;
+        in.vdebAvailable =
+            poolPower > 0.01 * config_.clusterBudget();
+        in.udebAvailable = udebOk;
+        in.visiblePeak = visiblePeak_;
+        level_ = policy_.update(in);
+
+        // Usable fraction of the pool's charge (above LVD floors).
+        Joules usable = 0.0, usableCap = 0.0;
+        for (const auto &rack : racks_) {
+            const Joules floor = config_.deb.lvdDisconnectSoc *
+                                 rack.capacity();
+            usable += std::max(0.0, rack.stored() - floor);
+            usableCap += rack.capacity() - floor;
+        }
+        const double poolUsable = usable / std::max(usableCap, 1.0);
+
+        // Shedding engages at Level 3, or proactively during a
+        // sustained cluster-wide peak that is aggressively draining
+        // the pool ("only in extreme cases when cluster-wide power
+        // peaks appear", paper §VI-A). The shortfall is measured on
+        // *demand*: while the pool still shaves, the utility draw
+        // sits exactly at the budget and would hide it.
+        const Watts deficit = step.totalPower - config_.clusterBudget();
+        // Once shedding has begun it stays engaged while the visible
+        // peak persists, so residual (spike-driven) deficits keep
+        // being closed instead of slowly bleeding the pool.
+        const bool extreme =
+            level_ == SecurityLevel::Emergency ||
+            (visiblePeak_ &&
+             (poolUsable < 0.5 || sheddedServers() > 0));
+        if (extreme && deficit > config_.shedTriggerFraction *
+                                     config_.clusterBudget()) {
+            std::vector<sched::ShedCandidate> candidates;
+            for (int r = 0; r < config_.racks; ++r) {
+                for (int s = 0; s < config_.serversPerRack; ++s) {
+                    const std::size_t idx = serverIndex(r, s);
+                    if (shed_[idx])
+                        continue;
+                    const double perServer =
+                        step.rackPower[static_cast<std::size_t>(r)] /
+                        config_.serversPerRack;
+                    candidates.push_back(sched::ShedCandidate{
+                        static_cast<int>(idx),
+                        perServer - config_.sleepPower,
+                        shedPriority(idx)});
+                }
+            }
+            const auto decision =
+                shedder_.plan(std::move(candidates), deficit);
+            for (int id : decision.serversToSleep)
+                shed_[static_cast<std::size_t>(id)] = true;
+        } else if (step.totalPower + step.shedSuppressed <=
+                   config_.clusterBudget() * 0.98) {
+            // The un-shed demand would fit again: wake everything.
+            std::fill(shed_.begin(), shed_.end(), false);
+        }
+    }
+}
+
+void
+DataCenter::stepCoarse()
+{
+    const double dtSec = ticksToSeconds(config_.coarseStep);
+    StepPower step = computeStep(now_, dtSec, /*fine=*/false, nullptr,
+                                 nullptr, nullptr, 0.0, false, nullptr);
+    applyShaving(step, dtSec);
+    detectorStep(step, config_.coarseStep);
+    rechargeAll(step, dtSec);
+    controlDecisions(step, dtSec);
+
+    if (recordHistory_) {
+        socHistory_.push_back(allSocs());
+        shedHistory_.push_back(
+            static_cast<double>(sheddedServers()) /
+            static_cast<double>(config_.totalServers()));
+    }
+    now_ += config_.coarseStep;
+}
+
+void
+DataCenter::runCoarseUntil(Tick until)
+{
+    while (now_ < until)
+        stepCoarse();
+}
+
+AttackOutcome
+DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
+                      const AttackScenario &scenario)
+{
+    AttackScenario sc = scenario;
+    switch (sc.targetPolicy) {
+      case TargetPolicy::Fixed:
+        break;
+      case TargetPolicy::MostVulnerable:
+        sc.targetRack = mostVulnerableRack();
+        break;
+      case TargetPolicy::Median:
+        sc.targetRack = medianSocRack();
+        break;
+    }
+    PAD_ASSERT(sc.targetRack >= 0 && sc.targetRack < config_.racks);
+    sc.maliciousNodes = attacker.config().controlledNodes;
+    PAD_ASSERT(sc.maliciousNodes >= 1 &&
+               sc.maliciousNodes <= config_.serversPerRack,
+               "attacker controls more nodes than one rack holds");
+
+    AttackOutcome out;
+    const Tick start = now_;
+    const Tick horizon =
+        start + secondsToTicks(sc.durationSec);
+    out.rack.setAttackStart(start);
+    out.cluster.setAttackStart(start);
+
+    sched::PerfMonitor windowPerf;
+    const auto target = static_cast<std::size_t>(sc.targetRack);
+    // With capacity sharing the failure domain moves to the PDU,
+    // which runs at its physical budget with little slack; without
+    // sharing the cluster line keeps the administrative tolerance.
+    const Watts clusterLimit =
+        config_.clusterBudget() *
+        (1.0 + (traits_.vdebSharing
+                    ? config_.clusterOvershootTolerance
+                    : config_.overshootTolerance));
+
+    std::vector<bool> victimMask(racks_.size(), false);
+    victimMask[target] = true;
+    for (int r : sc.extraVictimRacks) {
+        PAD_ASSERT(r >= 0 && r < config_.racks);
+        victimMask[static_cast<std::size_t>(r)] = true;
+    }
+
+    Tick nextControl = start;
+    double malDemandAccum = 0.0;
+    double malExecAccum = 0.0;
+
+    while (now_ < horizon) {
+        const double relSec = ticksToSeconds(now_ - start);
+        const bool active =
+            sc.dutyCycle >= 1.0 ||
+            std::fmod(relSec, sc.dutyPeriodSec) <
+                sc.dutyCycle * sc.dutyPeriodSec;
+        const double dtSec = ticksToSeconds(config_.fineStep);
+
+        if (now_ >= nextControl) {
+            attacker.advance(relSec);
+            if (malDemandAccum > 0.0) {
+                attacker.observePerformance(
+                    relSec, malExecAccum / malDemandAccum,
+                    ticksToSeconds(config_.controlPeriod));
+                malDemandAccum = 0.0;
+                malExecAccum = 0.0;
+            }
+            nextControl += config_.controlPeriod;
+        }
+
+        StepPower step = computeStep(now_, dtSec, /*fine=*/true,
+                                     &attacker, &sc, &victimMask,
+                                     relSec, active, &windowPerf);
+
+        // Track the attacker's performance side channel on its own
+        // nodes: demanded vs executed under the rack's DVFS factor.
+        {
+            auto &rack = racks_[target];
+            for (int s = 0; s < sc.maliciousNodes; ++s) {
+                double demand = serverDemand(sc.targetRack, s, now_, true);
+                if (active)
+                    demand = std::max(
+                        demand, attacker.demandedUtil(s, relSec));
+                const double exec =
+                    isShed(sc.targetRack, s)
+                        ? 0.0
+                        : serverModel_.executed(demand, rack.dvfs);
+                malDemandAccum += demand * dtSec;
+                malExecAccum += exec * dtSec;
+            }
+        }
+
+        applyShaving(step, dtSec);
+        const std::vector<Watts> limits = rackLimits(step);
+        applyUdeb(step, limits, dtSec);
+        detectorStep(step, config_.fineStep);
+
+        // Overload accounting and breaker thermodynamics. A tripped
+        // rack goes dark for the recovery period, losing its work.
+        bool anyTrip = false;
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            auto &rack = racks_[r];
+            if (now_ < rack.downUntil)
+                continue;
+            if (rack.breaker->observe(step.rackDraw[r], dtSec)) {
+                anyTrip = true;
+                rack.downUntil =
+                    now_ + secondsToTicks(config_.outageRecoverySec);
+                rack.breaker->reset();
+            }
+        }
+        // The attack succeeds at the worst victim rack: track the
+        // highest draw/limit ratio across the racks under attack.
+        double worst = 0.0;
+        for (std::size_t r = 0; r < racks_.size(); ++r) {
+            if (!victimMask[r])
+                continue;
+            worst = std::max(worst, step.rackDraw[r] / limits[r]);
+        }
+        out.rack.observe(now_, worst, 1.0, anyTrip);
+        out.cluster.observe(now_, step.totalDraw, clusterLimit, false);
+
+        rechargeAll(step, dtSec);
+
+        if (now_ + config_.fineStep >= nextControl) {
+            controlDecisions(step, dtSec);
+            out.rackPower.record(now_, step.rackPower[target]);
+            out.rackDraw.record(now_, step.rackDraw[target]);
+            out.rackSoc.record(now_, racks_[target].soc());
+            out.udebSoc.record(now_, racks_[target].udeb
+                                         ? racks_[target].udeb->soc()
+                                         : 1.0);
+            out.level.record(now_, static_cast<double>(level_));
+            out.maxShedRatio = std::max(
+                out.maxShedRatio,
+                static_cast<double>(sheddedServers()) /
+                    static_cast<double>(config_.totalServers()));
+        }
+
+        now_ += config_.fineStep;
+    }
+
+    // Survival: first overload at either scope.
+    Tick firstBad = kTickNever;
+    for (Tick t : {out.rack.firstOverloadTick(),
+                   out.cluster.firstOverloadTick()}) {
+        if (t != kTickNever && (firstBad == kTickNever || t < firstBad))
+            firstBad = t;
+    }
+    out.survivalSec = firstBad == kTickNever
+                          ? sc.durationSec
+                          : ticksToSeconds(firstBad - start);
+    out.throughput = windowPerf.normalizedThroughput();
+    out.phaseTwoStartSec = attacker.phaseTwoStartSec();
+
+    // Enumerate the Phase-II spikes actually launched in-window.
+    if (attacker.phaseTwoStartSec() >= 0.0) {
+        const auto &virus = attacker.virus();
+        const double p2 = attacker.phaseTwoStartSec();
+        for (int i = 0;; ++i) {
+            const double s = p2 + virus.spikeStart(i);
+            const double e = s + virus.train().widthSec;
+            if (e > sc.durationSec)
+                break;
+            const bool activeAtSpike =
+                sc.dutyCycle >= 1.0 ||
+                std::fmod(s, sc.dutyPeriodSec) <
+                    sc.dutyCycle * sc.dutyPeriodSec;
+            if (!activeAtSpike)
+                continue;
+            out.spikeWindows.emplace_back(start + secondsToTicks(s),
+                                          start + secondsToTicks(e));
+        }
+        out.spikesLaunched =
+            static_cast<int>(out.spikeWindows.size());
+    }
+    return out;
+}
+
+double
+DataCenter::rackSoc(int rack) const
+{
+    PAD_ASSERT(rack >= 0 && rack < config_.racks);
+    return racks_[static_cast<std::size_t>(rack)].soc();
+}
+
+std::vector<double>
+DataCenter::allSocs() const
+{
+    std::vector<double> socs;
+    socs.reserve(racks_.size());
+    for (const auto &rack : racks_)
+        socs.push_back(rack.soc());
+    return socs;
+}
+
+double
+DataCenter::socStdDevPercent() const
+{
+    const auto socs = allSocs();
+    double mean = 0.0;
+    for (double s : socs)
+        mean += s;
+    mean /= static_cast<double>(socs.size());
+    double var = 0.0;
+    for (double s : socs)
+        var += (s - mean) * (s - mean);
+    var /= static_cast<double>(socs.size());
+    return std::sqrt(var) * 100.0;
+}
+
+int
+DataCenter::medianSocRack() const
+{
+    std::vector<std::pair<Joules, int>> byEnergy;
+    byEnergy.reserve(racks_.size());
+    for (std::size_t r = 0; r < racks_.size(); ++r)
+        byEnergy.emplace_back(racks_[r].stored(),
+                              static_cast<int>(r));
+    std::sort(byEnergy.begin(), byEnergy.end());
+    return byEnergy[byEnergy.size() / 2].second;
+}
+
+int
+DataCenter::mostVulnerableRack() const
+{
+    int best = 0;
+    Joules lowest = racks_[0].stored();
+    for (std::size_t r = 1; r < racks_.size(); ++r) {
+        if (racks_[r].stored() < lowest) {
+            lowest = racks_[r].stored();
+            best = static_cast<int>(r);
+        }
+    }
+    return best;
+}
+
+void
+DataCenter::setAllSoc(double soc)
+{
+    for (auto &rack : racks_) {
+        for (auto &unit : rack.debs)
+            unit->setSoc(soc);
+        if (rack.udeb)
+            rack.udeb->setSoc(soc > 0.0 ? 1.0 : 0.0);
+    }
+}
+
+void
+DataCenter::seekTo(Tick t)
+{
+    PAD_ASSERT(t >= now_, "cannot seek backwards");
+    now_ = t;
+}
+
+int
+DataCenter::sheddedServers() const
+{
+    return static_cast<int>(
+        std::count(shed_.begin(), shed_.end(), true));
+}
+
+void
+DataCenter::dumpStats(std::ostream &os) const
+{
+    sim::StatsRegistry stats;
+
+    auto scalar = [&](const std::string &name, double value,
+                      const std::string &desc) {
+        stats.registerScalar(name, desc).set(value);
+    };
+
+    scalar("sim.seconds", ticksToSeconds(now_),
+           "simulated time so far");
+    scalar("scheme", static_cast<double>(config_.scheme),
+           "SchemeKind under evaluation");
+    scalar("perf.demanded_work", perf_.demandedWork(),
+           "benign utilization-seconds demanded");
+    scalar("perf.executed_work", perf_.executedWork(),
+           "benign utilization-seconds executed");
+    scalar("perf.throughput", perf_.normalizedThroughput(),
+           "executed / demanded");
+    scalar("policy.transitions",
+           static_cast<double>(policy_.transitions()),
+           "security-level changes");
+    scalar("policy.emergencies",
+           static_cast<double>(policy_.emergencies()),
+           "entries into Level 3");
+    scalar("shed.total", static_cast<double>(shedder_.totalShed()),
+           "lifetime server-shed decisions");
+    scalar("shed.active", static_cast<double>(sheddedServers()),
+           "servers asleep right now");
+    scalar("detector.flags", static_cast<double>(detections_),
+           "anomalies flagged by the detector response");
+
+    std::vector<double> socs, wear;
+    double discharged = 0.0, charged = 0.0;
+    int lvdTrips = 0, breakerTrips = 0, udebEngagements = 0;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        const auto &rack = racks_[r];
+        socs.push_back(rack.soc());
+        double rackWear = 0.0;
+        for (const auto &u : rack.debs) {
+            discharged += u->lifetimeDischarged();
+            charged += u->lifetimeCharged();
+            lvdTrips += u->lvdTrips();
+            rackWear = std::max(rackWear, u->wear());
+        }
+        wear.push_back(rackWear);
+        breakerTrips += rack.breaker->tripCount();
+        if (rack.udeb)
+            udebEngagements += rack.udeb->engagements();
+    }
+    scalar("deb.discharged_wh", joulesToWattHours(discharged),
+           "fleet energy discharged");
+    scalar("deb.charged_wh", joulesToWattHours(charged),
+           "fleet energy recharged");
+    scalar("deb.lvd_trips", lvdTrips, "low-voltage disconnects");
+    scalar("breaker.trips", breakerTrips, "rack breaker trips");
+    scalar("udeb.engagements", udebEngagements,
+           "micro-DEB spike engagements");
+    stats.setVector("deb.soc", "state of charge per rack",
+                    std::move(socs));
+    stats.setVector("deb.wear", "worst unit wear per rack",
+                    std::move(wear));
+
+    stats.dump(os);
+}
+
+} // namespace pad::core

@@ -1,0 +1,117 @@
+#include "core/outage_cost.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::core {
+
+namespace {
+
+/** Standard normal CDF. */
+double
+phi(double x)
+{
+    return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+/** Inverse standard normal CDF (Acklam-style rational approx). */
+double
+phiInverse(double p)
+{
+    PAD_ASSERT(p > 0.0 && p < 1.0);
+    // Beasley-Springer-Moro approximation: accurate to ~1e-9 in the
+    // central region, adequate for reporting quantiles.
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double plow = 0.02425;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) *
+                    q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - plow) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) *
+                     q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+                r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+                r +
+            1.0);
+}
+
+} // namespace
+
+OutageCostModel::OutageCostModel(const OutageCostConfig &config)
+    : config_(config)
+{
+    PAD_ASSERT(config_.sigma > 0.0);
+    PAD_ASSERT(config_.averageUsdPerMinute > 0.0);
+    PAD_ASSERT(config_.remediationHours >= 0.0);
+}
+
+double
+OutageCostModel::cdf(double usdPerSqmPerMinute) const
+{
+    if (usdPerSqmPerMinute <= 0.0)
+        return 0.0;
+    return phi((std::log(usdPerSqmPerMinute) - config_.mu) /
+               config_.sigma);
+}
+
+double
+OutageCostModel::quantile(double p) const
+{
+    PAD_ASSERT(p > 0.0 && p < 1.0);
+    return std::exp(config_.mu + config_.sigma * phiInverse(p));
+}
+
+double
+OutageCostModel::expectedIncidentLossUsd(double outageMinutes) const
+{
+    PAD_ASSERT(outageMinutes >= 0.0);
+    const double total =
+        outageMinutes + config_.remediationHours * 60.0;
+    return total * config_.averageUsdPerMinute;
+}
+
+double
+OutageCostModel::lossUsd(double outageMinutes, double areaSqm,
+                         double percentile) const
+{
+    PAD_ASSERT(outageMinutes >= 0.0 && areaSqm > 0.0);
+    return outageMinutes * areaSqm * quantile(percentile);
+}
+
+} // namespace pad::core

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Financial model of data-center power failures (paper Fig. 1 and
+ * §I, built on the Ponemon 2013 outage studies [18, 19]):
+ *
+ *  - unplanned outages cost over $10 per square meter per minute for
+ *    40% of benchmarked data centers (Fig. 1's CDF);
+ *  - the average 2013 outage loses more than $7,900 per minute (40%
+ *    above 2010);
+ *  - more than 75% of data centers need at least 2 hours to
+ *    investigate and remediate incidents [20], so a successful power
+ *    attack "can easily cause the victim data center to lose one
+ *    million dollars".
+ *
+ * The per-minute-per-area cost is modeled as a lognormal calibrated
+ * to the published CDF anchor points.
+ */
+
+#ifndef PAD_CORE_OUTAGE_COST_H
+#define PAD_CORE_OUTAGE_COST_H
+
+namespace pad::core {
+
+/** Calibration of the outage-cost distribution. */
+struct OutageCostConfig {
+    /** Lognormal location of $/m^2/min (ln dollars). */
+    double mu = 1.84;
+    /** Lognormal scale. */
+    double sigma = 1.80;
+    /** Average facility-wide loss per minute, dollars (2013). */
+    double averageUsdPerMinute = 7900.0;
+    /** Typical incident investigation + remediation time, hours. */
+    double remediationHours = 2.0;
+};
+
+/**
+ * Outage cost distribution and expected-loss helpers.
+ */
+class OutageCostModel
+{
+  public:
+    explicit OutageCostModel(const OutageCostConfig &config = {});
+
+    /** CDF of the per-minute-per-m^2 cost at @p usd (Fig. 1). */
+    double cdf(double usdPerSqmPerMinute) const;
+
+    /** Quantile of the per-minute-per-m^2 cost. */
+    double quantile(double p) const;
+
+    /** Fraction of data centers paying more than @p usd /m^2/min. */
+    double
+    fractionAbove(double usdPerSqmPerMinute) const
+    {
+        return 1.0 - cdf(usdPerSqmPerMinute);
+    }
+
+    /**
+     * Expected loss of one incident lasting @p outageMinutes of
+     * service interruption plus the configured remediation tail,
+     * using the facility-average per-minute cost.
+     */
+    double expectedIncidentLossUsd(double outageMinutes) const;
+
+    /**
+     * Expected loss for a facility of @p areaSqm square meters at
+     * the distribution's @p percentile cost level.
+     */
+    double lossUsd(double outageMinutes, double areaSqm,
+                   double percentile) const;
+
+    /** Static configuration. */
+    const OutageCostConfig &config() const { return config_; }
+
+  private:
+    OutageCostConfig config_;
+};
+
+} // namespace pad::core
+
+#endif // PAD_CORE_OUTAGE_COST_H

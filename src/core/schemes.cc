@@ -1,0 +1,69 @@
+#include "core/schemes.h"
+
+#include "util/logging.h"
+
+namespace pad::core {
+
+SchemeTraits
+schemeTraits(SchemeKind kind)
+{
+    SchemeTraits t;
+    switch (kind) {
+      case SchemeKind::Conv:
+        // Batteries held in reserve for outages only.
+        break;
+      case SchemeKind::PS:
+        t.peakShaving = true;
+        break;
+      case SchemeKind::PSPC:
+        t.peakShaving = true;
+        t.dvfsCapping = true;
+        break;
+      case SchemeKind::VdebOnly:
+        t.peakShaving = true;
+        t.vdebSharing = true;
+        break;
+      case SchemeKind::UdebOnly:
+        t.peakShaving = true;
+        t.udebSpikes = true;
+        break;
+      case SchemeKind::Pad:
+        t.peakShaving = true;
+        t.vdebSharing = true;
+        t.udebSpikes = true;
+        t.shedding = true;
+        break;
+    }
+    return t;
+}
+
+std::string
+schemeName(SchemeKind kind)
+{
+    switch (kind) {
+      case SchemeKind::Conv:
+        return "Conv";
+      case SchemeKind::PS:
+        return "PS";
+      case SchemeKind::PSPC:
+        return "PSPC";
+      case SchemeKind::VdebOnly:
+        return "vDEB";
+      case SchemeKind::UdebOnly:
+        return "uDEB";
+      case SchemeKind::Pad:
+        return "PAD";
+    }
+    PAD_PANIC("unreachable scheme kind");
+}
+
+SchemeKind
+schemeFromName(const std::string &name)
+{
+    for (SchemeKind k : kAllSchemes)
+        if (schemeName(k) == name)
+            return k;
+    PAD_FATAL("unknown scheme name: {}", name);
+}
+
+} // namespace pad::core

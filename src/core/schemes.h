@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The six power-management schemes evaluated in the paper
+ * (Table III): Conv, PS, PSPC, vDEB-only, µDEB-only, and PAD.
+ */
+
+#ifndef PAD_CORE_SCHEMES_H
+#define PAD_CORE_SCHEMES_H
+
+#include <string>
+
+namespace pad::core {
+
+/** Evaluated power management schemes (paper Table III). */
+enum class SchemeKind {
+    /**
+     * Conventional design: batteries are emergency backup only and
+     * are never discharged dynamically.
+     */
+    Conv,
+    /** State-of-the-art peak shaving with per-rack DEB units. */
+    PS,
+    /** PS combined with DVFS power capping (20% frequency cut). */
+    PSPC,
+    /** PS + the vDEB load-sharing mechanism. */
+    VdebOnly,
+    /** PS + the µDEB rack-level spike shaver. */
+    UdebOnly,
+    /** The full PAD patch: vDEB + µDEB + hierarchical policy. */
+    Pad,
+};
+
+/** All schemes in the paper's presentation order. */
+inline constexpr SchemeKind kAllSchemes[] = {
+    SchemeKind::Conv,     SchemeKind::PS,       SchemeKind::PSPC,
+    SchemeKind::UdebOnly, SchemeKind::VdebOnly, SchemeKind::Pad,
+};
+
+/** Behaviour switches derived from the scheme. */
+struct SchemeTraits {
+    /** DEB units discharge dynamically to shave peaks. */
+    bool peakShaving = false;
+    /** DVFS capping engages when backup energy is exhausted. */
+    bool dvfsCapping = false;
+    /** vDEB capacity sharing across racks under one PDU. */
+    bool vdebSharing = false;
+    /** µDEB automatic spike shaving. */
+    bool udebSpikes = false;
+    /** Level-3 load shedding under the PAD policy. */
+    bool shedding = false;
+    /** Frequency factor applied when capping (paper: 20% cut). */
+    double dvfsFactor = 0.8;
+};
+
+/** Traits table for each scheme. */
+SchemeTraits schemeTraits(SchemeKind kind);
+
+/** Scheme display name as used in the paper's figures. */
+std::string schemeName(SchemeKind kind);
+
+/** Parse a scheme name (case-sensitive, as printed); fatal() on error. */
+SchemeKind schemeFromName(const std::string &name);
+
+} // namespace pad::core
+
+#endif // PAD_CORE_SCHEMES_H

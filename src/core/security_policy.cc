@@ -1,0 +1,83 @@
+#include "core/security_policy.h"
+
+#include "util/logging.h"
+
+namespace pad::core {
+
+std::string
+securityLevelName(SecurityLevel level)
+{
+    switch (level) {
+      case SecurityLevel::Normal:
+        return "L1-Normal";
+      case SecurityLevel::MinorIncident:
+        return "L2-MinorIncident";
+      case SecurityLevel::Emergency:
+        return "L3-Emergency";
+    }
+    PAD_PANIC("unreachable security level");
+}
+
+SecurityLevel
+initialLevel(const PolicyInputs &in, bool strict)
+{
+    // Fig. 9 initial-state table, rows ordered [vDEB, µDEB, VP].
+    if (!in.vdebAvailable) {
+        if (!in.udebAvailable)
+            return SecurityLevel::Emergency; // (0,0,*)
+        return in.visiblePeak ? SecurityLevel::Emergency   // (0,1,1)
+                              : SecurityLevel::MinorIncident; // (0,1,0)
+    }
+    if (!in.udebAvailable) {
+        // (1,0,*): unspecified in the paper; strictness decides.
+        return strict ? SecurityLevel::MinorIncident
+                      : SecurityLevel::Normal;
+    }
+    return SecurityLevel::Normal; // (1,1,*)
+}
+
+SecurityPolicy::SecurityPolicy(bool strict) : strict_(strict) {}
+
+void
+SecurityPolicy::reset(const PolicyInputs &in)
+{
+    started_ = true;
+    level_ = initialLevel(in, strict_);
+    if (level_ == SecurityLevel::Emergency)
+        ++emergencies_;
+}
+
+void
+SecurityPolicy::setLevel(SecurityLevel next)
+{
+    if (next == level_)
+        return;
+    level_ = next;
+    ++transitions_;
+    if (next == SecurityLevel::Emergency)
+        ++emergencies_;
+}
+
+SecurityLevel
+SecurityPolicy::update(const PolicyInputs &in)
+{
+    if (!started_) {
+        reset(in);
+        return level_;
+    }
+
+    const SecurityLevel target = initialLevel(in, strict_);
+
+    // The Fig. 9 automaton only has adjacent-level edges
+    // (L1 <-> L2 <-> L3), so move one step toward the target per
+    // control period.
+    const int cur = static_cast<int>(level_);
+    const int want = static_cast<int>(target);
+    if (want > cur)
+        setLevel(static_cast<SecurityLevel>(cur + 1));
+    else if (want < cur)
+        setLevel(static_cast<SecurityLevel>(cur - 1));
+    return level_;
+}
+
+} // namespace pad::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * PAD's hierarchical security policy (paper §IV-A, Fig. 9).
+ *
+ * Three emergency levels drive power management:
+ *
+ *  - Level 1, Normal: shave visible peaks with vDEB;
+ *  - Level 2, Minor Incident: shave hidden spikes with µDEB while
+ *    collecting load information;
+ *  - Level 3, Emergency: shed or migrate load.
+ *
+ * The state is a function of three inputs — whether the vDEB pool
+ * and the µDEB still hold energy, and whether a visible peak (VP) is
+ * currently identified. The figure specifies the initial state for
+ * each input combination and four transitions:
+ *
+ *    L1 --(µDEB == 0)--> L2       L2 --(µDEB recharged)--> L1
+ *    L2 --(vDEB == 0)--> L3       L3 --(vDEB recharged)--> L2
+ *
+ * The [vDEB>0, µDEB==0] rows are deliberately unspecified in the
+ * paper ("one can use either Level 1 or Level 2, depending on the
+ * level of security requirement"); a strictness knob picks one.
+ */
+
+#ifndef PAD_CORE_SECURITY_POLICY_H
+#define PAD_CORE_SECURITY_POLICY_H
+
+#include <cstdint>
+#include <string>
+
+namespace pad::core {
+
+/** Emergency levels. */
+enum class SecurityLevel {
+    Normal = 1,        ///< Level 1: shaving visible peaks
+    MinorIncident = 2, ///< Level 2: shaving hidden spikes
+    Emergency = 3,     ///< Level 3: load shedding / migration
+};
+
+/** Human-readable level name. */
+std::string securityLevelName(SecurityLevel level);
+
+/** Policy inputs sampled each control period. */
+struct PolicyInputs {
+    /** vDEB pool holds usable energy. */
+    bool vdebAvailable = true;
+    /** µDEB holds usable energy. */
+    bool udebAvailable = true;
+    /** A visible peak is currently identified (VP > 0). */
+    bool visiblePeak = false;
+};
+
+/**
+ * Initial state for an input combination, per the Fig. 9 table.
+ *
+ * @param in     sampled inputs
+ * @param strict pick Level 2 (true) or Level 1 (false) for the
+ *               unspecified [vDEB>0, µDEB==0] rows
+ */
+SecurityLevel initialLevel(const PolicyInputs &in, bool strict);
+
+/**
+ * Stateful policy automaton.
+ */
+class SecurityPolicy
+{
+  public:
+    /**
+     * @param strict strictness for the unspecified initial rows
+     */
+    explicit SecurityPolicy(bool strict = true);
+
+    /**
+     * Sample inputs and advance the automaton.
+     * @return the level to operate at for the next control period
+     */
+    SecurityLevel update(const PolicyInputs &in);
+
+    /** Current level without advancing. */
+    SecurityLevel level() const { return level_; }
+
+    /** Reset to the initial state for @p in. */
+    void reset(const PolicyInputs &in);
+
+    /** Number of transitions into Level 3 so far. */
+    std::uint64_t emergencies() const { return emergencies_; }
+
+    /** Total level changes so far. */
+    std::uint64_t transitions() const { return transitions_; }
+
+  private:
+    void setLevel(SecurityLevel next);
+
+    bool strict_;
+    bool started_ = false;
+    SecurityLevel level_ = SecurityLevel::Normal;
+    std::uint64_t transitions_ = 0;
+    std::uint64_t emergencies_ = 0;
+};
+
+} // namespace pad::core
+
+#endif // PAD_CORE_SECURITY_POLICY_H

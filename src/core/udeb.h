@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Micro distributed energy backup (µDEB), paper §IV-B.2.
+ *
+ * A small super-capacitor bank sits in each rack power zone behind
+ * an ORing FET on the primary power bus. Because the ORing conducts
+ * automatically the instant rack demand exceeds the utility-side
+ * allocation, the µDEB shaves *hidden* spikes with no software in
+ * the loop — the property that defeats Phase-II attacks which
+ * utilization-based monitoring cannot see. It deliberately does NOT
+ * serve sustained peaks (efficiency and thermal limits, §IV-B.2);
+ * an engagement-duration guard enforces that.
+ */
+
+#ifndef PAD_CORE_UDEB_H
+#define PAD_CORE_UDEB_H
+
+#include <string>
+
+#include "battery/supercap.h"
+#include "util/types.h"
+
+namespace pad::core {
+
+/** µDEB configuration. */
+struct MicroDebConfig {
+    /** Super-capacitor bank behind the ORing FET. */
+    battery::SuperCapConfig cap;
+    /**
+     * Longest continuous engagement the µDEB will serve, seconds.
+     * Sustained peaks beyond it are a vDEB/capping problem, not a
+     * spike; the ORing disengages to avoid thermal issues.
+     */
+    double maxEngagementSec = 8.0;
+    /** Recharge power drawn from headroom when idle, watts. */
+    Watts rechargePower = 300.0;
+};
+
+/**
+ * Rack-level automatic spike shaver.
+ */
+class MicroDeb
+{
+  public:
+    /**
+     * @param name   telemetry name, e.g. "rack5.udeb"
+     * @param config static configuration
+     */
+    MicroDeb(std::string name, const MicroDebConfig &config);
+
+    /**
+     * Automatic ORing response: shave up to @p excess watts for
+     * @p dt seconds.
+     *
+     * @param excess rack demand above the utility-side allocation
+     * @param dt     step length, seconds
+     * @return power actually shaved (averaged over the step), watts
+     */
+    Watts shave(Watts excess, double dt);
+
+    /**
+     * Idle step with @p headroom watts available for recharge.
+     * @return power actually consumed for recharging, watts
+     */
+    Watts recharge(Watts headroom, double dt);
+
+    /** Usable energy remaining, joules. */
+    Joules usableEnergy() const { return cap_.usableEnergy(); }
+
+    /** State of charge over the usable window. */
+    double soc() const { return cap_.soc(); }
+
+    /** True when no usable energy remains. */
+    bool depleted() const { return cap_.depleted(); }
+
+    /** Spikes served so far. */
+    int engagements() const { return cap_.engagements(); }
+
+    /** Lifetime energy delivered, joules. */
+    Joules lifetimeShaved() const { return cap_.lifetimeDischarged(); }
+
+    /** The underlying capacitor bank. */
+    const battery::SuperCapacitor &capacitor() const { return cap_; }
+
+    /** Force a state of charge (testing / scenario setup). */
+    void setSoc(double soc);
+
+    /** Static configuration. */
+    const MicroDebConfig &config() const { return config_; }
+
+  private:
+    std::string name_;
+    MicroDebConfig config_;
+    battery::SuperCapacitor cap_;
+    double engagedFor_ = 0.0;
+};
+
+} // namespace pad::core
+
+#endif // PAD_CORE_UDEB_H

@@ -1,0 +1,83 @@
+#include "core/vdeb.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace pad::core {
+
+VdebController::VdebController(const VdebConfig &config) : config_(config)
+{
+    PAD_ASSERT(config_.idealDischargePower > 0.0);
+}
+
+VdebAssignment
+VdebController::assign(const std::vector<Joules> &socJoules,
+                       Watts totalPower, Watts maxPower) const
+{
+    const std::size_t n = socJoules.size();
+    PAD_ASSERT(n > 0);
+
+    VdebAssignment out;
+    out.power.assign(n, 0.0);
+    out.shaveTarget = std::max(0.0, totalPower - maxPower);
+    if (out.shaveTarget <= 0.0)
+        return out;
+
+    const Watts pIdeal = config_.idealDischargePower;
+    const Watts shave = out.shaveTarget;
+
+    // Fallback branch: the deficit exceeds what capped assignment
+    // could ever deliver, so split evenly (accepting aging risk to
+    // avoid an immediate overload).
+    if (shave >= pIdeal * static_cast<double>(n)) {
+        std::fill(out.power.begin(), out.power.end(),
+                  shave / static_cast<double>(n));
+        out.even = true;
+        return out;
+    }
+
+    // Sort rack indices by SOC, descending (Algorithm 1 line 9-10).
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return socJoules[a] > socJoules[b];
+                     });
+
+    double socRemaining =
+        std::accumulate(socJoules.begin(), socJoules.end(), 0.0);
+    Watts shaveRemaining = shave;
+
+    // Pin the highest-SOC racks at P_ideal while their proportional
+    // share of the remaining deficit exceeds the cap.
+    std::size_t i = 0;
+    for (; i < n; ++i) {
+        const std::size_t rack = order[i];
+        if (socRemaining <= 0.0)
+            break;
+        const Watts share =
+            socJoules[rack] / socRemaining * shaveRemaining;
+        if (share <= pIdeal)
+            break;
+        out.power[rack] = pIdeal;
+        socRemaining -= socJoules[rack];
+        shaveRemaining -= pIdeal;
+        if (shaveRemaining <= 0.0)
+            break;
+    }
+
+    // Split the remainder SOC-proportionally across the rest
+    // (Algorithm 1 lines 16-18). Units with zero SOC get nothing.
+    if (shaveRemaining > 0.0 && socRemaining > 0.0) {
+        for (std::size_t j = i; j < n; ++j) {
+            const std::size_t rack = order[j];
+            out.power[rack] =
+                socJoules[rack] / socRemaining * shaveRemaining;
+        }
+    }
+    return out;
+}
+
+} // namespace pad::core

@@ -1,0 +1,72 @@
+#include "metering/detector.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pad::metering {
+
+SpikeDetector::SpikeDetector(std::string name, const DetectorConfig &config,
+                             Watts baseline)
+    : name_(std::move(name)), config_(config), baseline_(baseline),
+      meter_(name_ + ".meter", config.interval)
+{
+    PAD_ASSERT(config_.interval > 0);
+    PAD_ASSERT(config_.relativeMargin >= 0.0);
+    PAD_ASSERT(baseline_ > 0.0);
+}
+
+Watts
+SpikeDetector::threshold() const
+{
+    return baseline_ * (1.0 + config_.relativeMargin);
+}
+
+void
+SpikeDetector::observe(Watts power, Tick dt)
+{
+    meter_.observe(power, dt);
+    scanNewReadings();
+}
+
+void
+SpikeDetector::scanNewReadings()
+{
+    const auto &readings = meter_.readings();
+    for (; scanned_ < readings.size(); ++scanned_) {
+        const auto &r = readings[scanned_];
+        if (r.average > threshold())
+            flags_.push_back(
+                AnomalyFlag{r.when - config_.interval, r.when});
+    }
+}
+
+bool
+SpikeDetector::flaggedAt(Tick t) const
+{
+    for (const auto &f : flags_)
+        if (t >= f.start && t < f.end)
+            return true;
+    return false;
+}
+
+double
+SpikeDetector::detectionRate(
+    const std::vector<std::pair<Tick, Tick>> &spikeWindows) const
+{
+    if (spikeWindows.empty())
+        return 0.0;
+    std::size_t detected = 0;
+    for (const auto &[start, end] : spikeWindows) {
+        const bool hit = std::any_of(
+            flags_.begin(), flags_.end(), [&](const AnomalyFlag &f) {
+                return start < f.end && end > f.start;
+            });
+        if (hit)
+            ++detected;
+    }
+    return static_cast<double>(detected) /
+           static_cast<double>(spikeWindows.size());
+}
+
+} // namespace pad::metering

@@ -1,0 +1,65 @@
+#include "power/circuit_breaker.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pad::power {
+
+CircuitBreaker::CircuitBreaker(std::string name,
+                               const CircuitBreakerConfig &config)
+    : name_(std::move(name)), config_(config)
+{
+    PAD_ASSERT(config_.ratedPower > 0.0);
+    PAD_ASSERT(config_.holdRatio >= 1.0);
+    PAD_ASSERT(config_.magneticRatio > config_.holdRatio);
+    PAD_ASSERT(config_.thermalCapacity > 0.0);
+    PAD_ASSERT(config_.coolTau > 0.0);
+}
+
+bool
+CircuitBreaker::observe(Watts power, double dt)
+{
+    PAD_ASSERT(dt >= 0.0);
+    if (tripped_ || dt == 0.0)
+        return false;
+
+    const double r = power / config_.ratedPower;
+    if (r >= config_.magneticRatio) {
+        tripped_ = true;
+        ++trips_;
+        return true;
+    }
+    if (r > config_.holdRatio) {
+        heat_ += (r * r - 1.0) * dt;
+        if (heat_ >= config_.thermalCapacity) {
+            tripped_ = true;
+            ++trips_;
+            return true;
+        }
+    } else {
+        heat_ *= std::exp(-dt / config_.coolTau);
+    }
+    return false;
+}
+
+void
+CircuitBreaker::reset()
+{
+    tripped_ = false;
+    heat_ = 0.0;
+}
+
+double
+CircuitBreaker::timeToTrip(Watts power) const
+{
+    const double r = power / config_.ratedPower;
+    if (r >= config_.magneticRatio)
+        return 0.0;
+    if (r <= config_.holdRatio)
+        return std::numeric_limits<double>::infinity();
+    return config_.thermalCapacity / (r * r - 1.0);
+}
+
+} // namespace pad::power

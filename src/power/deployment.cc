@@ -1,0 +1,127 @@
+#include "power/deployment.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::power {
+
+DeploymentSpec
+deploymentSpec(DeploymentOption option)
+{
+    DeploymentSpec spec;
+    switch (option) {
+      case DeploymentOption::CentralizedUps:
+        spec.name = "centralized UPS";
+        spec.typicalUnitSize = 2.0e6;
+        // Double conversion (AC->DC->AC) at ~95% per stage.
+        spec.pathEfficiency = 0.90;
+        spec.dcCoupled = false;
+        spec.fractionalShaving = false;
+        spec.unitsPerCluster = 1;
+        spec.unitFailuresPerYear = 0.2; // complex, maintained unit
+        spec.repairHours = 24.0;
+        break;
+      case DeploymentOption::EndOfRowUps:
+        spec.name = "end-of-row UPS";
+        spec.typicalUnitSize = 100.0e3;
+        spec.pathEfficiency = 0.92;
+        spec.dcCoupled = false;
+        spec.fractionalShaving = false;
+        spec.unitsPerCluster = 4;
+        spec.unitFailuresPerYear = 0.15;
+        spec.repairHours = 12.0;
+        break;
+      case DeploymentOption::TopOfRackBbu:
+        spec.name = "top-of-rack BBU";
+        spec.typicalUnitSize = 3.0e3;
+        spec.pathEfficiency = 0.965; // single DC/DC stage
+        spec.dcCoupled = true;
+        spec.fractionalShaving = true;
+        spec.unitsPerCluster = 22;
+        spec.unitFailuresPerYear = 0.1;
+        spec.repairHours = 4.0;
+        break;
+      case DeploymentOption::PerNodeBattery:
+        spec.name = "per-node battery";
+        spec.typicalUnitSize = 400.0;
+        spec.pathEfficiency = 0.975;
+        spec.dcCoupled = true;
+        spec.fractionalShaving = true;
+        spec.unitsPerCluster = 220;
+        spec.unitFailuresPerYear = 0.08;
+        spec.repairHours = 2.0;
+        break;
+    }
+    return spec;
+}
+
+std::string
+deploymentName(DeploymentOption option)
+{
+    return deploymentSpec(option).name;
+}
+
+WattHours
+annualConversionLoss(DeploymentOption option, Watts itLoad)
+{
+    PAD_ASSERT(itLoad >= 0.0);
+    const DeploymentSpec spec = deploymentSpec(option);
+    // Power drawn from the utility to deliver itLoad through the
+    // backup chain, minus the IT load itself, over a year.
+    const Watts wasted = itLoad / spec.pathEfficiency - itLoad;
+    return wasted * 24.0 * 365.0;
+}
+
+namespace {
+
+/** Steady-state unavailability of one backup unit. */
+double
+unitUnavailability(const DeploymentSpec &spec)
+{
+    const double mttrHours = spec.repairHours;
+    const double mtbfHours = 365.0 * 24.0 / spec.unitFailuresPerYear;
+    return mttrHours / (mttrHours + mtbfHours);
+}
+
+} // namespace
+
+double
+backupUnavailability(DeploymentOption option)
+{
+    return unitUnavailability(deploymentSpec(option));
+}
+
+double
+expectedUnprotectedFraction(DeploymentOption option)
+{
+    // Each unit covers 1/n of the cluster; expected unprotected
+    // fraction equals the per-unit unavailability by linearity.
+    return backupUnavailability(option);
+}
+
+double
+probMassOutage(DeploymentOption option, double fraction)
+{
+    PAD_ASSERT(fraction >= 0.0 && fraction < 1.0);
+    const DeploymentSpec spec = deploymentSpec(option);
+    const int n = spec.unitsPerCluster;
+    const double u = unitUnavailability(spec);
+
+    // P(more than fraction*n of the n independent units are down):
+    // binomial survival function evaluated incrementally.
+    const int threshold = static_cast<int>(fraction * n);
+    double pmf = std::pow(1.0 - u, n); // P(k = 0)
+    double cdf = 0.0;
+    for (int k = 0; k <= threshold; ++k) {
+        if (k > 0) {
+            pmf *= (static_cast<double>(n - k + 1) /
+                    static_cast<double>(k)) *
+                   (u / (1.0 - u));
+        }
+        cdf += pmf;
+    }
+    return std::max(0.0, 1.0 - cdf);
+}
+
+} // namespace pad::power

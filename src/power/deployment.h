@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The four battery deployment options of paper Fig. 3, with the
+ * power-conversion and availability characteristics that motivate
+ * distributed energy backup (paper §I-II):
+ *
+ *  1. centralized UPS  (up to several MW, double AC/DC conversion)
+ *  2. end-of-row UPS   (20-200 kW)
+ *  3. top-of-rack UPS  (1-5 kW, DC-coupled)
+ *  4. per-node battery (hundreds of W, DC-coupled)
+ *
+ * DC-coupled distributed options avoid the online UPS's input and
+ * output conversions (Microsoft reports up to 15% PUE improvement;
+ * Hitachi over 8% efficiency gain — paper refs [3, 4]), and they
+ * remove the central UPS single point of failure while permitting
+ * fractional peak shaving (a central UPS "either takes over the
+ * entire data center or serves as an idle power backup").
+ */
+
+#ifndef PAD_POWER_DEPLOYMENT_H
+#define PAD_POWER_DEPLOYMENT_H
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pad::power {
+
+/** Battery deployment styles (paper Fig. 3). */
+enum class DeploymentOption {
+    CentralizedUps,  ///< option 1: facility-level online UPS
+    EndOfRowUps,     ///< option 2: PDU-level UPS
+    TopOfRackBbu,    ///< option 3: rack battery cabinet, DC-coupled
+    PerNodeBattery,  ///< option 4: in-chassis battery, DC-coupled
+};
+
+/** All options, for sweeps. */
+inline constexpr DeploymentOption kAllDeployments[] = {
+    DeploymentOption::CentralizedUps,
+    DeploymentOption::EndOfRowUps,
+    DeploymentOption::TopOfRackBbu,
+    DeploymentOption::PerNodeBattery,
+};
+
+/** Static characteristics of one deployment style. */
+struct DeploymentSpec {
+    /** Display name. */
+    std::string name;
+    /** Typical unit size, watts. */
+    Watts typicalUnitSize = 0.0;
+    /** End-to-end power path efficiency through the backup chain. */
+    double pathEfficiency = 1.0;
+    /** True when the battery is DC-coupled (no double conversion). */
+    bool dcCoupled = false;
+    /** Can a fraction of servers switch to battery independently? */
+    bool fractionalShaving = false;
+    /** Backup units per 22-rack, 220-server cluster. */
+    int unitsPerCluster = 1;
+    /** Single-unit failure rate, failures per year. */
+    double unitFailuresPerYear = 0.1;
+    /** Mean repair time per failure, hours. */
+    double repairHours = 8.0;
+};
+
+/** Characteristics table for each option. */
+DeploymentSpec deploymentSpec(DeploymentOption option);
+
+/** Human-readable option name. */
+std::string deploymentName(DeploymentOption option);
+
+/**
+ * Annual conversion-loss energy for an IT load served through this
+ * deployment's power path.
+ *
+ * @param option deployment style
+ * @param itLoad average IT load, watts
+ * @return wasted energy per year, watt-hours
+ */
+WattHours annualConversionLoss(DeploymentOption option, Watts itLoad);
+
+/**
+ * Probability that backup power is unavailable for a *given server*
+ * when needed (steady-state unavailability of its backup chain).
+ *
+ * Centralized options concentrate risk: one failed unit strips the
+ * whole cluster of backup. Distributed options fail per rack/node.
+ */
+double backupUnavailability(DeploymentOption option);
+
+/**
+ * Expected fraction of the cluster's servers without backup at a
+ * random instant (SPOF exposure; equals backupUnavailability for
+ * every option, but the *variance* differs — reported separately).
+ */
+double expectedUnprotectedFraction(DeploymentOption option);
+
+/**
+ * Probability that more than @p fraction of the cluster is without
+ * backup simultaneously — the SPOF signature: essentially the whole
+ * facility for a central UPS, near zero for distributed units.
+ */
+double probMassOutage(DeploymentOption option, double fraction);
+
+} // namespace pad::power
+
+#endif // PAD_POWER_DEPLOYMENT_H

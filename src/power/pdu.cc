@@ -1,0 +1,73 @@
+#include "power/pdu.h"
+
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace pad::power {
+
+namespace {
+
+CircuitBreakerConfig
+breakerFor(const PduConfig &config)
+{
+    CircuitBreakerConfig bc = config.breaker;
+    bc.ratedPower = config.budget;
+    return bc;
+}
+
+} // namespace
+
+Pdu::Pdu(std::string name, const PduConfig &config)
+    : name_(std::move(name)), config_(config),
+      breaker_(name_ + ".breaker", breakerFor(config)),
+      limits_(config.outlets, config.budget)
+{
+    PAD_ASSERT(config_.budget > 0.0);
+    PAD_ASSERT(config_.outlets > 0);
+}
+
+void
+Pdu::setOutletLimit(std::size_t i, Watts watts)
+{
+    PAD_ASSERT(i < limits_.size());
+    PAD_ASSERT(watts >= 0.0);
+    limits_[i] = watts;
+}
+
+Watts
+Pdu::outletLimit(std::size_t i) const
+{
+    PAD_ASSERT(i < limits_.size());
+    return limits_[i];
+}
+
+Watts
+Pdu::totalOutletLimit() const
+{
+    return std::accumulate(limits_.begin(), limits_.end(), 0.0);
+}
+
+bool
+Pdu::budgetFeasible(Watts totalNameplate) const
+{
+    return totalOutletLimit() <= config_.budget + 1e-9 &&
+           config_.budget <= totalNameplate + 1e-9;
+}
+
+bool
+Pdu::observe(const std::vector<Watts> &draws, double dt)
+{
+    PAD_ASSERT(draws.size() == limits_.size(),
+               "outlet draw vector size mismatch");
+    Watts total = 0.0;
+    for (std::size_t i = 0; i < draws.size(); ++i) {
+        total += draws[i];
+        if (draws[i] > limits_[i] + 1e-9)
+            ++violations_;
+    }
+    lastDraw_ = total;
+    return breaker_.observe(total, dt);
+}
+
+} // namespace pad::power

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Intelligent power distribution unit (iPDU) model, paper §II-B.
+ *
+ * A PDU has a rated budget protected by a circuit breaker and a set
+ * of outlets, each with a soft power limit ("modern intelligent PDU
+ * is able to specify the maximum power of each power outlet"). The
+ * oversubscription constraints of Eq. (1)-(2) are checked here:
+ *
+ *   p_i - b_i <= lambda_i * Pr       (per outlet, soft limit)
+ *   sum(lambda_i * Pr) <= P_PDU <= n * Pr
+ */
+
+#ifndef PAD_POWER_PDU_H
+#define PAD_POWER_PDU_H
+
+#include <string>
+#include <vector>
+
+#include "power/circuit_breaker.h"
+#include "util/types.h"
+
+namespace pad::power {
+
+/** Static PDU configuration. */
+struct PduConfig {
+    /** Maximum power budget P_PDU, watts. */
+    Watts budget = 80000.0;
+    /** Breaker characteristics (ratedPower is set to budget). */
+    CircuitBreakerConfig breaker;
+    /** Number of outlets (downstream racks or servers). */
+    std::size_t outlets = 22;
+};
+
+/**
+ * PDU with per-outlet soft limits and an upstream breaker.
+ */
+class Pdu
+{
+  public:
+    /**
+     * @param name   telemetry name, e.g. "cluster.pdu"
+     * @param config static configuration
+     */
+    Pdu(std::string name, const PduConfig &config);
+
+    /** Number of outlets. */
+    std::size_t outlets() const { return limits_.size(); }
+
+    /** Set outlet @p i soft limit to @p watts. */
+    void setOutletLimit(std::size_t i, Watts watts);
+
+    /** Soft limit of outlet @p i. */
+    Watts outletLimit(std::size_t i) const;
+
+    /** Sum of all outlet soft limits. */
+    Watts totalOutletLimit() const;
+
+    /**
+     * Validate Eq. (2): sum of soft limits within the PDU budget and
+     * budget not exceeding @p totalNameplate.
+     */
+    bool budgetFeasible(Watts totalNameplate) const;
+
+    /**
+     * Observe one interval of utility-side draws per outlet (i.e.
+     * p_i - b_i after any local battery contribution).
+     *
+     * Per-outlet soft-limit violations are counted; the aggregate
+     * draw feeds the breaker's thermal model.
+     *
+     * @param draws utility draw per outlet, watts
+     * @param dt    interval length, seconds
+     * @retval true the upstream breaker tripped in this interval
+     */
+    bool observe(const std::vector<Watts> &draws, double dt);
+
+    /** Aggregate draw observed in the last interval. */
+    Watts lastAggregateDraw() const { return lastDraw_; }
+
+    /** Count of per-outlet soft-limit violations so far. */
+    std::uint64_t softLimitViolations() const { return violations_; }
+
+    /** The upstream breaker. */
+    CircuitBreaker &breaker() { return breaker_; }
+    const CircuitBreaker &breaker() const { return breaker_; }
+
+    /** PDU power budget. */
+    Watts budget() const { return config_.budget; }
+
+    /** Telemetry name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    std::string name_;
+    PduConfig config_;
+    CircuitBreaker breaker_;
+    std::vector<Watts> limits_;
+    Watts lastDraw_ = 0.0;
+    std::uint64_t violations_ = 0;
+};
+
+} // namespace pad::power
+
+#endif // PAD_POWER_PDU_H

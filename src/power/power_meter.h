@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Interval-averaging power meter (paper §III-B, Table I).
+ *
+ * Real data centers monitor "total energy consumption at
+ * coarse-grained intervals (e.g., 10 minutes) to estimate the
+ * average power demand", which is exactly why narrow spikes are
+ * invisible to them. The meter integrates energy continuously and
+ * publishes one averaged reading per metering interval.
+ */
+
+#ifndef PAD_POWER_POWER_METER_H
+#define PAD_POWER_POWER_METER_H
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::power {
+
+/** One published meter reading. */
+struct MeterReading {
+    /** Tick at the end of the metering interval. */
+    Tick when = 0;
+    /** Average power over the interval, watts. */
+    Watts average = 0.0;
+};
+
+/**
+ * Integrating meter with a fixed reporting interval.
+ */
+class PowerMeter
+{
+  public:
+    /**
+     * @param name     telemetry name
+     * @param interval metering interval in ticks (e.g. 5 s ... 15 min)
+     */
+    PowerMeter(std::string name, Tick interval);
+
+    /**
+     * Feed a constant draw of @p power from the meter's current
+     * position for @p dt ticks. Crossing one or more interval
+     * boundaries publishes the corresponding readings.
+     */
+    void observe(Watts power, Tick dt);
+
+    /** All published readings so far. */
+    const std::vector<MeterReading> &readings() const { return readings_; }
+
+    /** Last published average (0 before the first interval ends). */
+    Watts lastAverage() const;
+
+    /** Metering interval in ticks. */
+    Tick interval() const { return interval_; }
+
+    /** Current position of the meter clock, ticks. */
+    Tick now() const { return now_; }
+
+    /** Telemetry name. */
+    const std::string &name() const { return name_; }
+
+  private:
+    void closeInterval();
+
+    std::string name_;
+    Tick interval_;
+    Tick now_ = 0;
+    Tick intervalStart_ = 0;
+    double energyInInterval_ = 0.0; ///< watt-ticks
+    std::vector<MeterReading> readings_;
+};
+
+} // namespace pad::power
+
+#endif // PAD_POWER_POWER_METER_H

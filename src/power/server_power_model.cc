@@ -1,0 +1,51 @@
+#include "power/server_power_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::power {
+
+ServerPowerModel::ServerPowerModel(const ServerPowerConfig &config)
+    : config_(config)
+{
+    PAD_ASSERT(config_.peakPower > config_.idlePower);
+    PAD_ASSERT(config_.idlePower >= 0.0);
+    PAD_ASSERT(config_.curveExponent > 0.0);
+}
+
+double
+ServerPowerModel::executed(double util, double dvfs) const
+{
+    // A frequency cut slows every cycle: work completes at rate
+    // util x dvfs (the paper charges DVFS capping as a proportional
+    // performance loss).
+    util = std::clamp(util, 0.0, 1.0);
+    dvfs = std::clamp(dvfs, 0.0, 1.0);
+    return util * dvfs;
+}
+
+Watts
+ServerPowerModel::power(double util, double dvfs) const
+{
+    util = std::clamp(util, 0.0, 1.0);
+    dvfs = std::clamp(dvfs, 1e-6, 1.0);
+    // Dynamic power ceiling scales with frequency; within the ceiling
+    // the concave SPECpower-style curve applies to the occupied
+    // fraction of the (scaled) ceiling.
+    const double span = config_.peakPower - config_.idlePower;
+    const double frac = std::pow(util, config_.curveExponent);
+    return config_.idlePower + span * dvfs * frac;
+}
+
+double
+ServerPowerModel::utilizationFor(Watts watts) const
+{
+    const double span = config_.peakPower - config_.idlePower;
+    const double frac =
+        std::clamp((watts - config_.idlePower) / span, 0.0, 1.0);
+    return std::pow(frac, 1.0 / config_.curveExponent);
+}
+
+} // namespace pad::power

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Utilization-to-power model for one server, following the
+ * SPECpower_ssj2008 measurement style the paper relies on: the
+ * evaluated HP ProLiant DL585 G5 (2.70 GHz AMD Opteron 8384) draws
+ * 299 W at active idle and 521 W at 100% load (paper §V, ref [31]).
+ *
+ * The model also implements the DVFS-based power capping used by the
+ * PSPC baseline: at a frequency factor f < 1 the server executes work
+ * at most at rate f and its dynamic power ceiling scales with f.
+ */
+
+#ifndef PAD_POWER_SERVER_POWER_MODEL_H
+#define PAD_POWER_SERVER_POWER_MODEL_H
+
+#include <array>
+
+#include "util/types.h"
+
+namespace pad::power {
+
+/** Static description of a server's power behaviour. */
+struct ServerPowerConfig {
+    /** Active idle power, watts. */
+    Watts idlePower = 299.0;
+    /** Full-load (100% target load) power, watts. */
+    Watts peakPower = 521.0;
+    /**
+     * Curve shape exponent: <1 gives the concave utilization/power
+     * relation SPECpower reports for this class of machine.
+     */
+    double curveExponent = 0.85;
+};
+
+/**
+ * Maps demanded utilization and a DVFS cap to electrical power and
+ * executed throughput.
+ */
+class ServerPowerModel
+{
+  public:
+    explicit ServerPowerModel(const ServerPowerConfig &config);
+
+    /**
+     * Power drawn when the workload demands utilization @p util and
+     * the server runs at frequency factor @p dvfs (1.0 = uncapped).
+     *
+     * @param util demanded utilization in [0, 1]
+     * @param dvfs frequency factor in (0, 1]
+     */
+    Watts power(double util, double dvfs = 1.0) const;
+
+    /**
+     * Throughput actually executed: util x dvfs (a frequency cut is
+     * a proportional slowdown). The PSPC performance accounting
+     * charges util - executed as lost work.
+     */
+    double executed(double util, double dvfs = 1.0) const;
+
+    /**
+     * Inverse mapping: the utilization that would produce @p watts at
+     * full frequency (clamped to [0, 1]). Used by attackers to reason
+     * about how much load is needed for a target power level.
+     */
+    double utilizationFor(Watts watts) const;
+
+    /** Nameplate (peak) power. */
+    Watts peak() const { return config_.peakPower; }
+
+    /** Active idle power. */
+    Watts idle() const { return config_.idlePower; }
+
+    /** Static configuration. */
+    const ServerPowerConfig &config() const { return config_; }
+
+  private:
+    ServerPowerConfig config_;
+};
+
+} // namespace pad::power
+
+#endif // PAD_POWER_SERVER_POWER_MODEL_H

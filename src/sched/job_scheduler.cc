@@ -1,0 +1,151 @@
+#include "sched/job_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace pad::sched {
+
+std::string
+placementPolicyName(PlacementPolicy policy)
+{
+    switch (policy) {
+      case PlacementPolicy::RoundRobin:
+        return "round-robin";
+      case PlacementPolicy::Random:
+        return "random";
+      case PlacementPolicy::LeastLoaded:
+        return "least-loaded";
+      case PlacementPolicy::PowerAware:
+        return "power-aware";
+    }
+    PAD_PANIC("unreachable placement policy");
+}
+
+JobScheduler::JobScheduler(int machines, int machinesPerRack,
+                           PlacementPolicy policy, std::uint64_t seed)
+    : machines_(machines), machinesPerRack_(machinesPerRack),
+      policy_(policy), rng_(seed),
+      load_(static_cast<std::size_t>(machines), 0.0)
+{
+    PAD_ASSERT(machines_ > 0);
+    PAD_ASSERT(machinesPerRack_ > 0 &&
+               machines_ % machinesPerRack_ == 0,
+               "machines must fill whole racks");
+}
+
+void
+JobScheduler::expire(Tick now)
+{
+    while (!releases_.empty() && releases_.top().when <= now) {
+        const Release r = releases_.top();
+        releases_.pop();
+        load_[static_cast<std::size_t>(r.machine)] =
+            std::max(0.0, load_[static_cast<std::size_t>(r.machine)] -
+                              r.cpuRate);
+    }
+}
+
+double
+JobScheduler::projectedLoad(int machine) const
+{
+    PAD_ASSERT(machine >= 0 && machine < machines_);
+    return load_[static_cast<std::size_t>(machine)];
+}
+
+int
+JobScheduler::place(Tick now, double cpuRate)
+{
+    (void)now;
+    switch (policy_) {
+      case PlacementPolicy::RoundRobin: {
+        const int m = nextRoundRobin_;
+        nextRoundRobin_ = (nextRoundRobin_ + 1) % machines_;
+        return m;
+      }
+      case PlacementPolicy::Random:
+        return static_cast<int>(rng_.uniformInt(0, machines_ - 1));
+      case PlacementPolicy::LeastLoaded: {
+        int best = 0;
+        for (int m = 1; m < machines_; ++m)
+            if (load_[static_cast<std::size_t>(m)] <
+                load_[static_cast<std::size_t>(best)])
+                best = m;
+        return best;
+      }
+      case PlacementPolicy::PowerAware: {
+        // Rack with the lowest projected total load after adding
+        // this task, then the least-loaded machine inside it.
+        const int racks = machines_ / machinesPerRack_;
+        int bestRack = 0;
+        double bestRackLoad = std::numeric_limits<double>::max();
+        for (int r = 0; r < racks; ++r) {
+            double rackLoad = cpuRate;
+            for (int s = 0; s < machinesPerRack_; ++s)
+                rackLoad += load_[static_cast<std::size_t>(
+                    r * machinesPerRack_ + s)];
+            if (rackLoad < bestRackLoad) {
+                bestRackLoad = rackLoad;
+                bestRack = r;
+            }
+        }
+        int best = bestRack * machinesPerRack_;
+        for (int s = 1; s < machinesPerRack_; ++s) {
+            const int m = bestRack * machinesPerRack_ + s;
+            if (load_[static_cast<std::size_t>(m)] <
+                load_[static_cast<std::size_t>(best)])
+                best = m;
+        }
+        return best;
+      }
+    }
+    PAD_PANIC("unreachable placement policy");
+}
+
+std::vector<trace::TaskEvent>
+JobScheduler::schedule(const std::vector<Job> &jobs)
+{
+    std::vector<const Job *> order;
+    order.reserve(jobs.size());
+    for (const auto &job : jobs)
+        order.push_back(&job);
+    std::stable_sort(order.begin(), order.end(),
+                     [](const Job *a, const Job *b) {
+                         return a->arrival < b->arrival;
+                     });
+
+    std::vector<trace::TaskEvent> events;
+    for (const Job *job : order) {
+        expire(job->arrival);
+        for (const auto &task : job->tasks) {
+            const int machine = place(job->arrival, task.cpuRate);
+            load_[static_cast<std::size_t>(machine)] += task.cpuRate;
+            releases_.push(Release{job->arrival + task.duration,
+                                   machine, task.cpuRate});
+            trace::TaskEvent ev;
+            ev.start = job->arrival;
+            ev.end = job->arrival + task.duration;
+            ev.machine = machine;
+            ev.cpuRate = task.cpuRate;
+            events.push_back(ev);
+        }
+    }
+    return events;
+}
+
+std::vector<Job>
+jobsFromEvents(const std::vector<trace::TaskEvent> &events)
+{
+    std::vector<Job> jobs;
+    jobs.reserve(events.size());
+    for (const auto &ev : events) {
+        Job job;
+        job.arrival = ev.start;
+        job.tasks.push_back(JobTask{ev.duration(), ev.cpuRate});
+        jobs.push_back(std::move(job));
+    }
+    return jobs;
+}
+
+} // namespace pad::sched

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The job scheduler of the paper's simulation framework (Fig. 11-B):
+ * "Work arrives at the cluster in the form of jobs. A job is
+ * comprised of one or more tasks, each of which is accompanied by a
+ * set of resource requirements used for dispatching the tasks onto
+ * machines."
+ *
+ * The scheduler assigns a machine to every task under a placement
+ * policy. Placement matters to the power study: packing load onto
+ * few racks creates exactly the hot, battery-draining racks a power
+ * virus hunts for, while power-aware spreading flattens rack peaks.
+ */
+
+#ifndef PAD_SCHED_JOB_SCHEDULER_H
+#define PAD_SCHED_JOB_SCHEDULER_H
+
+#include <cstdint>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "trace/task_event.h"
+#include "util/random.h"
+
+namespace pad::sched {
+
+/** One task of a job, before placement. */
+struct JobTask {
+    /** Run time once started. */
+    Tick duration = 0;
+    /** CPU demand while running, cores-fraction. */
+    double cpuRate = 0.0;
+};
+
+/** A job: an arrival time plus one or more tasks. */
+struct Job {
+    Tick arrival = 0;
+    std::vector<JobTask> tasks;
+};
+
+/** Placement policies. */
+enum class PlacementPolicy {
+    /** Cycle through machines in order. */
+    RoundRobin,
+    /** Uniform random machine. */
+    Random,
+    /** Machine with the lowest projected utilization. */
+    LeastLoaded,
+    /**
+     * Least-loaded machine in the rack with the most power headroom:
+     * avoids stacking concurrent load onto one rack, the condition
+     * that drains its DEB (the scheduler-side complement of vDEB).
+     */
+    PowerAware,
+};
+
+/** Human-readable policy name. */
+std::string placementPolicyName(PlacementPolicy policy);
+
+/**
+ * Assigns machines to job tasks, tracking projected per-machine load.
+ */
+class JobScheduler
+{
+  public:
+    /**
+     * @param machines        number of machines
+     * @param machinesPerRack rack granularity for PowerAware
+     * @param policy          placement policy
+     * @param seed            determinism for the Random policy
+     */
+    JobScheduler(int machines, int machinesPerRack,
+                 PlacementPolicy policy, std::uint64_t seed = 17);
+
+    /**
+     * Place every task of every job.
+     *
+     * Jobs are processed in arrival order; each task starts at the
+     * job's arrival. The scheduler tracks projected utilization of
+     * each machine over time (releasing load when tasks finish) and
+     * places according to the policy.
+     *
+     * @return one TaskEvent per task, machine ids filled in
+     */
+    std::vector<trace::TaskEvent>
+    schedule(const std::vector<Job> &jobs);
+
+    /** Projected utilization of @p machine right now. */
+    double projectedLoad(int machine) const;
+
+    /** Static policy. */
+    PlacementPolicy policy() const { return policy_; }
+
+  private:
+    /** Release finished tasks up to time @p now. */
+    void expire(Tick now);
+
+    /** Pick a machine for a task arriving at @p now. */
+    int place(Tick now, double cpuRate);
+
+    struct Release {
+        Tick when;
+        int machine;
+        double cpuRate;
+        bool
+        operator>(const Release &other) const
+        {
+            return when > other.when;
+        }
+    };
+
+    int machines_;
+    int machinesPerRack_;
+    PlacementPolicy policy_;
+    Rng rng_;
+    int nextRoundRobin_ = 0;
+    std::vector<double> load_;
+    std::priority_queue<Release, std::vector<Release>,
+                        std::greater<Release>>
+        releases_;
+};
+
+/**
+ * Convert scheduled task events back into jobs (strip machines) —
+ * used to re-place an existing trace under a different policy.
+ */
+std::vector<Job> jobsFromEvents(
+    const std::vector<trace::TaskEvent> &events);
+
+} // namespace pad::sched
+
+#endif // PAD_SCHED_JOB_SCHEDULER_H

@@ -1,0 +1,39 @@
+#include "sched/load_shedding.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pad::sched {
+
+ShedDecision
+LoadShedder::plan(std::vector<ShedCandidate> candidates,
+                  Watts deficit) const
+{
+    ShedDecision decision;
+    if (deficit <= 0.0 || candidates.empty())
+        return decision;
+
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const ShedCandidate &a, const ShedCandidate &b) {
+                         if (a.priority != b.priority)
+                             return a.priority < b.priority;
+                         return a.releasedPower > b.releasedPower;
+                     });
+
+    for (const auto &c : candidates) {
+        if (decision.releasedPower >= deficit)
+            break;
+        if (c.releasedPower <= 0.0)
+            continue;
+        decision.serversToSleep.push_back(c.serverId);
+        decision.releasedPower += c.releasedPower;
+    }
+    decision.shedRatio =
+        static_cast<double>(decision.serversToSleep.size()) /
+        static_cast<double>(candidates.size());
+    totalShed_ += decision.serversToSleep.size();
+    return decision;
+}
+
+} // namespace pad::sched

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Level-3 emergency load shedding (paper §IV-A, §VI-A, Fig. 14).
+ *
+ * "By sleeping only a small amount of servers, one can prevent the
+ * majority of data center racks from power-related attacks." The
+ * shedder picks the cheapest set of low-priority servers whose
+ * removal closes a power deficit; PAD applies it only in extreme
+ * cluster-wide peaks, and the paper shows a ~3% shedding ratio
+ * flattens the battery usage map.
+ */
+
+#ifndef PAD_SCHED_LOAD_SHEDDING_H
+#define PAD_SCHED_LOAD_SHEDDING_H
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::sched {
+
+/** One shedding candidate. */
+struct ShedCandidate {
+    /** Opaque server id (owned by the caller). */
+    int serverId = 0;
+    /** Power released if this server sleeps, watts. */
+    Watts releasedPower = 0.0;
+    /** Priority class: higher = more critical, shed later. */
+    int priority = 0;
+};
+
+/** Result of one shedding decision. */
+struct ShedDecision {
+    /** Ids of the servers put to sleep, in shed order. */
+    std::vector<int> serversToSleep;
+    /** Power released in total, watts. */
+    Watts releasedPower = 0.0;
+    /** Fraction of candidate servers shed. */
+    double shedRatio = 0.0;
+};
+
+/**
+ * Greedy deficit-closing shedder.
+ */
+class LoadShedder
+{
+  public:
+    /**
+     * Choose servers to sleep until @p deficit watts are released.
+     *
+     * Candidates are taken lowest priority first; within a priority
+     * class, largest released power first (fewest servers shed).
+     *
+     * @param candidates servers eligible for shedding
+     * @param deficit    power shortfall to close, watts
+     */
+    ShedDecision plan(std::vector<ShedCandidate> candidates,
+                      Watts deficit) const;
+
+    /** Lifetime count of servers shed across plan() calls. */
+    std::uint64_t totalShed() const { return totalShed_; }
+
+  private:
+    mutable std::uint64_t totalShed_ = 0;
+};
+
+} // namespace pad::sched
+
+#endif // PAD_SCHED_LOAD_SHEDDING_H

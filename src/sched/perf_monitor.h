@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cluster throughput accounting (paper §VI-C, Fig. 16).
+ *
+ * The paper normalizes "overall data center throughput during the
+ * attack period": work executed divided by work demanded. DVFS
+ * capping (PSPC) and load shedding (Level-3 emergencies) charge
+ * their lost work here.
+ */
+
+#ifndef PAD_SCHED_PERF_MONITOR_H
+#define PAD_SCHED_PERF_MONITOR_H
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace pad::sched {
+
+/**
+ * Accumulates demanded vs executed work in utilization-seconds.
+ */
+class PerfMonitor
+{
+  public:
+    /**
+     * Record one server-step.
+     *
+     * @param demandedUtil utilization the workload asked for
+     * @param executedUtil utilization actually executed (after DVFS
+     *                     capping or shedding)
+     * @param dt           step length, seconds
+     */
+    void record(double demandedUtil, double executedUtil, double dt);
+
+    /** Charge a fully-shed server-step (nothing executes). */
+    void recordShed(double demandedUtil, double dt);
+
+    /** Executed / demanded work; 1.0 when nothing was demanded. */
+    double normalizedThroughput() const;
+
+    /** Total demanded work, utilization-seconds. */
+    double demandedWork() const { return demanded_; }
+
+    /** Total executed work, utilization-seconds. */
+    double executedWork() const { return executed_; }
+
+    /** Reset the accumulators. */
+    void reset();
+
+  private:
+    double demanded_ = 0.0;
+    double executed_ = 0.0;
+};
+
+} // namespace pad::sched
+
+#endif // PAD_SCHED_PERF_MONITOR_H

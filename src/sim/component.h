@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Base class for named simulation components. Components get a
+ * pointer to the owning Simulator at attach time and may override the
+ * init/finalize hooks to schedule their periodic activity.
+ */
+
+#ifndef PAD_SIM_COMPONENT_H
+#define PAD_SIM_COMPONENT_H
+
+#include <string>
+
+#include "util/types.h"
+
+namespace pad::sim {
+
+class Simulator;
+
+/**
+ * A named participant in the simulation.
+ */
+class Component
+{
+  public:
+    /** @param name hierarchical dotted name, e.g. "rack3.deb" */
+    explicit Component(std::string name) : name_(std::move(name)) {}
+
+    virtual ~Component() = default;
+
+    Component(const Component &) = delete;
+    Component &operator=(const Component &) = delete;
+
+    /** Hierarchical component name. */
+    const std::string &name() const { return name_; }
+
+    /** Called once before the simulation starts running. */
+    virtual void init(Simulator &sim) { sim_ = &sim; }
+
+    /** Called once after the simulation finishes. */
+    virtual void finalize() {}
+
+  protected:
+    /** Owning simulator; valid after init(). */
+    Simulator *sim_ = nullptr;
+
+  private:
+    std::string name_;
+};
+
+} // namespace pad::sim
+
+#endif // PAD_SIM_COMPONENT_H

@@ -1,0 +1,112 @@
+#include "sim/event_queue.h"
+
+#include "util/logging.h"
+
+namespace pad::sim {
+
+EventQueue::~EventQueue()
+{
+    while (!heap_.empty()) {
+        delete heap_.top();
+        heap_.pop();
+    }
+}
+
+EventHandle
+EventQueue::schedule(Tick when, Callback cb, EventPriority priority)
+{
+    PAD_ASSERT(when >= now_, "event scheduled in the past");
+    auto *entry = new Entry{when, static_cast<int>(priority), nextSeq_++,
+                            nextId_++, std::move(cb)};
+    heap_.push(entry);
+    byId_.emplace(entry->id, entry);
+    ++live_;
+    return EventHandle(entry->id);
+}
+
+void
+EventQueue::cancel(EventHandle handle)
+{
+    if (!handle.valid())
+        return;
+    auto it = byId_.find(handle.id_);
+    if (it == byId_.end())
+        return;
+    if (!it->second->cancelled) {
+        it->second->cancelled = true;
+        --live_;
+    }
+    // The entry stays in the heap and is reclaimed lazily when popped.
+    byId_.erase(it);
+}
+
+EventQueue::Entry *
+EventQueue::popNextLive()
+{
+    while (!heap_.empty()) {
+        Entry *top = heap_.top();
+        heap_.pop();
+        if (top->cancelled) {
+            delete top;
+            continue;
+        }
+        byId_.erase(top->id);
+        --live_;
+        return top;
+    }
+    return nullptr;
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    // Skim cancelled entries off a copy-free view: the heap top may be
+    // cancelled, so do a const-safe scan by copying pointers is too
+    // costly; instead accept the cheap answer when the top is live and
+    // fall back to a scan of the underlying container otherwise.
+    if (heap_.empty() || live_ == 0)
+        return kTickNever;
+    const Entry *top = heap_.top();
+    if (!top->cancelled)
+        return top->when;
+    Tick best = kTickNever;
+    for (const auto &[id, entry] : byId_) {
+        (void)id;
+        if (best == kTickNever || entry->when < best)
+            best = entry->when;
+    }
+    return best;
+}
+
+std::size_t
+EventQueue::runUntil(Tick until)
+{
+    std::size_t ran = 0;
+    while (true) {
+        const Tick next = nextEventTick();
+        if (next == kTickNever || next > until)
+            break;
+        step();
+        ++ran;
+    }
+    if (now_ < until)
+        now_ = until;
+    return ran;
+}
+
+bool
+EventQueue::step()
+{
+    Entry *entry = popNextLive();
+    if (!entry)
+        return false;
+    PAD_ASSERT(entry->when >= now_);
+    now_ = entry->when;
+    ++executed_;
+    Callback cb = std::move(entry->cb);
+    delete entry;
+    cb();
+    return true;
+}
+
+} // namespace pad::sim

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Discrete-event queue at the heart of the PAD simulator.
+ *
+ * Events are callbacks scheduled at an absolute Tick. Events at the
+ * same tick execute in (priority, insertion-order) order so that the
+ * simulation is fully deterministic. Scheduled events can be
+ * cancelled through the EventHandle returned at scheduling time.
+ */
+
+#ifndef PAD_SIM_EVENT_QUEUE_H
+#define PAD_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::sim {
+
+/** Relative ordering of events scheduled at the same tick. */
+enum class EventPriority : int {
+    /** Power/battery state updates happen first. */
+    Physical = 0,
+    /** Then control decisions (schemes, policies, attackers). */
+    Control = 1,
+    /** Then monitoring, metering, statistics. */
+    Observe = 2,
+    /** Finally bookkeeping (trace logging, checkpoints). */
+    Cleanup = 3,
+};
+
+/** Opaque handle used to cancel a scheduled event. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** True when the handle refers to a scheduled event. */
+    bool valid() const { return id_ != 0; }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+};
+
+/**
+ * Priority queue of timed callbacks.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /**
+     * Schedule @p cb at absolute tick @p when.
+     *
+     * @param when     absolute tick, must be >= now()
+     * @param cb       callback invoked when the event fires
+     * @param priority same-tick ordering class
+     * @return a handle that can later be passed to cancel()
+     */
+    EventHandle schedule(Tick when, Callback cb,
+                         EventPriority priority = EventPriority::Control);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an event that
+     * has already fired (or an invalid handle) is a harmless no-op.
+     */
+    void cancel(EventHandle handle);
+
+    /** True when no live events remain. */
+    bool empty() const { return live_ == 0; }
+
+    /** Number of live (scheduled, not cancelled) events. */
+    std::size_t size() const { return live_; }
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Tick of the next live event, or kTickNever when empty. */
+    Tick nextEventTick() const;
+
+    /**
+     * Fire all events up to and including tick @p until, advancing
+     * now(). Events scheduled by callbacks at ticks <= until also run.
+     *
+     * @return number of events executed
+     */
+    std::size_t runUntil(Tick until);
+
+    /**
+     * Fire the single next event (advancing now() to its tick).
+     * @retval true an event ran; false if the queue was empty
+     */
+    bool step();
+
+    /** Total events executed over the queue's lifetime. */
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t id;
+        Callback cb;
+        bool cancelled = false;
+    };
+
+    struct EntryCompare {
+        // std::priority_queue is a max-heap; invert for earliest-first.
+        bool
+        operator()(const Entry *a, const Entry *b) const
+        {
+            if (a->when != b->when)
+                return a->when > b->when;
+            if (a->priority != b->priority)
+                return a->priority > b->priority;
+            return a->seq > b->seq;
+        }
+    };
+
+    Entry *popNextLive();
+
+    std::priority_queue<Entry *, std::vector<Entry *>, EntryCompare> heap_;
+    std::unordered_map<std::uint64_t, Entry *> byId_;
+    Tick now_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t nextId_ = 1;
+    std::uint64_t executed_ = 0;
+    std::size_t live_ = 0;
+
+  public:
+    EventQueue() = default;
+    ~EventQueue();
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+};
+
+} // namespace pad::sim
+
+#endif // PAD_SIM_EVENT_QUEUE_H

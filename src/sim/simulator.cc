@@ -1,0 +1,68 @@
+#include "sim/simulator.h"
+
+#include "util/logging.h"
+
+namespace pad::sim {
+
+std::size_t
+Simulator::every(Tick period, std::function<void()> cb,
+                 EventPriority priority, Tick start)
+{
+    PAD_ASSERT(period > 0, "periodic activity needs a positive period");
+    const std::size_t id = periodics_.size();
+    periodics_.push_back(
+        Periodic{period, std::move(cb), priority, true, EventHandle{}});
+    const Tick first = start == kTickNever ? now() + period : start;
+    armPeriodic(id, first);
+    return id;
+}
+
+void
+Simulator::armPeriodic(std::size_t id, Tick when)
+{
+    Periodic &p = periodics_[id];
+    p.pending = events_.schedule(
+        when,
+        [this, id] {
+            Periodic &self = periodics_[id];
+            if (!self.active)
+                return;
+            self.cb();
+            if (self.active)
+                armPeriodic(id, now() + self.period);
+        },
+        p.priority);
+}
+
+void
+Simulator::cancelPeriodic(std::size_t id)
+{
+    PAD_ASSERT(id < periodics_.size());
+    Periodic &p = periodics_[id];
+    p.active = false;
+    events_.cancel(p.pending);
+}
+
+void
+Simulator::run(Tick until)
+{
+    if (!initialized_) {
+        initialized_ = true;
+        for (auto &c : components_)
+            c->init(*this);
+        for (auto *c : external_)
+            c->init(*this);
+    }
+    events_.runUntil(until);
+}
+
+void
+Simulator::finalizeAll()
+{
+    for (auto &c : components_)
+        c->finalize();
+    for (auto *c : external_)
+        c->finalize();
+}
+
+} // namespace pad::sim

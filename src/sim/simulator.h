@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Top-level simulation driver: owns the event queue, registered
+ * components, and the run loop.
+ */
+
+#ifndef PAD_SIM_SIMULATOR_H
+#define PAD_SIM_SIMULATOR_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/component.h"
+#include "sim/event_queue.h"
+#include "util/types.h"
+
+namespace pad::sim {
+
+/**
+ * Discrete-event simulator instance.
+ *
+ * Typical use:
+ * @code
+ *   Simulator sim;
+ *   auto &rack = sim.add<Rack>("rack0", ...);
+ *   sim.every(kTicksPerSecond, [&] { rack.tick(); });
+ *   sim.run(10 * kTicksPerMinute);
+ * @endcode
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+
+    /** Construct and register a component owned by the simulator. */
+    template <typename T, typename... Args>
+    T &
+    add(Args &&...args)
+    {
+        auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+        T &ref = *owned;
+        components_.push_back(std::move(owned));
+        return ref;
+    }
+
+    /** Register an externally owned component (not deleted). */
+    void attach(Component &component) { external_.push_back(&component); }
+
+    /** The underlying event queue. */
+    EventQueue &events() { return events_; }
+
+    /** Current simulated time. */
+    Tick now() const { return events_.now(); }
+
+    /** Schedule a one-shot callback @p delay ticks from now. */
+    EventHandle
+    after(Tick delay, EventQueue::Callback cb,
+          EventPriority priority = EventPriority::Control)
+    {
+        return events_.schedule(now() + delay, std::move(cb), priority);
+    }
+
+    /**
+     * Schedule @p cb to run every @p period ticks, starting one period
+     * from now (or at @p start if given). The callback returns void
+     * and repeats until the simulation ends or cancelPeriodic() is
+     * called with the returned id.
+     *
+     * @return id usable with cancelPeriodic()
+     */
+    std::size_t every(Tick period, std::function<void()> cb,
+                      EventPriority priority = EventPriority::Control,
+                      Tick start = kTickNever);
+
+    /** Stop a periodic activity created with every(). */
+    void cancelPeriodic(std::size_t id);
+
+    /**
+     * Run the simulation until tick @p until (inclusive), calling
+     * init() on all registered components on the first run.
+     */
+    void run(Tick until);
+
+    /** Invoke finalize() on all registered components. */
+    void finalizeAll();
+
+  private:
+    struct Periodic {
+        Tick period;
+        std::function<void()> cb;
+        EventPriority priority;
+        bool active;
+        EventHandle pending;
+    };
+
+    void armPeriodic(std::size_t id, Tick when);
+
+    EventQueue events_;
+    std::vector<std::unique_ptr<Component>> components_;
+    std::vector<Component *> external_;
+    std::vector<Periodic> periodics_;
+    bool initialized_ = false;
+};
+
+} // namespace pad::sim
+
+#endif // PAD_SIM_SIMULATOR_H

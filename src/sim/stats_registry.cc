@@ -1,0 +1,92 @@
+#include "sim/stats_registry.h"
+
+#include <iomanip>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace pad::sim {
+
+StatsRegistry::Scalar
+StatsRegistry::registerScalar(const std::string &name,
+                              const std::string &desc)
+{
+    PAD_ASSERT(!name.empty());
+    auto [it, inserted] = scalars_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    // std::map nodes are stable, so handing out a pointer is safe.
+    return Scalar(&it->second.value);
+}
+
+void
+StatsRegistry::setVector(const std::string &name,
+                         const std::string &desc,
+                         std::vector<double> values)
+{
+    PAD_ASSERT(!name.empty());
+    auto &entry = vectors_[name];
+    entry.desc = desc;
+    entry.values = std::move(values);
+}
+
+std::size_t
+StatsRegistry::size() const
+{
+    return scalars_.size() + vectors_.size();
+}
+
+double
+StatsRegistry::lookup(const std::string &name) const
+{
+    auto it = scalars_.find(name);
+    return it == scalars_.end() ? 0.0 : it->second.value;
+}
+
+bool
+StatsRegistry::contains(const std::string &name) const
+{
+    return scalars_.count(name) > 0 || vectors_.count(name) > 0;
+}
+
+void
+StatsRegistry::dump(std::ostream &os) const
+{
+    os << "---------- begin stats ----------\n";
+    for (const auto &[name, entry] : scalars_) {
+        os << std::left << std::setw(42) << name << " "
+           << std::setw(14) << entry.value;
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &[name, entry] : vectors_) {
+        os << std::left << std::setw(42) << name << " [";
+        for (std::size_t i = 0; i < entry.values.size(); ++i) {
+            if (i)
+                os << ' ';
+            os << entry.values[i];
+        }
+        os << "]";
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
+    os << "---------- end stats ----------\n";
+    os.flush();
+}
+
+void
+StatsRegistry::reset()
+{
+    for (auto &[name, entry] : scalars_) {
+        (void)name;
+        entry.value = 0.0;
+    }
+    for (auto &[name, entry] : vectors_) {
+        (void)name;
+        entry.values.clear();
+    }
+}
+
+} // namespace pad::sim

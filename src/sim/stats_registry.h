@@ -1,0 +1,113 @@
+/**
+ * @file
+ * gem5-style statistics registry: named scalar/vector statistics
+ * owned by simulation components, dumped in a stable text format at
+ * the end of a run. Components register stats at construction; the
+ * registry renders `group.name value # description` lines so runs
+ * can be diffed.
+ */
+
+#ifndef PAD_SIM_STATS_REGISTRY_H
+#define PAD_SIM_STATS_REGISTRY_H
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pad::sim {
+
+/**
+ * A registry of named statistics.
+ *
+ * Statistics are plain doubles (scalars) or double vectors, recorded
+ * under a dotted hierarchical name. The registry owns the storage;
+ * components update through the returned handles.
+ */
+class StatsRegistry
+{
+  public:
+    /** Handle to a registered scalar statistic. */
+    class Scalar
+    {
+      public:
+        Scalar() = default;
+
+        /** Set the value. */
+        void
+        set(double v)
+        {
+            if (value_)
+                *value_ = v;
+        }
+
+        /** Add to the value. */
+        void
+        add(double v)
+        {
+            if (value_)
+                *value_ += v;
+        }
+
+        /** Increment by one. */
+        void inc() { add(1.0); }
+
+        /** Current value (0 for an unbound handle). */
+        double value() const { return value_ ? *value_ : 0.0; }
+
+      private:
+        friend class StatsRegistry;
+        explicit Scalar(double *value) : value_(value) {}
+        double *value_ = nullptr;
+    };
+
+    /**
+     * Register a scalar statistic.
+     *
+     * @param name dotted name, e.g. "rack3.deb.lvd_trips"
+     * @param desc one-line description printed with the dump
+     */
+    Scalar registerScalar(const std::string &name,
+                          const std::string &desc);
+
+    /** Register (or overwrite) a vector statistic by value. */
+    void setVector(const std::string &name, const std::string &desc,
+                   std::vector<double> values);
+
+    /** Number of registered statistics. */
+    std::size_t size() const;
+
+    /** Value of a scalar by name; 0 when absent. */
+    double lookup(const std::string &name) const;
+
+    /** True when a statistic with this name exists. */
+    bool contains(const std::string &name) const;
+
+    /** Render all statistics, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Reset every scalar to zero and clear vectors' values. */
+    void reset();
+
+  private:
+    struct ScalarEntry {
+        double value = 0.0;
+        std::string desc;
+    };
+    struct VectorEntry {
+        std::vector<double> values;
+        std::string desc;
+    };
+
+    std::map<std::string, ScalarEntry> scalars_;
+    std::map<std::string, VectorEntry> vectors_;
+
+  public:
+    StatsRegistry() = default;
+    StatsRegistry(const StatsRegistry &) = delete;
+    StatsRegistry &operator=(const StatsRegistry &) = delete;
+};
+
+} // namespace pad::sim
+
+#endif // PAD_SIM_STATS_REGISTRY_H

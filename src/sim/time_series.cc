@@ -1,0 +1,108 @@
+#include "sim/time_series.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pad::sim {
+
+void
+TimeSeries::record(Tick when, double value)
+{
+    PAD_ASSERT(samples_.empty() || when >= samples_.back().when,
+               "time series must be recorded in order");
+    samples_.push_back(Sample{when, value});
+}
+
+double
+TimeSeries::lastValue() const
+{
+    PAD_ASSERT(!samples_.empty());
+    return samples_.back().value;
+}
+
+double
+TimeSeries::maxValue() const
+{
+    double best = 0.0;
+    bool first = true;
+    for (const auto &s : samples_) {
+        if (first || s.value > best) {
+            best = s.value;
+            first = false;
+        }
+    }
+    return best;
+}
+
+double
+TimeSeries::minValue() const
+{
+    double best = 0.0;
+    bool first = true;
+    for (const auto &s : samples_) {
+        if (first || s.value < best) {
+            best = s.value;
+            first = false;
+        }
+    }
+    return best;
+}
+
+double
+TimeSeries::timeWeightedMean() const
+{
+    if (samples_.empty())
+        return 0.0;
+    if (samples_.size() == 1)
+        return samples_.front().value;
+    double weighted = 0.0;
+    Tick span = 0;
+    for (std::size_t i = 0; i + 1 < samples_.size(); ++i) {
+        const Tick dt = samples_[i + 1].when - samples_[i].when;
+        weighted += samples_[i].value * static_cast<double>(dt);
+        span += dt;
+    }
+    if (span == 0)
+        return samples_.back().value;
+    return weighted / static_cast<double>(span);
+}
+
+double
+TimeSeries::valueAt(Tick when) const
+{
+    PAD_ASSERT(!samples_.empty());
+    auto it = std::upper_bound(
+        samples_.begin(), samples_.end(), when,
+        [](Tick t, const Sample &s) { return t < s.when; });
+    if (it == samples_.begin())
+        return samples_.front().value;
+    return std::prev(it)->value;
+}
+
+std::vector<double>
+TimeSeries::resample(Tick start, Tick end, Tick window) const
+{
+    PAD_ASSERT(window > 0 && end > start);
+    const auto nwin = static_cast<std::size_t>((end - start) / window);
+    std::vector<double> out(nwin, 0.0);
+    std::vector<std::size_t> counts(nwin, 0);
+    for (const auto &s : samples_) {
+        if (s.when < start || s.when >= end)
+            continue;
+        const auto w = static_cast<std::size_t>((s.when - start) / window);
+        out[w] += s.value;
+        ++counts[w];
+    }
+    double prev = samples_.empty() ? 0.0 : samples_.front().value;
+    for (std::size_t w = 0; w < nwin; ++w) {
+        if (counts[w])
+            out[w] /= static_cast<double>(counts[w]);
+        else
+            out[w] = prev;
+        prev = out[w];
+    }
+    return out;
+}
+
+} // namespace pad::sim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Time-series recorder for simulation signals (power, SOC, levels).
+ * Bench binaries use recorded series to print the figure data the
+ * paper plots.
+ */
+
+#ifndef PAD_SIM_TIME_SERIES_H
+#define PAD_SIM_TIME_SERIES_H
+
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::sim {
+
+/**
+ * An append-only (tick, value) series with simple reductions.
+ */
+class TimeSeries
+{
+  public:
+    /** One recorded sample. */
+    struct Sample {
+        Tick when;
+        double value;
+    };
+
+    /** @param name signal name used in CSV headers */
+    explicit TimeSeries(std::string name = {}) : name_(std::move(name)) {}
+
+    /** Append a sample; ticks must be non-decreasing. */
+    void record(Tick when, double value);
+
+    /** All samples in insertion order. */
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Signal name. */
+    const std::string &name() const { return name_; }
+
+    /** Number of samples. */
+    std::size_t size() const { return samples_.size(); }
+
+    /** True when no samples have been recorded. */
+    bool empty() const { return samples_.empty(); }
+
+    /** Last recorded value; requires a non-empty series. */
+    double lastValue() const;
+
+    /** Maximum recorded value (0 when empty). */
+    double maxValue() const;
+
+    /** Minimum recorded value (0 when empty). */
+    double minValue() const;
+
+    /** Time-weighted average over the recorded span. */
+    double timeWeightedMean() const;
+
+    /**
+     * Value at tick @p when using step ("sample and hold")
+     * interpolation; before the first sample returns the first value.
+     */
+    double valueAt(Tick when) const;
+
+    /**
+     * Downsample into fixed windows of @p window ticks covering
+     * [start, end), averaging samples in each window (empty windows
+     * hold the previous value).
+     */
+    std::vector<double> resample(Tick start, Tick end, Tick window) const;
+
+  private:
+    std::string name_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace pad::sim
+
+#endif // PAD_SIM_TIME_SERIES_H

@@ -1,0 +1,90 @@
+#include "trace/google_trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace pad::trace {
+
+namespace {
+
+bool
+looksLikeHeader(const std::vector<std::string> &fields)
+{
+    if (fields.empty())
+        return false;
+    char *end = nullptr;
+    std::strtod(fields[0].c_str(), &end);
+    return end == fields[0].c_str(); // first field is not numeric
+}
+
+double
+parseDouble(const std::string &s, const char *what, std::size_t record)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        PAD_FATAL("trace record {}: bad {} field '{}'", record, what, s);
+    return v;
+}
+
+} // namespace
+
+std::vector<TaskEvent>
+readTaskTraceCsv(const std::string &path)
+{
+    CsvReader reader(path);
+    std::vector<TaskEvent> events;
+    std::vector<std::string> fields;
+    bool first = true;
+    while (reader.next(fields)) {
+        if (!fields.empty() && !fields[0].empty() && fields[0][0] == '#')
+            continue;
+        if (first) {
+            first = false;
+            if (looksLikeHeader(fields))
+                continue;
+        }
+        if (fields.size() < 4)
+            PAD_FATAL("trace record {}: expected 4 fields, got {}",
+                      reader.recordsRead(), fields.size());
+        const std::size_t rec = reader.recordsRead();
+        TaskEvent ev;
+        ev.start = secondsToTicks(parseDouble(fields[0], "start", rec));
+        ev.end = secondsToTicks(parseDouble(fields[1], "end", rec));
+        ev.machine = static_cast<std::int32_t>(
+            parseDouble(fields[2], "machine", rec));
+        ev.cpuRate = parseDouble(fields[3], "cpu_rate", rec);
+        if (ev.end < ev.start)
+            PAD_FATAL("trace record {}: end before start", rec);
+        if (ev.cpuRate < 0.0)
+            PAD_FATAL("trace record {}: negative cpu rate", rec);
+        events.push_back(ev);
+    }
+    std::sort(events.begin(), events.end(),
+              [](const TaskEvent &a, const TaskEvent &b) {
+                  return a.start < b.start;
+              });
+    return events;
+}
+
+void
+writeTaskTraceCsv(const std::string &path,
+                  const std::vector<TaskEvent> &events)
+{
+    CsvWriter writer(path);
+    writer.write({"start_seconds", "end_seconds", "machine_id",
+                  "cpu_rate"});
+    for (const auto &ev : events) {
+        writer.write({formatFixed(ticksToSeconds(ev.start), 0),
+                      formatFixed(ticksToSeconds(ev.end), 0),
+                      std::to_string(ev.machine),
+                      formatFixed(ev.cpuRate, 4)});
+    }
+    writer.flush();
+}
+
+} // namespace pad::trace

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Reader/writer for cluster task traces in the compact CSV form the
+ * simulator consumes: one record per task, columns
+ *
+ *   start_seconds, end_seconds, machine_id, cpu_rate
+ *
+ * A user with access to the original Google cluster data 2010 trace
+ * can flatten it to this schema; the bundled SyntheticGoogleTrace
+ * generator emits the same schema (see DESIGN.md substitution table).
+ */
+
+#ifndef PAD_TRACE_GOOGLE_TRACE_H
+#define PAD_TRACE_GOOGLE_TRACE_H
+
+#include <string>
+#include <vector>
+
+#include "trace/task_event.h"
+
+namespace pad::trace {
+
+/**
+ * Load a task trace from @p path.
+ *
+ * Records with a header row, blank lines, or comment lines starting
+ * with '#' are tolerated. Malformed records abort with fatal() since
+ * silently dropping trace rows would bias the evaluation.
+ *
+ * @param path CSV file path
+ * @return events sorted by start time
+ */
+std::vector<TaskEvent> readTaskTraceCsv(const std::string &path);
+
+/** Write @p events to @p path in the same schema. */
+void writeTaskTraceCsv(const std::string &path,
+                       const std::vector<TaskEvent> &events);
+
+} // namespace pad::trace
+
+#endif // PAD_TRACE_GOOGLE_TRACE_H

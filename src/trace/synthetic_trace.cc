@@ -1,0 +1,148 @@
+#include "trace/synthetic_trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::trace {
+
+SyntheticGoogleTrace::SyntheticGoogleTrace(
+    const SyntheticTraceConfig &config)
+    : config_(config)
+{
+    PAD_ASSERT(config_.machines > 0);
+    PAD_ASSERT(config_.days > 0.0);
+    PAD_ASSERT(config_.jobsPerHour > 0.0);
+    PAD_ASSERT(config_.minDurationSec > 0.0 &&
+               config_.maxDurationSec > config_.minDurationSec);
+    PAD_ASSERT(config_.minCpuRate > 0.0 &&
+               config_.maxCpuRate > config_.minCpuRate);
+    PAD_ASSERT(config_.diurnalSwing >= 0.0 && config_.diurnalSwing < 1.0);
+
+    // Build the skewed machine placement distribution once; log-normal
+    // weights give a realistic mix of hot and cold machines.
+    Rng rng(config_.seed ^ 0xfeedULL);
+    machineWeightCdf_.resize(static_cast<std::size_t>(config_.machines));
+    double total = 0.0;
+    for (auto &w : machineWeightCdf_) {
+        w = std::exp(rng.normal(0.0, config_.machineSkew));
+        total += w;
+    }
+    double run = 0.0;
+    for (auto &w : machineWeightCdf_) {
+        run += w / total;
+        w = run;
+    }
+    machineWeightCdf_.back() = 1.0;
+}
+
+double
+SyntheticGoogleTrace::diurnalFactor(Tick t) const
+{
+    // Peak mid-afternoon, trough before dawn; mean exactly 1.0.
+    const double dayFrac =
+        static_cast<double>(t % kTicksPerDay) /
+        static_cast<double>(kTicksPerDay);
+    const double phase = 2.0 * M_PI * (dayFrac - 0.25);
+    return 1.0 + config_.diurnalSwing * std::sin(phase);
+}
+
+int
+SyntheticGoogleTrace::pickMachine(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(machineWeightCdf_.begin(),
+                               machineWeightCdf_.end(), u);
+    if (it == machineWeightCdf_.end())
+        --it;
+    return static_cast<int>(it - machineWeightCdf_.begin());
+}
+
+std::vector<TaskEvent>
+SyntheticGoogleTrace::generate()
+{
+    Rng rng(config_.seed);
+    std::vector<TaskEvent> events;
+
+    const Tick horizon =
+        static_cast<Tick>(config_.days * static_cast<double>(kTicksPerDay));
+
+    // Baseline always-on load: one long task per machine.
+    for (int m = 0; m < config_.machines; ++m) {
+        if (config_.baseUtilization <= 0.0)
+            break;
+        TaskEvent ev;
+        ev.start = 0;
+        ev.end = horizon;
+        ev.machine = m;
+        ev.cpuRate = config_.baseUtilization *
+                     (0.75 + 0.5 * rng.uniform());
+        events.push_back(ev);
+    }
+
+    // Poisson job arrivals thinned by the diurnal curve. We draw from
+    // a homogeneous process at the peak rate and accept with
+    // probability diurnal/peak (standard thinning).
+    const double peakRate =
+        config_.jobsPerHour * (1.0 + config_.diurnalSwing); // per hour
+    const double ticksPerArrival =
+        static_cast<double>(kTicksPerHour) / peakRate;
+    const double peakFactor = 1.0 + config_.diurnalSwing;
+
+    Tick t = 0;
+    while (true) {
+        t += static_cast<Tick>(
+            rng.exponential(1.0 / ticksPerArrival) + 1.0);
+        if (t >= horizon)
+            break;
+        if (!rng.chance(diurnalFactor(t) / peakFactor))
+            continue;
+
+        // Geometric task count with the configured mean.
+        const double pStop = 1.0 / config_.tasksPerJob;
+        int ntasks = 1;
+        while (!rng.chance(pStop) && ntasks < 64)
+            ++ntasks;
+
+        for (int k = 0; k < ntasks; ++k) {
+            TaskEvent ev;
+            ev.start = t;
+            const double dur = rng.boundedPareto(config_.durationAlpha,
+                                                 config_.minDurationSec,
+                                                 config_.maxDurationSec);
+            ev.end = std::min(horizon, t + secondsToTicks(dur));
+            ev.machine = pickMachine(rng);
+            ev.cpuRate = rng.boundedPareto(
+                config_.cpuAlpha, config_.minCpuRate, config_.maxCpuRate);
+            events.push_back(ev);
+        }
+    }
+
+    // Optional periodic cluster-wide surges (Fig. 14 scenario).
+    if (config_.surgePeriodHours > 0.0) {
+        const Tick period = static_cast<Tick>(
+            config_.surgePeriodHours * static_cast<double>(kTicksPerHour));
+        const Tick width = static_cast<Tick>(
+            config_.surgeDurationMin * static_cast<double>(kTicksPerMinute));
+        for (Tick s = period; s + width <= horizon; s += period) {
+            for (int m = 0; m < config_.machines; ++m) {
+                TaskEvent ev;
+                ev.start = s;
+                ev.end = s + width;
+                ev.machine = m;
+                ev.cpuRate = config_.surgeCpuRate *
+                             (0.8 + 0.4 * rng.uniform());
+                events.push_back(ev);
+            }
+        }
+    }
+
+    std::sort(events.begin(), events.end(),
+              [](const TaskEvent &a, const TaskEvent &b) {
+                  return a.start < b.start;
+              });
+    return events;
+}
+
+} // namespace pad::trace

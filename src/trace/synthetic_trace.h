@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Synthetic Google-style cluster trace generator.
+ *
+ * Stands in for the proprietary May-2010 Google compute cluster
+ * trace (~220 machines, one month, 5-minute intervals). The
+ * generator reproduces the statistical features the power study
+ * depends on:
+ *
+ *  - a diurnal cluster-wide load pattern with day/night swing,
+ *  - Poisson job arrivals whose rate follows the diurnal curve,
+ *  - jobs of one or more tasks with heavy-tailed (bounded Pareto)
+ *    durations and CPU demands,
+ *  - machine skew (some machines persistently hotter than others),
+ *  - optional periodic cluster-wide surges (used for Fig. 14's load
+ *    shedding study).
+ */
+
+#ifndef PAD_TRACE_SYNTHETIC_TRACE_H
+#define PAD_TRACE_SYNTHETIC_TRACE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/task_event.h"
+#include "util/random.h"
+
+namespace pad::trace {
+
+/** Generator parameters. */
+struct SyntheticTraceConfig {
+    /** Number of machines in the cluster. */
+    int machines = 220;
+    /** Length of the trace in days. */
+    double days = 30.0;
+    /** RNG seed for full reproducibility. */
+    std::uint64_t seed = 42;
+
+    /** Mean jobs arriving per hour at the diurnal midpoint. */
+    double jobsPerHour = 550.0;
+    /** Mean tasks per job (geometric). */
+    double tasksPerJob = 3.5;
+    /** Bounded-Pareto tail index for task duration. */
+    double durationAlpha = 1.6;
+    /** Shortest task duration, seconds. */
+    double minDurationSec = 300.0;
+    /** Longest task duration, seconds. */
+    double maxDurationSec = 12.0 * 3600.0;
+    /** Bounded-Pareto tail index for per-task CPU rate. */
+    double cpuAlpha = 2.0;
+    /** Smallest per-task CPU rate. */
+    double minCpuRate = 0.04;
+    /** Largest per-task CPU rate. */
+    double maxCpuRate = 0.60;
+
+    /** Fraction of diurnal swing (0 = flat, 1 = full day/night). */
+    double diurnalSwing = 0.55;
+    /** Machine skew: stddev of per-machine placement weight. */
+    double machineSkew = 0.5;
+
+    /** Baseline always-on utilization per machine. */
+    double baseUtilization = 0.05;
+
+    /** Inject a cluster-wide surge every this many hours (0 = off). */
+    double surgePeriodHours = 0.0;
+    /** Surge duration, minutes. */
+    double surgeDurationMin = 30.0;
+    /** Extra CPU rate added on every machine during a surge. */
+    double surgeCpuRate = 0.25;
+};
+
+/**
+ * Deterministic synthetic trace generator.
+ */
+class SyntheticGoogleTrace
+{
+  public:
+    explicit SyntheticGoogleTrace(const SyntheticTraceConfig &config);
+
+    /** Generate the full task-event list, sorted by start time. */
+    std::vector<TaskEvent> generate();
+
+    /** Static configuration. */
+    const SyntheticTraceConfig &config() const { return config_; }
+
+  private:
+    /** Diurnal modulation factor at tick @p t (mean 1.0). */
+    double diurnalFactor(Tick t) const;
+
+    /** Pick a machine according to the skewed placement weights. */
+    int pickMachine(Rng &rng) const;
+
+    SyntheticTraceConfig config_;
+    std::vector<double> machineWeightCdf_;
+};
+
+} // namespace pad::trace
+
+#endif // PAD_TRACE_SYNTHETIC_TRACE_H

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Task-event schema for cluster traces.
+ *
+ * The paper consumes the 2010 Google compute cluster trace: "Every
+ * line in this trace includes start time, end time, machine ID, and
+ * CPU rate of the task" at 5-minute granularity over ~220 machines
+ * for one month. This struct is that record.
+ */
+
+#ifndef PAD_TRACE_TASK_EVENT_H
+#define PAD_TRACE_TASK_EVENT_H
+
+#include <cstdint>
+
+#include "util/types.h"
+
+namespace pad::trace {
+
+/** One task placement on one machine. */
+struct TaskEvent {
+    /** Task start time. */
+    Tick start = 0;
+    /** Task end time (exclusive). */
+    Tick end = 0;
+    /** Machine the task was dispatched to. */
+    std::int32_t machine = 0;
+    /** Average CPU rate demanded while running, in cores-fraction. */
+    double cpuRate = 0.0;
+
+    /** Task duration in ticks. */
+    Tick duration() const { return end - start; }
+
+    /** True when the task is active at @p t. */
+    bool
+    activeAt(Tick t) const
+    {
+        return t >= start && t < end;
+    }
+};
+
+/** The paper's trace granularity: one slot per five minutes. */
+constexpr Tick kTraceSlotTicks = 5 * kTicksPerMinute;
+
+} // namespace pad::trace
+
+#endif // PAD_TRACE_TASK_EVENT_H

@@ -1,0 +1,129 @@
+#include "trace/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad::trace {
+
+namespace {
+
+/** splitmix64 hash for deterministic per-(machine, second) jitter. */
+std::uint64_t
+splitmix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+Workload::Workload(const std::vector<TaskEvent> &events, int machines,
+                   Tick horizon, Tick slotTicks)
+    : machines_(machines), slotTicks_(slotTicks)
+{
+    PAD_ASSERT(machines_ > 0);
+    PAD_ASSERT(slotTicks_ > 0);
+    PAD_ASSERT(horizon > 0);
+    slots_ = static_cast<std::size_t>((horizon + slotTicks_ - 1) /
+                                      slotTicks_);
+    grid_.assign(static_cast<std::size_t>(machines_) * slots_, 0.0);
+
+    std::size_t dropped = 0;
+    for (const auto &ev : events) {
+        if (ev.machine < 0 || ev.machine >= machines_) {
+            ++dropped;
+            continue;
+        }
+        const Tick start = std::max<Tick>(ev.start, 0);
+        const Tick end = std::min<Tick>(ev.end, horizon);
+        if (end <= start)
+            continue;
+        auto firstSlot = static_cast<std::size_t>(start / slotTicks_);
+        auto lastSlot = static_cast<std::size_t>((end - 1) / slotTicks_);
+        for (std::size_t s = firstSlot; s <= lastSlot && s < slots_; ++s) {
+            const Tick slotStart = static_cast<Tick>(s) * slotTicks_;
+            const Tick slotEnd = slotStart + slotTicks_;
+            const Tick overlap =
+                std::min(end, slotEnd) - std::max(start, slotStart);
+            const double frac = static_cast<double>(overlap) /
+                                static_cast<double>(slotTicks_);
+            grid_[index(ev.machine, s)] += ev.cpuRate * frac;
+        }
+    }
+    if (dropped > 0)
+        warn("workload: dropped {} events with out-of-range machine ids",
+             dropped);
+
+    for (auto &u : grid_)
+        u = std::min(u, 1.0);
+}
+
+std::size_t
+Workload::index(int machine, std::size_t slot) const
+{
+    PAD_ASSERT(machine >= 0 && machine < machines_ && slot < slots_);
+    return static_cast<std::size_t>(machine) * slots_ + slot;
+}
+
+double
+Workload::utilAtSlot(int machine, std::size_t slot) const
+{
+    return grid_[index(machine, slot)];
+}
+
+double
+Workload::utilAt(int machine, Tick t) const
+{
+    auto slot = static_cast<std::size_t>(
+        std::clamp<Tick>(t, 0, horizon() - 1) / slotTicks_);
+    return utilAtSlot(machine, slot);
+}
+
+double
+Workload::utilFine(int machine, Tick t, double noiseAmp) const
+{
+    const double base = utilAt(machine, t);
+    const auto second = static_cast<std::uint64_t>(t / kTicksPerSecond);
+    const std::uint64_t h = splitmix64(
+        (static_cast<std::uint64_t>(machine) << 40) ^ second);
+    // Map hash to [-1, 1].
+    const double jitter =
+        static_cast<double>(h >> 11) /
+            static_cast<double>(1ULL << 53) * 2.0 -
+        1.0;
+    const double v = base * (1.0 + noiseAmp * jitter);
+    return std::clamp(v, 0.0, 1.0);
+}
+
+double
+Workload::clusterUtilAt(Tick t) const
+{
+    double total = 0.0;
+    for (int m = 0; m < machines_; ++m)
+        total += utilAt(m, t);
+    return total / static_cast<double>(machines_);
+}
+
+double
+Workload::machineMeanUtil(int machine) const
+{
+    double total = 0.0;
+    for (std::size_t s = 0; s < slots_; ++s)
+        total += utilAtSlot(machine, s);
+    return total / static_cast<double>(slots_);
+}
+
+double
+Workload::overallMeanUtil() const
+{
+    double total = 0.0;
+    for (double u : grid_)
+        total += u;
+    return total / static_cast<double>(grid_.size());
+}
+
+} // namespace pad::trace

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Per-machine utilization timeline built from a task trace.
+ *
+ * The simulator queries workload utilization at two granularities:
+ * the trace's native 5-minute slots (coarse simulation of battery
+ * SOC over days/weeks), and a deterministic fine-grained view with
+ * second-scale jitter used when the attack window is simulated at
+ * sub-second resolution.
+ */
+
+#ifndef PAD_TRACE_WORKLOAD_H
+#define PAD_TRACE_WORKLOAD_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/task_event.h"
+
+namespace pad::trace {
+
+/**
+ * Dense (machine x slot) utilization grid.
+ */
+class Workload
+{
+  public:
+    /**
+     * Build the grid from task events.
+     *
+     * @param events    task placements (any order)
+     * @param machines  number of machines (ids beyond it are dropped
+     *                  with a warning)
+     * @param horizon   timeline length in ticks
+     * @param slotTicks slot width (default: the trace's 5 minutes)
+     */
+    Workload(const std::vector<TaskEvent> &events, int machines,
+             Tick horizon, Tick slotTicks = kTraceSlotTicks);
+
+    /** Number of machines. */
+    int machines() const { return machines_; }
+
+    /** Number of slots. */
+    std::size_t slots() const { return slots_; }
+
+    /** Slot width in ticks. */
+    Tick slotTicks() const { return slotTicks_; }
+
+    /** Timeline length in ticks. */
+    Tick horizon() const { return slotTicks_ * static_cast<Tick>(slots_); }
+
+    /** Slot-average utilization of @p machine at tick @p t, in [0,1]. */
+    double utilAt(int machine, Tick t) const;
+
+    /** Slot-average utilization by slot index. */
+    double utilAtSlot(int machine, std::size_t slot) const;
+
+    /**
+     * Fine-grained utilization with deterministic second-scale
+     * jitter layered on the slot average: the same (machine, second)
+     * always returns the same value, so fine simulations are
+     * reproducible without storing a second-level grid.
+     *
+     * @param machine   machine id
+     * @param t         query tick
+     * @param noiseAmp  relative jitter amplitude (e.g. 0.15)
+     */
+    double utilFine(int machine, Tick t, double noiseAmp = 0.15) const;
+
+    /** Mean utilization across all machines at tick @p t. */
+    double clusterUtilAt(Tick t) const;
+
+    /** Mean utilization of one machine over the whole timeline. */
+    double machineMeanUtil(int machine) const;
+
+    /** Mean utilization over all machines and slots. */
+    double overallMeanUtil() const;
+
+  private:
+    std::size_t index(int machine, std::size_t slot) const;
+
+    int machines_;
+    std::size_t slots_;
+    Tick slotTicks_;
+    std::vector<double> grid_;
+};
+
+} // namespace pad::trace
+
+#endif // PAD_TRACE_WORKLOAD_H

@@ -1,0 +1,112 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pad {
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur.push_back('"');
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur.push_back(c);
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            fields.push_back(std::move(cur));
+            cur.clear();
+        } else if (c != '\r') {
+            cur.push_back(c);
+        }
+    }
+    fields.push_back(std::move(cur));
+    return fields;
+}
+
+std::string
+formatCsvLine(const std::vector<std::string> &fields)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out << ',';
+        const std::string &f = fields[i];
+        const bool needs_quote =
+            f.find_first_of(",\"\n") != std::string::npos;
+        if (needs_quote) {
+            out << '"';
+            for (char c : f) {
+                if (c == '"')
+                    out << "\"\"";
+                else
+                    out << c;
+            }
+            out << '"';
+        } else {
+            out << f;
+        }
+    }
+    return out.str();
+}
+
+CsvReader::CsvReader(const std::string &path) : in_(path)
+{
+    if (!in_)
+        PAD_FATAL("cannot open CSV file for reading: {}", path);
+}
+
+bool
+CsvReader::next(std::vector<std::string> &fields)
+{
+    std::string line;
+    while (std::getline(in_, line)) {
+        if (line.empty())
+            continue;
+        fields = parseCsvLine(line);
+        ++records_;
+        return true;
+    }
+    return false;
+}
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
+{
+    if (!out_)
+        PAD_FATAL("cannot open CSV file for writing: {}", path);
+}
+
+void
+CsvWriter::write(const std::vector<std::string> &fields)
+{
+    out_ << formatCsvLine(fields) << '\n';
+}
+
+void
+CsvWriter::writeNumbers(const std::vector<double> &values)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    for (double v : values) {
+        std::ostringstream one;
+        one << v;
+        fields.push_back(one.str());
+    }
+    write(fields);
+}
+
+} // namespace pad

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal CSV reading and writing. Used by the trace module to parse
+ * Google-cluster-style task event files and by the bench harness to
+ * dump figure data series.
+ *
+ * The dialect is deliberately simple: comma separated, optional
+ * double-quote quoting with doubled-quote escapes, one record per
+ * line, no embedded newlines inside quoted fields.
+ */
+
+#ifndef PAD_UTIL_CSV_H
+#define PAD_UTIL_CSV_H
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace pad {
+
+/** Split one CSV record into fields. */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+/** Join fields into one CSV record, quoting where needed. */
+std::string formatCsvLine(const std::vector<std::string> &fields);
+
+/**
+ * Streaming CSV reader over a file.
+ */
+class CsvReader
+{
+  public:
+    /** Open @p path; fatal() if the file cannot be opened. */
+    explicit CsvReader(const std::string &path);
+
+    /**
+     * Read the next record.
+     * @param fields receives the parsed fields
+     * @retval true a record was read; false at end of file
+     */
+    bool next(std::vector<std::string> &fields);
+
+    /** Number of records returned so far. */
+    std::size_t recordsRead() const { return records_; }
+
+  private:
+    std::ifstream in_;
+    std::size_t records_ = 0;
+};
+
+/**
+ * Streaming CSV writer; creates/truncates the target file.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Append one record. */
+    void write(const std::vector<std::string> &fields);
+
+    /** Convenience: append a record of doubles. */
+    void writeNumbers(const std::vector<double> &values);
+
+    /** Flush buffered output to disk. */
+    void flush() { out_.flush(); }
+
+  private:
+    std::ofstream out_;
+};
+
+} // namespace pad
+
+#endif // PAD_UTIL_CSV_H

@@ -1,0 +1,142 @@
+#include "util/kv_config.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pad {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = 0;
+    std::size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+} // namespace
+
+KvConfig
+KvConfig::fromString(const std::string &text)
+{
+    KvConfig cfg;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        const std::string stripped = trim(line);
+        if (stripped.empty())
+            continue;
+        const auto eq = stripped.find('=');
+        if (eq == std::string::npos)
+            PAD_FATAL("config line {}: expected 'key = value', got "
+                      "'{}'",
+                      lineno, stripped);
+        const std::string key = trim(stripped.substr(0, eq));
+        const std::string value = trim(stripped.substr(eq + 1));
+        if (key.empty())
+            PAD_FATAL("config line {}: empty key", lineno);
+        cfg.values_[key] = value;
+    }
+    return cfg;
+}
+
+KvConfig
+KvConfig::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PAD_FATAL("cannot open config file: {}", path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return fromString(buf.str());
+}
+
+bool
+KvConfig::has(const std::string &key) const
+{
+    return values_.count(key) > 0;
+}
+
+std::string
+KvConfig::getString(const std::string &key,
+                    const std::string &fallback) const
+{
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+double
+KvConfig::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        PAD_FATAL("config key '{}': '{}' is not a number", key,
+                  it->second);
+    return v;
+}
+
+long
+KvConfig::getInt(const std::string &key, long fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    char *end = nullptr;
+    const long v = std::strtol(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        PAD_FATAL("config key '{}': '{}' is not an integer", key,
+                  it->second);
+    return v;
+}
+
+bool
+KvConfig::getBool(const std::string &key, bool fallback) const
+{
+    auto it = values_.find(key);
+    if (it == values_.end())
+        return fallback;
+    const std::string &v = it->second;
+    if (v == "true" || v == "1" || v == "yes")
+        return true;
+    if (v == "false" || v == "0" || v == "no")
+        return false;
+    PAD_FATAL("config key '{}': '{}' is not a boolean", key, v);
+}
+
+std::vector<std::string>
+KvConfig::keys() const
+{
+    std::vector<std::string> out;
+    out.reserve(values_.size());
+    for (const auto &[k, v] : values_) {
+        (void)v;
+        out.push_back(k);
+    }
+    return out;
+}
+
+void
+KvConfig::set(const std::string &key, const std::string &value)
+{
+    values_[key] = value;
+}
+
+} // namespace pad

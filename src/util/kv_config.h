@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal key = value configuration files for the padsim driver and
+ * experiment scripts. Syntax:
+ *
+ *   # comment
+ *   scheme   = PAD
+ *   nodes    = 4
+ *   budget   = 0.75
+ *   quiet    = true
+ *
+ * Later assignments override earlier ones; unknown keys are kept so
+ * callers can validate their own namespace.
+ */
+
+#ifndef PAD_UTIL_KV_CONFIG_H
+#define PAD_UTIL_KV_CONFIG_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pad {
+
+/**
+ * Parsed key/value configuration.
+ */
+class KvConfig
+{
+  public:
+    KvConfig() = default;
+
+    /** Parse @p text; fatal() on malformed lines. */
+    static KvConfig fromString(const std::string &text);
+
+    /** Load and parse @p path; fatal() if unreadable. */
+    static KvConfig fromFile(const std::string &path);
+
+    /** True when @p key was assigned. */
+    bool has(const std::string &key) const;
+
+    /** String value, or @p fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback = {}) const;
+
+    /** Numeric value; fatal() when present but not a number. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Integer value; fatal() when present but not an integer. */
+    long getInt(const std::string &key, long fallback) const;
+
+    /** Boolean value (true/false/1/0/yes/no); fatal() otherwise. */
+    bool getBool(const std::string &key, bool fallback) const;
+
+    /** All keys in insertion-independent (sorted) order. */
+    std::vector<std::string> keys() const;
+
+    /** Set a value programmatically (overrides file contents). */
+    void set(const std::string &key, const std::string &value);
+
+  private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace pad
+
+#endif // PAD_UTIL_KV_CONFIG_H

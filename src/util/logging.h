@@ -1,0 +1,136 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic()  - an internal invariant was violated; aborts.
+ * fatal()  - the user asked for something impossible; exits cleanly.
+ * warn()   - something is off but the simulation can continue.
+ * inform() - plain status output.
+ *
+ * All of these format with std::format-like semantics implemented via
+ * a tiny "{}" substitution helper so the library has no dependency on
+ * libfmt and works with partial std::format support.
+ */
+
+#ifndef PAD_UTIL_LOGGING_H
+#define PAD_UTIL_LOGGING_H
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pad {
+
+/** Verbosity levels for runtime log filtering. */
+enum class LogLevel { Silent, Error, Warn, Info, Debug };
+
+/** Set the global log verbosity; messages above it are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** Current global log verbosity. */
+LogLevel logLevel();
+
+namespace detail {
+
+/** Render "{}" placeholders in @p fmt with the stringified @p args. */
+template <typename... Args>
+std::string
+formatMessage(std::string_view fmt, const Args &...args)
+{
+    std::ostringstream out;
+    std::string rendered[sizeof...(Args) > 0 ? sizeof...(Args) : 1];
+    std::size_t n = 0;
+    ((void)((
+         [&] {
+             std::ostringstream one;
+             one << args;
+             rendered[n++] = one.str();
+         }())),
+     ...);
+
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '}') {
+            out << (arg < n ? rendered[arg++] : std::string("{}"));
+            ++i;
+        } else {
+            out << fmt[i];
+        }
+    }
+    return out.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
+
+} // namespace detail
+
+/**
+ * Report an internal simulator bug and abort. Use only for conditions
+ * that can never happen regardless of user input.
+ */
+template <typename... Args>
+[[noreturn]] void
+panicAt(const char *file, int line, std::string_view fmt,
+        const Args &...args)
+{
+    detail::panicImpl(file, line, detail::formatMessage(fmt, args...));
+}
+
+/**
+ * Report an unrecoverable user/configuration error and exit(1).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatalAt(const char *file, int line, std::string_view fmt,
+        const Args &...args)
+{
+    detail::fatalImpl(file, line, detail::formatMessage(fmt, args...));
+}
+
+/** Emit a warning about questionable but survivable behaviour. */
+template <typename... Args>
+void
+warn(std::string_view fmt, const Args &...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::warnImpl(detail::formatMessage(fmt, args...));
+}
+
+/** Emit an informational status message. */
+template <typename... Args>
+void
+inform(std::string_view fmt, const Args &...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::informImpl(detail::formatMessage(fmt, args...));
+}
+
+/** Emit a debug-level trace message. */
+template <typename... Args>
+void
+debugLog(std::string_view fmt, const Args &...args)
+{
+    if (logLevel() >= LogLevel::Debug)
+        detail::debugImpl(detail::formatMessage(fmt, args...));
+}
+
+} // namespace pad
+
+#define PAD_PANIC(...) ::pad::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define PAD_FATAL(...) ::pad::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Assert a simulator invariant; violations are bugs, so panic. */
+#define PAD_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::pad::panicAt(__FILE__, __LINE__,                            \
+                           "assertion failed: " #cond " " __VA_ARGS__);   \
+    } while (0)
+
+#endif // PAD_UTIL_LOGGING_H

@@ -1,0 +1,20 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace pad {
+
+double
+Rng::boundedPareto(double alpha, double lo, double hi)
+{
+    PAD_ASSERT(alpha > 0 && lo > 0 && hi > lo);
+    const double u = uniform();
+    const double la = std::pow(lo, alpha);
+    const double ha = std::pow(hi, alpha);
+    // Inverse-CDF of the bounded Pareto distribution.
+    return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+} // namespace pad

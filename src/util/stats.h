@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Small statistics helpers used throughout the evaluation harness:
+ * streaming mean/variance (Welford), min/max tracking, percentiles,
+ * and a fixed-width histogram.
+ */
+
+#ifndef PAD_UTIL_STATS_H
+#define PAD_UTIL_STATS_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace pad {
+
+/**
+ * Streaming accumulator for count / mean / variance / extrema using
+ * Welford's numerically stable recurrence.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of samples folded in so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (0 with fewer than 2 samples). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest sample seen (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample seen (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Sum of all samples. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Linear-interpolated percentile of a sample vector.
+ *
+ * @param values samples (copied and sorted internally)
+ * @param p      percentile in [0, 100]
+ * @return the interpolated percentile, or 0 for an empty input
+ */
+double percentile(std::vector<double> values, double p);
+
+/**
+ * Fixed-width histogram over [lo, hi); samples outside the range are
+ * clamped into the first/last bin.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   inclusive lower bound of the tracked range
+     * @param hi   exclusive upper bound of the tracked range
+     * @param bins number of equal-width bins (>= 1)
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Count in bin @p i. */
+    std::size_t binCount(std::size_t i) const { return counts_.at(i); }
+
+    /** Left edge of bin @p i. */
+    double binLeft(std::size_t i) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total samples recorded. */
+    std::size_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+} // namespace pad
+
+#endif // PAD_UTIL_STATS_H

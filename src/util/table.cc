@@ -1,0 +1,90 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace pad {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addRow(const std::string &label, const std::vector<double> &vals,
+                  int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(vals.size() + 1);
+    row.push_back(label);
+    for (double v : vals)
+        row.push_back(formatFixed(v, precision));
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::size_t cols = header_.size();
+    for (const auto &r : rows_)
+        cols = std::max(cols, r.size());
+
+    std::vector<std::size_t> width(cols, 0);
+    auto measure = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    if (!header_.empty())
+        measure(header_);
+    for (const auto &r : rows_)
+        measure(r);
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < cols; ++i) {
+            const std::string cell = i < row.size() ? row[i] : "";
+            os << std::left << std::setw(static_cast<int>(width[i]) + 2)
+               << cell;
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : width)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &r : rows_)
+        emit(r);
+    os.flush();
+}
+
+std::string
+formatFixed(double v, int precision)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(precision) << v;
+    return out.str();
+}
+
+std::string
+formatPercent(double ratio, int precision)
+{
+    return formatFixed(ratio * 100.0, precision) + "%";
+}
+
+} // namespace pad

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Console table printer for the bench harness. Renders the rows and
+ * columns of each reproduced paper table/figure in aligned plain text
+ * so bench output can be diffed against EXPERIMENTS.md.
+ */
+
+#ifndef PAD_UTIL_TABLE_H
+#define PAD_UTIL_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pad {
+
+/**
+ * Accumulates string cells and pretty-prints them with column
+ * alignment and an optional title/separator.
+ */
+class TextTable
+{
+  public:
+    /** @param title heading printed above the table (may be empty) */
+    explicit TextTable(std::string title = {});
+
+    /** Set the column headers. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one row of cells. */
+    void addRow(std::vector<std::string> row);
+
+    /** Append a row of mixed label + numeric cells. */
+    void addRow(const std::string &label, const std::vector<double> &vals,
+                int precision = 2);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision. */
+std::string formatFixed(double v, int precision = 2);
+
+/** Format a ratio as a percentage string, e.g. 0.431 -> "43.1%". */
+std::string formatPercent(double ratio, int precision = 1);
+
+} // namespace pad
+
+#endif // PAD_UTIL_TABLE_H

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers shared across the PAD
+ * simulator. Physical quantities are carried as doubles in SI-ish
+ * units (watts, watt-hours, joules, seconds); simulation time is an
+ * integer tick count at millisecond resolution.
+ */
+
+#ifndef PAD_UTIL_TYPES_H
+#define PAD_UTIL_TYPES_H
+
+#include <cstdint>
+
+namespace pad {
+
+/** Simulation time in ticks. One tick is one millisecond. */
+using Tick = std::int64_t;
+
+/** Number of ticks in one second. */
+constexpr Tick kTicksPerSecond = 1000;
+
+/** Number of ticks in one minute. */
+constexpr Tick kTicksPerMinute = 60 * kTicksPerSecond;
+
+/** Number of ticks in one hour. */
+constexpr Tick kTicksPerHour = 60 * kTicksPerMinute;
+
+/** Number of ticks in one day. */
+constexpr Tick kTicksPerDay = 24 * kTicksPerHour;
+
+/** Sentinel for "no scheduled time". */
+constexpr Tick kTickNever = -1;
+
+/** Electrical power in watts. */
+using Watts = double;
+
+/** Stored energy in watt-hours. */
+using WattHours = double;
+
+/** Stored energy in joules. */
+using Joules = double;
+
+/** Convert a tick count to seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / kTicksPerSecond;
+}
+
+/** Convert seconds to the nearest tick count. */
+constexpr Tick
+secondsToTicks(double s)
+{
+    return static_cast<Tick>(s * kTicksPerSecond + (s >= 0 ? 0.5 : -0.5));
+}
+
+/** Convert watt-hours to joules. */
+constexpr Joules
+wattHoursToJoules(WattHours wh)
+{
+    return wh * 3600.0;
+}
+
+/** Convert joules to watt-hours. */
+constexpr WattHours
+joulesToWattHours(Joules j)
+{
+    return j / 3600.0;
+}
+
+} // namespace pad
+
+#endif // PAD_UTIL_TYPES_H

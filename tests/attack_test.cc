@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Unit tests for the attack substrate: virus signatures, spike-train
+ * geometry, the Fig. 12 trace synthesizer, the two-phase attacker
+ * state machine, and effective-attack bookkeeping.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "attack/attack_stats.h"
+#include "attack/attacker.h"
+#include "attack/power_virus.h"
+#include "attack/virus_trace.h"
+
+namespace pad::attack {
+namespace {
+
+TEST(PowerVirus, SignatureOrderingMatchesCharacterization)
+{
+    // CPU viruses reach the highest peaks with the sharpest edges;
+    // IO viruses are weakest and slowest (paper Fig. 8 discussion).
+    const auto cpu = virusSignature(VirusKind::CpuIntensive);
+    const auto mem = virusSignature(VirusKind::MemIntensive);
+    const auto io = virusSignature(VirusKind::IoIntensive);
+    EXPECT_GT(cpu.maxUtil, mem.maxUtil);
+    EXPECT_GT(mem.maxUtil, io.maxUtil);
+    EXPECT_LT(cpu.riseTimeSec, io.riseTimeSec);
+    EXPECT_LT(cpu.jitter, io.jitter);
+}
+
+TEST(PowerVirus, PhaseOneIsSustainedMax)
+{
+    PowerVirus v(VirusKind::CpuIntensive, SpikeTrain{1.0, 2.0, 1.0});
+    EXPECT_DOUBLE_EQ(v.phaseOneUtil(), 1.0);
+}
+
+TEST(PowerVirus, PhaseTwoSpikesReachTopAndReturnToPressure)
+{
+    const SpikeTrain train{2.0, 1.0, 1.0}; // 2 s wide, 1/min
+    PowerVirus v(VirusKind::CpuIntensive, train);
+    const double base = v.signature().phaseTwoPressure;
+
+    // Mid-spike sample: find the first spike and probe its plateau.
+    const double s0 = v.spikeStart(0);
+    const double mid = s0 + v.signature().riseTimeSec + 1.0;
+    EXPECT_GT(v.phaseTwoUtil(mid), 0.95);
+
+    // Far from any spike: back to the drain-pressure baseline.
+    const double far = s0 + 30.0;
+    EXPECT_NEAR(v.phaseTwoUtil(far), base, 1e-9);
+}
+
+TEST(PowerVirus, SpikeCadenceMatchesFrequency)
+{
+    const SpikeTrain train{1.0, 6.0, 1.0}; // 6 per minute
+    PowerVirus v(VirusKind::CpuIntensive, train);
+    EXPECT_EQ(v.spikesWithin(60.0), 6);
+    EXPECT_EQ(v.spikesWithin(600.0), 60);
+    // Starts are spaced by ~periodSec with bounded jitter.
+    for (int i = 0; i + 1 < 10; ++i) {
+        const double gap = v.spikeStart(i + 1) - v.spikeStart(i);
+        EXPECT_GT(gap, 0.5 * train.periodSec());
+        EXPECT_LT(gap, 1.5 * train.periodSec());
+    }
+}
+
+TEST(PowerVirus, IoVirusCannotReachNameplate)
+{
+    PowerVirus v(VirusKind::IoIntensive, SpikeTrain{2.0, 2.0, 1.0});
+    double top = 0.0;
+    for (double t = 0.0; t < 120.0; t += 0.05)
+        top = std::max(top, v.phaseTwoUtil(t));
+    EXPECT_LT(top, 0.75);
+}
+
+TEST(PowerVirus, DeterministicForSeed)
+{
+    PowerVirus a(VirusKind::MemIntensive, SpikeTrain{1.0, 2.0, 1.0}, 5);
+    PowerVirus b(VirusKind::MemIntensive, SpikeTrain{1.0, 2.0, 1.0}, 5);
+    for (double t = 0.0; t < 60.0; t += 0.37)
+        EXPECT_DOUBLE_EQ(a.phaseTwoUtil(t), b.phaseTwoUtil(t));
+}
+
+TEST(VirusTrace, DenseHasHigherDutyCycleThanSparse)
+{
+    const auto dense = synthesizeVirusTrace(VirusKind::CpuIntensive,
+                                            AttackStyle::Dense, 300);
+    const auto sparse = synthesizeVirusTrace(VirusKind::CpuIntensive,
+                                             AttackStyle::Sparse, 300);
+    auto meanOf = [](const std::vector<double> &v) {
+        double acc = 0.0;
+        for (double x : v)
+            acc += x;
+        return acc / static_cast<double>(v.size());
+    };
+    EXPECT_GT(meanOf(dense), meanOf(sparse));
+    EXPECT_LE(*std::max_element(dense.begin(), dense.end()), 100.0 + 1e-9);
+}
+
+TEST(VirusTrace, StyleNames)
+{
+    EXPECT_EQ(attackStyleName(AttackStyle::Dense), "Dense Attack");
+    EXPECT_EQ(attackStyleName(AttackStyle::Sparse), "Sparse Attack");
+}
+
+TEST(Attacker, PreparesThenDrains)
+{
+    AttackerConfig cfg;
+    cfg.prepareSec = 10.0;
+    TwoPhaseAttacker atk(cfg);
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Prepare);
+    // Low profile while preparing.
+    EXPECT_LT(atk.demandedUtil(0, 0.0), 0.5);
+    atk.advance(10.0);
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Drain);
+    EXPECT_DOUBLE_EQ(atk.demandedUtil(0, 12.0), 1.0);
+}
+
+TEST(Attacker, SideChannelThrottlingTriggersPhaseTwo)
+{
+    AttackerConfig cfg;
+    cfg.prepareSec = 0.0;
+    cfg.cappingConfirmSec = 3.0;
+    TwoPhaseAttacker atk(cfg);
+    atk.advance(0.0);
+    ASSERT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Drain);
+    // Healthy performance: stay in Phase I.
+    for (double t = 0.0; t < 50.0; t += 1.0) {
+        atk.advance(t);
+        atk.observePerformance(t, 1.0, 1.0);
+    }
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Drain);
+    // DVFS throttling appears (executed fraction 0.8): after the
+    // confirmation window the attacker learns autonomy and strikes.
+    for (double t = 50.0; t < 60.0; t += 1.0) {
+        atk.advance(t);
+        atk.observePerformance(t, 0.8, 1.0);
+    }
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Spike);
+    EXPECT_NEAR(atk.learnedAutonomySec(), 50.0, 1.5);
+    EXPECT_GE(atk.phaseTwoStartSec(), 50.0);
+}
+
+TEST(Attacker, BlipsDoNotTriggerPhaseTwo)
+{
+    AttackerConfig cfg;
+    cfg.prepareSec = 0.0;
+    cfg.cappingConfirmSec = 5.0;
+    TwoPhaseAttacker atk(cfg);
+    atk.advance(0.0);
+    // Alternating one-second throttle blips never confirm.
+    for (double t = 0.0; t < 100.0; t += 1.0) {
+        atk.advance(t);
+        atk.observePerformance(t, (static_cast<int>(t) % 2) ? 0.8 : 1.0,
+                               1.0);
+    }
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Drain);
+    EXPECT_LT(atk.learnedAutonomySec(), 0.0);
+}
+
+TEST(Attacker, FallbackAfterMaxDrain)
+{
+    AttackerConfig cfg;
+    cfg.prepareSec = 5.0;
+    cfg.maxDrainSec = 60.0;
+    TwoPhaseAttacker atk(cfg);
+    atk.advance(5.0);
+    atk.advance(64.9);
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Drain);
+    atk.advance(65.0);
+    EXPECT_EQ(atk.phase(), TwoPhaseAttacker::Phase::Spike);
+    // Never observed throttling: no learned autonomy.
+    EXPECT_LT(atk.learnedAutonomySec(), 0.0);
+}
+
+TEST(AttackStats, CountsOverloadCrossingsNotDuration)
+{
+    AttackStats stats;
+    stats.setAttackStart(0);
+    // One long overload: a single effective attack.
+    stats.observe(0, 900.0, 1000.0, false);
+    stats.observe(100, 1100.0, 1000.0, false);
+    stats.observe(200, 1100.0, 1000.0, false);
+    stats.observe(300, 900.0, 1000.0, false);
+    // A second crossing.
+    stats.observe(400, 1200.0, 1000.0, false);
+    EXPECT_EQ(stats.effectiveAttacks(), 2);
+    EXPECT_EQ(stats.firstOverloadTick(), 100);
+    EXPECT_EQ(stats.overloadOnsets().size(), 2u);
+}
+
+TEST(AttackStats, SurvivalTimeFromAttackStart)
+{
+    AttackStats stats;
+    stats.setAttackStart(10 * kTicksPerSecond);
+    stats.observe(25 * kTicksPerSecond, 1100.0, 1000.0, false);
+    EXPECT_NEAR(stats.survivalSeconds(999.0), 15.0, 1e-9);
+}
+
+TEST(AttackStats, NoOverloadMeansHorizonSurvival)
+{
+    AttackStats stats;
+    stats.setAttackStart(0);
+    stats.observe(100, 900.0, 1000.0, false);
+    EXPECT_DOUBLE_EQ(stats.survivalSeconds(1500.0), 1500.0);
+    EXPECT_EQ(stats.firstOverloadTick(), kTickNever);
+}
+
+TEST(AttackStats, RecordsFirstBreakerTrip)
+{
+    AttackStats stats;
+    stats.observe(50, 900.0, 1000.0, false);
+    stats.observe(60, 1200.0, 1000.0, true);
+    stats.observe(70, 1200.0, 1000.0, true);
+    EXPECT_EQ(stats.firstTripTick(), 60);
+}
+
+} // namespace
+} // namespace pad::attack

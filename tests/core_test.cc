@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Unit tests for PAD's core mechanisms: the Fig. 9 security policy
+ * automaton, the Algorithm-1 vDEB controller, the µDEB spike shaver,
+ * the scheme traits table, and the cost model.
+ */
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/schemes.h"
+#include "core/security_policy.h"
+#include "core/udeb.h"
+#include "core/vdeb.h"
+
+namespace pad::core {
+namespace {
+
+// --------------------------------------------------------------------
+// Security policy (Fig. 9)
+// --------------------------------------------------------------------
+
+TEST(SecurityPolicy, InitialStateTableMatchesFig9)
+{
+    // Rows are [vDEB, µDEB, VP] -> level, per the paper's table.
+    struct Row {
+        bool vdeb, udeb, vp;
+        SecurityLevel strictLevel;
+        SecurityLevel lenientLevel;
+    };
+    const Row rows[] = {
+        {false, false, false, SecurityLevel::Emergency,
+         SecurityLevel::Emergency},
+        {false, false, true, SecurityLevel::Emergency,
+         SecurityLevel::Emergency},
+        {false, true, false, SecurityLevel::MinorIncident,
+         SecurityLevel::MinorIncident},
+        {false, true, true, SecurityLevel::Emergency,
+         SecurityLevel::Emergency},
+        {true, false, false, SecurityLevel::MinorIncident,
+         SecurityLevel::Normal},
+        {true, false, true, SecurityLevel::MinorIncident,
+         SecurityLevel::Normal},
+        {true, true, false, SecurityLevel::Normal,
+         SecurityLevel::Normal},
+        {true, true, true, SecurityLevel::Normal, SecurityLevel::Normal},
+    };
+    for (const auto &row : rows) {
+        const PolicyInputs in{row.vdeb, row.udeb, row.vp};
+        EXPECT_EQ(initialLevel(in, true), row.strictLevel)
+            << row.vdeb << row.udeb << row.vp;
+        EXPECT_EQ(initialLevel(in, false), row.lenientLevel)
+            << row.vdeb << row.udeb << row.vp;
+    }
+}
+
+TEST(SecurityPolicy, EscalatesOneLevelPerUpdate)
+{
+    SecurityPolicy p(true);
+    p.reset(PolicyInputs{true, true, false});
+    ASSERT_EQ(p.level(), SecurityLevel::Normal);
+    // Everything dies at once: L1 -> L2 -> L3 over two updates.
+    const PolicyInputs dead{false, false, false};
+    EXPECT_EQ(p.update(dead), SecurityLevel::MinorIncident);
+    EXPECT_EQ(p.update(dead), SecurityLevel::Emergency);
+    EXPECT_EQ(p.emergencies(), 1u);
+}
+
+TEST(SecurityPolicy, RecoversThroughLevelsAsBackupRecharges)
+{
+    SecurityPolicy p(true);
+    p.reset(PolicyInputs{false, false, false});
+    ASSERT_EQ(p.level(), SecurityLevel::Emergency);
+    // vDEB recharged: L3 -> L2.
+    EXPECT_EQ(p.update(PolicyInputs{true, false, false}),
+              SecurityLevel::MinorIncident);
+    // µDEB recharged too: L2 -> L1.
+    EXPECT_EQ(p.update(PolicyInputs{true, true, false}),
+              SecurityLevel::Normal);
+}
+
+TEST(SecurityPolicy, UdebLossMovesNormalToMinorIncident)
+{
+    SecurityPolicy p(true);
+    p.reset(PolicyInputs{true, true, false});
+    EXPECT_EQ(p.update(PolicyInputs{true, false, false}),
+              SecurityLevel::MinorIncident);
+    // µDEB recharged: back to L1.
+    EXPECT_EQ(p.update(PolicyInputs{true, true, false}),
+              SecurityLevel::Normal);
+}
+
+TEST(SecurityPolicy, StableWhenInputsUnchanged)
+{
+    SecurityPolicy p(true);
+    p.reset(PolicyInputs{true, true, true});
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(p.update(PolicyInputs{true, true, true}),
+                  SecurityLevel::Normal);
+    EXPECT_EQ(p.transitions(), 0u);
+}
+
+TEST(SecurityPolicy, LevelNames)
+{
+    EXPECT_EQ(securityLevelName(SecurityLevel::Normal), "L1-Normal");
+    EXPECT_EQ(securityLevelName(SecurityLevel::Emergency),
+              "L3-Emergency");
+}
+
+// --------------------------------------------------------------------
+// vDEB controller (Algorithm 1)
+// --------------------------------------------------------------------
+
+VdebConfig
+vcfg(Watts ideal = 800.0)
+{
+    VdebConfig c;
+    c.idealDischargePower = ideal;
+    return c;
+}
+
+TEST(Vdeb, NoShaveWhenUnderBudget)
+{
+    VdebController ctl(vcfg());
+    const auto plan = ctl.assign({1000.0, 1000.0}, 5000.0, 6000.0);
+    EXPECT_DOUBLE_EQ(plan.shaveTarget, 0.0);
+    for (double p : plan.power)
+        EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Vdeb, AssignmentSumsToShaveTarget)
+{
+    VdebController ctl(vcfg());
+    const std::vector<Joules> soc{5000.0, 3000.0, 2000.0, 100.0};
+    const auto plan = ctl.assign(soc, 11000.0, 10000.0);
+    const double sum = std::accumulate(plan.power.begin(),
+                                       plan.power.end(), 0.0);
+    EXPECT_NEAR(sum, 1000.0, 1e-9);
+    EXPECT_FALSE(plan.even);
+}
+
+TEST(Vdeb, ProportionalToSocWhenUncapped)
+{
+    VdebController ctl(vcfg(1.0e9)); // effectively no cap
+    const std::vector<Joules> soc{6000.0, 3000.0, 1000.0};
+    const auto plan = ctl.assign(soc, 10500.0, 10000.0);
+    EXPECT_NEAR(plan.power[0], 500.0 * 0.6, 1e-9);
+    EXPECT_NEAR(plan.power[1], 500.0 * 0.3, 1e-9);
+    EXPECT_NEAR(plan.power[2], 500.0 * 0.1, 1e-9);
+}
+
+TEST(Vdeb, HighSocUnitsPinnedAtIdealCap)
+{
+    VdebController ctl(vcfg(300.0));
+    const std::vector<Joules> soc{10000.0, 100.0, 100.0, 100.0};
+    const auto plan = ctl.assign(soc, 10600.0, 10000.0);
+    // The dominant unit is capped; the rest split the remainder.
+    EXPECT_NEAR(plan.power[0], 300.0, 1e-9);
+    const double rest = plan.power[1] + plan.power[2] + plan.power[3];
+    EXPECT_NEAR(rest, 300.0, 1e-9);
+    EXPECT_NEAR(plan.power[1], 100.0, 1e-9);
+    EXPECT_FALSE(plan.even);
+}
+
+TEST(Vdeb, NonEvenAssignmentsNeverExceedCap)
+{
+    VdebController ctl(vcfg(250.0));
+    const std::vector<Joules> soc{9000.0, 7000.0, 100.0, 50.0, 10.0};
+    const auto plan = ctl.assign(soc, 10700.0, 10000.0);
+    ASSERT_FALSE(plan.even);
+    for (double p : plan.power)
+        EXPECT_LE(p, 250.0 + 1e-9);
+    EXPECT_NEAR(std::accumulate(plan.power.begin(), plan.power.end(),
+                                0.0),
+                700.0, 1e-9);
+}
+
+TEST(Vdeb, MonotoneInSoc)
+{
+    VdebController ctl(vcfg());
+    const std::vector<Joules> soc{8000.0, 4000.0, 2000.0, 500.0};
+    const auto plan = ctl.assign(soc, 10900.0, 10000.0);
+    for (std::size_t i = 0; i + 1 < soc.size(); ++i)
+        EXPECT_GE(plan.power[i], plan.power[i + 1] - 1e-9);
+}
+
+TEST(Vdeb, EvenBranchWhenDeficitExceedsCappedCapacity)
+{
+    VdebController ctl(vcfg(100.0));
+    const std::vector<Joules> soc{100.0, 5000.0, 2500.0};
+    // Deficit 600 W > 3 x 100 W cap: fall back to even split.
+    const auto plan = ctl.assign(soc, 10600.0, 10000.0);
+    EXPECT_TRUE(plan.even);
+    for (double p : plan.power)
+        EXPECT_NEAR(p, 200.0, 1e-9);
+}
+
+TEST(Vdeb, ZeroSocUnitsGetNothing)
+{
+    VdebController ctl(vcfg());
+    const std::vector<Joules> soc{4000.0, 0.0, 4000.0};
+    const auto plan = ctl.assign(soc, 10400.0, 10000.0);
+    EXPECT_DOUBLE_EQ(plan.power[1], 0.0);
+    EXPECT_NEAR(plan.power[0] + plan.power[2], 400.0, 1e-9);
+}
+
+// --------------------------------------------------------------------
+// µDEB
+// --------------------------------------------------------------------
+
+MicroDebConfig
+ucfg()
+{
+    MicroDebConfig c;
+    c.cap.capacitanceF = 2.0;
+    c.cap.efficiency = 1.0;
+    c.maxEngagementSec = 3.0;
+    c.rechargePower = 300.0;
+    return c;
+}
+
+TEST(MicroDeb, ShavesSpikeAutomatically)
+{
+    MicroDeb u("t.udeb", ucfg());
+    const Watts shaved = u.shave(600.0, 0.5);
+    EXPECT_NEAR(shaved, 600.0, 1e-6);
+    EXPECT_EQ(u.engagements(), 1);
+    EXPECT_LT(u.soc(), 1.0);
+}
+
+TEST(MicroDeb, EngagementGuardStopsSustainedPeaks)
+{
+    MicroDeb u("t.udeb", ucfg());
+    double total = 0.0;
+    for (int i = 0; i < 100; ++i)
+        total += u.shave(200.0, 0.5) * 0.5;
+    // Only the first 3 seconds are served (guard), 200 W x 3 s.
+    EXPECT_NEAR(total, 600.0, 1e-6);
+}
+
+TEST(MicroDeb, RechargeResetsGuardAndRefills)
+{
+    MicroDeb u("t.udeb", ucfg());
+    for (int i = 0; i < 10; ++i)
+        u.shave(200.0, 0.5); // exhaust the guard window
+    EXPECT_DOUBLE_EQ(u.shave(200.0, 0.5), 0.0);
+    u.recharge(300.0, 5.0);
+    EXPECT_GT(u.shave(200.0, 0.5), 0.0);
+}
+
+TEST(MicroDeb, DepletesWhenSpikeOutlastsEnergy)
+{
+    MicroDebConfig cfg = ucfg();
+    cfg.cap.capacitanceF = 0.05; // tiny bank
+    MicroDeb u("t.udeb", cfg);
+    u.shave(5000.0, 2.0);
+    EXPECT_TRUE(u.depleted());
+}
+
+// --------------------------------------------------------------------
+// Schemes table & cost model
+// --------------------------------------------------------------------
+
+TEST(Schemes, TraitsMatchTableIII)
+{
+    EXPECT_FALSE(schemeTraits(SchemeKind::Conv).peakShaving);
+    EXPECT_TRUE(schemeTraits(SchemeKind::PS).peakShaving);
+    EXPECT_FALSE(schemeTraits(SchemeKind::PS).dvfsCapping);
+    EXPECT_TRUE(schemeTraits(SchemeKind::PSPC).dvfsCapping);
+    EXPECT_TRUE(schemeTraits(SchemeKind::VdebOnly).vdebSharing);
+    EXPECT_FALSE(schemeTraits(SchemeKind::VdebOnly).udebSpikes);
+    EXPECT_TRUE(schemeTraits(SchemeKind::UdebOnly).udebSpikes);
+    EXPECT_FALSE(schemeTraits(SchemeKind::UdebOnly).vdebSharing);
+    const auto pad = schemeTraits(SchemeKind::Pad);
+    EXPECT_TRUE(pad.vdebSharing && pad.udebSpikes && pad.shedding);
+}
+
+TEST(Schemes, NamesRoundTrip)
+{
+    for (SchemeKind k : kAllSchemes)
+        EXPECT_EQ(schemeFromName(schemeName(k)), k);
+}
+
+TEST(CostModel, UdebCostScalesLinearlyWithCapacitance)
+{
+    CostModel cm;
+    MicroDebConfig a;
+    a.cap.capacitanceF = 2.0;
+    MicroDebConfig b;
+    b.cap.capacitanceF = 4.0;
+    EXPECT_NEAR(cm.udebCost(b, 1), 2.0 * cm.udebCost(a, 1), 1e-9);
+}
+
+TEST(CostModel, SmallUdebIsMinorCostOverhead)
+{
+    // The paper's headline: a useful µDEB costs a few percent of the
+    // battery investment the data center already made.
+    CostModel cm;
+    MicroDebConfig udeb;
+    udeb.cap.capacitanceF = 2.0;
+    battery::BatteryUnitConfig deb;
+    deb.capacityWh = 72.4;
+    EXPECT_LT(cm.costRatio(udeb, deb), 0.10);
+    EXPECT_GT(cm.costRatio(udeb, deb), 0.005);
+}
+
+} // namespace
+} // namespace pad::core

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Unit tests for the Fig. 3 deployment-option characteristics and
+ * the Fig. 1 outage-cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/outage_cost.h"
+#include "power/deployment.h"
+
+namespace pad {
+namespace {
+
+using power::DeploymentOption;
+
+TEST(Deployment, EfficiencyOrderingFavorsDcCoupling)
+{
+    const double central =
+        power::deploymentSpec(DeploymentOption::CentralizedUps)
+            .pathEfficiency;
+    const double row =
+        power::deploymentSpec(DeploymentOption::EndOfRowUps)
+            .pathEfficiency;
+    const double rack =
+        power::deploymentSpec(DeploymentOption::TopOfRackBbu)
+            .pathEfficiency;
+    const double node =
+        power::deploymentSpec(DeploymentOption::PerNodeBattery)
+            .pathEfficiency;
+    EXPECT_LT(central, row);
+    EXPECT_LT(row, rack);
+    EXPECT_LT(rack, node);
+}
+
+TEST(Deployment, OnlyDcCoupledOptionsShaveFractionally)
+{
+    // "A central UPS system cannot be used to support a fraction of
+    // data center servers" (paper SS II-A).
+    for (DeploymentOption opt : power::kAllDeployments) {
+        const auto spec = power::deploymentSpec(opt);
+        EXPECT_EQ(spec.fractionalShaving, spec.dcCoupled);
+    }
+}
+
+TEST(Deployment, ConversionLossScalesWithLoad)
+{
+    const double at40 = power::annualConversionLoss(
+        DeploymentOption::CentralizedUps, 40.0e3);
+    const double at80 = power::annualConversionLoss(
+        DeploymentOption::CentralizedUps, 80.0e3);
+    EXPECT_NEAR(at80, 2.0 * at40, 1e-6);
+    EXPECT_GT(at40, 0.0);
+}
+
+TEST(Deployment, DistributedSavesMostOfConversionLoss)
+{
+    // Paper refs [3, 4]: DC-coupled distributed backup cuts the
+    // double-conversion loss by well over half.
+    const double central = power::annualConversionLoss(
+        DeploymentOption::CentralizedUps, 80.0e3);
+    const double rack = power::annualConversionLoss(
+        DeploymentOption::TopOfRackBbu, 80.0e3);
+    EXPECT_LT(rack, 0.5 * central);
+}
+
+TEST(Deployment, CentralUpsIsTheMassOutageRisk)
+{
+    // The SPOF signature: for a central UPS, any unit failure takes
+    // backup away from the whole cluster; for distributed units the
+    // probability that >25% of the cluster is uncovered is tiny.
+    const double central = power::probMassOutage(
+        DeploymentOption::CentralizedUps, 0.25);
+    const double rack = power::probMassOutage(
+        DeploymentOption::TopOfRackBbu, 0.25);
+    const double node = power::probMassOutage(
+        DeploymentOption::PerNodeBattery, 0.25);
+    EXPECT_GT(central, 100.0 * rack);
+    EXPECT_GT(central, 100.0 * node);
+    // For a single unit the mass-outage probability equals its
+    // unavailability.
+    EXPECT_NEAR(central,
+                power::backupUnavailability(
+                    DeploymentOption::CentralizedUps),
+                1e-12);
+}
+
+TEST(Deployment, MassOutageProbabilityDecreasesWithThreshold)
+{
+    double prev = 1.0;
+    for (double f : {0.0, 0.1, 0.3, 0.6, 0.9}) {
+        const double p = power::probMassOutage(
+            DeploymentOption::TopOfRackBbu, f);
+        EXPECT_LE(p, prev + 1e-15);
+        prev = p;
+    }
+}
+
+TEST(Deployment, NamesAreDistinct)
+{
+    EXPECT_NE(power::deploymentName(DeploymentOption::CentralizedUps),
+              power::deploymentName(DeploymentOption::PerNodeBattery));
+}
+
+// --------------------------------------------------------------------
+// Outage cost (Fig. 1)
+// --------------------------------------------------------------------
+
+TEST(OutageCost, CdfMatchesPaperAnchor)
+{
+    // "over $10 per square meter per minute for 40% of the
+    // benchmarked data centers".
+    core::OutageCostModel model;
+    EXPECT_NEAR(model.fractionAbove(10.0), 0.40, 0.02);
+    EXPECT_DOUBLE_EQ(model.cdf(0.0), 0.0);
+    EXPECT_GT(model.cdf(100.0), 0.9);
+}
+
+TEST(OutageCost, CdfIsMonotone)
+{
+    core::OutageCostModel model;
+    double prev = 0.0;
+    for (double usd = 1.0; usd <= 100.0; usd += 5.0) {
+        const double p = model.cdf(usd);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(OutageCost, QuantileInvertsCdf)
+{
+    core::OutageCostModel model;
+    for (double p : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+        const double usd = model.quantile(p);
+        EXPECT_NEAR(model.cdf(usd), p, 1e-6);
+    }
+}
+
+TEST(OutageCost, IncidentLossIncludesRemediationTail)
+{
+    // A zero-minute outage still costs the 2-hour investigation at
+    // the average rate — the paper's million-dollar argument.
+    core::OutageCostModel model;
+    EXPECT_NEAR(model.expectedIncidentLossUsd(0.0),
+                2.0 * 60.0 * 7900.0, 1e-6);
+    EXPECT_GT(model.expectedIncidentLossUsd(5.0), 9.5e5);
+}
+
+TEST(OutageCost, AreaLossScalesLinearly)
+{
+    core::OutageCostModel model;
+    const double small = model.lossUsd(10.0, 100.0, 0.5);
+    const double large = model.lossUsd(10.0, 200.0, 0.5);
+    EXPECT_NEAR(large, 2.0 * small, 1e-9);
+}
+
+} // namespace
+} // namespace pad

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Edge cases and failure-path tests: fatal() on bad user input
+ * (death tests), boundary conditions in parsers and models, and
+ * zero-size corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "attack/power_virus.h"
+#include "battery/charge_policy.h"
+#include "core/schemes.h"
+#include "power/power_meter.h"
+#include "trace/google_trace.h"
+#include "util/csv.h"
+#include "util/kv_config.h"
+
+namespace pad {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, UnknownSchemeNameIsFatal)
+{
+    EXPECT_EXIT(core::schemeFromName("NotAScheme"),
+                ::testing::ExitedWithCode(1), "unknown scheme");
+}
+
+TEST(DeathTest, UnknownChargePolicyIsFatal)
+{
+    EXPECT_EXIT(battery::chargePolicyFromName("sometimes"),
+                ::testing::ExitedWithCode(1),
+                "unknown charge policy");
+}
+
+TEST(DeathTest, MissingCsvFileIsFatal)
+{
+    EXPECT_EXIT(CsvReader("/nonexistent/path/to.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(DeathTest, MalformedKvConfigLineIsFatal)
+{
+    EXPECT_EXIT(KvConfig::fromString("this line has no equals\n"),
+                ::testing::ExitedWithCode(1), "expected");
+}
+
+TEST(DeathTest, NonNumericKvValueIsFatal)
+{
+    const auto cfg = KvConfig::fromString("n = abc\n");
+    EXPECT_EXIT(cfg.getDouble("n", 0.0),
+                ::testing::ExitedWithCode(1), "not a number");
+}
+
+TEST(DeathTest, MalformedTraceRecordIsFatal)
+{
+    char path[] = "/tmp/pad_badtrace_XXXXXX";
+    const int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    {
+        std::ofstream out(path);
+        out << "0,300,1,not_a_rate\n";
+    }
+    EXPECT_EXIT(trace::readTaskTraceCsv(path),
+                ::testing::ExitedWithCode(1), "bad cpu_rate");
+    std::remove(path);
+}
+
+TEST(DeathTest, NegativeTraceDurationIsFatal)
+{
+    char path[] = "/tmp/pad_badtrace_XXXXXX";
+    const int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    {
+        std::ofstream out(path);
+        out << "300,100,1,0.5\n";
+    }
+    EXPECT_EXIT(trace::readTaskTraceCsv(path),
+                ::testing::ExitedWithCode(1), "end before start");
+    std::remove(path);
+}
+
+TEST(EdgeCases, CsvEmptyFieldsSurvive)
+{
+    const auto f = parseCsvLine(",,");
+    ASSERT_EQ(f.size(), 3u);
+    for (const auto &s : f)
+        EXPECT_TRUE(s.empty());
+}
+
+TEST(EdgeCases, CsvCarriageReturnsStripped)
+{
+    const auto f = parseCsvLine("a,b\r");
+    ASSERT_EQ(f.size(), 2u);
+    EXPECT_EQ(f[1], "b");
+}
+
+TEST(EdgeCases, MeterExactBoundaryPublishesOnce)
+{
+    power::PowerMeter meter("edge.m", kTicksPerSecond);
+    meter.observe(100.0, kTicksPerSecond);
+    EXPECT_EQ(meter.readings().size(), 1u);
+    meter.observe(100.0, 0);
+    EXPECT_EQ(meter.readings().size(), 1u);
+}
+
+TEST(EdgeCases, SpikeTrainPeriodArithmetic)
+{
+    attack::SpikeTrain train{1.0, 3.0, 1.0};
+    EXPECT_DOUBLE_EQ(train.periodSec(), 20.0);
+}
+
+TEST(EdgeCases, VirusZeroWindowLaunchesNothing)
+{
+    attack::PowerVirus v(attack::VirusKind::CpuIntensive,
+                         attack::SpikeTrain{1.0, 6.0, 1.0});
+    EXPECT_EQ(v.spikesWithin(0.0), 0);
+}
+
+TEST(EdgeCases, KvConfigEmptyStringIsEmpty)
+{
+    const auto cfg = KvConfig::fromString("");
+    EXPECT_TRUE(cfg.keys().empty());
+    EXPECT_FALSE(cfg.has("anything"));
+}
+
+} // namespace
+} // namespace pad

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Unit tests for the job scheduler (paper Fig. 11-B's dispatcher):
+ * placement policies, load tracking with task expiry, and the
+ * event/job round trip.
+ */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "sched/job_scheduler.h"
+
+namespace pad::sched {
+namespace {
+
+Job
+oneTask(Tick arrival, Tick duration, double cpu)
+{
+    Job job;
+    job.arrival = arrival;
+    job.tasks.push_back(JobTask{duration, cpu});
+    return job;
+}
+
+TEST(JobScheduler, RoundRobinCycles)
+{
+    JobScheduler sched(4, 2, PlacementPolicy::RoundRobin);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back(oneTask(i, 100, 0.1));
+    const auto events = sched.schedule(jobs);
+    ASSERT_EQ(events.size(), 6u);
+    for (int i = 0; i < 6; ++i)
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].machine, i % 4);
+}
+
+TEST(JobScheduler, LeastLoadedSpreadsConcurrentTasks)
+{
+    JobScheduler sched(3, 3, PlacementPolicy::LeastLoaded);
+    std::vector<Job> jobs;
+    for (int i = 0; i < 3; ++i)
+        jobs.push_back(oneTask(0, 1000, 0.5));
+    const auto events = sched.schedule(jobs);
+    std::vector<int> machines;
+    for (const auto &ev : events)
+        machines.push_back(ev.machine);
+    std::sort(machines.begin(), machines.end());
+    EXPECT_EQ(machines, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(JobScheduler, ExpiredTasksFreeTheMachine)
+{
+    JobScheduler sched(2, 2, PlacementPolicy::LeastLoaded);
+    std::vector<Job> jobs;
+    jobs.push_back(oneTask(0, 10, 0.9));   // machine 0, ends at 10
+    jobs.push_back(oneTask(0, 1000, 0.1)); // machine 1
+    jobs.push_back(oneTask(50, 100, 0.5)); // machine 0 is free again
+    const auto events = sched.schedule(jobs);
+    EXPECT_EQ(events[2].machine, 0);
+    EXPECT_NEAR(sched.projectedLoad(0), 0.5, 1e-12);
+}
+
+TEST(JobScheduler, PowerAwareAvoidsHotRacks)
+{
+    // 2 racks x 2 machines; pre-load rack 0 heavily.
+    JobScheduler sched(4, 2, PlacementPolicy::PowerAware);
+    std::vector<Job> jobs;
+    jobs.push_back(oneTask(0, 1000, 0.9)); // lands somewhere
+    jobs.push_back(oneTask(1, 1000, 0.9)); // other rack
+    const auto events = sched.schedule(jobs);
+    const int rack0 = events[0].machine / 2;
+    const int rack1 = events[1].machine / 2;
+    EXPECT_NE(rack0, rack1);
+}
+
+TEST(JobScheduler, RandomIsDeterministicPerSeed)
+{
+    std::vector<Job> jobs;
+    for (int i = 0; i < 20; ++i)
+        jobs.push_back(oneTask(i, 50, 0.2));
+    JobScheduler a(8, 4, PlacementPolicy::Random, 5);
+    JobScheduler b(8, 4, PlacementPolicy::Random, 5);
+    const auto ea = a.schedule(jobs);
+    const auto eb = b.schedule(jobs);
+    for (std::size_t i = 0; i < ea.size(); ++i)
+        EXPECT_EQ(ea[i].machine, eb[i].machine);
+}
+
+TEST(JobScheduler, JobsSortedByArrival)
+{
+    JobScheduler sched(2, 2, PlacementPolicy::RoundRobin);
+    std::vector<Job> jobs{oneTask(100, 10, 0.1), oneTask(0, 10, 0.1)};
+    const auto events = sched.schedule(jobs);
+    EXPECT_LT(events[0].start, events[1].start);
+}
+
+TEST(JobScheduler, MultiTaskJobsKeepArrival)
+{
+    Job job;
+    job.arrival = 42;
+    job.tasks.push_back(JobTask{10, 0.1});
+    job.tasks.push_back(JobTask{20, 0.2});
+    JobScheduler sched(4, 2, PlacementPolicy::RoundRobin);
+    const auto events = sched.schedule({job});
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].start, 42);
+    EXPECT_EQ(events[1].start, 42);
+    EXPECT_EQ(events[1].end, 62);
+}
+
+TEST(JobScheduler, JobsFromEventsRoundTrip)
+{
+    std::vector<trace::TaskEvent> events;
+    events.push_back(trace::TaskEvent{0, 100, 7, 0.3});
+    events.push_back(trace::TaskEvent{50, 250, 2, 0.6});
+    const auto jobs = jobsFromEvents(events);
+    ASSERT_EQ(jobs.size(), 2u);
+    EXPECT_EQ(jobs[0].arrival, 0);
+    EXPECT_EQ(jobs[0].tasks[0].duration, 100);
+    EXPECT_DOUBLE_EQ(jobs[1].tasks[0].cpuRate, 0.6);
+    // Re-placing keeps timing and demand, only machines change.
+    JobScheduler sched(4, 2, PlacementPolicy::RoundRobin);
+    const auto replaced = sched.schedule(jobs);
+    EXPECT_EQ(replaced[1].start, 50);
+    EXPECT_EQ(replaced[1].end, 250);
+}
+
+TEST(JobScheduler, PolicyNames)
+{
+    EXPECT_EQ(placementPolicyName(PlacementPolicy::PowerAware),
+              "power-aware");
+    EXPECT_EQ(placementPolicyName(PlacementPolicy::RoundRobin),
+              "round-robin");
+}
+
+} // namespace
+} // namespace pad::sched

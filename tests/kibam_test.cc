@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Unit tests for the kinetic battery model: conservation of charge,
+ * the rate-capacity effect, recovery after load removal, and the
+ * closed-form sustainable-power solution.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "battery/kibam.h"
+
+namespace pad::battery {
+namespace {
+
+KibamParams
+smallBattery()
+{
+    KibamParams p;
+    p.capacity = 3600.0; // 1 Wh
+    p.c = 0.625;
+    p.k = 4.5e-4;
+    return p;
+}
+
+TEST(Kibam, StartsFull)
+{
+    Kibam b(smallBattery());
+    EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+    EXPECT_TRUE(b.full());
+    EXPECT_FALSE(b.depleted());
+    EXPECT_NEAR(b.stored(), 3600.0, 1e-9);
+}
+
+TEST(Kibam, WellSplitMatchesC)
+{
+    Kibam b(smallBattery());
+    EXPECT_NEAR(b.available(), 0.625 * 3600.0, 1e-9);
+    EXPECT_NEAR(b.bound(), 0.375 * 3600.0, 1e-9);
+}
+
+TEST(Kibam, DischargeConservesEnergy)
+{
+    Kibam b(smallBattery());
+    const Joules before = b.stored();
+    const Joules delivered = b.step(10.0, 30.0);
+    EXPECT_NEAR(delivered, 300.0, 1e-6);
+    EXPECT_NEAR(before - b.stored(), delivered, 1e-6);
+}
+
+TEST(Kibam, ManySmallStepsMatchOneBigStep)
+{
+    Kibam a(smallBattery());
+    Kibam b(smallBattery());
+    a.step(5.0, 100.0);
+    for (int i = 0; i < 100; ++i)
+        b.step(5.0, 1.0);
+    EXPECT_NEAR(a.stored(), b.stored(), 1e-6);
+    EXPECT_NEAR(a.available(), b.available(), 1e-3);
+}
+
+TEST(Kibam, RateCapacityEffect)
+{
+    // Draining at a high rate extracts less total energy before the
+    // available well empties than draining gently.
+    Kibam fast(smallBattery());
+    Kibam slow(smallBattery());
+
+    Joules fastTotal = 0.0;
+    while (!fast.depleted() && fastTotal < 10000.0)
+        fastTotal += fast.step(300.0, 1.0);
+
+    Joules slowTotal = 0.0;
+    for (int i = 0; i < 100000 && !slow.depleted(); ++i)
+        slowTotal += slow.step(2.0, 1.0);
+
+    EXPECT_LT(fastTotal, slowTotal);
+    EXPECT_LT(fastTotal, smallBattery().capacity);
+}
+
+TEST(Kibam, RecoveryAfterRest)
+{
+    // After a hard drain empties the available well, resting lets
+    // bound charge flow back and the battery can deliver again.
+    Kibam b(smallBattery());
+    while (!b.depleted())
+        b.step(400.0, 1.0);
+    EXPECT_TRUE(b.depleted());
+    const Joules boundBefore = b.bound();
+    b.step(0.0, 600.0);
+    EXPECT_FALSE(b.depleted());
+    EXPECT_GT(b.available(), 0.0);
+    EXPECT_LT(b.bound(), boundBefore);
+}
+
+TEST(Kibam, MaxSustainablePowerIsExact)
+{
+    Kibam b(smallBattery());
+    b.step(200.0, 5.0); // partially drain first
+    const double dt = 20.0;
+    const Watts pmax = b.maxSustainablePower(dt);
+    ASSERT_GT(pmax, 0.0);
+
+    Kibam probe = b;
+    probe.step(pmax, dt);
+    EXPECT_NEAR(probe.available(), 0.0, 1e-6 * b.params().capacity);
+
+    Kibam probe2 = b;
+    const Joules got = probe2.step(pmax * 0.99, dt);
+    EXPECT_NEAR(got, pmax * 0.99 * dt, 1e-6);
+}
+
+TEST(Kibam, OverdrawTruncatesDelivery)
+{
+    Kibam b(smallBattery());
+    // Demand far more than the battery can give in one long step:
+    // delivery truncates at the available-well crossing and the rest
+    // of the step lets the bound well partially refill it.
+    const Joules got = b.step(10000.0, 3600.0);
+    EXPECT_LT(got, b.params().capacity + 1e-9);
+    EXPECT_GT(got, 0.0);
+    EXPECT_NEAR(b.stored(), b.params().capacity - got, 1e-3);
+}
+
+TEST(Kibam, ChargeRefills)
+{
+    Kibam b(smallBattery());
+    b.step(100.0, 10.0);
+    const Joules before = b.stored();
+    const Joules absorbed = b.step(-50.0, 10.0);
+    EXPECT_NEAR(absorbed, -500.0, 1e-6);
+    EXPECT_NEAR(b.stored() - before, 500.0, 1e-6);
+}
+
+TEST(Kibam, ChargeStopsAtFull)
+{
+    Kibam b(smallBattery());
+    b.step(100.0, 5.0); // remove 500 J
+    const Joules absorbed = b.step(-1000.0, 10.0); // offer 10 kJ
+    EXPECT_NEAR(-absorbed, 500.0, 1e-3);
+    EXPECT_TRUE(b.full());
+}
+
+TEST(Kibam, SetSocRoundTrips)
+{
+    Kibam b(smallBattery());
+    b.setSoc(0.3);
+    EXPECT_NEAR(b.soc(), 0.3, 1e-12);
+    b.setSoc(0.0);
+    EXPECT_TRUE(b.depleted());
+    b.setSoc(1.0);
+    EXPECT_TRUE(b.full());
+}
+
+TEST(Kibam, IdleEqualizesWells)
+{
+    Kibam b(smallBattery());
+    b.step(500.0, 2.0); // hit the available well hard
+    const double headAvail = b.available() / b.params().c;
+    const double headBound = b.bound() / (1.0 - b.params().c);
+    EXPECT_LT(headAvail, headBound);
+    b.step(0.0, 20000.0); // long rest (several equalization taus)
+    const double headAvail2 = b.available() / b.params().c;
+    const double headBound2 = b.bound() / (1.0 - b.params().c);
+    EXPECT_NEAR(headAvail2, headBound2, 1.0);
+}
+
+/** Property sweep: conservation holds across rates and durations. */
+class KibamConservation
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{};
+
+TEST_P(KibamConservation, StoredPlusDeliveredConstant)
+{
+    const auto [power, dt] = GetParam();
+    Kibam b(smallBattery());
+    b.setSoc(0.8);
+    const Joules before = b.stored();
+    const Joules delivered = b.step(power, dt);
+    EXPECT_NEAR(before - b.stored(), delivered,
+                1e-6 * b.params().capacity + 1e-6);
+    EXPECT_GE(b.stored(), -1e-9);
+    EXPECT_LE(b.stored(), b.params().capacity + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KibamConservation,
+    ::testing::Combine(::testing::Values(0.5, 5.0, 50.0, 500.0, 5000.0),
+                       ::testing::Values(0.1, 1.0, 10.0, 100.0, 1000.0)));
+
+} // namespace
+} // namespace pad::battery

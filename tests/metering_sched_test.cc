@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for the metering detector (Table I mechanism) and the
+ * scheduling substrate (throughput accounting, load shedding).
+ */
+
+#include <gtest/gtest.h>
+
+#include "metering/detector.h"
+#include "sched/load_shedding.h"
+#include "sched/perf_monitor.h"
+
+namespace pad {
+namespace {
+
+using metering::DetectorConfig;
+using metering::SpikeDetector;
+
+TEST(SpikeDetector, FlagsIntervalLiftedBySpike)
+{
+    DetectorConfig cfg;
+    cfg.interval = 5 * kTicksPerSecond;
+    cfg.relativeMargin = 0.04;
+    SpikeDetector det("t.det", cfg, 400.0);
+    // A 1 s spike to 600 W inside a 5 s interval lifts the average
+    // to 440 W: 10% over baseline, detected.
+    det.observe(400.0, 4 * kTicksPerSecond);
+    det.observe(600.0, 1 * kTicksPerSecond);
+    EXPECT_EQ(det.flags().size(), 1u);
+}
+
+TEST(SpikeDetector, CoarseIntervalMissesNarrowSpike)
+{
+    DetectorConfig cfg;
+    cfg.interval = 60 * kTicksPerSecond;
+    cfg.relativeMargin = 0.04;
+    SpikeDetector det("t.det", cfg, 400.0);
+    // The same 1 s spike diluted into a minute: +0.8%, invisible.
+    det.observe(400.0, 59 * kTicksPerSecond);
+    det.observe(600.0, 1 * kTicksPerSecond);
+    EXPECT_TRUE(det.flags().empty());
+}
+
+TEST(SpikeDetector, HighDutyCycleDetectedEvenAtCoarseInterval)
+{
+    DetectorConfig cfg;
+    cfg.interval = 60 * kTicksPerSecond;
+    cfg.relativeMargin = 0.04;
+    SpikeDetector det("t.det", cfg, 400.0);
+    // 40% duty cycle of 600 W spikes: average 480 W, +20%.
+    for (int i = 0; i < 6; ++i) {
+        det.observe(600.0, 4 * kTicksPerSecond);
+        det.observe(400.0, 6 * kTicksPerSecond);
+    }
+    EXPECT_EQ(det.flags().size(), 1u);
+}
+
+TEST(SpikeDetector, DetectionRateOverSpikeWindows)
+{
+    DetectorConfig cfg;
+    cfg.interval = 10 * kTicksPerSecond;
+    cfg.relativeMargin = 0.04;
+    SpikeDetector det("t.det", cfg, 400.0);
+    // Interval 1: big spike (detected); interval 2: quiet.
+    det.observe(400.0, 8 * kTicksPerSecond);
+    det.observe(900.0, 2 * kTicksPerSecond);
+    det.observe(400.0, 10 * kTicksPerSecond);
+    std::vector<std::pair<Tick, Tick>> spikes = {
+        {8 * kTicksPerSecond, 10 * kTicksPerSecond},  // inside flagged
+        {15 * kTicksPerSecond, 16 * kTicksPerSecond}, // quiet interval
+    };
+    EXPECT_NEAR(det.detectionRate(spikes), 0.5, 1e-9);
+}
+
+TEST(SpikeDetector, ThresholdAndFlaggedAt)
+{
+    DetectorConfig cfg;
+    cfg.interval = kTicksPerSecond;
+    cfg.relativeMargin = 0.10;
+    SpikeDetector det("t.det", cfg, 100.0);
+    EXPECT_NEAR(det.threshold(), 110.0, 1e-9);
+    det.observe(150.0, kTicksPerSecond);
+    det.observe(100.0, kTicksPerSecond);
+    EXPECT_TRUE(det.flaggedAt(500));
+    EXPECT_FALSE(det.flaggedAt(1500));
+}
+
+TEST(PerfMonitor, ThroughputRatio)
+{
+    sched::PerfMonitor perf;
+    perf.record(1.0, 0.8, 10.0);
+    perf.record(0.5, 0.5, 10.0);
+    EXPECT_NEAR(perf.normalizedThroughput(), 13.0 / 15.0, 1e-9);
+    EXPECT_NEAR(perf.demandedWork(), 15.0, 1e-9);
+    EXPECT_NEAR(perf.executedWork(), 13.0, 1e-9);
+}
+
+TEST(PerfMonitor, ShedChargesFullLoss)
+{
+    sched::PerfMonitor perf;
+    perf.recordShed(0.6, 10.0);
+    EXPECT_NEAR(perf.normalizedThroughput(), 0.0, 1e-9);
+}
+
+TEST(PerfMonitor, EmptyIsPerfect)
+{
+    sched::PerfMonitor perf;
+    EXPECT_DOUBLE_EQ(perf.normalizedThroughput(), 1.0);
+    perf.record(1.0, 1.0, 5.0);
+    perf.reset();
+    EXPECT_DOUBLE_EQ(perf.normalizedThroughput(), 1.0);
+}
+
+TEST(LoadShedder, ClosesDeficitWithFewestLowPriorityServers)
+{
+    sched::LoadShedder shedder;
+    std::vector<sched::ShedCandidate> candidates = {
+        {0, 300.0, 2}, // high priority: shed last
+        {1, 300.0, 0},
+        {2, 200.0, 0},
+        {3, 350.0, 1},
+    };
+    const auto d = shedder.plan(candidates, 450.0);
+    // Priority-0 servers go first, biggest release first.
+    ASSERT_EQ(d.serversToSleep.size(), 2u);
+    EXPECT_EQ(d.serversToSleep[0], 1);
+    EXPECT_EQ(d.serversToSleep[1], 2);
+    EXPECT_NEAR(d.releasedPower, 500.0, 1e-9);
+    EXPECT_NEAR(d.shedRatio, 0.5, 1e-9);
+}
+
+TEST(LoadShedder, NoDeficitNoShedding)
+{
+    sched::LoadShedder shedder;
+    std::vector<sched::ShedCandidate> candidates = {{0, 300.0, 0}};
+    EXPECT_TRUE(shedder.plan(candidates, 0.0).serversToSleep.empty());
+    EXPECT_TRUE(shedder.plan(candidates, -5.0).serversToSleep.empty());
+}
+
+TEST(LoadShedder, ShedsEverythingWhenDeficitHuge)
+{
+    sched::LoadShedder shedder;
+    std::vector<sched::ShedCandidate> candidates = {
+        {0, 300.0, 0}, {1, 300.0, 0}, {2, 300.0, 0}};
+    const auto d = shedder.plan(candidates, 1.0e9);
+    EXPECT_EQ(d.serversToSleep.size(), 3u);
+    EXPECT_NEAR(d.shedRatio, 1.0, 1e-9);
+}
+
+TEST(LoadShedder, TracksLifetimeTotal)
+{
+    sched::LoadShedder shedder;
+    std::vector<sched::ShedCandidate> candidates = {{0, 300.0, 0},
+                                                    {1, 300.0, 0}};
+    shedder.plan(candidates, 400.0);
+    shedder.plan(candidates, 100.0);
+    EXPECT_EQ(shedder.totalShed(), 3u);
+}
+
+} // namespace
+} // namespace pad

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Unit tests for the power substrate: server power model, circuit
+ * breaker inverse-time curve, PDU budget enforcement, and the
+ * interval-averaging power meter.
+ */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "power/circuit_breaker.h"
+#include "power/pdu.h"
+#include "power/power_meter.h"
+#include "power/server_power_model.h"
+
+namespace pad::power {
+namespace {
+
+ServerPowerConfig
+dl585()
+{
+    return ServerPowerConfig{}; // paper defaults: 299 W / 521 W
+}
+
+TEST(ServerPowerModel, EndpointsMatchSpecpower)
+{
+    ServerPowerModel m(dl585());
+    EXPECT_NEAR(m.power(0.0), 299.0, 1e-9);
+    EXPECT_NEAR(m.power(1.0), 521.0, 1e-9);
+}
+
+TEST(ServerPowerModel, MonotonicInUtilization)
+{
+    ServerPowerModel m(dl585());
+    double prev = -1.0;
+    for (double u = 0.0; u <= 1.0; u += 0.05) {
+        const double p = m.power(u);
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(ServerPowerModel, CurveIsConcave)
+{
+    // SPECpower curves for this class rise faster at low load.
+    ServerPowerModel m(dl585());
+    const double low = m.power(0.25) - m.power(0.0);
+    const double high = m.power(1.0) - m.power(0.75);
+    EXPECT_GT(low, high);
+}
+
+TEST(ServerPowerModel, DvfsCapsPowerAndThroughput)
+{
+    ServerPowerModel m(dl585());
+    EXPECT_LT(m.power(1.0, 0.8), m.power(1.0, 1.0));
+    // A 20% frequency cut removes 20% of the dynamic range at full load.
+    EXPECT_NEAR(m.power(1.0, 0.8), 299.0 + 0.8 * 222.0, 1e-9);
+    // ... and slows all work proportionally.
+    EXPECT_DOUBLE_EQ(m.executed(1.0, 0.8), 0.8);
+    EXPECT_DOUBLE_EQ(m.executed(0.5, 0.8), 0.4);
+}
+
+TEST(ServerPowerModel, InverseMappingRoundTrips)
+{
+    ServerPowerModel m(dl585());
+    for (double u : {0.1, 0.33, 0.5, 0.9}) {
+        const double p = m.power(u);
+        EXPECT_NEAR(m.utilizationFor(p), u, 1e-9);
+    }
+}
+
+TEST(CircuitBreaker, HoldsIndefinitelyBelowHoldRatio)
+{
+    CircuitBreakerConfig cfg;
+    cfg.ratedPower = 1000.0;
+    CircuitBreaker cb("t.cb", cfg);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_FALSE(cb.observe(1040.0, 1.0));
+    EXPECT_FALSE(cb.tripped());
+    EXPECT_TRUE(std::isinf(cb.timeToTrip(1040.0)));
+}
+
+TEST(CircuitBreaker, TwentyFivePercentOverloadTripsInSeconds)
+{
+    CircuitBreakerConfig cfg;
+    cfg.ratedPower = 1000.0;
+    CircuitBreaker cb("t.cb", cfg);
+    double elapsed = 0.0;
+    while (!cb.tripped() && elapsed < 60.0) {
+        cb.observe(1250.0, 0.1);
+        elapsed += 0.1;
+    }
+    EXPECT_TRUE(cb.tripped());
+    EXPECT_GT(elapsed, 2.0);
+    EXPECT_LT(elapsed, 10.0);
+    EXPECT_NEAR(cb.timeToTrip(1250.0), elapsed, 0.2);
+}
+
+TEST(CircuitBreaker, InverseTimeMonotonic)
+{
+    CircuitBreakerConfig cfg;
+    cfg.ratedPower = 1000.0;
+    CircuitBreaker cb("t.cb", cfg);
+    double prev = std::numeric_limits<double>::infinity();
+    for (double p = 1100.0; p < 4500.0; p += 200.0) {
+        const double t = cb.timeToTrip(p);
+        EXPECT_LT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CircuitBreaker, MagneticTripIsInstant)
+{
+    CircuitBreakerConfig cfg;
+    cfg.ratedPower = 1000.0;
+    CircuitBreaker cb("t.cb", cfg);
+    EXPECT_TRUE(cb.observe(5000.0, 0.001));
+    EXPECT_TRUE(cb.tripped());
+    EXPECT_EQ(cb.tripCount(), 1);
+}
+
+TEST(CircuitBreaker, BriefOverloadsAreToleratedWithCooldown)
+{
+    CircuitBreakerConfig cfg;
+    cfg.ratedPower = 1000.0;
+    CircuitBreaker cb("t.cb", cfg);
+    // A 1-second 40% overload once a minute never trips: the element
+    // cools off fully in between.
+    for (int i = 0; i < 60; ++i) {
+        EXPECT_FALSE(cb.observe(1400.0, 1.0));
+        cb.observe(800.0, 59.0);
+    }
+    EXPECT_FALSE(cb.tripped());
+}
+
+TEST(CircuitBreaker, ResetClearsState)
+{
+    CircuitBreakerConfig cfg;
+    cfg.ratedPower = 1000.0;
+    CircuitBreaker cb("t.cb", cfg);
+    cb.observe(5000.0, 0.1);
+    ASSERT_TRUE(cb.tripped());
+    cb.reset();
+    EXPECT_FALSE(cb.tripped());
+    EXPECT_DOUBLE_EQ(cb.heat(), 0.0);
+    EXPECT_EQ(cb.tripCount(), 1);
+}
+
+TEST(Pdu, OutletLimitsAndFeasibility)
+{
+    PduConfig cfg;
+    cfg.budget = 10000.0;
+    cfg.outlets = 4;
+    Pdu pdu("t.pdu", cfg);
+    for (std::size_t i = 0; i < 4; ++i)
+        pdu.setOutletLimit(i, 2500.0);
+    EXPECT_NEAR(pdu.totalOutletLimit(), 10000.0, 1e-9);
+    EXPECT_TRUE(pdu.budgetFeasible(16000.0));
+    // Eq. 2 violated when nameplate is below the budget.
+    EXPECT_FALSE(pdu.budgetFeasible(9000.0));
+}
+
+TEST(Pdu, CountsSoftLimitViolations)
+{
+    PduConfig cfg;
+    cfg.budget = 10000.0;
+    cfg.outlets = 2;
+    Pdu pdu("t.pdu", cfg);
+    pdu.setOutletLimit(0, 3000.0);
+    pdu.setOutletLimit(1, 3000.0);
+    pdu.observe({3500.0, 2000.0}, 1.0);
+    EXPECT_EQ(pdu.softLimitViolations(), 1u);
+    EXPECT_NEAR(pdu.lastAggregateDraw(), 5500.0, 1e-9);
+}
+
+TEST(Pdu, AggregateOverloadTripsBreaker)
+{
+    PduConfig cfg;
+    cfg.budget = 5000.0;
+    cfg.outlets = 2;
+    Pdu pdu("t.pdu", cfg);
+    bool tripped = false;
+    for (int i = 0; i < 100 && !tripped; ++i)
+        tripped = pdu.observe({3500.0, 3500.0}, 0.5);
+    EXPECT_TRUE(tripped);
+    EXPECT_TRUE(pdu.breaker().tripped());
+}
+
+TEST(PowerMeter, AveragesOverInterval)
+{
+    PowerMeter meter("t.m", 10 * kTicksPerSecond);
+    meter.observe(100.0, 5 * kTicksPerSecond);
+    meter.observe(300.0, 5 * kTicksPerSecond);
+    ASSERT_EQ(meter.readings().size(), 1u);
+    EXPECT_NEAR(meter.readings()[0].average, 200.0, 1e-9);
+}
+
+TEST(PowerMeter, NarrowSpikeDilutesIntoLongInterval)
+{
+    PowerMeter meter("t.m", 60 * kTicksPerSecond);
+    meter.observe(400.0, 59 * kTicksPerSecond);
+    meter.observe(1000.0, 1 * kTicksPerSecond); // 1 s spike
+    ASSERT_EQ(meter.readings().size(), 1u);
+    EXPECT_NEAR(meter.readings()[0].average, 410.0, 1e-9);
+}
+
+TEST(PowerMeter, SplitsLongObservationsAcrossIntervals)
+{
+    PowerMeter meter("t.m", kTicksPerSecond);
+    meter.observe(500.0, 5 * kTicksPerSecond + 500);
+    EXPECT_EQ(meter.readings().size(), 5u);
+    for (const auto &r : meter.readings())
+        EXPECT_NEAR(r.average, 500.0, 1e-9);
+    EXPECT_EQ(meter.now(), 5 * kTicksPerSecond + 500);
+}
+
+} // namespace
+} // namespace pad::power

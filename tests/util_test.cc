@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit tests for the util module: formatting, statistics, CSV, RNG,
+ * tables and unit conversions.
+ */
+
+#include <cstdio>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/types.h"
+
+namespace pad {
+namespace {
+
+TEST(Types, TickConversionsRoundTrip)
+{
+    EXPECT_EQ(secondsToTicks(1.0), kTicksPerSecond);
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kTicksPerMinute), 60.0);
+    EXPECT_EQ(secondsToTicks(0.1), 100);
+    EXPECT_DOUBLE_EQ(wattHoursToJoules(1.0), 3600.0);
+    EXPECT_DOUBLE_EQ(joulesToWattHours(7200.0), 2.0);
+    EXPECT_EQ(kTicksPerDay, 24 * 60 * 60 * 1000);
+}
+
+TEST(Logging, FormatSubstitutesPlaceholders)
+{
+    EXPECT_EQ(detail::formatMessage("a {} c {}", 1, "b"), "a 1 c b");
+    EXPECT_EQ(detail::formatMessage("no args"), "no args");
+    EXPECT_EQ(detail::formatMessage("extra {} {}", 7), "extra 7 {}");
+}
+
+TEST(RunningStats, MeanVarianceExtrema)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeEqualsConcatenation)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.37 * i - 3.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(Percentile, InterpolatesLinearly)
+{
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 25.0), 7.0);
+}
+
+TEST(Histogram, BinsAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);
+    h.add(9.9);
+    h.add(-100.0); // clamped into first bin
+    h.add(100.0);  // clamped into last bin
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLeft(1), 2.0);
+}
+
+TEST(Csv, ParseHandlesQuotingAndEscapes)
+{
+    const auto f = parseCsvLine("a,\"b,c\",\"d\"\"e\",f");
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_EQ(f[0], "a");
+    EXPECT_EQ(f[1], "b,c");
+    EXPECT_EQ(f[2], "d\"e");
+    EXPECT_EQ(f[3], "f");
+}
+
+TEST(Csv, FormatQuotesWhenNeeded)
+{
+    EXPECT_EQ(formatCsvLine({"a", "b,c", "d\"e"}),
+              "a,\"b,c\",\"d\"\"e\"");
+}
+
+TEST(Csv, RoundTripThroughFile)
+{
+    char path[] = "/tmp/pad_csv_XXXXXX";
+    const int fd = mkstemp(path);
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+    {
+        CsvWriter w(path);
+        w.write({"x", "y"});
+        w.writeNumbers({1.5, -2.0});
+        w.flush();
+    }
+    CsvReader r(path);
+    std::vector<std::string> fields;
+    ASSERT_TRUE(r.next(fields));
+    EXPECT_EQ(fields[0], "x");
+    ASSERT_TRUE(r.next(fields));
+    EXPECT_EQ(fields[0], "1.5");
+    EXPECT_FALSE(r.next(fields));
+    std::remove(path);
+}
+
+TEST(Rng, DeterministicAndForkable)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    Rng child = a.fork();
+    EXPECT_NE(child.uniform(), a.uniform());
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(-5, 5);
+        EXPECT_GE(v, -5);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, BoundedParetoStaysInBounds)
+{
+    Rng rng(11);
+    double mean = 0.0;
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.boundedPareto(1.5, 1.0, 100.0);
+        EXPECT_GE(v, 1.0 - 1e-9);
+        EXPECT_LE(v, 100.0 + 1e-9);
+        mean += v;
+    }
+    mean /= 5000.0;
+    // Heavy tail pulls the mean well above the minimum.
+    EXPECT_GT(mean, 1.5);
+    EXPECT_LT(mean, 20.0);
+}
+
+TEST(Rng, ChanceRespectsProbability)
+{
+    Rng rng(13);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Table, RendersAlignedColumns)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow("beta", {2.5, 3.25}, 2);
+    std::ostringstream out;
+    t.print(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("demo"), std::string::npos);
+    EXPECT_NE(s.find("alpha"), std::string::npos);
+    EXPECT_NE(s.find("2.50"), std::string::npos);
+    EXPECT_NE(s.find("3.25"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatPercent(0.431, 1), "43.1%");
+}
+
+} // namespace
+} // namespace pad
