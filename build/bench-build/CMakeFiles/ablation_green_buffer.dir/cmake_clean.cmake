@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_green_buffer"
+  "../bench/ablation_green_buffer.pdb"
+  "CMakeFiles/ablation_green_buffer.dir/ablation_green_buffer.cc.o"
+  "CMakeFiles/ablation_green_buffer.dir/ablation_green_buffer.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_green_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_pideal"
+  "../bench/ablation_pideal.pdb"
+  "CMakeFiles/ablation_pideal.dir/ablation_pideal.cc.o"
+  "CMakeFiles/ablation_pideal.dir/ablation_pideal.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pideal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_sidechannel.cc" "bench-build/CMakeFiles/ablation_sidechannel.dir/ablation_sidechannel.cc.o" "gcc" "bench-build/CMakeFiles/ablation_sidechannel.dir/ablation_sidechannel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/pad_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/pad_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/pad_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pad_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/metering/CMakeFiles/pad_metering.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pad_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sidechannel"
+  "../bench/ablation_sidechannel.pdb"
+  "CMakeFiles/ablation_sidechannel.dir/ablation_sidechannel.cc.o"
+  "CMakeFiles/ablation_sidechannel.dir/ablation_sidechannel.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig01_outage_cost"
+  "../bench/fig01_outage_cost.pdb"
+  "CMakeFiles/fig01_outage_cost.dir/fig01_outage_cost.cc.o"
+  "CMakeFiles/fig01_outage_cost.dir/fig01_outage_cost.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_outage_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_soc_variation"
+  "../bench/fig05_soc_variation.pdb"
+  "CMakeFiles/fig05_soc_variation.dir/fig05_soc_variation.cc.o"
+  "CMakeFiles/fig05_soc_variation.dir/fig05_soc_variation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_soc_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

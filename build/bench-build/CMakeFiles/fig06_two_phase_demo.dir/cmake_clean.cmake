@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_two_phase_demo"
+  "../bench/fig06_two_phase_demo.pdb"
+  "CMakeFiles/fig06_two_phase_demo.dir/fig06_two_phase_demo.cc.o"
+  "CMakeFiles/fig06_two_phase_demo.dir/fig06_two_phase_demo.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_two_phase_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_two_phase_demo.
+# This may be replaced when dependencies are built.

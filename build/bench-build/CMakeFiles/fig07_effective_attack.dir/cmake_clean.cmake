@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_effective_attack"
+  "../bench/fig07_effective_attack.pdb"
+  "CMakeFiles/fig07_effective_attack.dir/fig07_effective_attack.cc.o"
+  "CMakeFiles/fig07_effective_attack.dir/fig07_effective_attack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_effective_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

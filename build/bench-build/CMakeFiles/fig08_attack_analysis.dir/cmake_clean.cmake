@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_attack_analysis"
+  "../bench/fig08_attack_analysis.pdb"
+  "CMakeFiles/fig08_attack_analysis.dir/fig08_attack_analysis.cc.o"
+  "CMakeFiles/fig08_attack_analysis.dir/fig08_attack_analysis.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_attack_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

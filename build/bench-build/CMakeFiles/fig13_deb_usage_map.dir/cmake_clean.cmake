@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_deb_usage_map"
+  "../bench/fig13_deb_usage_map.pdb"
+  "CMakeFiles/fig13_deb_usage_map.dir/fig13_deb_usage_map.cc.o"
+  "CMakeFiles/fig13_deb_usage_map.dir/fig13_deb_usage_map.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_deb_usage_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_load_shedding"
+  "../bench/fig14_load_shedding.pdb"
+  "CMakeFiles/fig14_load_shedding.dir/fig14_load_shedding.cc.o"
+  "CMakeFiles/fig14_load_shedding.dir/fig14_load_shedding.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_load_shedding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

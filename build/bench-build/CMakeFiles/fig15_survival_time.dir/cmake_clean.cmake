@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_survival_time"
+  "../bench/fig15_survival_time.pdb"
+  "CMakeFiles/fig15_survival_time.dir/fig15_survival_time.cc.o"
+  "CMakeFiles/fig15_survival_time.dir/fig15_survival_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_survival_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_throughput"
+  "../bench/fig16_throughput.pdb"
+  "CMakeFiles/fig16_throughput.dir/fig16_throughput.cc.o"
+  "CMakeFiles/fig16_throughput.dir/fig16_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_cost_efficiency"
+  "../bench/fig17_cost_efficiency.pdb"
+  "CMakeFiles/fig17_cost_efficiency.dir/fig17_cost_efficiency.cc.o"
+  "CMakeFiles/fig17_cost_efficiency.dir/fig17_cost_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_cost_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

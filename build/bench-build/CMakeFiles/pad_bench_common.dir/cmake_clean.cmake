@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/pad_bench_common.dir/bench_common.cc.o.d"
+  "libpad_bench_common.a"
+  "libpad_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

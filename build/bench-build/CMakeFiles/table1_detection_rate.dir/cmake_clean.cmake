@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_detection_rate"
+  "../bench/table1_detection_rate.pdb"
+  "CMakeFiles/table1_detection_rate.dir/table1_detection_rate.cc.o"
+  "CMakeFiles/table1_detection_rate.dir/table1_detection_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_detection_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

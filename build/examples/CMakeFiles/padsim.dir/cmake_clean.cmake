@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/padsim.dir/padsim.cpp.o"
+  "CMakeFiles/padsim.dir/padsim.cpp.o.d"
+  "padsim"
+  "padsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/padsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attack_stats.cc" "src/attack/CMakeFiles/pad_attack.dir/attack_stats.cc.o" "gcc" "src/attack/CMakeFiles/pad_attack.dir/attack_stats.cc.o.d"
+  "/root/repo/src/attack/attacker.cc" "src/attack/CMakeFiles/pad_attack.dir/attacker.cc.o" "gcc" "src/attack/CMakeFiles/pad_attack.dir/attacker.cc.o.d"
+  "/root/repo/src/attack/power_virus.cc" "src/attack/CMakeFiles/pad_attack.dir/power_virus.cc.o" "gcc" "src/attack/CMakeFiles/pad_attack.dir/power_virus.cc.o.d"
+  "/root/repo/src/attack/virus_trace.cc" "src/attack/CMakeFiles/pad_attack.dir/virus_trace.cc.o" "gcc" "src/attack/CMakeFiles/pad_attack.dir/virus_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_attack.dir/attack_stats.cc.o"
+  "CMakeFiles/pad_attack.dir/attack_stats.cc.o.d"
+  "CMakeFiles/pad_attack.dir/attacker.cc.o"
+  "CMakeFiles/pad_attack.dir/attacker.cc.o.d"
+  "CMakeFiles/pad_attack.dir/power_virus.cc.o"
+  "CMakeFiles/pad_attack.dir/power_virus.cc.o.d"
+  "CMakeFiles/pad_attack.dir/virus_trace.cc.o"
+  "CMakeFiles/pad_attack.dir/virus_trace.cc.o.d"
+  "libpad_attack.a"
+  "libpad_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

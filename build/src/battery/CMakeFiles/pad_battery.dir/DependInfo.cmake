@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/battery/aging_model.cc" "src/battery/CMakeFiles/pad_battery.dir/aging_model.cc.o" "gcc" "src/battery/CMakeFiles/pad_battery.dir/aging_model.cc.o.d"
+  "/root/repo/src/battery/battery_unit.cc" "src/battery/CMakeFiles/pad_battery.dir/battery_unit.cc.o" "gcc" "src/battery/CMakeFiles/pad_battery.dir/battery_unit.cc.o.d"
+  "/root/repo/src/battery/charge_policy.cc" "src/battery/CMakeFiles/pad_battery.dir/charge_policy.cc.o" "gcc" "src/battery/CMakeFiles/pad_battery.dir/charge_policy.cc.o.d"
+  "/root/repo/src/battery/kibam.cc" "src/battery/CMakeFiles/pad_battery.dir/kibam.cc.o" "gcc" "src/battery/CMakeFiles/pad_battery.dir/kibam.cc.o.d"
+  "/root/repo/src/battery/supercap.cc" "src/battery/CMakeFiles/pad_battery.dir/supercap.cc.o" "gcc" "src/battery/CMakeFiles/pad_battery.dir/supercap.cc.o.d"
+  "/root/repo/src/battery/voltage_model.cc" "src/battery/CMakeFiles/pad_battery.dir/voltage_model.cc.o" "gcc" "src/battery/CMakeFiles/pad_battery.dir/voltage_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

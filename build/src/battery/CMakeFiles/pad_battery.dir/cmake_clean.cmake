@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_battery.dir/aging_model.cc.o"
+  "CMakeFiles/pad_battery.dir/aging_model.cc.o.d"
+  "CMakeFiles/pad_battery.dir/battery_unit.cc.o"
+  "CMakeFiles/pad_battery.dir/battery_unit.cc.o.d"
+  "CMakeFiles/pad_battery.dir/charge_policy.cc.o"
+  "CMakeFiles/pad_battery.dir/charge_policy.cc.o.d"
+  "CMakeFiles/pad_battery.dir/kibam.cc.o"
+  "CMakeFiles/pad_battery.dir/kibam.cc.o.d"
+  "CMakeFiles/pad_battery.dir/supercap.cc.o"
+  "CMakeFiles/pad_battery.dir/supercap.cc.o.d"
+  "CMakeFiles/pad_battery.dir/voltage_model.cc.o"
+  "CMakeFiles/pad_battery.dir/voltage_model.cc.o.d"
+  "libpad_battery.a"
+  "libpad_battery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_battery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

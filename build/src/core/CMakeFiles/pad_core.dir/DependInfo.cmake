@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cc" "src/core/CMakeFiles/pad_core.dir/campaign.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/campaign.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/pad_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/config.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/core/CMakeFiles/pad_core.dir/cost_model.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/cost_model.cc.o.d"
+  "/root/repo/src/core/datacenter.cc" "src/core/CMakeFiles/pad_core.dir/datacenter.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/datacenter.cc.o.d"
+  "/root/repo/src/core/outage_cost.cc" "src/core/CMakeFiles/pad_core.dir/outage_cost.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/outage_cost.cc.o.d"
+  "/root/repo/src/core/schemes.cc" "src/core/CMakeFiles/pad_core.dir/schemes.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/schemes.cc.o.d"
+  "/root/repo/src/core/security_policy.cc" "src/core/CMakeFiles/pad_core.dir/security_policy.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/security_policy.cc.o.d"
+  "/root/repo/src/core/udeb.cc" "src/core/CMakeFiles/pad_core.dir/udeb.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/udeb.cc.o.d"
+  "/root/repo/src/core/vdeb.cc" "src/core/CMakeFiles/pad_core.dir/vdeb.cc.o" "gcc" "src/core/CMakeFiles/pad_core.dir/vdeb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/pad_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/battery/CMakeFiles/pad_battery.dir/DependInfo.cmake"
+  "/root/repo/build/src/metering/CMakeFiles/pad_metering.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pad_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/pad_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/pad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_core.dir/campaign.cc.o"
+  "CMakeFiles/pad_core.dir/campaign.cc.o.d"
+  "CMakeFiles/pad_core.dir/config.cc.o"
+  "CMakeFiles/pad_core.dir/config.cc.o.d"
+  "CMakeFiles/pad_core.dir/cost_model.cc.o"
+  "CMakeFiles/pad_core.dir/cost_model.cc.o.d"
+  "CMakeFiles/pad_core.dir/datacenter.cc.o"
+  "CMakeFiles/pad_core.dir/datacenter.cc.o.d"
+  "CMakeFiles/pad_core.dir/outage_cost.cc.o"
+  "CMakeFiles/pad_core.dir/outage_cost.cc.o.d"
+  "CMakeFiles/pad_core.dir/schemes.cc.o"
+  "CMakeFiles/pad_core.dir/schemes.cc.o.d"
+  "CMakeFiles/pad_core.dir/security_policy.cc.o"
+  "CMakeFiles/pad_core.dir/security_policy.cc.o.d"
+  "CMakeFiles/pad_core.dir/udeb.cc.o"
+  "CMakeFiles/pad_core.dir/udeb.cc.o.d"
+  "CMakeFiles/pad_core.dir/vdeb.cc.o"
+  "CMakeFiles/pad_core.dir/vdeb.cc.o.d"
+  "libpad_core.a"
+  "libpad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_metering.dir/detector.cc.o"
+  "CMakeFiles/pad_metering.dir/detector.cc.o.d"
+  "libpad_metering.a"
+  "libpad_metering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_metering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

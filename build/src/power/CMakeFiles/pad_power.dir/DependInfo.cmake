@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/circuit_breaker.cc" "src/power/CMakeFiles/pad_power.dir/circuit_breaker.cc.o" "gcc" "src/power/CMakeFiles/pad_power.dir/circuit_breaker.cc.o.d"
+  "/root/repo/src/power/deployment.cc" "src/power/CMakeFiles/pad_power.dir/deployment.cc.o" "gcc" "src/power/CMakeFiles/pad_power.dir/deployment.cc.o.d"
+  "/root/repo/src/power/pdu.cc" "src/power/CMakeFiles/pad_power.dir/pdu.cc.o" "gcc" "src/power/CMakeFiles/pad_power.dir/pdu.cc.o.d"
+  "/root/repo/src/power/power_meter.cc" "src/power/CMakeFiles/pad_power.dir/power_meter.cc.o" "gcc" "src/power/CMakeFiles/pad_power.dir/power_meter.cc.o.d"
+  "/root/repo/src/power/server_power_model.cc" "src/power/CMakeFiles/pad_power.dir/server_power_model.cc.o" "gcc" "src/power/CMakeFiles/pad_power.dir/server_power_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

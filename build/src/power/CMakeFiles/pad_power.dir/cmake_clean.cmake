@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_power.dir/circuit_breaker.cc.o"
+  "CMakeFiles/pad_power.dir/circuit_breaker.cc.o.d"
+  "CMakeFiles/pad_power.dir/deployment.cc.o"
+  "CMakeFiles/pad_power.dir/deployment.cc.o.d"
+  "CMakeFiles/pad_power.dir/pdu.cc.o"
+  "CMakeFiles/pad_power.dir/pdu.cc.o.d"
+  "CMakeFiles/pad_power.dir/power_meter.cc.o"
+  "CMakeFiles/pad_power.dir/power_meter.cc.o.d"
+  "CMakeFiles/pad_power.dir/server_power_model.cc.o"
+  "CMakeFiles/pad_power.dir/server_power_model.cc.o.d"
+  "libpad_power.a"
+  "libpad_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/job_scheduler.cc" "src/sched/CMakeFiles/pad_sched.dir/job_scheduler.cc.o" "gcc" "src/sched/CMakeFiles/pad_sched.dir/job_scheduler.cc.o.d"
+  "/root/repo/src/sched/load_shedding.cc" "src/sched/CMakeFiles/pad_sched.dir/load_shedding.cc.o" "gcc" "src/sched/CMakeFiles/pad_sched.dir/load_shedding.cc.o.d"
+  "/root/repo/src/sched/perf_monitor.cc" "src/sched/CMakeFiles/pad_sched.dir/perf_monitor.cc.o" "gcc" "src/sched/CMakeFiles/pad_sched.dir/perf_monitor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/pad_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

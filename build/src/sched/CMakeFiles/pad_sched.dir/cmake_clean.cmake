@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_sched.dir/job_scheduler.cc.o"
+  "CMakeFiles/pad_sched.dir/job_scheduler.cc.o.d"
+  "CMakeFiles/pad_sched.dir/load_shedding.cc.o"
+  "CMakeFiles/pad_sched.dir/load_shedding.cc.o.d"
+  "CMakeFiles/pad_sched.dir/perf_monitor.cc.o"
+  "CMakeFiles/pad_sched.dir/perf_monitor.cc.o.d"
+  "libpad_sched.a"
+  "libpad_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_sim.dir/event_queue.cc.o"
+  "CMakeFiles/pad_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/pad_sim.dir/simulator.cc.o"
+  "CMakeFiles/pad_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/pad_sim.dir/stats_registry.cc.o"
+  "CMakeFiles/pad_sim.dir/stats_registry.cc.o.d"
+  "CMakeFiles/pad_sim.dir/time_series.cc.o"
+  "CMakeFiles/pad_sim.dir/time_series.cc.o.d"
+  "libpad_sim.a"
+  "libpad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpad_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_trace.dir/google_trace.cc.o"
+  "CMakeFiles/pad_trace.dir/google_trace.cc.o.d"
+  "CMakeFiles/pad_trace.dir/synthetic_trace.cc.o"
+  "CMakeFiles/pad_trace.dir/synthetic_trace.cc.o.d"
+  "CMakeFiles/pad_trace.dir/workload.cc.o"
+  "CMakeFiles/pad_trace.dir/workload.cc.o.d"
+  "libpad_trace.a"
+  "libpad_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

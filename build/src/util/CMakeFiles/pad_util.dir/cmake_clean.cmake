@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pad_util.dir/csv.cc.o"
+  "CMakeFiles/pad_util.dir/csv.cc.o.d"
+  "CMakeFiles/pad_util.dir/kv_config.cc.o"
+  "CMakeFiles/pad_util.dir/kv_config.cc.o.d"
+  "CMakeFiles/pad_util.dir/logging.cc.o"
+  "CMakeFiles/pad_util.dir/logging.cc.o.d"
+  "CMakeFiles/pad_util.dir/random.cc.o"
+  "CMakeFiles/pad_util.dir/random.cc.o.d"
+  "CMakeFiles/pad_util.dir/stats.cc.o"
+  "CMakeFiles/pad_util.dir/stats.cc.o.d"
+  "CMakeFiles/pad_util.dir/table.cc.o"
+  "CMakeFiles/pad_util.dir/table.cc.o.d"
+  "libpad_util.a"
+  "libpad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_outage_test.dir/deployment_outage_test.cc.o"
+  "CMakeFiles/deployment_outage_test.dir/deployment_outage_test.cc.o.d"
+  "deployment_outage_test"
+  "deployment_outage_test.pdb"
+  "deployment_outage_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_outage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

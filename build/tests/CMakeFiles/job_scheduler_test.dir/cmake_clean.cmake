@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_scheduler_test.dir/job_scheduler_test.cc.o"
+  "CMakeFiles/job_scheduler_test.dir/job_scheduler_test.cc.o.d"
+  "job_scheduler_test"
+  "job_scheduler_test.pdb"
+  "job_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

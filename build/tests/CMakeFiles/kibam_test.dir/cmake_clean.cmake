@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kibam_test.dir/kibam_test.cc.o"
+  "CMakeFiles/kibam_test.dir/kibam_test.cc.o.d"
+  "kibam_test"
+  "kibam_test.pdb"
+  "kibam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kibam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metering_sched_test.dir/metering_sched_test.cc.o"
+  "CMakeFiles/metering_sched_test.dir/metering_sched_test.cc.o.d"
+  "metering_sched_test"
+  "metering_sched_test.pdb"
+  "metering_sched_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metering_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/placement_detector_test.dir/placement_detector_test.cc.o"
+  "CMakeFiles/placement_detector_test.dir/placement_detector_test.cc.o.d"
+  "placement_detector_test"
+  "placement_detector_test.pdb"
+  "placement_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/placement_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

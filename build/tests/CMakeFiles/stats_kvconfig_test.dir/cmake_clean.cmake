@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_kvconfig_test.dir/stats_kvconfig_test.cc.o"
+  "CMakeFiles/stats_kvconfig_test.dir/stats_kvconfig_test.cc.o.d"
+  "stats_kvconfig_test"
+  "stats_kvconfig_test.pdb"
+  "stats_kvconfig_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_kvconfig_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voltage_aging_test.dir/voltage_aging_test.cc.o"
+  "CMakeFiles/voltage_aging_test.dir/voltage_aging_test.cc.o.d"
+  "voltage_aging_test"
+  "voltage_aging_test.pdb"
+  "voltage_aging_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voltage_aging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
