@@ -13,9 +13,13 @@
  *    response buys survival time — at a visible throughput cost;
  *  - coarse metering (Table I's blind regimes) flags nothing, so
  *    the "response" neither costs nor protects anything.
+ *
+ * The five (response, interval) runs execute as one SweepRunner
+ * batch (`--jobs N`).
  */
 
 #include <iostream>
+#include <vector>
 
 #include "attack/attacker.h"
 #include "attack/virus_trace.h"
@@ -26,70 +30,66 @@ using namespace pad;
 
 namespace {
 
-struct Result {
-    double survival;
-    double throughput;
-    std::uint64_t detections;
-};
-
-Result
-run(bool response, Tick interval, const bench::ClusterWorkload &cw)
+runner::Experiment
+experiment(bool response, Tick interval,
+           const bench::ClusterWorkload &cw)
 {
     core::DataCenterConfig cfg =
         bench::clusterConfig(core::SchemeKind::PS);
     cfg.clusterBudgetFraction = 0.70;
     cfg.detectorResponse = response;
     cfg.detectorInterval = interval;
-    core::DataCenter dc(cfg, cw.workload.get());
-    dc.runCoarseUntil(kTicksPerDay + 11 * kTicksPerHour);
 
-    attack::AttackerConfig ac;
-    ac.controlledNodes = 4;
-    ac.prepareSec = 60.0;
-    ac.maxDrainSec = 400.0;
-    ac.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
-                                     ac.kind);
-    attack::TwoPhaseAttacker attacker(ac);
-
-    core::AttackScenario sc;
-    sc.targetPolicy = core::TargetPolicy::Fixed;
-    sc.targetRack = core::rackByLoadPercentile(
-        *cw.workload, cfg, dc.now(), dc.now() + kTicksPerHour, 90.0);
-    sc.durationSec = 1500.0;
-    const auto out = dc.runAttack(attacker, sc);
-    return Result{out.survivalSec, out.throughput,
-                  dc.detectionsFlagged()};
+    runner::ClusterAttackSpec p;
+    p.config = cfg;
+    p.nodes = 4;
+    p.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
+                                    p.kind);
+    p.maxDrainSec = 400.0;
+    p.victimRacks = 1;
+    p.victimPct = 90.0;
+    p.rankWindowSec = 3600.0;
+    p.durationSec = 1500.0;
+    return runner::Experiment::clusterAttack(p, cw);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== ablation: detection-triggered cluster-wide "
                  "capping (PS + detector) ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
 
-    TextTable table("dense CPU attack, single hot victim rack");
-    table.setHeader({"metering", "detections", "survival (s)",
-                     "throughput"});
-    {
-        const auto off = run(false, 10 * kTicksPerSecond, cw);
-        table.addRow({"(response off)", "-",
-                      formatFixed(off.survival, 0),
-                      formatFixed(off.throughput, 3)});
-    }
     const std::pair<std::string, Tick> intervals[] = {
         {"5s", 5 * kTicksPerSecond},
         {"10s", 10 * kTicksPerSecond},
         {"60s", 60 * kTicksPerSecond},
         {"5m", 5 * kTicksPerMinute},
     };
-    for (const auto &[name, ticks] : intervals) {
-        const auto r = run(true, ticks, cw);
-        table.addRow({name, std::to_string(r.detections),
-                      formatFixed(r.survival, 0),
-                      formatFixed(r.throughput, 3)});
+
+    std::vector<runner::Experiment> grid;
+    grid.push_back(experiment(false, 10 * kTicksPerSecond, cw));
+    for (const auto &[name, ticks] : intervals)
+        grid.push_back(experiment(true, ticks, cw));
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
+
+    TextTable table("dense CPU attack, single hot victim rack");
+    table.setHeader({"metering", "detections", "survival (s)",
+                     "throughput"});
+    table.addRow({"(response off)", "-",
+                  formatFixed(results[0].attack().survivalSec, 0),
+                  formatFixed(results[0].attack().throughput, 3)});
+    for (std::size_t i = 0; i < std::size(intervals); ++i) {
+        const auto &r = results[i + 1];
+        table.addRow({intervals[i].first,
+                      std::to_string(r.cluster().detections),
+                      formatFixed(r.attack().survivalSec, 0),
+                      formatFixed(r.attack().throughput, 3)});
     }
     table.print(std::cout);
 

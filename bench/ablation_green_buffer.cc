@@ -12,10 +12,12 @@
  * The bench emulates renewable-buffer duty by starting the attack at
  * progressively lower fleet SOC (the state a green data center's
  * batteries sit at after smoothing a cloudy morning) and measures
- * how much cheaper the attack becomes.
+ * how much cheaper the attack becomes. The (SOC x scheme) grid runs
+ * as one SweepRunner batch (`--jobs N`).
  */
 
 #include <iostream>
+#include <vector>
 
 #include "attack/attacker.h"
 #include "attack/virus_trace.h"
@@ -26,51 +28,58 @@ using namespace pad;
 
 namespace {
 
-double
-survivalAtSoc(double initialSoc, core::SchemeKind scheme,
-              const bench::ClusterWorkload &cw)
+const double kSocs[] = {1.0, 0.8, 0.6, 0.4, 0.25};
+const core::SchemeKind kSchemes[] = {core::SchemeKind::PS,
+                                     core::SchemeKind::VdebOnly,
+                                     core::SchemeKind::Pad};
+
+runner::Experiment
+experiment(double initialSoc, core::SchemeKind scheme,
+           const bench::ClusterWorkload &cw)
 {
     core::DataCenterConfig cfg = bench::clusterConfig(scheme);
     cfg.clusterBudgetFraction = 0.70;
-    core::DataCenter dc(cfg, cw.workload.get());
-    dc.runCoarseUntil(kTicksPerDay + 11 * kTicksPerHour);
+
+    runner::ClusterAttackSpec p;
+    p.config = cfg;
+    p.nodes = 4;
+    p.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
+                                    p.kind);
     // Renewable-buffer duty left the fleet partially discharged.
-    dc.setAllSoc(initialSoc);
-
-    attack::AttackerConfig ac;
-    ac.controlledNodes = 4;
-    ac.prepareSec = 60.0;
-    ac.maxDrainSec = 600.0;
-    ac.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
-                                     ac.kind);
-    attack::TwoPhaseAttacker attacker(ac);
-
-    core::AttackScenario sc;
-    sc.targetPolicy = core::TargetPolicy::Fixed;
-    sc.targetRack = core::rackByLoadPercentile(
-        *cw.workload, cfg, dc.now(), dc.now() + kTicksPerHour, 90.0);
-    sc.durationSec = 1500.0;
-    return dc.runAttack(attacker, sc).survivalSec;
+    p.initialSoc = initialSoc;
+    p.victimRacks = 1;
+    p.victimPct = 90.0;
+    p.rankWindowSec = 3600.0;
+    p.durationSec = 1500.0;
+    return runner::Experiment::clusterAttack(p, cw);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== ablation: battery duty from green-energy "
                  "buffering vs attack cost ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
 
+    std::vector<runner::Experiment> grid;
+    for (double soc : kSocs)
+        for (core::SchemeKind scheme : kSchemes)
+            grid.push_back(experiment(soc, scheme, cw));
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
+
     TextTable table("survival (s) vs fleet SOC at attack time");
     table.setHeader({"initial SOC", "PS", "vDEB", "PAD"});
-    for (double soc : {1.0, 0.8, 0.6, 0.4, 0.25}) {
-        table.addRow(
-            formatPercent(soc, 0),
-            {survivalAtSoc(soc, core::SchemeKind::PS, cw),
-             survivalAtSoc(soc, core::SchemeKind::VdebOnly, cw),
-             survivalAtSoc(soc, core::SchemeKind::Pad, cw)},
-            0);
+    std::size_t job = 0;
+    for (double soc : kSocs) {
+        std::vector<double> row;
+        for (std::size_t i = 0; i < std::size(kSchemes); ++i)
+            row.push_back(results[job++].attack().survivalSec);
+        table.addRow(formatPercent(soc, 0), row, 0);
     }
     table.print(std::cout);
 

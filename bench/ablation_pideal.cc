@@ -10,10 +10,14 @@
  *    vDEB (smaller = vulnerable racks hidden faster);
  *  - survival under a standard multi-rack attack;
  *  - battery wear: the worst per-unit aging inflicted.
+ *
+ * Each P_ideal value contributes one coarse balancing run and one
+ * attack run — all 2x6 simulations go through one SweepRunner batch.
  */
 
 #include <algorithm>
 #include <iostream>
+#include <vector>
 
 #include "attack/virus_trace.h"
 #include "bench_common.h"
@@ -21,38 +25,62 @@
 
 using namespace pad;
 
-int
-main()
+namespace {
+
+const double kPideals[] = {100.0, 200.0, 400.0,
+                           800.0, 1600.0, 3200.0};
+
+core::DataCenterConfig
+configFor(double pideal)
 {
+    core::DataCenterConfig cfg =
+        bench::clusterConfig(core::SchemeKind::VdebOnly);
+    cfg.clusterBudgetFraction = 0.70;
+    cfg.vdeb.idealDischargePower = pideal;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== ablation: vDEB ideal discharge cap P_ideal ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
+
+    // Per P_ideal: a coarse balancing run over a power-constrained
+    // day (the PDU at 70% of nameplate forces the pool to work every
+    // peak), then survival under the standard attack.
+    std::vector<runner::Experiment> grid;
+    for (double pideal : kPideals) {
+        runner::ClusterCoarseSpec coarse;
+        coarse.config = configFor(pideal);
+        coarse.untilHours = 24.0 + 13.0; // mid-peak on day 2
+        grid.push_back(runner::Experiment::clusterCoarse(coarse, cw));
+
+        runner::ClusterAttackSpec p;
+        p.config = configFor(pideal);
+        p.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
+                                        p.kind);
+        grid.push_back(runner::Experiment::clusterAttack(p, cw));
+    }
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
 
     TextTable table("P_ideal sweep (vDEB-only scheme)");
     table.setHeader({"P_ideal (W)", "min rack SOC mid-peak",
                      "SOC stddev (%)", "survival (s)",
                      "max unit wear (x1e-3)"});
 
-    for (double pideal : {100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0}) {
-        // Balancing quality over a power-constrained day: the PDU at
-        // 70% of nameplate forces the pool to work every peak.
-        core::DataCenterConfig cfg =
-            bench::clusterConfig(core::SchemeKind::VdebOnly);
-        cfg.clusterBudgetFraction = 0.70;
-        cfg.vdeb.idealDischargePower = pideal;
-        core::DataCenter dc(cfg, cw.workload.get());
-        dc.runCoarseUntil(kTicksPerDay + 13 * kTicksPerHour);
-        const double spread = dc.socStdDevPercent();
+    for (std::size_t i = 0; i < std::size(kPideals); ++i) {
+        const double pideal = kPideals[i];
+        const auto &coarse = results[2 * i].cluster();
+        const auto &attacked = results[2 * i + 1].attack();
         double minSoc = 1.0;
-        for (double s : dc.allSocs())
+        for (double s : coarse.socs)
             minSoc = std::min(minSoc, s);
-
-        // Survival + wear under the standard attack.
-        bench::ClusterAttackParams p;
-        p.scheme = core::SchemeKind::VdebOnly;
-        p.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
-                                        p.kind);
-        const auto out = bench::runClusterAttack(p, cw);
-        (void)out;
 
         // Wear: drive one DEB at the capped rate for a full drain
         // and report the aging model's verdict (cluster wear data
@@ -60,7 +88,8 @@ main()
         // the rate-stress trend Algorithm 1 is guarding against).
         battery::BatteryUnit unit(
             "ablation.deb",
-            core::defaultDebConfig(cfg.rackNameplate()));
+            core::defaultDebConfig(
+                core::DataCenterConfig{}.rackNameplate()));
         double drained = 0.0;
         while (!unit.unavailable() && drained < 1e7) {
             drained += unit.discharge(pideal, 10.0);
@@ -69,8 +98,8 @@ main()
         }
         table.addRow({formatFixed(pideal, 0),
                       formatPercent(minSoc, 1),
-                      formatFixed(spread, 2),
-                      formatFixed(out.survivalSec, 0),
+                      formatFixed(coarse.socStdDevPercent, 2),
+                      formatFixed(attacked.survivalSec, 0),
                       formatFixed(unit.wear() * 1e3, 3)});
     }
     table.print(std::cout);

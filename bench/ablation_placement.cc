@@ -8,9 +8,13 @@
  * servers exhaust exactly the units backing them and cannot be
  * helped by their neighbors' stranded capacity — a finer-grained
  * version of the fragmentation argument that motivates vDEB pooling.
+ *
+ * The (scheme x nodes x placement) grid runs as one SweepRunner
+ * batch (`--jobs N`).
  */
 
 #include <iostream>
+#include <vector>
 
 #include "attack/virus_trace.h"
 #include "bench_common.h"
@@ -20,59 +24,68 @@ using namespace pad;
 
 namespace {
 
-double
-survival(core::DataCenterConfig::DebPlacement placement,
-         core::SchemeKind scheme, const bench::ClusterWorkload &cw,
-         int nodes)
+const core::SchemeKind kSchemes[] = {core::SchemeKind::PS,
+                                     core::SchemeKind::VdebOnly};
+const int kNodes[] = {2, 4};
+const core::DataCenterConfig::DebPlacement kPlacements[] = {
+    core::DataCenterConfig::DebPlacement::RackCabinet,
+    core::DataCenterConfig::DebPlacement::PerServer};
+
+runner::Experiment
+experiment(core::DataCenterConfig::DebPlacement placement,
+           core::SchemeKind scheme, const bench::ClusterWorkload &cw,
+           int nodes)
 {
     core::DataCenterConfig cfg = bench::clusterConfig(scheme);
     cfg.clusterBudgetFraction = 0.70;
     cfg.debPlacement = placement;
-    core::DataCenter dc(cfg, cw.workload.get());
-    dc.runCoarseUntil(kTicksPerDay + 11 * kTicksPerHour);
 
-    attack::AttackerConfig ac;
-    ac.controlledNodes = nodes;
-    ac.prepareSec = 60.0;
-    ac.maxDrainSec = 600.0;
-    ac.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
-                                     ac.kind);
-    attack::TwoPhaseAttacker attacker(ac);
-
-    core::AttackScenario sc;
-    sc.targetPolicy = core::TargetPolicy::Fixed;
-    sc.targetRack = core::rackByLoadPercentile(
-        *cw.workload, cfg, dc.now(), dc.now() + kTicksPerHour, 90.0);
-    sc.durationSec = 1500.0;
-    return dc.runAttack(attacker, sc).survivalSec;
+    runner::ClusterAttackSpec p;
+    p.config = cfg;
+    p.nodes = nodes;
+    p.train = attack::spikeTrainFor(attack::AttackStyle::Dense,
+                                    p.kind);
+    p.victimRacks = 1;
+    p.victimPct = 90.0;
+    p.rankWindowSec = 3600.0;
+    p.durationSec = 1500.0;
+    return runner::Experiment::clusterAttack(p, cw);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== ablation: DEB placement granularity "
                  "(rack cabinet vs per-server BBU) ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
+
+    std::vector<runner::Experiment> grid;
+    for (core::SchemeKind scheme : kSchemes)
+        for (int nodes : kNodes)
+            for (auto placement : kPlacements)
+                grid.push_back(
+                    experiment(placement, scheme, cw, nodes));
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
 
     TextTable table("survival under a targeted CPU-virus attack "
                     "(same total capacity, seconds)");
     table.setHeader({"scheme / nodes", "rack cabinet",
                      "per-server BBU"});
-    for (core::SchemeKind scheme :
-         {core::SchemeKind::PS, core::SchemeKind::VdebOnly}) {
-        for (int nodes : {2, 4}) {
-            table.addRow(
-                core::schemeName(scheme) + " x" +
-                    std::to_string(nodes),
-                {survival(
-                     core::DataCenterConfig::DebPlacement::RackCabinet,
-                     scheme, cw, nodes),
-                 survival(
-                     core::DataCenterConfig::DebPlacement::PerServer,
-                     scheme, cw, nodes)},
-                0);
+    std::size_t job = 0;
+    for (core::SchemeKind scheme : kSchemes) {
+        for (int nodes : kNodes) {
+            const double cabinet =
+                results[job++].attack().survivalSec;
+            const double perServer =
+                results[job++].attack().survivalSec;
+            table.addRow(core::schemeName(scheme) + " x" +
+                             std::to_string(nodes),
+                         {cabinet, perServer}, 0);
         }
     }
     table.print(std::cout);

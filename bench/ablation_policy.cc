@@ -10,9 +10,15 @@
  * collecting load information) while a lenient one stays Normal.
  * It also sweeps the offline-charging restart threshold, the knob
  * behind Fig. 5's vulnerability gap.
+ *
+ * Both halves run on the SweepRunner pool (`--jobs N`): the policy
+ * automata through the generic map() loop, the charging sweep as
+ * four ClusterCoarse experiments.
  */
 
+#include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/security_policy.h"
@@ -66,19 +72,32 @@ drive(bool strict, double udebDownProb, std::uint64_t seed)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const runner::SweepRunner pool(opts.runnerOptions());
     std::cout << "=== ablation: Fig. 9 policy strictness and "
                  "recharge thresholds ===\n\n";
 
     {
+        const double flickers[] = {0.01, 0.05, 0.15};
+        const bool stricts[] = {true, false};
+        // Each automaton owns its Rng and stats; the pool runs the
+        // grid with the same fixed seed per cell as the serial loop.
+        const auto stats = pool.map(
+            std::size(flickers) * std::size(stricts),
+            [&](std::size_t i) {
+                return drive(stricts[i % 2], flickers[i / 2], 7);
+            });
+
         TextTable table("strict vs lenient [vDEB>0, uDEB==0] rows "
                         "(20k control periods, stochastic inputs)");
         table.setHeader({"policy", "uDEB flicker", "% L1", "% L2",
                          "% L3", "transitions"});
-        for (double flicker : {0.01, 0.05, 0.15}) {
-            for (bool strict : {true, false}) {
-                const auto s = drive(strict, flicker, 7);
+        std::size_t job = 0;
+        for (double flicker : flickers) {
+            for (bool strict : stricts) {
+                const auto &s = stats[job++];
                 const double total = 20000.0;
                 table.addRow(
                     {strict ? "strict (L2)" : "lenient (L1)",
@@ -97,21 +116,33 @@ main()
 
     {
         const auto cw = bench::makeClusterWorkload(3.0);
-        TextTable table("offline-charging restart threshold vs "
-                        "battery vulnerability (2 days, PS)");
-        table.setHeader({"restart SOC", "mean SOC stddev (%)",
-                         "vulnerable rack-steps (<30% SOC)"});
-        for (double start : {0.4, 0.55, 0.7, 0.85}) {
+        const double starts[] = {0.4, 0.55, 0.7, 0.85};
+
+        std::vector<runner::Experiment> grid;
+        for (double start : starts) {
             core::DataCenterConfig cfg =
                 bench::clusterConfig(core::SchemeKind::PS);
             cfg.charge.kind = battery::ChargePolicyKind::Offline;
             cfg.charge.offlineStartSoc = start;
-            core::DataCenter dc(cfg, cw.workload.get());
-            dc.setRecordHistory(true);
-            dc.runCoarseUntil(2 * kTicksPerDay);
+
+            runner::ClusterCoarseSpec spec;
+            spec.config = cfg;
+            spec.untilHours = 48.0;
+            spec.recordHistory = true;
+            grid.push_back(
+                runner::Experiment::clusterCoarse(spec, cw));
+        }
+        const auto results = pool.run(grid);
+
+        TextTable table("offline-charging restart threshold vs "
+                        "battery vulnerability (2 days, PS)");
+        table.setHeader({"restart SOC", "mean SOC stddev (%)",
+                         "vulnerable rack-steps (<30% SOC)"});
+        for (std::size_t i = 0; i < std::size(starts); ++i) {
+            const auto &history = results[i].cluster().socHistory;
             double spread = 0.0;
             int vulnerable = 0;
-            for (const auto &row : dc.socHistory()) {
+            for (const auto &row : history) {
                 double mean = 0.0, var = 0.0;
                 for (double s : row)
                     mean += s;
@@ -122,8 +153,8 @@ main()
                 }
                 spread += std::sqrt(var / row.size()) * 100.0;
             }
-            spread /= dc.socHistory().size();
-            table.addRow({formatPercent(start, 0),
+            spread /= history.size();
+            table.addRow({formatPercent(starts[i], 0),
                           formatFixed(spread, 2),
                           std::to_string(vulnerable)});
         }

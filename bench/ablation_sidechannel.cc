@@ -10,11 +10,13 @@
  * The bench runs a multi-round learning attacker (drain, observe
  * DVFS throttling, recover, repeat) against a capping data center
  * with and without vDEB capacity sharing and reports the autonomy
- * estimates the attacker walks away with.
+ * estimates the attacker walks away with. Both arms run as one
+ * SweepRunner batch (`--jobs N`).
  */
 
 #include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "attack/attacker.h"
 #include "bench_common.h"
@@ -25,13 +27,10 @@ using namespace pad;
 
 namespace {
 
-struct LearnResult {
-    std::vector<double> samples;
-    int roundsAttempted = 0;
-};
+constexpr int kLearnRounds = 4;
 
-LearnResult
-learn(bool withVdeb, const bench::ClusterWorkload &cw)
+runner::Experiment
+experiment(bool withVdeb, const bench::ClusterWorkload &cw)
 {
     core::DataCenterConfig cfg =
         bench::clusterConfig(core::SchemeKind::PSPC);
@@ -41,60 +40,62 @@ learn(bool withVdeb, const bench::ClusterWorkload &cw)
     cfg.overrideTraits = true;
     cfg.traits = core::schemeTraits(core::SchemeKind::PSPC);
     cfg.traits.vdebSharing = withVdeb;
-    core::DataCenter dc(cfg, cw.workload.get());
-    dc.runCoarseUntil(kTicksPerDay + 10 * kTicksPerHour);
 
-    attack::AttackerConfig ac;
-    ac.controlledNodes = 4;
-    ac.prepareSec = 30.0;
-    ac.maxDrainSec = 1200.0;
-    ac.learnRounds = 4;
-    ac.recoverSec = 300.0;
-    attack::TwoPhaseAttacker attacker(ac);
-
-    core::AttackScenario sc;
-    sc.targetPolicy = core::TargetPolicy::Fixed;
-    sc.targetRack = core::rackByLoadPercentile(
-        *cw.workload, cfg, dc.now(), dc.now() + kTicksPerHour, 85.0);
-    sc.durationSec = 3.0 * 3600.0; // room for all learning rounds
-
-    dc.runAttack(attacker, sc);
-    return LearnResult{attacker.autonomySamples(),
-                       attacker.config().learnRounds};
+    runner::ClusterAttackSpec p;
+    p.config = cfg;
+    p.nodes = 4;
+    p.prepareSec = 30.0;
+    p.maxDrainSec = 1200.0;
+    p.learnRounds = kLearnRounds;
+    p.recoverSec = 300.0;
+    p.attackHour = 10.0;
+    p.victimRacks = 1;
+    p.victimPct = 85.0;
+    p.rankWindowSec = 3600.0;
+    p.durationSec = 3.0 * 3600.0; // room for all learning rounds
+    return runner::Experiment::clusterAttack(p, cw);
 }
 
 void
-report(const std::string &name, const LearnResult &r, TextTable &table)
+report(const std::string &name, const std::vector<double> &samples,
+       TextTable &table)
 {
     RunningStats stats;
-    for (double s : r.samples)
+    for (double s : samples)
         stats.add(s);
     const double cv =
         stats.mean() > 0.0 ? stats.stddev() / stats.mean() : 0.0;
     table.addRow(
-        {name, std::to_string(r.samples.size()),
-         r.samples.empty() ? "-" : formatFixed(stats.mean(), 0),
-         r.samples.empty() ? "-" : formatFixed(stats.stddev(), 0),
-         r.samples.empty() ? "-" : formatPercent(cv, 1)});
+        {name, std::to_string(samples.size()),
+         samples.empty() ? "-" : formatFixed(stats.mean(), 0),
+         samples.empty() ? "-" : formatFixed(stats.stddev(), 0),
+         samples.empty() ? "-" : formatPercent(cv, 1)});
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== ablation: attacker's Phase-I side-channel "
                  "learning, with and without vDEB ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
 
-    const auto without = learn(false, cw);
-    const auto with = learn(true, cw);
+    const std::vector<runner::Experiment> grid = {
+        experiment(false, cw), experiment(true, cw)};
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
 
-    TextTable table("autonomy estimates over 4 learning rounds");
+    TextTable table("autonomy estimates over " +
+                    std::to_string(kLearnRounds) +
+                    " learning rounds");
     table.setHeader({"defense", "signals observed", "mean (s)",
                      "stddev (s)", "coeff. of variation"});
-    report("capping only", without, table);
-    report("capping + vDEB", with, table);
+    report("capping only", results[0].cluster().autonomySamples,
+           table);
+    report("capping + vDEB", results[1].cluster().autonomySamples,
+           table);
     table.print(std::cout);
 
     std::cout

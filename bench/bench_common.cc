@@ -1,299 +1,30 @@
 #include "bench_common.h"
 
-#include <algorithm>
-#include <cmath>
-
-#include "util/logging.h"
+#include <cstdlib>
+#include <iostream>
+#include <string>
 
 namespace pad::bench {
 
-namespace {
-
-/** splitmix64 hash for deterministic per-(stream, second) noise. */
-std::uint64_t
-mix(std::uint64_t x)
+BenchOptions
+parseBenchArgs(int argc, char **argv)
 {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-double
-unitNoise(std::uint64_t stream, std::uint64_t second)
-{
-    const std::uint64_t h = mix((stream << 40) ^ second);
-    return static_cast<double>(h >> 11) /
-               static_cast<double>(1ULL << 53) * 2.0 -
-           1.0;
-}
-
-} // namespace
-
-RackLabResult
-runRackLab(const RackLabConfig &cfg, double windowSec)
-{
-    PAD_ASSERT(cfg.servers >= 1 &&
-               cfg.maliciousNodes <= cfg.servers);
-    power::ServerPowerModel model(
-        power::ServerPowerConfig{cfg.idlePower, cfg.peakPower, 0.85});
-    const Watts nameplate = cfg.peakPower * cfg.servers;
-
-    RackLabResult out;
-    out.budget = cfg.budgetFraction * nameplate;
-    out.limit = out.budget * (1.0 + cfg.overshoot);
-
-    attack::PowerVirus virus(cfg.kind, cfg.train, cfg.seed);
-
-    std::unique_ptr<battery::BatteryUnit> deb;
-    if (cfg.batteryCharged) {
-        battery::BatteryUnitConfig bc;
-        bc.capacityWh = joulesToWattHours(nameplate * cfg.batterySeconds);
-        bc.maxDischargePower = nameplate * 1.2;
-        bc.maxChargePower = nameplate * 0.05;
-        deb = std::make_unique<battery::BatteryUnit>("lab.deb", bc);
-    }
-    std::unique_ptr<core::MicroDeb> udeb;
-    if (cfg.withUdeb) {
-        core::MicroDebConfig uc;
-        uc.cap.capacitanceF = cfg.udebFarads;
-        udeb = std::make_unique<core::MicroDeb>("lab.udeb", uc);
-    }
-
-    bool inOverload = false;
-    std::vector<double> crossings; // seconds of each overload onset
-    double secAccum = 0.0;
-    double secEnergy = 0.0;
-    const int steps = static_cast<int>(windowSec / cfg.stepSec + 0.5);
-    for (int i = 0; i < steps; ++i) {
-        const double t = i * cfg.stepSec;
-        const auto second = static_cast<std::uint64_t>(t);
-
-        Watts rack = 0.0;
-        const double malUtil = virus.phaseTwoUtil(t);
-        for (int s = 0; s < cfg.servers; ++s) {
-            double util;
-            if (s < cfg.maliciousNodes) {
-                util = malUtil;
-            } else {
-                util = cfg.normalUtil *
-                       (1.0 + cfg.noiseAmp *
-                                  unitNoise(cfg.seed ^ (s + 1), second));
-            }
-            rack += model.power(std::clamp(util, 0.0, 1.0));
-        }
-
-        Watts draw = rack;
-        if (deb) {
-            const Watts excess = std::max(0.0, draw - out.budget);
-            if (excess > 0.0)
-                draw -= deb->discharge(excess, cfg.stepSec) / cfg.stepSec;
-            else
-                deb->rest(cfg.stepSec);
-            if (deb->unavailable() && out.batteryOutSec < 0.0)
-                out.batteryOutSec = t;
-        }
-        if (udeb) {
-            const Watts residual =
-                std::max(0.0, draw - out.limit * 0.999);
-            if (residual > 0.0)
-                draw -= udeb->shave(residual, cfg.stepSec);
-            else
-                udeb->recharge(std::max(0.0, out.budget - draw),
-                               cfg.stepSec);
-        }
-
-        const bool over = draw > out.limit;
-        if (over && !inOverload) {
-            crossings.push_back(t);
-            if (out.firstOverloadSec < 0.0)
-                out.firstOverloadSec = t;
-        }
-        inOverload = over;
-
-        secEnergy += draw * cfg.stepSec;
-        secAccum += cfg.stepSec;
-        if (secAccum >= 1.0 - 1e-9) {
-            out.drawPerSecond.push_back(secEnergy / secAccum);
-            secAccum = 0.0;
-            secEnergy = 0.0;
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
+            opts.jobs = std::atoi(argv[++i]);
+            if (opts.jobs < 0)
+                opts.jobs = 0;
+        } else {
+            std::cerr << "usage: " << argv[0] << " [--jobs N]\n"
+                      << "  --jobs N  worker threads for the sweep "
+                         "(0 = all cores); results are\n"
+                      << "            bit-identical for every N\n";
+            std::exit(2);
         }
     }
-
-    for (int i = 0;; ++i) {
-        const double s = virus.spikeStart(i);
-        const double e = s + cfg.train.widthSec;
-        if (e > windowSec)
-            break;
-        out.spikeWindows.emplace_back(s, e);
-    }
-    out.spikesLaunched = static_cast<int>(out.spikeWindows.size());
-
-    // Effective attacks are counted per *spike*, the paper's unit of
-    // attack: a spike is effective when an overload onset falls in
-    // (or just after) its window. Residual onsets outside any spike
-    // (sustained saturation, noise flicker at the limit) collapse
-    // into a single extra event.
-    const double slack = virus.signature().riseTimeSec + 0.5;
-    bool residual = false;
-    std::size_t spike = 0;
-    std::vector<bool> hit(out.spikeWindows.size(), false);
-    for (double t : crossings) {
-        while (spike < out.spikeWindows.size() &&
-               out.spikeWindows[spike].second + slack < t)
-            ++spike;
-        if (spike < out.spikeWindows.size() &&
-            t >= out.spikeWindows[spike].first - 0.5 &&
-            t <= out.spikeWindows[spike].second + slack)
-            hit[spike] = true;
-        else
-            residual = true;
-    }
-    for (bool h : hit)
-        out.effectiveAttacks += h;
-    out.effectiveAttacks += residual ? 1 : 0;
-    return out;
-}
-
-RackLabServerTrace
-runRackLabServers(const RackLabConfig &cfg, double windowSec)
-{
-    PAD_ASSERT(cfg.maliciousNodes >= 1);
-    power::ServerPowerModel model(
-        power::ServerPowerConfig{cfg.idlePower, cfg.peakPower, 0.85});
-    attack::PowerVirus virus(cfg.kind, cfg.train, cfg.seed);
-    const double pressure =
-        cfg.train.pressure >= 0.0 ? cfg.train.pressure
-                                  : virus.signature().phaseTwoPressure;
-    const double restUtil = pressure * virus.signature().maxUtil;
-
-    RackLabServerTrace out;
-    out.stepSec = cfg.stepSec;
-    out.baseline = model.power(restUtil);
-    out.power.resize(static_cast<std::size_t>(cfg.maliciousNodes));
-    out.spikes.resize(static_cast<std::size_t>(cfg.maliciousNodes));
-
-    // Round-robin attribution: spike k fires on node k % N, so each
-    // node's individual trace carries 1/N of the schedule.
-    std::vector<std::pair<double, double>> allSpikes;
-    for (int i = 0;; ++i) {
-        const double s = virus.spikeStart(i);
-        const double e = s + cfg.train.widthSec;
-        if (e > windowSec)
-            break;
-        allSpikes.emplace_back(s, e);
-        out.spikes[static_cast<std::size_t>(i % cfg.maliciousNodes)]
-            .emplace_back(s, e);
-    }
-
-    const int steps = static_cast<int>(windowSec / cfg.stepSec + 0.5);
-    for (int n = 0; n < cfg.maliciousNodes; ++n) {
-        auto &trace = out.power[static_cast<std::size_t>(n)];
-        trace.reserve(static_cast<std::size_t>(steps));
-        std::size_t next = 0;
-        const auto &mine = out.spikes[static_cast<std::size_t>(n)];
-        for (int i = 0; i < steps; ++i) {
-            const double t = i * cfg.stepSec;
-            while (next < mine.size() && t >= mine[next].second)
-                ++next;
-            const bool spiking = next < mine.size() &&
-                                 t >= mine[next].first &&
-                                 t < mine[next].second;
-            double util;
-            if (spiking) {
-                // Per-spike amplitude jitter: consecutive bursts of
-                // the same benchmark do not hit identical peaks.
-                const double amp =
-                    0.85 + 0.15 * (0.5 + 0.5 * unitNoise(
-                                             cfg.seed ^ 0x5a ^ (n + 1),
-                                             next));
-                util = virus.signature().maxUtil * amp;
-            } else {
-                util = restUtil;
-            }
-            // Fast measurement noise plus a slow (10 s) wander of the
-            // background level: both are what makes threshold-based
-            // detection statistical rather than binary.
-            util *= 1.0 + 0.04 * unitNoise(cfg.seed ^ 0x77 ^ (n + 1),
-                                           static_cast<std::uint64_t>(t));
-            util *= 1.0 + 0.05 * unitNoise(
-                              cfg.seed ^ 0x99 ^ (n + 1),
-                              static_cast<std::uint64_t>(t / 10.0));
-            trace.push_back(model.power(std::clamp(util, 0.0, 1.0)));
-        }
-    }
-    return out;
-}
-
-ClusterWorkload
-makeClusterWorkload(double days, double surgePeriodHours,
-                    std::uint64_t seed)
-{
-    ClusterWorkload cw;
-    cw.traceConfig.machines = 220;
-    cw.traceConfig.days = days;
-    cw.traceConfig.seed = seed;
-    cw.traceConfig.surgePeriodHours = surgePeriodHours;
-    trace::SyntheticGoogleTrace gen(cw.traceConfig);
-    cw.events = gen.generate();
-    cw.workload = std::make_unique<trace::Workload>(
-        cw.events, cw.traceConfig.machines,
-        static_cast<Tick>(days * kTicksPerDay));
-    return cw;
-}
-
-core::DataCenterConfig
-clusterConfig(core::SchemeKind scheme)
-{
-    core::DataCenterConfig cfg;
-    cfg.scheme = scheme;
-    cfg.deb = core::defaultDebConfig(cfg.rackNameplate());
-    return cfg;
-}
-
-core::AttackOutcome
-runClusterAttack(const ClusterAttackParams &params,
-                 const ClusterWorkload &cw)
-{
-    core::DataCenterConfig cfg = clusterConfig(params.scheme);
-    cfg.budgetFraction = params.budgetFraction;
-    cfg.clusterBudgetFraction = params.clusterBudgetFraction;
-    core::DataCenter dc(cfg, cw.workload.get());
-    // Warm up through one night and the next morning so batteries
-    // carry realistic state, then strike near the diurnal peak.
-    dc.runCoarseUntil(kTicksPerDay +
-                      static_cast<Tick>(params.attackHour *
-                                        kTicksPerHour));
-
-    attack::AttackerConfig ac;
-    ac.controlledNodes = params.nodes;
-    ac.kind = params.kind;
-    ac.train = params.train;
-    ac.prepareSec = 60.0;  // realistic reconnaissance window
-    ac.maxDrainSec = 600.0;
-    attack::TwoPhaseAttacker attacker(ac);
-
-    core::AttackScenario sc;
-    sc.targetPolicy = core::TargetPolicy::Fixed;
-    sc.targetRack = core::rackByLoadPercentile(
-        *cw.workload, cfg, dc.now(),
-        dc.now() + secondsToTicks(params.durationSec),
-        params.victimPct);
-    for (int i = 1; i < params.victimRacks; ++i) {
-        const double pct = std::max(
-            0.0, params.victimPct - 5.0 * static_cast<double>(i));
-        const int rack = core::rackByLoadPercentile(
-            *cw.workload, cfg, dc.now(),
-            dc.now() + secondsToTicks(params.durationSec), pct);
-        if (rack != sc.targetRack &&
-            std::find(sc.extraVictimRacks.begin(),
-                      sc.extraVictimRacks.end(),
-                      rack) == sc.extraVictimRacks.end())
-            sc.extraVictimRacks.push_back(rack);
-    }
-    sc.durationSec = params.durationSec;
-    sc.dutyCycle = params.dutyCycle;
-    return dc.runAttack(attacker, sc);
+    return opts;
 }
 
 } // namespace pad::bench

@@ -1,192 +1,100 @@
 /**
  * @file
- * Shared scaffolding for the experiment-reproduction benches.
+ * Shared scaffolding for the experiment-reproduction benches, now a
+ * thin compatibility layer over the canonical Experiment API in
+ * src/runner (runner::Experiment + runner::SweepRunner).
  *
  * Two experiment vehicles mirror the paper's methodology (Fig. 11):
  *
- *  - RackAttackLab: the scaled-down hardware platform of Fig. 11-A
+ *  - RackLab specs: the scaled-down hardware platform of Fig. 11-A
  *    (a mini rack with a small battery set), simulated at 100 ms
  *    resolution. Drives Figures 6, 7, 8 and Table I.
  *  - makeClusterWorkload()/clusterConfig(): the trace-driven cluster
  *    simulator of Fig. 11-B (22 racks x 10 DL585 G5 servers fed by a
  *    Google-style trace). Drives Figures 5, 13, 14, 15, 16, 17.
+ *
+ * New benches should build runner::Experiment grids and submit them
+ * through a runner::SweepRunner (see fig15_survival_time.cc); the
+ * serial wrappers below remain for single-shot callers.
  */
 
 #ifndef PAD_BENCH_BENCH_COMMON_H
 #define PAD_BENCH_BENCH_COMMON_H
 
-#include <memory>
-#include <utility>
-#include <vector>
-
-#include "attack/attacker.h"
-#include "attack/power_virus.h"
-#include "battery/battery_unit.h"
-#include "core/config.h"
-#include "core/datacenter.h"
-#include "core/udeb.h"
-#include "power/server_power_model.h"
-#include "trace/synthetic_trace.h"
-#include "trace/workload.h"
-#include "util/types.h"
+#include "runner/experiment.h"
+#include "runner/sweep_runner.h"
 
 namespace pad::bench {
 
-// ---------------------------------------------------------------------
-// Scaled-down testbed (paper Fig. 11-A)
-// ---------------------------------------------------------------------
+// Canonical experiment types, re-exported under their historical
+// bench names.
+using ClusterWorkload = runner::ClusterWorkload;
+using RackLabConfig = runner::RackLabSpec;
+using RackLabResult = runner::RackLabResult;
+using RackLabServerTrace = runner::RackLabServerTrace;
+using ClusterAttackParams = runner::ClusterAttackSpec;
 
-/** Configuration of the mini-rack attack lab. */
-struct RackLabConfig {
-    /** Servers in the mini rack (paper: a handful of nodes). */
-    int servers = 5;
-    /** Idle power of one lab server, watts. */
-    Watts idlePower = 60.0;
-    /** Peak power of one lab server, watts. */
-    Watts peakPower = 200.0;
-    /** Rack budget as a fraction of nameplate. */
-    double budgetFraction = 0.65;
-    /** Overload tolerance above the budget. */
-    double overshoot = 0.08;
-    /** Mean utilization of the benign servers. */
-    double normalUtil = 0.35;
-    /** Relative per-second noise on benign utilization. */
-    double noiseAmp = 0.18;
-    /** Nodes the attacker controls. */
-    int maliciousNodes = 1;
-    /** Virus family. */
-    attack::VirusKind kind = attack::VirusKind::CpuIntensive;
-    /** Phase-II spike train. */
-    attack::SpikeTrain train{1.0, 1.0, 1.0};
-    /** Attach a (drained-by-Phase-I) battery? */
-    bool batteryCharged = false;
-    /** Battery sized for this many seconds at full rack load. */
-    double batterySeconds = 50.0;
-    /** Attach a µDEB super-cap spike shaver? */
-    bool withUdeb = false;
-    /** µDEB capacitance, farads. */
-    double udebFarads = 2.0;
-    /** Simulation step, seconds. */
-    double stepSec = 0.1;
-    /** Determinism. */
-    std::uint64_t seed = 2024;
-};
-
-/** Result of one lab run. */
-struct RackLabResult {
-    /** Effective attacks (overload-limit crossings). */
-    int effectiveAttacks = 0;
-    /** Spikes the virus launched in the window. */
-    int spikesLaunched = 0;
-    /** Second-windows of each launched spike (start, end). */
-    std::vector<std::pair<double, double>> spikeWindows;
-    /** Rack draw sampled once per second, watts. */
-    std::vector<double> drawPerSecond;
-    /** Seconds until the battery (if any) first ran out; <0 never. */
-    double batteryOutSec = -1.0;
-    /** Seconds until the first overload; <0 when none occurred. */
-    double firstOverloadSec = -1.0;
-    /** Rack budget, watts. */
-    Watts budget = 0.0;
-    /** Overload limit, watts. */
-    Watts limit = 0.0;
-};
+using runner::clusterConfig;
+using runner::makeClusterWorkload;
 
 /**
  * Simulate a Phase-II hidden-spike attack against the mini rack for
- * @p windowSec seconds and count effective attacks.
+ * @p windowSec seconds and count effective attacks (serial).
  */
-RackLabResult runRackLab(const RackLabConfig &cfg, double windowSec);
-
-/**
- * Per-server draw trace of the attacking node, one sample per
- * @p stepSec, for detection-rate studies (Table I): when the
- * attacker round-robins spikes over several nodes, each node's
- * individual trace carries 1/N of the spikes.
- */
-struct RackLabServerTrace {
-    /** Power samples of each malicious server, [server][step]. */
-    std::vector<std::vector<Watts>> power;
-    /** Spike windows attributed to each server, seconds. */
-    std::vector<std::vector<std::pair<double, double>>> spikes;
-    /** Step length, seconds. */
-    double stepSec = 0.1;
-    /** Baseline (no-attack) power of one server, watts. */
-    Watts baseline = 0.0;
-};
+inline RackLabResult
+runRackLab(const RackLabConfig &cfg, double windowSec)
+{
+    return runner::runExperiment(
+               runner::Experiment::rackLab(cfg, windowSec))
+        .lab();
+}
 
 /** Render per-malicious-server traces with round-robin spiking. */
-RackLabServerTrace runRackLabServers(const RackLabConfig &cfg,
-                                     double windowSec);
-
-// ---------------------------------------------------------------------
-// Trace-driven cluster (paper Fig. 11-B)
-// ---------------------------------------------------------------------
-
-/** Bundled workload (generator output + grid). */
-struct ClusterWorkload {
-    std::vector<trace::TaskEvent> events;
-    std::unique_ptr<trace::Workload> workload;
-    trace::SyntheticTraceConfig traceConfig;
-};
-
-/**
- * Build the evaluation workload: 220 machines, @p days days,
- * optionally with periodic cluster-wide surges (Fig. 14).
- */
-ClusterWorkload makeClusterWorkload(double days,
-                                    double surgePeriodHours = 0.0,
-                                    std::uint64_t seed = 42);
-
-/** The paper's cluster configuration for a given scheme. */
-core::DataCenterConfig clusterConfig(core::SchemeKind scheme);
-
-/** Parameters of one cluster attack measurement. */
-struct ClusterAttackParams {
-    /** Management scheme under test. */
-    core::SchemeKind scheme = core::SchemeKind::Pad;
-    /** Virus family. */
-    attack::VirusKind kind = attack::VirusKind::CpuIntensive;
-    /** Phase-II spike train. */
-    attack::SpikeTrain train;
-    /** Controlled nodes in each victim rack. */
-    int nodes = 4;
-    /**
-     * Number of racks the attacker holds nodes in ("divide and
-     * conquer"): victims are spread across the load distribution
-     * below the primary victim's percentile.
-     */
-    int victimRacks = 12;
-    /**
-     * Victim rack's load percentile; the same percentile picks the
-     * same rack for every scheme, keeping runs comparable.
-     */
-    double victimPct = 90.0;
-    /** Attack window length, seconds. */
-    double durationSec = 1500.0;
-    /** Attack duty cycle (Fig. 16-A's "attack rate"). */
-    double dutyCycle = 1.0;
-    /**
-     * Per-rack soft-limit fraction of nameplate for the attacked
-     * cluster.
-     */
-    double budgetFraction = 0.75;
-    /**
-     * Cluster (PDU) budget fraction. The paper's threat model
-     * targets heavily power-constrained facilities, so attack
-     * studies run the PDU tighter than the rack soft limits.
-     */
-    double clusterBudgetFraction = 0.70;
-    /** Hour of day (on day 2) the attack begins. */
-    double attackHour = 11.0;
-};
+inline RackLabServerTrace
+runRackLabServers(const RackLabConfig &cfg, double windowSec)
+{
+    return runner::runExperiment(
+               runner::Experiment::rackLabServers(cfg, windowSec))
+        .servers();
+}
 
 /**
  * Survival-time measurement: warm the data center up to the attack
- * hour, then run a two-phase attack and return the outcome.
+ * hour, then run a two-phase attack and return the outcome (serial).
  */
-core::AttackOutcome runClusterAttack(const ClusterAttackParams &params,
-                                     const ClusterWorkload &cw);
+inline core::AttackOutcome
+runClusterAttack(const ClusterAttackParams &params,
+                 const ClusterWorkload &cw)
+{
+    return runner::runExperiment(
+               runner::Experiment::clusterAttack(params, cw))
+        .attack();
+}
+
+// ---------------------------------------------------------------------
+// Bench CLI plumbing
+// ---------------------------------------------------------------------
+
+/** Options every sweep bench accepts. */
+struct BenchOptions {
+    /** Worker threads for SweepRunner; 0 = all hardware threads. */
+    int jobs = 0;
+
+    /** SweepRunner options equivalent. */
+    runner::SweepRunner::Options
+    runnerOptions() const
+    {
+        return runner::SweepRunner::Options{jobs};
+    }
+};
+
+/**
+ * Parse the common bench flags (`--jobs N` / `-j N`); exits with
+ * usage on anything unrecognized. Sweep output is independent of
+ * --jobs by the SweepRunner determinism contract — the flag only
+ * changes wall-clock time.
+ */
+BenchOptions parseBenchArgs(int argc, char **argv);
 
 } // namespace pad::bench
 

@@ -8,9 +8,14 @@
  *  (B) peak width manipulation: spike width 1-4 s x overshoot x kind;
  *  (C) attack frequency manipulation: {1, 2, 4, 6}/min x power budget
  *      {70, 65, 60, 55}% of nameplate x kind.
+ *
+ * All 144 mini-rack simulations are independent and run through one
+ * SweepRunner batch (`--jobs N`); cell order is fixed so the table
+ * is bit-identical for any pool size.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "util/table.h"
@@ -36,18 +41,64 @@ baseCfg(attack::VirusKind kind)
     return cfg;
 }
 
-int
-attacks(const bench::RackLabConfig &cfg)
-{
-    return bench::runRackLab(cfg, kWindowSec).effectiveAttacks;
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== Fig. 8: effective attacks in 15 minutes ===\n\n";
+
+    // Build the three panels' grids up front, row-major in printing
+    // order, and submit them as one batch.
+    std::vector<runner::Experiment> grid;
+    for (attack::VirusKind kind : attack::kAllVirusKinds) {
+        for (int nodes = 1; nodes <= 4; ++nodes) {
+            for (double os : {0.04, 0.08, 0.12, 0.16}) {
+                auto cfg = baseCfg(kind);
+                cfg.maliciousNodes = nodes;
+                cfg.overshoot = os;
+                grid.push_back(
+                    runner::Experiment::rackLab(cfg, kWindowSec));
+            }
+        }
+    }
+    for (attack::VirusKind kind : attack::kAllVirusKinds) {
+        for (double os : {0.04, 0.08, 0.12, 0.16}) {
+            for (double w : {1.0, 2.0, 3.0, 4.0}) {
+                auto cfg = baseCfg(kind);
+                cfg.maliciousNodes = 2;
+                cfg.overshoot = os;
+                cfg.train.widthSec = w;
+                cfg.train.perMinute = 4.0;
+                grid.push_back(
+                    runner::Experiment::rackLab(cfg, kWindowSec));
+            }
+        }
+    }
+    for (attack::VirusKind kind : attack::kAllVirusKinds) {
+        for (double nameplate : {0.70, 0.65, 0.60, 0.55}) {
+            for (double freq : {1.0, 2.0, 4.0, 6.0}) {
+                auto cfg = baseCfg(kind);
+                cfg.maliciousNodes = 2;
+                cfg.overshoot = 0.08;
+                cfg.budgetFraction = nameplate;
+                cfg.train.perMinute = freq;
+                grid.push_back(
+                    runner::Experiment::rackLab(cfg, kWindowSec));
+            }
+        }
+    }
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
+    std::size_t job = 0;
+    auto nextRow = [&](int cells) {
+        std::vector<double> row;
+        for (int i = 0; i < cells; ++i)
+            row.push_back(results[job++].lab().effectiveAttacks);
+        return row;
+    };
 
     // ----------------------------------------------------------------
     // (A) Peak height: number of controlled nodes x overshoot.
@@ -57,20 +108,11 @@ main()
                         "(1 s spikes, 2/min)");
         table.setHeader(
             {"virus x nodes", "4% OS", "8% OS", "12% OS", "16% OS"});
-        for (attack::VirusKind kind : attack::kAllVirusKinds) {
-            for (int nodes = 1; nodes <= 4; ++nodes) {
-                std::vector<double> row;
-                for (double os : {0.04, 0.08, 0.12, 0.16}) {
-                    auto cfg = baseCfg(kind);
-                    cfg.maliciousNodes = nodes;
-                    cfg.overshoot = os;
-                    row.push_back(attacks(cfg));
-                }
+        for (attack::VirusKind kind : attack::kAllVirusKinds)
+            for (int nodes = 1; nodes <= 4; ++nodes)
                 table.addRow(virusKindName(kind) + " x" +
                                  std::to_string(nodes),
-                             row, 0);
-            }
-        }
+                             nextRow(4), 0);
         table.print(std::cout);
         std::cout << "(paper: more nodes ease the attack; higher "
                      "tolerated overshoot suppresses it; IO viruses "
@@ -85,22 +127,11 @@ main()
                         "(2 nodes, 4/min)");
         table.setHeader(
             {"virus / overshoot", "1 s", "2 s", "3 s", "4 s"});
-        for (attack::VirusKind kind : attack::kAllVirusKinds) {
-            for (double os : {0.04, 0.08, 0.12, 0.16}) {
-                std::vector<double> row;
-                for (double w : {1.0, 2.0, 3.0, 4.0}) {
-                    auto cfg = baseCfg(kind);
-                    cfg.maliciousNodes = 2;
-                    cfg.overshoot = os;
-                    cfg.train.widthSec = w;
-                    cfg.train.perMinute = 4.0;
-                    row.push_back(attacks(cfg));
-                }
+        for (attack::VirusKind kind : attack::kAllVirusKinds)
+            for (double os : {0.04, 0.08, 0.12, 0.16})
                 table.addRow(virusKindName(kind) + " " +
                                  formatPercent(os, 0) + " OS",
-                             row, 0);
-            }
-        }
+                             nextRow(4), 0);
         table.print(std::cout);
         std::cout << "(paper: longer spikes greatly increase "
                      "effective attacks — a 4 s CPU virus roughly "
@@ -115,23 +146,12 @@ main()
                         "(2 nodes, 1 s spikes, 8% OS)");
         table.setHeader(
             {"virus / budget", "1/min", "2/min", "4/min", "6/min"});
-        for (attack::VirusKind kind : attack::kAllVirusKinds) {
-            for (double nameplate : {0.70, 0.65, 0.60, 0.55}) {
-                std::vector<double> row;
-                for (double freq : {1.0, 2.0, 4.0, 6.0}) {
-                    auto cfg = baseCfg(kind);
-                    cfg.maliciousNodes = 2;
-                    cfg.overshoot = 0.08;
-                    cfg.budgetFraction = nameplate;
-                    cfg.train.perMinute = freq;
-                    row.push_back(attacks(cfg));
-                }
+        for (attack::VirusKind kind : attack::kAllVirusKinds)
+            for (double nameplate : {0.70, 0.65, 0.60, 0.55})
                 table.addRow(virusKindName(kind) + " " +
                                  formatPercent(nameplate, 0) +
                                  " nameplate",
-                             row, 0);
-            }
-        }
+                             nextRow(4), 0);
         table.print(std::cout);
         std::cout << "(paper: effective attacks correlate with "
                      "frequency but not proportionally; IO viruses "

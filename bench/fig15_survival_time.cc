@@ -8,6 +8,10 @@
  *
  * Headline paper numbers: PAD improves sustained time by 10.7x over
  * conventional designs and 1.6x over the state of the art.
+ *
+ * The (virus x style x scheme) grid is submitted as one batch of
+ * independent runner::Experiment jobs; `--jobs N` controls the
+ * SweepRunner pool and the printed figure is bit-identical for any N.
  */
 
 #include <iostream>
@@ -22,27 +26,39 @@ namespace {
 
 constexpr double kHorizonSec = 1600.0;
 
-double
-survival(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
-         attack::VirusKind kind, attack::AttackStyle style)
+runner::Experiment
+experiment(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
+           attack::VirusKind kind, attack::AttackStyle style)
 {
-    bench::ClusterAttackParams p;
+    runner::ClusterAttackSpec p;
     p.scheme = scheme;
     p.kind = kind;
     p.train = attack::spikeTrainFor(style, kind);
     p.durationSec = kHorizonSec;
-    return bench::runClusterAttack(p, cw).survivalSec;
+    return runner::Experiment::clusterAttack(p, cw);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== Fig. 15: survival time under various power "
                  "attacks (s; horizon "
               << formatFixed(kHorizonSec, 0) << " s) ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
+
+    // One job per (virus, style, scheme) cell, row-major in the
+    // paper's presentation order.
+    std::vector<runner::Experiment> grid;
+    for (attack::VirusKind kind : attack::kAllVirusKinds)
+        for (attack::AttackStyle style : attack::kAllAttackStyles)
+            for (core::SchemeKind scheme : core::kAllSchemes)
+                grid.push_back(experiment(scheme, cw, kind, style));
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
 
     TextTable table("survival time by scheme (seconds)");
     table.setHeader({"attack", "Conv", "PS", "PSPC", "uDEB", "vDEB",
@@ -50,14 +66,15 @@ main()
 
     std::vector<double> sums(6, 0.0);
     int scenarios = 0;
+    std::size_t job = 0;
     for (attack::VirusKind kind : attack::kAllVirusKinds) {
         for (attack::AttackStyle style : attack::kAllAttackStyles) {
             std::vector<double> row;
-            std::size_t i = 0;
-            for (core::SchemeKind scheme : core::kAllSchemes) {
-                const double s = survival(scheme, cw, kind, style);
+            for (std::size_t i = 0; i < std::size(core::kAllSchemes);
+                 ++i) {
+                const double s = results[job++].attack().survivalSec;
                 row.push_back(s);
-                sums[i++] += s;
+                sums[i] += s;
             }
             ++scenarios;
             table.addRow(virusKindName(kind) + " " +

@@ -10,6 +10,9 @@
  * Paper observations: throughput can drop ~10% at a 50% attack rate
  * under existing schemes; width hurts more than rate; PAD stays
  * within ~5% for a 0.6 s spike while PSPC and Conv lose 12% / 17%.
+ *
+ * Both panels are submitted as one SweepRunner batch; `--jobs N`
+ * sets the pool size without changing the printed figure.
  */
 
 #include <algorithm>
@@ -28,11 +31,14 @@ const core::SchemeKind kSchemes[] = {
     core::SchemeKind::PS, core::SchemeKind::PSPC,
     core::SchemeKind::Conv, core::SchemeKind::Pad};
 
-double
-throughput(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
+const double kRates[] = {0.16, 0.20, 0.25, 0.33, 0.50};
+const double kWidths[] = {0.2, 0.3, 0.4, 0.5, 0.6};
+
+runner::Experiment
+experiment(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
            const attack::SpikeTrain &train, double attackRate)
 {
-    bench::ClusterAttackParams p;
+    runner::ClusterAttackSpec p;
     p.scheme = scheme;
     p.train = train;
     p.durationSec = kWindowSec;
@@ -40,27 +46,43 @@ throughput(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
     // malicious nodes (16% ~ 1/6 ... 50% ~ 1/2 of the racks).
     p.victimRacks =
         std::max(1, static_cast<int>(attackRate * 22.0 + 0.5));
-    return bench::runClusterAttack(p, cw).throughput;
+    return runner::Experiment::clusterAttack(p, cw);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== Fig. 16: data center throughput during the "
                  "attack period ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);
+
+    // Panel A rows first, then panel B rows, row-major.
+    std::vector<runner::Experiment> grid;
+    for (core::SchemeKind scheme : kSchemes)
+        for (double rate : kRates)
+            grid.push_back(experiment(
+                scheme, cw, attack::SpikeTrain{1.0, 4.0, 1.0, 0.55},
+                rate));
+    for (core::SchemeKind scheme : kSchemes)
+        for (double w : kWidths)
+            grid.push_back(experiment(
+                scheme, cw, attack::SpikeTrain{w, 6.0, 1.0, 0.55},
+                0.25));
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
+    std::size_t job = 0;
 
     {
         TextTable table("(A) normalized throughput vs attack rate");
         table.setHeader({"scheme", "16%", "20%", "25%", "33%", "50%"});
         for (core::SchemeKind scheme : kSchemes) {
             std::vector<double> row;
-            for (double rate : {0.16, 0.20, 0.25, 0.33, 0.50}) {
-                attack::SpikeTrain train{1.0, 4.0, 1.0, 0.55};
-                row.push_back(throughput(scheme, cw, train, rate));
-            }
+            for (std::size_t i = 0; i < std::size(kRates); ++i)
+                row.push_back(results[job++].attack().throughput);
             table.addRow(core::schemeName(scheme), row, 3);
         }
         table.print(std::cout);
@@ -75,10 +97,8 @@ main()
             {"scheme", "0.2s", "0.3s", "0.4s", "0.5s", "0.6s"});
         for (core::SchemeKind scheme : kSchemes) {
             std::vector<double> row;
-            for (double w : {0.2, 0.3, 0.4, 0.5, 0.6}) {
-                attack::SpikeTrain train{w, 6.0, 1.0, 0.55};
-                row.push_back(throughput(scheme, cw, train, 0.25));
-            }
+            for (std::size_t i = 0; i < std::size(kWidths); ++i)
+                row.push_back(results[job++].attack().throughput);
             table.addRow(core::schemeName(scheme), row, 3);
         }
         table.print(std::cout);

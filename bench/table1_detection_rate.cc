@@ -11,9 +11,14 @@
  * schedule — that is why per-server detection *drops* when the
  * attacker owns more machines, while very wide frequent spikes
  * saturate any interval (the 100% cells).
+ *
+ * The eight (servers, width, frequency) trace renders are submitted
+ * once through SweepRunner and shared read-only by all seven
+ * metering intervals — the detector pass itself is cheap.
  */
 
 #include <iostream>
+#include <vector>
 
 #include "bench_common.h"
 #include "metering/detector.h"
@@ -25,17 +30,25 @@ namespace {
 
 constexpr double kWindowSec = 15.0 * 60.0;
 
-double
-detectionRate(int servers, double widthSec, double perMinute,
-              Tick interval)
+const int kServers[] = {1, 4};
+const double kWidths[] = {1.0, 4.0};
+const double kFreqs[] = {1.0, 6.0};
+
+runner::Experiment
+traceExperiment(int servers, double widthSec, double perMinute)
 {
     bench::RackLabConfig cfg;
     cfg.maliciousNodes = servers;
     cfg.servers = std::max(5, servers);
     cfg.kind = attack::VirusKind::CpuIntensive;
     cfg.train = attack::SpikeTrain{widthSec, perMinute, 1.0, 0.55};
-    const auto traces = bench::runRackLabServers(cfg, kWindowSec);
+    return runner::Experiment::rackLabServers(cfg, kWindowSec);
+}
 
+double
+detectionRate(const bench::RackLabServerTrace &traces, int servers,
+              Tick interval)
+{
     metering::DetectorConfig dc;
     dc.interval = interval;
     dc.relativeMargin = 0.05;
@@ -63,10 +76,20 @@ detectionRate(int servers, double widthSec, double perMinute,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
     std::cout << "=== Table I: detection rate under different power "
                  "metering schemes ===\n\n";
+
+    std::vector<runner::Experiment> grid;
+    for (int servers : kServers)
+        for (double w : kWidths)
+            for (double f : kFreqs)
+                grid.push_back(traceExperiment(servers, w, f));
+
+    const runner::SweepRunner pool(opts.runnerOptions());
+    const auto results = pool.run(grid);
 
     const std::pair<std::string, Tick> intervals[] = {
         {"5s", 5 * kTicksPerSecond},   {"10s", 10 * kTicksPerSecond},
@@ -82,11 +105,14 @@ main()
                      "4srv W=4s 1/min", "4srv W=4s 6/min"});
     for (const auto &[name, ticks] : intervals) {
         std::vector<std::string> row{name};
-        for (int servers : {1, 4}) {
-            for (double w : {1.0, 4.0}) {
-                for (double f : {1.0, 6.0}) {
+        std::size_t job = 0;
+        for (int servers : kServers) {
+            for (std::size_t w = 0; w < std::size(kWidths); ++w) {
+                for (std::size_t f = 0; f < std::size(kFreqs); ++f) {
                     row.push_back(formatPercent(
-                        detectionRate(servers, w, f, ticks), 1));
+                        detectionRate(results[job++].servers(),
+                                      servers, ticks),
+                        1));
                 }
             }
         }

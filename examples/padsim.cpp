@@ -75,13 +75,27 @@ usage()
 
 attack::VirusKind parseVirus(const std::string &s);
 
+/**
+ * CLI edge of scheme parsing: schemeFromName() itself just returns
+ * nullopt for unknown names; turning that into an error message and
+ * exit is this binary's job.
+ */
+core::SchemeKind
+requireScheme(const std::string &name)
+{
+    if (const auto scheme = core::schemeFromName(name))
+        return *scheme;
+    std::cerr << "padsim: unknown scheme name: " << name << "\n";
+    usage();
+}
+
 /** Apply a key = value config file as option defaults. */
 void
 applyConfig(Options &opt, const std::string &path)
 {
     const KvConfig cfg = KvConfig::fromFile(path);
     if (cfg.has("scheme"))
-        opt.scheme = core::schemeFromName(cfg.getString("scheme"));
+        opt.scheme = requireScheme(cfg.getString("scheme"));
     if (cfg.has("virus"))
         opt.virus = parseVirus(cfg.getString("virus"));
     if (cfg.has("style"))
@@ -134,7 +148,7 @@ parseArgs(int argc, char **argv)
         if (arg == "--config")
             need(i); // already applied
         else if (arg == "--scheme")
-            opt.scheme = core::schemeFromName(need(i));
+            opt.scheme = requireScheme(need(i));
         else if (arg == "--virus")
             opt.virus = parseVirus(need(i));
         else if (arg == "--style")

@@ -67,6 +67,16 @@ class CampaignDriver
     /**
      * Run normal operation and the scheduled strikes until @p until.
      * Strikes scheduled past the horizon are skipped.
+     *
+     * Ownership and lifetime: the driver borrows the DataCenter
+     * passed to the constructor and mutates it in place — battery
+     * state, detector counters and telemetry reflect the campaign
+     * after run() returns, and the caller remains the owner. The
+     * attack list is copied at construction; later changes to the
+     * caller's vector have no effect. run() may be called once per
+     * driver: it drives the DataCenter's own simulator forward and
+     * never rewinds time. Call with a larger @p until on a fresh
+     * driver to continue a campaign.
      */
     CampaignReport run(Tick until);
 

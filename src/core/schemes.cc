@@ -57,13 +57,13 @@ schemeName(SchemeKind kind)
     PAD_PANIC("unreachable scheme kind");
 }
 
-SchemeKind
+std::optional<SchemeKind>
 schemeFromName(const std::string &name)
 {
     for (SchemeKind k : kAllSchemes)
         if (schemeName(k) == name)
             return k;
-    PAD_FATAL("unknown scheme name: {}", name);
+    return std::nullopt;
 }
 
 } // namespace pad::core

@@ -7,6 +7,7 @@
 #ifndef PAD_CORE_SCHEMES_H
 #define PAD_CORE_SCHEMES_H
 
+#include <optional>
 #include <string>
 
 namespace pad::core {
@@ -58,8 +59,12 @@ SchemeTraits schemeTraits(SchemeKind kind);
 /** Scheme display name as used in the paper's figures. */
 std::string schemeName(SchemeKind kind);
 
-/** Parse a scheme name (case-sensitive, as printed); fatal() on error. */
-SchemeKind schemeFromName(const std::string &name);
+/**
+ * Parse a scheme name (case-sensitive, as printed in the paper's
+ * figures). Returns std::nullopt for unknown names: parsing is not an
+ * error here — the CLI (or other caller) decides how to report it.
+ */
+std::optional<SchemeKind> schemeFromName(const std::string &name);
 
 } // namespace pad::core
 

@@ -1,0 +1,97 @@
+#include "runner/sweep_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pad::runner {
+
+int
+SweepRunner::threadCount() const
+{
+    if (options_.jobs > 0)
+        return options_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::uint64_t
+SweepRunner::jobSeed(std::uint64_t baseSeed, std::uint64_t jobIndex)
+{
+    // splitmix64 over (base, index): two mixing rounds so that both
+    // low-entropy bases (0, 1, 2...) and consecutive indices map to
+    // well-separated streams.
+    std::uint64_t x = baseSeed + 0x9e3779b97f4a7c15ULL * (jobIndex + 1);
+    for (int round = 0; round < 2; ++round) {
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        x ^= x >> 31;
+    }
+    // Never collide with the kSpecSeed sentinel.
+    return x == kSpecSeed ? 0x5eedULL : x;
+}
+
+void
+SweepRunner::assignSeeds(std::vector<Experiment> &experiments,
+                         std::uint64_t baseSeed)
+{
+    for (std::size_t i = 0; i < experiments.size(); ++i)
+        if (experiments[i].seed == kSpecSeed)
+            experiments[i].seed = jobSeed(baseSeed, i);
+}
+
+std::vector<ExperimentResult>
+SweepRunner::run(const std::vector<Experiment> &experiments) const
+{
+    std::vector<ExperimentResult> results(experiments.size());
+    forEach(experiments.size(), [&](std::size_t i) {
+        results[i] = runExperiment(experiments[i]);
+    });
+    return results;
+}
+
+void
+SweepRunner::forEachImpl(std::size_t n,
+                         std::function<void(std::size_t)> fn) const
+{
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(threadCount()), n));
+    if (workers <= 1) {
+        // Reference serial path: same calling thread, same order.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr firstError;
+    std::mutex errorLock;
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> hold(errorLock);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+} // namespace pad::runner

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Parallel sweep engine: executes independent Experiment jobs on a
+ * fixed-size thread pool.
+ *
+ * Threading model and determinism contract (see DESIGN.md §7):
+ *
+ *  - Jobs are pure values. Each worker pulls the next unclaimed job
+ *    index from an atomic counter, executes runExperiment() on it,
+ *    and writes the result into that job's own pre-allocated slot.
+ *    No job ever observes another job's state, so results are
+ *    bit-identical to a serial loop regardless of thread count or
+ *    completion order.
+ *  - Per-job RNG seeds are a pure function of (base seed, job
+ *    index): assignSeeds() stamps jobSeed(base, i) onto job i
+ *    *before* execution, and the seed travels with the Experiment
+ *    value afterwards. Thread identity and scheduling never enter
+ *    seed derivation.
+ *  - Shared inputs (the ClusterWorkload a bench builds once) are
+ *    referenced read-only by all jobs concurrently.
+ */
+
+#ifndef PAD_RUNNER_SWEEP_RUNNER_H
+#define PAD_RUNNER_SWEEP_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runner/experiment.h"
+
+namespace pad::runner {
+
+/**
+ * Fixed-size thread-pool executor for Experiment sweeps.
+ *
+ * @code
+ *   SweepRunner pool({.jobs = 4});
+ *   std::vector<Experiment> grid = ...;
+ *   const auto results = pool.run(grid);  // results[i] <-> grid[i]
+ * @endcode
+ */
+class SweepRunner
+{
+  public:
+    struct Options {
+        /**
+         * Worker threads; 0 (default) uses the hardware concurrency.
+         * 1 executes on the calling thread with no pool at all —
+         * the reference serial path.
+         */
+        int jobs = 0;
+    };
+
+    SweepRunner() = default;
+    explicit SweepRunner(Options options) : options_(options) {}
+
+    /** Resolved worker-thread count (>= 1). */
+    int threadCount() const;
+
+    /**
+     * Execute every experiment and return results in submission
+     * order: results[i] is experiments[i]'s outcome no matter which
+     * thread ran it or when it finished.
+     */
+    std::vector<ExperimentResult>
+    run(const std::vector<Experiment> &experiments) const;
+
+    /**
+     * Derive the RNG seed of job @p jobIndex under @p baseSeed: a
+     * splitmix64-style mix of the two, so neighbouring indices get
+     * statistically independent streams. Depends on nothing else —
+     * in particular not on thread identity or completion order.
+     */
+    static std::uint64_t jobSeed(std::uint64_t baseSeed,
+                                 std::uint64_t jobIndex);
+
+    /**
+     * Stamp jobSeed(baseSeed, i) onto experiments[i] for every job
+     * whose seed is still kSpecSeed. Seeds become part of the
+     * Experiment values, so reordering the list afterwards moves the
+     * seeds with the jobs.
+     */
+    static void assignSeeds(std::vector<Experiment> &experiments,
+                            std::uint64_t baseSeed);
+
+    /**
+     * Generic deterministic parallel loop: invoke fn(i) for every
+     * i in [0, n) across the pool. fn must only write state owned by
+     * iteration i. Exceptions are rethrown on the calling thread.
+     */
+    template <typename Fn>
+    void
+    forEach(std::size_t n, Fn &&fn) const
+    {
+        forEachImpl(n, std::function<void(std::size_t)>(
+                           std::forward<Fn>(fn)));
+    }
+
+    /**
+     * Parallel map: returns {fn(0), ..., fn(n-1)} in index order.
+     * fn must be callable concurrently from multiple threads.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn &&fn) const
+        -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        std::vector<decltype(fn(std::size_t{0}))> out(n);
+        forEach(n, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    void forEachImpl(std::size_t n,
+                     std::function<void(std::size_t)> fn) const;
+
+    Options options_{};
+};
+
+} // namespace pad::runner
+
+#endif // PAD_RUNNER_SWEEP_RUNNER_H

@@ -49,9 +49,19 @@ class Simulator
 
     /** The underlying event queue. */
     EventQueue &events() { return events_; }
+    const EventQueue &events() const { return events_; }
 
     /** Current simulated time. */
     Tick now() const { return events_.now(); }
+
+    /** Whether run() has initialised the registered components. */
+    bool initialized() const { return initialized_; }
+
+    /** Number of components owned via add() or attached externally. */
+    std::size_t componentCount() const
+    {
+        return components_.size() + external_.size();
+    }
 
     /** Schedule a one-shot callback @p delay ticks from now. */
     EventHandle

@@ -279,8 +279,11 @@ TEST(Schemes, TraitsMatchTableIII)
 
 TEST(Schemes, NamesRoundTrip)
 {
-    for (SchemeKind k : kAllSchemes)
-        EXPECT_EQ(schemeFromName(schemeName(k)), k);
+    for (SchemeKind k : kAllSchemes) {
+        const auto parsed = schemeFromName(schemeName(k));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, k);
+    }
 }
 
 TEST(CostModel, UdebCostScalesLinearlyWithCapacitance)

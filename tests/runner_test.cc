@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: the determinism contract
+ * (parallel == serial, bit for bit), seed derivation, and the generic
+ * pool loops.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+#include "runner/sweep_runner.h"
+
+namespace pad {
+namespace {
+
+using runner::Experiment;
+using runner::ExperimentResult;
+using runner::SweepRunner;
+
+/** Exact (bitwise, via ==) comparison of two RackLab results. */
+void
+expectSameLabResult(const ExperimentResult &a,
+                    const ExperimentResult &b)
+{
+    EXPECT_EQ(a.lab().effectiveAttacks, b.lab().effectiveAttacks);
+    EXPECT_EQ(a.lab().spikesLaunched, b.lab().spikesLaunched);
+    EXPECT_EQ(a.lab().spikeWindows, b.lab().spikeWindows);
+    EXPECT_EQ(a.lab().drawPerSecond, b.lab().drawPerSecond);
+    EXPECT_EQ(a.lab().batteryOutSec, b.lab().batteryOutSec);
+    EXPECT_EQ(a.lab().firstOverloadSec, b.lab().firstOverloadSec);
+    EXPECT_EQ(a.lab().budget, b.lab().budget);
+    EXPECT_EQ(a.lab().limit, b.lab().limit);
+}
+
+/** A small mixed mini-rack grid, cheap enough for a unit test. */
+std::vector<Experiment>
+labGrid()
+{
+    std::vector<Experiment> grid;
+    for (int nodes : {1, 2}) {
+        for (bool battery : {false, true}) {
+            runner::RackLabSpec spec;
+            spec.maliciousNodes = nodes;
+            spec.batteryCharged = battery;
+            spec.train = attack::SpikeTrain{2.0, 6.0, 1.0};
+            grid.push_back(Experiment::rackLab(spec, 120.0));
+        }
+    }
+    return grid;
+}
+
+TEST(SweepRunner, ThreadCountResolution)
+{
+    EXPECT_GE(SweepRunner().threadCount(), 1);
+    EXPECT_EQ(SweepRunner({.jobs = 3}).threadCount(), 3);
+    EXPECT_EQ(SweepRunner({.jobs = 1}).threadCount(), 1);
+}
+
+TEST(SweepRunner, JobSeedIsAPureFunctionOfBaseAndIndex)
+{
+    EXPECT_EQ(SweepRunner::jobSeed(7, 0), SweepRunner::jobSeed(7, 0));
+    EXPECT_EQ(SweepRunner::jobSeed(7, 41),
+              SweepRunner::jobSeed(7, 41));
+    EXPECT_NE(SweepRunner::jobSeed(7, 0), SweepRunner::jobSeed(8, 0));
+
+    // Distinct indices must give distinct, never-sentinel seeds.
+    std::set<std::uint64_t> seen;
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        const std::uint64_t s = SweepRunner::jobSeed(1234, i);
+        EXPECT_NE(s, runner::kSpecSeed);
+        seen.insert(s);
+    }
+    EXPECT_EQ(seen.size(), 4096u);
+}
+
+TEST(SweepRunner, AssignSeedsRespectsExplicitSeeds)
+{
+    auto grid = labGrid();
+    grid[2].seed = 555; // explicitly chosen by the bench
+    SweepRunner::assignSeeds(grid, 99);
+
+    EXPECT_EQ(grid[0].seed, SweepRunner::jobSeed(99, 0));
+    EXPECT_EQ(grid[1].seed, SweepRunner::jobSeed(99, 1));
+    EXPECT_EQ(grid[2].seed, 555u);
+    EXPECT_EQ(grid[3].seed, SweepRunner::jobSeed(99, 3));
+}
+
+TEST(SweepRunner, SeedsTravelWithJobsUnderReordering)
+{
+    // The contract: seeds are assigned from stable job indices and
+    // become part of the Experiment values, so reordering the list
+    // afterwards permutes (job, seed) pairs together.
+    auto grid = labGrid();
+    SweepRunner::assignSeeds(grid, 2026);
+    auto shuffled = grid;
+    std::reverse(shuffled.begin(), shuffled.end());
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto &moved = shuffled[grid.size() - 1 - i];
+        EXPECT_EQ(moved.seed, grid[i].seed);
+        EXPECT_EQ(moved.lab.maliciousNodes, grid[i].lab.maliciousNodes);
+        EXPECT_EQ(moved.lab.batteryCharged, grid[i].lab.batteryCharged);
+    }
+
+    // And the reordered list reproduces the same per-job results,
+    // just permuted.
+    const auto a = SweepRunner({.jobs = 1}).run(grid);
+    const auto b = SweepRunner({.jobs = 2}).run(shuffled);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        expectSameLabResult(a[i], b[a.size() - 1 - i]);
+}
+
+TEST(SweepRunner, ParallelRackLabSweepIsBitIdenticalToSerial)
+{
+    auto grid = labGrid();
+    SweepRunner::assignSeeds(grid, 7);
+
+    const auto serial = SweepRunner({.jobs = 1}).run(grid);
+    for (int jobs : {2, 4, 8}) {
+        const auto parallel = SweepRunner({.jobs = jobs}).run(grid);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            expectSameLabResult(serial[i], parallel[i]);
+    }
+}
+
+TEST(SweepRunner, ParallelClusterSweepIsBitIdenticalToSerial)
+{
+    const auto cw = runner::makeClusterWorkload(1.0);
+
+    // Coarse runs sharing one read-only workload.
+    std::vector<Experiment> grid;
+    for (double fraction : {0.70, 0.80, -1.0}) {
+        runner::ClusterCoarseSpec spec;
+        spec.clusterBudgetFraction = fraction;
+        spec.untilHours = 6.0;
+        spec.recordHistory = true;
+        grid.push_back(Experiment::clusterCoarse(spec, cw));
+    }
+
+    const auto serial = SweepRunner({.jobs = 1}).run(grid);
+    const auto parallel = SweepRunner({.jobs = 3}).run(grid);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].cluster().socs, parallel[i].cluster().socs);
+        EXPECT_EQ(serial[i].cluster().socStdDevPercent,
+                  parallel[i].cluster().socStdDevPercent);
+        EXPECT_EQ(serial[i].cluster().socHistory,
+                  parallel[i].cluster().socHistory);
+        EXPECT_EQ(serial[i].cluster().shedHistory,
+                  parallel[i].cluster().shedHistory);
+        EXPECT_FALSE(serial[i].cluster().socs.empty());
+    }
+}
+
+TEST(SweepRunner, ForEachVisitsEverySlotExactlyOnce)
+{
+    std::vector<std::atomic<int>> visits(257);
+    SweepRunner({.jobs = 4}).forEach(visits.size(), [&](std::size_t i) {
+        visits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &v : visits)
+        EXPECT_EQ(v.load(), 1);
+}
+
+TEST(SweepRunner, MapReturnsResultsInIndexOrder)
+{
+    const auto out =
+        SweepRunner({.jobs = 4}).map(100, [](std::size_t i) {
+            return static_cast<int>(i * i);
+        });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i * i));
+}
+
+TEST(SweepRunner, WorkerExceptionsPropagateToCaller)
+{
+    EXPECT_THROW(
+        SweepRunner({.jobs = 2}).forEach(16,
+                                         [](std::size_t i) {
+                                             if (i == 9)
+                                                 throw std::runtime_error(
+                                                     "job 9 failed");
+                                         }),
+        std::runtime_error);
+}
+
+} // namespace
+} // namespace pad
