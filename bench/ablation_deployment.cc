@@ -12,14 +12,18 @@
 
 #include <iostream>
 
+#include "bench_common.h"
+
 #include "power/deployment.h"
 #include "util/table.h"
 
 using namespace pad;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== ablation: battery deployment options "
                  "(paper Fig. 3) ===\n\n";
 

@@ -75,8 +75,9 @@ main(int argc, char **argv)
     for (const auto &[name, ticks] : intervals)
         grid.push_back(experiment(true, ticks, cw));
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report =
+        bench::runSweep("ablation_detection", opts, grid);
+    const auto &results = report.results;
 
     TextTable table("dense CPU attack, single hot victim rack");
     table.setHeader({"metering", "detections", "survival (s)",

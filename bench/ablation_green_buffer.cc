@@ -69,8 +69,9 @@ main(int argc, char **argv)
         for (core::SchemeKind scheme : kSchemes)
             grid.push_back(experiment(soc, scheme, cw));
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report =
+        bench::runSweep("ablation_green_buffer", opts, grid);
+    const auto &results = report.results;
 
     TextTable table("survival (s) vs fleet SOC at attack time");
     table.setHeader({"initial SOC", "PS", "vDEB", "PAD"});

@@ -66,8 +66,8 @@ main(int argc, char **argv)
         grid.push_back(runner::Experiment::clusterAttack(p, cw));
     }
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report = bench::runSweep("ablation_pideal", opts, grid);
+    const auto &results = report.results;
 
     TextTable table("P_ideal sweep (vDEB-only scheme)");
     table.setHeader({"P_ideal (W)", "min rack SOC mid-peak",

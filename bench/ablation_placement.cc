@@ -69,8 +69,9 @@ main(int argc, char **argv)
                 grid.push_back(
                     experiment(placement, scheme, cw, nodes));
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report =
+        bench::runSweep("ablation_placement", opts, grid);
+    const auto &results = report.results;
 
     TextTable table("survival under a targeted CPU-virus attack "
                     "(same total capacity, seconds)");

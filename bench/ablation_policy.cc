@@ -132,7 +132,9 @@ main(int argc, char **argv)
             grid.push_back(
                 runner::Experiment::clusterCoarse(spec, cw));
         }
-        const auto results = pool.run(grid);
+        const auto report =
+            bench::runSweep("ablation_policy", opts, grid);
+        const auto &results = report.results;
 
         TextTable table("offline-charging restart threshold vs "
                         "battery vulnerability (2 days, PS)");

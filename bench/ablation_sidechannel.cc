@@ -84,8 +84,9 @@ main(int argc, char **argv)
 
     const std::vector<runner::Experiment> grid = {
         experiment(false, cw), experiment(true, cw)};
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto sweep =
+        bench::runSweep("ablation_sidechannel", opts, grid);
+    const auto &results = sweep.results;
 
     TextTable table("autonomy estimates over " +
                     std::to_string(kLearnRounds) +

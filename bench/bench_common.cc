@@ -1,30 +1,148 @@
 #include "bench_common.h"
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
+#include "obs/manifest.h"
+#include "obs/trace_sink.h"
+#include "util/logging.h"
+
 namespace pad::bench {
+
+namespace {
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " [--jobs N] [--trace FILE] [--trace-format jsonl|chrome]\n"
+        << "       [--stats-json FILE] [--manifest FILE]\n"
+        << "       [--log-level silent|error|warn|info|debug]\n"
+        << "  --jobs N  worker threads for the sweep (0 = all cores);\n"
+        << "            results are bit-identical for every N\n";
+    std::exit(2);
+}
+
+} // namespace
 
 BenchOptions
 parseBenchArgs(int argc, char **argv)
 {
+    initLoggingFromEnvironment();
     BenchOptions opts;
+    opts.argv.assign(argv, argv + argc);
+    auto need = [&](int &i) -> std::string {
+        if (++i >= argc)
+            usage(argv[0]);
+        return argv[i];
+    };
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if ((arg == "--jobs" || arg == "-j") && i + 1 < argc) {
-            opts.jobs = std::atoi(argv[++i]);
+        if (arg == "--jobs" || arg == "-j") {
+            opts.jobs = std::atoi(need(i).c_str());
             if (opts.jobs < 0)
                 opts.jobs = 0;
+        } else if (arg == "--trace") {
+            opts.trace = need(i);
+        } else if (arg == "--trace-format") {
+            opts.traceFormat = need(i);
+            if (!obs::traceFormatFromName(opts.traceFormat)) {
+                std::cerr << argv[0] << ": unknown trace format: "
+                          << opts.traceFormat << "\n";
+                usage(argv[0]);
+            }
+        } else if (arg == "--stats-json") {
+            opts.statsJson = need(i);
+        } else if (arg == "--manifest") {
+            opts.manifest = need(i);
+        } else if (arg == "--log-level") {
+            const std::string name = need(i);
+            if (const auto level = logLevelFromName(name)) {
+                setLogLevel(*level);
+            } else {
+                std::cerr << argv[0]
+                          << ": unknown log level: " << name << "\n";
+                usage(argv[0]);
+            }
         } else {
-            std::cerr << "usage: " << argv[0] << " [--jobs N]\n"
-                      << "  --jobs N  worker threads for the sweep "
-                         "(0 = all cores); results are\n"
-                      << "            bit-identical for every N\n";
-            std::exit(2);
+            usage(argv[0]);
         }
     }
     return opts;
+}
+
+runner::SweepReport
+runSweep(const std::string &tool, const BenchOptions &opts,
+         const std::vector<runner::Experiment> &grid)
+{
+    std::unique_ptr<obs::FileTraceSink> sink;
+    if (!opts.trace.empty()) {
+        sink = obs::FileTraceSink::open(
+            opts.trace, *obs::traceFormatFromName(opts.traceFormat));
+        if (!sink)
+            std::exit(1);
+    }
+
+    runner::SweepRunner::Options runnerOpts = opts.runnerOptions();
+    runnerOpts.trace = sink.get();
+    const runner::SweepRunner pool(runnerOpts);
+    runner::SweepReport report = pool.runWithReport(grid);
+
+    if (sink)
+        sink->close();
+
+    if (!opts.statsJson.empty()) {
+        std::ofstream js(opts.statsJson);
+        if (!js) {
+            warn("{}: cannot write stats JSON to {}", tool,
+                 opts.statsJson);
+        } else {
+            report.stats.dumpJson(js);
+            js << "\n";
+        }
+    }
+
+    if (!opts.manifest.empty()) {
+        obs::RunManifest manifest;
+        manifest.tool = tool;
+        manifest.experiment = "sweep";
+        manifest.config = {
+            {"jobs", std::to_string(pool.threadCount())},
+            {"grid_size", std::to_string(grid.size())},
+        };
+        manifest.argv = opts.argv;
+        manifest.traceFile = opts.trace;
+        if (!opts.trace.empty())
+            manifest.traceFormat = opts.traceFormat;
+        manifest.statsJsonFile = opts.statsJson;
+        manifest.statsJson = report.stats.dumpJsonString();
+        manifest.wallSeconds = report.wallSeconds;
+        obs::writeManifestFile(opts.manifest, manifest);
+    }
+
+    return report;
+}
+
+TraceSession::TraceSession(const BenchOptions &opts)
+    : sink_(opts.trace.empty()
+                ? nullptr
+                : obs::FileTraceSink::open(
+                      opts.trace,
+                      *obs::traceFormatFromName(opts.traceFormat))),
+      scope_(sink_.get())
+{
+    if (!opts.trace.empty() && !sink_)
+        std::exit(1);
+}
+
+TraceSession::~TraceSession()
+{
+    if (sink_)
+        sink_->close();
 }
 
 } // namespace pad::bench

@@ -21,6 +21,12 @@
 #ifndef PAD_BENCH_BENCH_COMMON_H
 #define PAD_BENCH_BENCH_COMMON_H
 
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
 #include "runner/experiment.h"
 #include "runner/sweep_runner.h"
 
@@ -79,8 +85,18 @@ runClusterAttack(const ClusterAttackParams &params,
 struct BenchOptions {
     /** Worker threads for SweepRunner; 0 = all hardware threads. */
     int jobs = 0;
+    /** --trace FILE: structured event trace of every sweep job. */
+    std::string trace;
+    /** --trace-format jsonl|chrome (default jsonl). */
+    std::string traceFormat = "jsonl";
+    /** --stats-json FILE: merged sweep stats as JSON. */
+    std::string statsJson;
+    /** --manifest FILE: machine-readable run manifest. */
+    std::string manifest;
+    /** Raw command line, for the manifest. */
+    std::vector<std::string> argv;
 
-    /** SweepRunner options equivalent. */
+    /** SweepRunner options equivalent (tracing wired separately). */
     runner::SweepRunner::Options
     runnerOptions() const
     {
@@ -89,12 +105,47 @@ struct BenchOptions {
 };
 
 /**
- * Parse the common bench flags (`--jobs N` / `-j N`); exits with
- * usage on anything unrecognized. Sweep output is independent of
- * --jobs by the SweepRunner determinism contract — the flag only
- * changes wall-clock time.
+ * Parse the common bench flags (`--jobs N` / `-j N`, `--trace FILE`,
+ * `--trace-format jsonl|chrome`, `--stats-json FILE`,
+ * `--manifest FILE`, `--log-level L`); exits with usage on anything
+ * unrecognized. Also applies the PAD_LOG_LEVEL environment fallback.
+ * Sweep output is independent of --jobs by the SweepRunner
+ * determinism contract — the flag only changes wall-clock time, and
+ * the observability flags never alter results either.
  */
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/**
+ * Run @p grid through a SweepRunner honouring every observability
+ * flag in @p opts: binds the --trace sink around each job, writes the
+ * merged stats registry to --stats-json, and drops a --manifest
+ * naming @p tool and the produced artifacts. Results are bit-identical
+ * to `SweepRunner(opts.runnerOptions()).run(grid)` for any flag
+ * combination.
+ */
+runner::SweepReport runSweep(const std::string &tool,
+                             const BenchOptions &opts,
+                             const std::vector<runner::Experiment> &grid);
+
+/**
+ * RAII --trace binding for serial (non-sweep) benches: opens the file
+ * named by opts.trace, binds it as the calling thread's trace sink,
+ * and completes the file on destruction. A no-op when --trace was not
+ * given, so wrapping the whole bench body is always safe.
+ */
+class TraceSession
+{
+  public:
+    explicit TraceSession(const BenchOptions &opts);
+    ~TraceSession();
+
+    TraceSession(const TraceSession &) = delete;
+    TraceSession &operator=(const TraceSession &) = delete;
+
+  private:
+    std::unique_ptr<obs::FileTraceSink> sink_;
+    obs::TraceScope scope_;
+};
 
 } // namespace pad::bench
 

@@ -10,14 +10,18 @@
 
 #include <iostream>
 
+#include "bench_common.h"
+
 #include "core/outage_cost.h"
 #include "util/table.h"
 
 using namespace pad;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== Fig. 1: CDF of power failure cost ===\n\n";
     core::OutageCostModel model;
 

@@ -49,8 +49,10 @@ runPolicy(const bench::ClusterWorkload &cw,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     const double days = 30.0;
     std::cout << "=== Fig. 5: SOC standard deviation across rack "
                  "batteries (1 month, 5-min timestamps) ===\n\n";

@@ -26,8 +26,10 @@
 using namespace pad;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== Fig. 6: two-phase attack demonstration "
                  "(testbed scale) ===\n\n";
 

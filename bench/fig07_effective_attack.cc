@@ -15,8 +15,10 @@
 using namespace pad;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== Fig. 7: effective vs failed power attacks "
                  "(60 s window) ===\n\n";
 

@@ -90,8 +90,8 @@ main(int argc, char **argv)
         }
     }
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report = bench::runSweep("fig08", opts, grid);
+    const auto &results = report.results;
     std::size_t job = 0;
     auto nextRow = [&](int cells) {
         std::vector<double> row;

@@ -103,8 +103,10 @@ printMap(const std::string &title, const MapResult &r)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== Fig. 13: DEB usage map, conventional vs PAD "
                  "(1.5 days) ===\n\n";
     const auto cw = bench::makeClusterWorkload(3.0);

@@ -55,8 +55,10 @@ runScheme(core::SchemeKind scheme, const bench::ClusterWorkload &cw,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== Fig. 14: periodic cluster-wide surges and "
                  "Level-3 load shedding ===\n\n";
     const double days = 2.0;

@@ -57,8 +57,8 @@ main(int argc, char **argv)
             for (core::SchemeKind scheme : core::kAllSchemes)
                 grid.push_back(experiment(scheme, cw, kind, style));
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report = bench::runSweep("fig15", opts, grid);
+    const auto &results = report.results;
 
     TextTable table("survival time by scheme (seconds)");
     table.setHeader({"attack", "Conv", "PS", "PSPC", "uDEB", "vDEB",

@@ -72,8 +72,8 @@ main(int argc, char **argv)
                 scheme, cw, attack::SpikeTrain{w, 6.0, 1.0, 0.55},
                 0.25));
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report = bench::runSweep("fig16", opts, grid);
+    const auto &results = report.results;
     std::size_t job = 0;
 
     {

@@ -41,8 +41,10 @@ udebSurvival(double farads)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const auto opts = bench::parseBenchArgs(argc, argv);
+    const bench::TraceSession trace(opts);
     std::cout << "=== Fig. 17: cost efficiency of the uDEB ===\n\n";
 
     core::CostModel cost;

@@ -88,8 +88,8 @@ main(int argc, char **argv)
             for (double f : kFreqs)
                 grid.push_back(traceExperiment(servers, w, f));
 
-    const runner::SweepRunner pool(opts.runnerOptions());
-    const auto results = pool.run(grid);
+    const auto report = bench::runSweep("table1", opts, grid);
+    const auto &results = report.results;
 
     const std::pair<std::string, Tick> intervals[] = {
         {"5s", 5 * kTicksPerSecond},   {"10s", 10 * kTicksPerSecond},

@@ -14,23 +14,34 @@
  *          [--budget FRAC] [--cluster-budget FRAC]
  *          [--victim-pct P] [--hour H] [--seed S]
  *          [--csv FILE] [--stats] [--quiet]
+ *          [--trace FILE] [--trace-format jsonl|chrome]
+ *          [--stats-json FILE] [--manifest FILE]
+ *          [--log-level silent|error|warn|info|debug]
  *
  * A --config file supplies the same knobs as `key = value` lines
  * (scheme, virus, style, nodes, racks, duration, budget,
- * cluster_budget, victim_pct, hour, seed, csv, stats, quiet);
- * command-line flags override it.
+ * cluster_budget, victim_pct, hour, seed, csv, stats, quiet, trace,
+ * trace_format, stats_json, manifest, log_level); command-line flags
+ * override it.
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "attack/attacker.h"
 #include "attack/virus_trace.h"
 #include "core/config.h"
 #include "core/datacenter.h"
+#include "obs/manifest.h"
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
+#include "sim/stats_registry.h"
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 #include "util/csv.h"
@@ -57,6 +68,11 @@ struct Options {
     std::string csvPath;
     bool statsDump = false;
     bool quiet = false;
+    std::string tracePath;
+    std::string traceFormat = "jsonl";
+    std::string statsJsonPath;
+    std::string manifestPath;
+    std::string logLevel;
 };
 
 [[noreturn]] void
@@ -69,7 +85,10 @@ usage()
            "              [--nodes N] [--racks K] [--duration SEC]\n"
            "              [--budget FRAC] [--cluster-budget FRAC]\n"
            "              [--victim-pct P] [--hour H] [--seed S]\n"
-           "              [--csv FILE] [--stats] [--quiet]\n";
+           "              [--csv FILE] [--stats] [--quiet]\n"
+           "              [--trace FILE] [--trace-format jsonl|chrome]\n"
+           "              [--stats-json FILE] [--manifest FILE]\n"
+           "              [--log-level silent|error|warn|info|debug]\n";
     std::exit(2);
 }
 
@@ -115,6 +134,11 @@ applyConfig(Options &opt, const std::string &path)
     opt.csvPath = cfg.getString("csv", opt.csvPath);
     opt.statsDump = cfg.getBool("stats", opt.statsDump);
     opt.quiet = cfg.getBool("quiet", opt.quiet);
+    opt.tracePath = cfg.getString("trace", opt.tracePath);
+    opt.traceFormat = cfg.getString("trace_format", opt.traceFormat);
+    opt.statsJsonPath = cfg.getString("stats_json", opt.statsJsonPath);
+    opt.manifestPath = cfg.getString("manifest", opt.manifestPath);
+    opt.logLevel = cfg.getString("log_level", opt.logLevel);
 }
 
 attack::VirusKind
@@ -178,12 +202,32 @@ parseArgs(int argc, char **argv)
             opt.statsDump = true;
         else if (arg == "--quiet")
             opt.quiet = true;
+        else if (arg == "--trace")
+            opt.tracePath = need(i);
+        else if (arg == "--trace-format")
+            opt.traceFormat = need(i);
+        else if (arg == "--stats-json")
+            opt.statsJsonPath = need(i);
+        else if (arg == "--manifest")
+            opt.manifestPath = need(i);
+        else if (arg == "--log-level")
+            opt.logLevel = need(i);
         else
             usage();
     }
     if (opt.nodes < 1 || opt.nodes > 10 || opt.racks < 1 ||
         opt.racks > 22 || opt.durationSec <= 0.0)
         usage();
+    if (!obs::traceFormatFromName(opt.traceFormat)) {
+        std::cerr << "padsim: unknown trace format: " << opt.traceFormat
+                  << "\n";
+        usage();
+    }
+    if (!opt.logLevel.empty() && !logLevelFromName(opt.logLevel)) {
+        std::cerr << "padsim: unknown log level: " << opt.logLevel
+                  << "\n";
+        usage();
+    }
     return opt;
 }
 
@@ -192,9 +236,22 @@ parseArgs(int argc, char **argv)
 int
 main(int argc, char **argv)
 {
+    initLoggingFromEnvironment();
     const Options opt = parseArgs(argc, argv);
     if (opt.quiet)
         setLogLevel(LogLevel::Warn);
+    if (!opt.logLevel.empty())
+        setLogLevel(*logLevelFromName(opt.logLevel));
+
+    const auto wallStart = std::chrono::steady_clock::now();
+    std::unique_ptr<obs::FileTraceSink> traceSink;
+    if (!opt.tracePath.empty()) {
+        traceSink = obs::FileTraceSink::open(
+            opt.tracePath, *obs::traceFormatFromName(opt.traceFormat));
+        if (!traceSink)
+            return 1;
+    }
+    const obs::TraceScope traceScope(traceSink.get());
 
     trace::SyntheticTraceConfig tc;
     tc.machines = 220;
@@ -265,9 +322,69 @@ main(int argc, char **argv)
                   formatPercent(out.maxShedRatio, 1)});
     table.print(std::cout);
 
+    if (traceSink)
+        traceSink->close();
+
+    sim::StatsRegistry stats;
+    dc.exportStats(stats);
+    stats
+        .registerScalar("attack.survival_sec",
+                        "attack start to first overload")
+        .set(out.survivalSec);
+    stats
+        .registerScalar("attack.throughput",
+                        "benign throughput over the window")
+        .set(out.throughput);
+    stats
+        .registerCounter("attack.spikes_launched",
+                         "hidden spikes launched in Phase II")
+        .add(static_cast<std::uint64_t>(
+            std::max(0, out.spikesLaunched)));
+
     if (opt.statsDump) {
         std::cout << "\n";
         dc.dumpStats(std::cout);
+    }
+
+    if (!opt.statsJsonPath.empty()) {
+        std::ofstream js(opt.statsJsonPath);
+        if (!js) {
+            warn("padsim: cannot write stats JSON to {}",
+                 opt.statsJsonPath);
+        } else {
+            stats.dumpJson(js);
+            js << "\n";
+        }
+    }
+
+    if (!opt.manifestPath.empty()) {
+        obs::RunManifest manifest;
+        manifest.tool = "padsim";
+        manifest.experiment = core::schemeName(opt.scheme);
+        manifest.seed = opt.seed;
+        manifest.config = {
+            {"scheme", std::string(core::schemeName(opt.scheme))},
+            {"virus", std::string(attack::virusKindName(opt.virus))},
+            {"style", std::string(attack::attackStyleName(opt.style))},
+            {"nodes", std::to_string(opt.nodes)},
+            {"racks", std::to_string(opt.racks)},
+            {"duration_sec", formatFixed(opt.durationSec, 1)},
+            {"budget", formatFixed(opt.budget, 4)},
+            {"cluster_budget", formatFixed(opt.clusterBudget, 4)},
+            {"victim_pct", formatFixed(opt.victimPct, 1)},
+            {"hour", formatFixed(opt.hour, 2)},
+        };
+        manifest.argv.assign(argv, argv + argc);
+        manifest.traceFile = opt.tracePath;
+        if (!opt.tracePath.empty())
+            manifest.traceFormat = opt.traceFormat;
+        manifest.statsJsonFile = opt.statsJsonPath;
+        manifest.statsJson = stats.dumpJsonString();
+        manifest.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - wallStart)
+                .count();
+        writeManifestFile(opt.manifestPath, manifest);
     }
 
     if (!opt.csvPath.empty()) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::core {
@@ -210,6 +211,14 @@ DataCenter::detectorStep(const StepPower &step, Tick dt)
                 ++detections_;
                 clusterCapUntil_ =
                     now_ + secondsToTicks(config_.detectorCapHoldSec);
+                if (obs::traceEnabled())
+                    obs::emit("detector", "detector.anomaly",
+                              {obs::TraceField::integer(
+                                   "rack",
+                                   static_cast<std::int64_t>(r)),
+                               obs::TraceField::num("avg_w", avg),
+                               obs::TraceField::num("expected_w",
+                                                    rack.vpEnergy)});
             }
         }
     }
@@ -531,6 +540,10 @@ DataCenter::controlDecisions(const StepPower &step, double dtSec)
         if (rack.vpEnergy > budget)
             vp = true;
     }
+    if (vp != visiblePeak_ && obs::traceEnabled())
+        obs::emit("detector", "detector.visible_peak",
+                  {obs::TraceField::boolean("active", vp),
+                   obs::TraceField::num("budget_w", budget)});
     visiblePeak_ = vp;
 
     // DVFS capping (PSPC): cap a rack once its DEB's remaining
@@ -642,6 +655,9 @@ DataCenter::controlDecisions(const StepPower &step, double dtSec)
 void
 DataCenter::stepCoarse()
 {
+    // Components without their own clock (policy, µDEBs, breakers)
+    // stamp events with the thread-local trace clock.
+    obs::setTraceClock(now_);
     const double dtSec = ticksToSeconds(config_.coarseStep);
     StepPower step = computeStep(now_, dtSec, /*fine=*/false, nullptr,
                                  nullptr, nullptr, 0.0, false, nullptr);
@@ -717,6 +733,7 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
     double malExecAccum = 0.0;
 
     while (now_ < horizon) {
+        obs::setTraceClock(now_);
         const double relSec = ticksToSeconds(now_ - start);
         const bool active =
             sc.dutyCycle >= 1.0 ||
@@ -775,6 +792,14 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
                 rack.downUntil =
                     now_ + secondsToTicks(config_.outageRecoverySec);
                 rack.breaker->reset();
+                if (obs::traceEnabled())
+                    obs::emit("datacenter", "rack.down",
+                              {obs::TraceField::integer(
+                                   "rack",
+                                   static_cast<std::int64_t>(r)),
+                               obs::TraceField::num(
+                                   "recovery_sec",
+                                   config_.outageRecoverySec)});
             }
         }
         // The attack succeeds at the worst victim rack: track the
@@ -841,6 +866,25 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
         }
         out.spikesLaunched =
             static_cast<int>(out.spikeWindows.size());
+    }
+
+    if (obs::traceEnabled()) {
+        obs::setTraceClock(now_);
+        if (out.phaseTwoStartSec >= 0.0)
+            obs::emitAt(
+                start + secondsToTicks(out.phaseTwoStartSec),
+                "attacker", "attack.phase2",
+                {obs::TraceField::num("start_sec",
+                                      out.phaseTwoStartSec)});
+        for (const auto &[s, e] : out.spikeWindows)
+            obs::emitSpan(s, e, "attacker", "attack.spike", {});
+        obs::emitSpan(
+            start, now_, "datacenter", "attack.window",
+            {obs::TraceField::num("survival_sec", out.survivalSec),
+             obs::TraceField::num("throughput", out.throughput),
+             obs::TraceField::integer(
+                 "spikes",
+                 static_cast<std::int64_t>(out.spikesLaunched))});
     }
     return out;
 }
@@ -929,10 +973,8 @@ DataCenter::sheddedServers() const
 }
 
 void
-DataCenter::dumpStats(std::ostream &os) const
+DataCenter::exportStats(sim::StatsRegistry &stats) const
 {
-    sim::StatsRegistry stats;
-
     auto scalar = [&](const std::string &name, double value,
                       const std::string &desc) {
         stats.registerScalar(name, desc).set(value);
@@ -991,7 +1033,13 @@ DataCenter::dumpStats(std::ostream &os) const
                     std::move(socs));
     stats.setVector("deb.wear", "worst unit wear per rack",
                     std::move(wear));
+}
 
+void
+DataCenter::dumpStats(std::ostream &os) const
+{
+    sim::StatsRegistry stats;
+    exportStats(stats);
     stats.dump(os);
 }
 

@@ -206,11 +206,15 @@ class DataCenter
     std::uint64_t detectionsFlagged() const { return detections_; }
 
     /**
-     * Export the full telemetry of the run into a gem5-style stats
-     * dump: per-rack battery state, wear, LVD trips, µDEB
-     * engagements, breaker trips, shedding, policy transitions and
-     * throughput accounting.
+     * Export the full telemetry of the run into @p stats: per-rack
+     * battery state, wear, LVD trips, µDEB engagements, breaker
+     * trips, shedding, policy transitions and throughput accounting.
+     * Registered names are stable; re-exporting into the same
+     * registry overwrites the previous snapshot.
      */
+    void exportStats(sim::StatsRegistry &stats) const;
+
+    /** exportStats() rendered as a gem5-style text dump. */
     void dumpStats(std::ostream &os) const;
 
   private:

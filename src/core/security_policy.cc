@@ -1,5 +1,6 @@
 #include "core/security_policy.h"
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::core {
@@ -52,6 +53,14 @@ SecurityPolicy::setLevel(SecurityLevel next)
 {
     if (next == level_)
         return;
+    if (obs::traceEnabled())
+        obs::emit("policy", "policy.transition",
+                  {obs::TraceField::str("from",
+                                        securityLevelName(level_)),
+                   obs::TraceField::str("to", securityLevelName(next)),
+                   obs::TraceField::integer(
+                       "transitions",
+                       static_cast<std::int64_t>(transitions_ + 1))});
     level_ = next;
     ++transitions_;
     if (next == SecurityLevel::Emergency)

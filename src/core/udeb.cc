@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::core {
@@ -30,7 +31,14 @@ MicroDeb::shave(Watts excess, double dt)
         std::min(dt, config_.maxEngagementSec - engagedFor_);
     const Joules delivered = cap_.discharge(excess, window);
     engagedFor_ += dt;
-    return delivered / dt;
+    const Watts shaved = delivered / dt;
+    if (shaved > 0.0 && obs::traceEnabled())
+        obs::emit(name_, "udeb.shave",
+                  {obs::TraceField::num("excess_w", excess),
+                   obs::TraceField::num("shaved_w", shaved),
+                   obs::TraceField::num("soc", cap_.soc()),
+                   obs::TraceField::num("engaged_sec", engagedFor_)});
+    return shaved;
 }
 
 Watts

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::core {
@@ -35,6 +36,13 @@ VdebController::assign(const std::vector<Joules> &socJoules,
         std::fill(out.power.begin(), out.power.end(),
                   shave / static_cast<double>(n));
         out.even = true;
+        if (obs::traceEnabled())
+            obs::emit("vdeb", "vdeb.assign",
+                      {obs::TraceField::num("shave_w", out.shaveTarget),
+                       obs::TraceField::boolean("even", true),
+                       obs::TraceField::num(
+                           "max_rate_w",
+                           shave / static_cast<double>(n))});
         return out;
     }
 
@@ -77,6 +85,14 @@ VdebController::assign(const std::vector<Joules> &socJoules,
                 socJoules[rack] / socRemaining * shaveRemaining;
         }
     }
+    if (obs::traceEnabled())
+        obs::emit("vdeb", "vdeb.assign",
+                  {obs::TraceField::num("shave_w", out.shaveTarget),
+                   obs::TraceField::boolean("even", false),
+                   obs::TraceField::num(
+                       "max_rate_w",
+                       *std::max_element(out.power.begin(),
+                                         out.power.end()))});
     return out;
 }
 

@@ -1,0 +1,64 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/version.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace pad::obs {
+
+void
+writeManifest(std::ostream &os, const RunManifest &manifest)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.key("tool").value(manifest.tool);
+    if (!manifest.experiment.empty())
+        w.key("experiment").value(manifest.experiment);
+    w.key("version").value(versionString());
+    w.key("seed").value(static_cast<std::uint64_t>(manifest.seed));
+
+    w.key("config").beginObject();
+    for (const auto &[key, value] : manifest.config)
+        w.key(key).value(value);
+    w.endObject();
+
+    if (!manifest.argv.empty()) {
+        w.key("argv").beginArray();
+        for (const std::string &arg : manifest.argv)
+            w.value(arg);
+        w.endArray();
+    }
+
+    w.key("artifacts").beginObject();
+    if (!manifest.traceFile.empty()) {
+        w.key("trace").value(manifest.traceFile);
+        w.key("trace_format").value(manifest.traceFormat);
+    }
+    if (!manifest.statsJsonFile.empty())
+        w.key("stats_json").value(manifest.statsJsonFile);
+    w.endObject();
+
+    if (!manifest.statsJson.empty())
+        w.key("stats").rawValue(manifest.statsJson);
+    if (manifest.wallSeconds >= 0.0)
+        w.key("wall_seconds").value(manifest.wallSeconds);
+    w.endObject();
+    os << '\n';
+}
+
+bool
+writeManifestFile(const std::string &path, const RunManifest &manifest)
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot open manifest file '{}'", path);
+        return false;
+    }
+    writeManifest(file, manifest);
+    return static_cast<bool>(file);
+}
+
+} // namespace pad::obs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Machine-readable run manifests.
+ *
+ * A manifest records everything needed to reproduce and diff a run:
+ * the tool and experiment name, the build version, the seed, the
+ * effective configuration (in application order), pointers to any
+ * trace / stats artifacts the run produced, and optionally the stats
+ * summary itself. The stats payload arrives as a pre-rendered JSON
+ * string so this layer stays independent of the sim library (pad_obs
+ * depends only on pad_util).
+ */
+
+#ifndef PAD_OBS_MANIFEST_H
+#define PAD_OBS_MANIFEST_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pad::obs {
+
+/** Everything a manifest.json captures about one run. */
+struct RunManifest {
+    /** Emitting binary, e.g. "padsim" or "fig06". */
+    std::string tool;
+    /** Experiment / scheme label, e.g. "PAD" or "cluster_attack". */
+    std::string experiment;
+    /** Base RNG seed the run used. */
+    std::uint64_t seed = 0;
+    /** Effective config key/values, in application order. */
+    std::vector<std::pair<std::string, std::string>> config;
+    /** Raw command line, argv[0] included; may be empty. */
+    std::vector<std::string> argv;
+    /** Path of the trace file produced, empty if tracing was off. */
+    std::string traceFile;
+    /** "jsonl" or "chrome" when traceFile is set. */
+    std::string traceFormat;
+    /** Path of the stats JSON export, empty if not written. */
+    std::string statsJsonFile;
+    /**
+     * Inline stats summary as a pre-rendered JSON value (e.g. from
+     * StatsRegistry::dumpJson()); spliced verbatim. Empty = omitted.
+     */
+    std::string statsJson;
+    /** Wall-clock duration of the run in seconds; < 0 = unrecorded. */
+    double wallSeconds = -1.0;
+};
+
+/** Render @p manifest as indented JSON onto @p os. */
+void writeManifest(std::ostream &os, const RunManifest &manifest);
+
+/** Write manifest.json at @p path; warns and returns false on I/O error. */
+bool writeManifestFile(const std::string &path,
+                       const RunManifest &manifest);
+
+} // namespace pad::obs
+
+#endif // PAD_OBS_MANIFEST_H

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Typed trace events.
+ *
+ * A TraceEvent is a point-in-time observation ("detector fired",
+ * "policy moved L1->L2") or a completed span ("simulator ran ticks
+ * [a,b)") with a small set of typed payload fields. Events reference
+ * caller-owned strings by view — sinks serialize synchronously inside
+ * write(), so no copies are taken and emitting with a null sink costs
+ * nothing beyond the enabled check.
+ */
+
+#ifndef PAD_OBS_TRACE_EVENT_H
+#define PAD_OBS_TRACE_EVENT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "util/types.h"
+
+namespace pad::obs {
+
+/** One key/value payload entry attached to a trace event. */
+class TraceField
+{
+  public:
+    enum class Kind { Int, Double, Bool, Str };
+
+    std::string_view key;
+    Kind kind = Kind::Int;
+    std::int64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+    std::string_view s;
+
+    static TraceField
+    integer(std::string_view key, std::int64_t v)
+    {
+        TraceField f;
+        f.key = key;
+        f.kind = Kind::Int;
+        f.i = v;
+        return f;
+    }
+
+    static TraceField
+    num(std::string_view key, double v)
+    {
+        TraceField f;
+        f.key = key;
+        f.kind = Kind::Double;
+        f.d = v;
+        return f;
+    }
+
+    static TraceField
+    boolean(std::string_view key, bool v)
+    {
+        TraceField f;
+        f.key = key;
+        f.kind = Kind::Bool;
+        f.b = v;
+        return f;
+    }
+
+    static TraceField
+    str(std::string_view key, std::string_view v)
+    {
+        TraceField f;
+        f.key = key;
+        f.kind = Kind::Str;
+        f.s = v;
+        return f;
+    }
+};
+
+/** A single trace record handed to a TraceSink. */
+struct TraceEvent {
+    enum class Phase { Instant, Complete };
+
+    Phase phase = Phase::Instant;
+    /** Sim time of the event (span start for Complete). */
+    Tick when = 0;
+    /** Span length in ticks; 0 for instants. */
+    Tick duration = 0;
+    /** Sweep job index the event belongs to; -1 = main thread. */
+    int job = -1;
+    /** Emitting component, e.g. "policy" or "rack3.udeb". */
+    std::string_view component;
+    /** Event type, e.g. "policy.transition". */
+    std::string_view name;
+    const TraceField *fields = nullptr;
+    std::size_t numFields = 0;
+};
+
+} // namespace pad::obs
+
+#endif // PAD_OBS_TRACE_EVENT_H

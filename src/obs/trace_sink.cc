@@ -1,0 +1,223 @@
+#include "obs/trace_sink.h"
+
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+namespace pad::obs {
+
+namespace {
+
+void
+writeFields(JsonWriter &w, const TraceEvent &event)
+{
+    for (std::size_t n = 0; n < event.numFields; ++n) {
+        const TraceField &f = event.fields[n];
+        w.key(f.key);
+        switch (f.kind) {
+          case TraceField::Kind::Int:
+            w.value(f.i);
+            break;
+          case TraceField::Kind::Double:
+            w.value(f.d);
+            break;
+          case TraceField::Kind::Bool:
+            w.value(f.b);
+            break;
+          case TraceField::Kind::Str:
+            w.value(f.s);
+            break;
+        }
+    }
+}
+
+} // namespace
+
+JsonlTraceSink::JsonlTraceSink(std::ostream &os) : os_(os)
+{
+}
+
+void
+JsonlTraceSink::write(const TraceEvent &event)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w(os_);
+    w.beginObject();
+    w.key("ts").value(static_cast<std::int64_t>(event.when));
+    if (event.phase == TraceEvent::Phase::Complete)
+        w.key("dur").value(static_cast<std::int64_t>(event.duration));
+    if (event.job >= 0)
+        w.key("job").value(event.job);
+    w.key("component").value(event.component);
+    w.key("name").value(event.name);
+    if (event.numFields > 0) {
+        w.key("args").beginObject();
+        writeFields(w, event);
+        w.endObject();
+    }
+    w.endObject();
+    os_ << '\n';
+}
+
+void
+JsonlTraceSink::flush()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    os_.flush();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream &os) : os_(os)
+{
+    os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink()
+{
+    finish();
+}
+
+void
+ChromeTraceSink::comma()
+{
+    if (!first_)
+        os_ << ",\n";
+    first_ = false;
+}
+
+int
+ChromeTraceSink::threadId(int pid, std::string_view component)
+{
+    auto key = std::make_pair(pid, std::string(component));
+    const auto it = threads_.find(key);
+    if (it != threads_.end())
+        return it->second;
+
+    const int tid = static_cast<int>(threads_.size()) + 1;
+    threads_.emplace(std::move(key), tid);
+
+    // Name the synthetic thread after the component so the trace
+    // viewer's track labels read "policy", "rack3.udeb", ...
+    comma();
+    JsonWriter w(os_);
+    w.beginObject();
+    w.key("ph").value("M");
+    w.key("name").value("thread_name");
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    w.key("args").beginObject().key("name").value(component).endObject();
+    w.endObject();
+    return tid;
+}
+
+void
+ChromeTraceSink::write(const TraceEvent &event)
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PAD_ASSERT(!finished_, "write to a finished ChromeTraceSink");
+    const int pid = event.job + 1;
+    const int tid = threadId(pid, event.component);
+    comma();
+
+    JsonWriter w(os_);
+    w.beginObject();
+    w.key("name").value(event.name);
+    w.key("cat").value(event.component);
+    if (event.phase == TraceEvent::Phase::Complete) {
+        w.key("ph").value("X");
+        // Sim milliseconds -> trace microseconds.
+        w.key("ts").value(static_cast<std::int64_t>(event.when) * 1000);
+        w.key("dur").value(static_cast<std::int64_t>(event.duration) *
+                           1000);
+    } else {
+        w.key("ph").value("i");
+        w.key("ts").value(static_cast<std::int64_t>(event.when) * 1000);
+        w.key("s").value("t");
+    }
+    w.key("pid").value(pid);
+    w.key("tid").value(tid);
+    if (event.numFields > 0) {
+        w.key("args").beginObject();
+        writeFields(w, event);
+        w.endObject();
+    }
+    w.endObject();
+}
+
+void
+ChromeTraceSink::flush()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    os_.flush();
+}
+
+void
+ChromeTraceSink::finish()
+{
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (finished_)
+        return;
+    finished_ = true;
+    os_ << "]}\n";
+    os_.flush();
+}
+
+std::optional<FileTraceSink::Format>
+traceFormatFromName(std::string_view name)
+{
+    if (name == "jsonl")
+        return FileTraceSink::Format::Jsonl;
+    if (name == "chrome")
+        return FileTraceSink::Format::Chrome;
+    return std::nullopt;
+}
+
+std::unique_ptr<FileTraceSink>
+FileTraceSink::open(const std::string &path, Format format)
+{
+    std::ofstream file(path);
+    if (!file) {
+        warn("cannot open trace file '{}'", path);
+        return nullptr;
+    }
+    return std::unique_ptr<FileTraceSink>(
+        new FileTraceSink(std::move(file), format));
+}
+
+FileTraceSink::FileTraceSink(std::ofstream file, Format format)
+    : file_(std::move(file)), format_(format)
+{
+    if (format_ == Format::Chrome)
+        inner_ = std::make_unique<ChromeTraceSink>(file_);
+    else
+        inner_ = std::make_unique<JsonlTraceSink>(file_);
+}
+
+FileTraceSink::~FileTraceSink()
+{
+    close();
+}
+
+void
+FileTraceSink::write(const TraceEvent &event)
+{
+    inner_->write(event);
+}
+
+void
+FileTraceSink::flush()
+{
+    inner_->flush();
+}
+
+void
+FileTraceSink::close()
+{
+    if (!inner_)
+        return;
+    if (format_ == Format::Chrome)
+        static_cast<ChromeTraceSink *>(inner_.get())->finish();
+    inner_->flush();
+    inner_.reset();
+    file_.close();
+}
+
+} // namespace pad::obs

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Trace sinks: where emitted events go.
+ *
+ * All concrete sinks serialize their own output behind an internal
+ * mutex so SweepRunner workers can share one sink. Events are written
+ * synchronously (string_views in TraceEvent only need to outlive the
+ * write() call). Event order in the file is arrival order; under a
+ * parallel sweep that interleaving is nondeterministic, which is fine
+ * because every event carries its own job index and sim timestamp.
+ */
+
+#ifndef PAD_OBS_TRACE_SINK_H
+#define PAD_OBS_TRACE_SINK_H
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "obs/trace_event.h"
+
+namespace pad::obs {
+
+/** Abstract destination for trace events. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Record one event. Must be safe to call from many threads. */
+    virtual void write(const TraceEvent &event) = 0;
+
+    /** Flush buffered output; called at clean shutdown. */
+    virtual void flush() {}
+};
+
+/**
+ * Discards every event without formatting anything. Useful as an
+ * explicit "tracing wired but off" endpoint and for overhead tests.
+ */
+class NullTraceSink : public TraceSink
+{
+  public:
+    void write(const TraceEvent &) override {}
+};
+
+/** Counts events; test helper. */
+class CountingTraceSink : public TraceSink
+{
+  public:
+    void
+    write(const TraceEvent &) override
+    {
+        count_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+};
+
+/**
+ * One JSON object per line:
+ *
+ *   {"ts":1234,"job":0,"component":"policy",
+ *    "name":"policy.transition","args":{"from":1,"to":2}}
+ *
+ * "ts" (and "dur" for spans) are in sim ticks (milliseconds). Lines
+ * are self-contained, so the file is valid even if the run dies
+ * mid-way — handy for grep/jq style post-processing.
+ */
+class JsonlTraceSink : public TraceSink
+{
+  public:
+    /** Stream is borrowed and must outlive the sink. */
+    explicit JsonlTraceSink(std::ostream &os);
+
+    void write(const TraceEvent &event) override;
+    void flush() override;
+
+  private:
+    std::mutex mutex_;
+    std::ostream &os_;
+};
+
+/**
+ * Chrome trace event format ("{"traceEvents":[...]}"), loadable in
+ * Perfetto / chrome://tracing. Sim ticks (ms) map to trace
+ * microseconds ("ts" = tick * 1000) so the UI's time ruler reads as
+ * sim time with ms granularity. Each sweep job becomes a process
+ * (pid = job + 1) and each component a named thread within it.
+ *
+ * The closing "]}" is written by finish() or the destructor; call
+ * finish() explicitly when you need the file complete before exit.
+ */
+class ChromeTraceSink : public TraceSink
+{
+  public:
+    /** Stream is borrowed and must outlive the sink. */
+    explicit ChromeTraceSink(std::ostream &os);
+    ~ChromeTraceSink() override;
+
+    void write(const TraceEvent &event) override;
+    void flush() override;
+
+    /** Write the trailing "]}"; further write() calls are invalid. */
+    void finish();
+
+  private:
+    int threadId(int pid, std::string_view component);
+    void comma();
+
+    std::mutex mutex_;
+    std::ostream &os_;
+    bool first_ = true;
+    bool finished_ = false;
+    /** (pid, component) -> tid, metadata already emitted. */
+    std::map<std::pair<int, std::string>, int> threads_;
+};
+
+/**
+ * A sink that owns its output file. Creation fails (returns nullptr
+ * and warns) when the file cannot be opened.
+ */
+class FileTraceSink : public TraceSink
+{
+  public:
+    enum class Format { Jsonl, Chrome };
+
+    static std::unique_ptr<FileTraceSink> open(const std::string &path,
+                                               Format format);
+    ~FileTraceSink() override;
+
+    void write(const TraceEvent &event) override;
+    void flush() override;
+
+    /** Complete the file (Chrome footer) and flush. */
+    void close();
+
+  private:
+    FileTraceSink(std::ofstream file, Format format);
+
+    std::ofstream file_;
+    Format format_;
+    std::unique_ptr<TraceSink> inner_;
+};
+
+/** Parse "jsonl" / "chrome"; nullopt otherwise. */
+std::optional<FileTraceSink::Format>
+traceFormatFromName(std::string_view name);
+
+} // namespace pad::obs
+
+#endif // PAD_OBS_TRACE_SINK_H

@@ -1,0 +1,16 @@
+#include "obs/version.h"
+
+// Injected by src/obs/CMakeLists.txt from `git describe`.
+#ifndef PAD_GIT_DESCRIBE
+#define PAD_GIT_DESCRIBE "unknown"
+#endif
+
+namespace pad::obs {
+
+std::string_view
+versionString()
+{
+    return PAD_GIT_DESCRIBE;
+}
+
+} // namespace pad::obs

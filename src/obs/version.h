@@ -1,0 +1,22 @@
+/**
+ * @file
+ * Build version identification for run manifests.
+ */
+
+#ifndef PAD_OBS_VERSION_H
+#define PAD_OBS_VERSION_H
+
+#include <string_view>
+
+namespace pad::obs {
+
+/**
+ * git-describe-style version of the build ("006953c", "v1.2-4-gabc
+ * -dirty", ...), captured at configure time; "unknown" when built
+ * outside a git checkout.
+ */
+std::string_view versionString();
+
+} // namespace pad::obs
+
+#endif // PAD_OBS_VERSION_H

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::power {
@@ -29,6 +30,11 @@ CircuitBreaker::observe(Watts power, double dt)
     if (r >= config_.magneticRatio) {
         tripped_ = true;
         ++trips_;
+        if (obs::traceEnabled())
+            obs::emit(name_, "breaker.trip",
+                      {obs::TraceField::str("cause", "magnetic"),
+                       obs::TraceField::num("draw_w", power),
+                       obs::TraceField::num("ratio", r)});
         return true;
     }
     if (r > config_.holdRatio) {
@@ -36,6 +42,12 @@ CircuitBreaker::observe(Watts power, double dt)
         if (heat_ >= config_.thermalCapacity) {
             tripped_ = true;
             ++trips_;
+            if (obs::traceEnabled())
+                obs::emit(name_, "breaker.trip",
+                          {obs::TraceField::str("cause", "thermal"),
+                           obs::TraceField::num("draw_w", power),
+                           obs::TraceField::num("ratio", r),
+                           obs::TraceField::num("heat", heat_)});
             return true;
         }
     } else {

@@ -297,6 +297,21 @@ runClusterAttack(const ClusterAttackSpec &spec,
     out.telemetry.autonomySamples = attacker.autonomySamples();
     out.telemetry.socs = dc.allSocs();
     out.telemetry.socStdDevPercent = dc.socStdDevPercent();
+    out.stats = std::make_shared<sim::StatsRegistry>();
+    dc.exportStats(*out.stats);
+    out.stats
+        ->registerScalar("attack.survival_sec",
+                         "attack start to first overload")
+        .set(out.attackOutcome.survivalSec);
+    out.stats
+        ->registerScalar("attack.throughput",
+                         "benign throughput over the window")
+        .set(out.attackOutcome.throughput);
+    out.stats
+        ->registerCounter("attack.spikes_launched",
+                          "hidden spikes launched in Phase II")
+        .add(static_cast<std::uint64_t>(
+            std::max(0, out.attackOutcome.spikesLaunched)));
     return out;
 }
 
@@ -326,6 +341,8 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     out.telemetry.socStdDevPercent = dc.socStdDevPercent();
     out.telemetry.socHistory = dc.socHistory();
     out.telemetry.shedHistory = dc.shedHistory();
+    out.stats = std::make_shared<sim::StatsRegistry>();
+    dc.exportStats(*out.stats);
     return out;
 }
 
@@ -439,6 +456,25 @@ runExperiment(const Experiment &experiment)
           ExperimentResult out;
           out.kind = ExperimentKind::RackLab;
           out.labResult = runRackLab(spec, experiment.windowSec);
+          out.stats = std::make_shared<sim::StatsRegistry>();
+          out.stats
+              ->registerCounter("lab.effective_attacks",
+                                "overload-limit crossings")
+              .add(static_cast<std::uint64_t>(
+                  std::max(0, out.labResult.effectiveAttacks)));
+          out.stats
+              ->registerCounter("lab.spikes_launched",
+                                "spikes launched in the window")
+              .add(static_cast<std::uint64_t>(
+                  std::max(0, out.labResult.spikesLaunched)));
+          out.stats
+              ->registerScalar("lab.first_overload_sec",
+                               "time of first overload; <0 none")
+              .set(out.labResult.firstOverloadSec);
+          out.stats
+              ->registerScalar("lab.battery_out_sec",
+                               "battery depletion time; <0 never")
+              .set(out.labResult.batteryOutSec);
           return out;
       }
       case ExperimentKind::RackLabServers: {

@@ -38,6 +38,7 @@
 #include "core/config.h"
 #include "core/datacenter.h"
 #include "core/schemes.h"
+#include "sim/stats_registry.h"
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 #include "util/types.h"
@@ -325,6 +326,15 @@ struct ExperimentResult {
     RackLabServerTrace serverTraces;
     core::AttackOutcome attackOutcome;
     ClusterTelemetry telemetry;
+    /**
+     * The job's full stats registry (DataCenter::exportStats for
+     * cluster kinds, lab summary stats for the rack kinds). Shared
+     * pointer because StatsRegistry is move-only while results are
+     * copied around freely; derived purely from the experiment value,
+     * so it obeys the same determinism contract as every other
+     * member.
+     */
+    std::shared_ptr<sim::StatsRegistry> stats;
 
     /** RackLab result (asserts kind). */
     const RackLabResult &lab() const;

@@ -1,9 +1,13 @@
 #include "runner/sweep_runner.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <thread>
+
+#include "obs/tracer.h"
+#include "util/logging.h"
 
 namespace pad::runner {
 
@@ -46,9 +50,53 @@ SweepRunner::run(const std::vector<Experiment> &experiments) const
 {
     std::vector<ExperimentResult> results(experiments.size());
     forEach(experiments.size(), [&](std::size_t i) {
-        results[i] = runExperiment(experiments[i]);
+        if (options_.trace) {
+            // Bind the sweep's sink with this job's index; the scope
+            // restores whatever tracing the thread had before.
+            const obs::TraceScope scope(options_.trace,
+                                        static_cast<int>(i));
+            results[i] = runExperiment(experiments[i]);
+        } else {
+            results[i] = runExperiment(experiments[i]);
+        }
     });
     return results;
+}
+
+SweepReport
+SweepRunner::runWithReport(
+    const std::vector<Experiment> &experiments) const
+{
+    using Clock = std::chrono::steady_clock;
+    const auto sweepStart = Clock::now();
+
+    SweepReport report;
+    report.results.resize(experiments.size());
+    report.jobWallSeconds.assign(experiments.size(), 0.0);
+    forEach(experiments.size(), [&](std::size_t i) {
+        const auto jobStart = Clock::now();
+        if (options_.trace) {
+            const obs::TraceScope scope(options_.trace,
+                                        static_cast<int>(i));
+            report.results[i] = runExperiment(experiments[i]);
+        } else {
+            report.results[i] = runExperiment(experiments[i]);
+        }
+        report.jobWallSeconds[i] =
+            std::chrono::duration<double>(Clock::now() - jobStart)
+                .count();
+    });
+
+    // Submission-order merge: the aggregate is a pure function of
+    // the experiment list, never of scheduling.
+    for (const ExperimentResult &result : report.results)
+        if (result.stats)
+            report.stats.mergeFrom(*result.stats);
+
+    report.wallSeconds =
+        std::chrono::duration<double>(Clock::now() - sweepStart)
+            .count();
+    return report;
 }
 
 void
@@ -74,6 +122,10 @@ SweepRunner::forEachImpl(std::size_t n,
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= n)
                 return;
+            // Tag this worker's log lines with the job it is running
+            // so interleaved output stays attributable. The serial
+            // path above stays untagged (identical to a plain loop).
+            const ScopedLogJob logTag(static_cast<int>(i));
             try {
                 fn(i);
             } catch (...) {

@@ -28,9 +28,32 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace_sink.h"
 #include "runner/experiment.h"
 
 namespace pad::runner {
+
+/**
+ * Outcome of SweepRunner::runWithReport(): the per-job results plus
+ * sweep-level aggregates.
+ *
+ * `stats` merges every job's registry in submission order, which is
+ * deterministic for any worker count (DESIGN.md §8). The wall-clock
+ * members are profiling data measured on whatever thread ran the
+ * job — they are the one intentionally nondeterministic part and are
+ * kept out of `stats` so the deterministic aggregate stays
+ * bit-identical across runs.
+ */
+struct SweepReport {
+    /** results[i] is experiments[i]'s outcome (submission order). */
+    std::vector<ExperimentResult> results;
+    /** Deterministic merge of all per-job stats registries. */
+    sim::StatsRegistry stats;
+    /** Wall-clock seconds each job took (profiling only). */
+    std::vector<double> jobWallSeconds;
+    /** Wall-clock seconds for the whole sweep (profiling only). */
+    double wallSeconds = 0.0;
+};
 
 /**
  * Fixed-size thread-pool executor for Experiment sweeps.
@@ -51,6 +74,15 @@ class SweepRunner
          * the reference serial path.
          */
         int jobs = 0;
+        /**
+         * Trace sink bound around every job (not owned; must be
+         * thread-safe, which all obs sinks are). Each job runs under
+         * an obs::TraceScope carrying its submission index, so
+         * events from concurrent jobs stay attributable. nullptr
+         * (default) leaves tracing exactly as the calling thread had
+         * it — i.e. disabled on pool workers.
+         */
+        obs::TraceSink *trace = nullptr;
     };
 
     SweepRunner() = default;
@@ -66,6 +98,15 @@ class SweepRunner
      */
     std::vector<ExperimentResult>
     run(const std::vector<Experiment> &experiments) const;
+
+    /**
+     * run() plus sweep-level aggregation: merges every job's stats
+     * registry in submission order and records per-job / total
+     * wall-clock timings. The `results` vector is bit-identical to
+     * what run() returns for the same experiments.
+     */
+    SweepReport
+    runWithReport(const std::vector<Experiment> &experiments) const;
 
     /**
      * Derive the RNG seed of job @p jobIndex under @p baseSeed: a

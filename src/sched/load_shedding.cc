@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::sched {
@@ -33,6 +34,15 @@ LoadShedder::plan(std::vector<ShedCandidate> candidates,
         static_cast<double>(decision.serversToSleep.size()) /
         static_cast<double>(candidates.size());
     totalShed_ += decision.serversToSleep.size();
+    if (!decision.serversToSleep.empty() && obs::traceEnabled())
+        obs::emit("shedder", "shed.plan",
+                  {obs::TraceField::num("deficit_w", deficit),
+                   obs::TraceField::num("released_w",
+                                        decision.releasedPower),
+                   obs::TraceField::integer(
+                       "servers", static_cast<std::int64_t>(
+                                      decision.serversToSleep.size())),
+                   obs::TraceField::num("ratio", decision.shedRatio)});
     return decision;
 }
 

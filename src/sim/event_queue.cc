@@ -1,5 +1,6 @@
 #include "sim/event_queue.h"
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::sim {
@@ -103,6 +104,15 @@ EventQueue::step()
     PAD_ASSERT(entry->when >= now_);
     now_ = entry->when;
     ++executed_;
+    if (obs::traceEnabled()) {
+        obs::setTraceClock(now_);
+        obs::emit("sim", "sim.dispatch",
+                  {obs::TraceField::integer(
+                       "seq", static_cast<std::int64_t>(entry->seq)),
+                   obs::TraceField::integer(
+                       "priority",
+                       static_cast<std::int64_t>(entry->priority))});
+    }
     Callback cb = std::move(entry->cb);
     delete entry;
     cb();

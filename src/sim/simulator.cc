@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::sim {
@@ -53,7 +54,16 @@ Simulator::run(Tick until)
         for (auto *c : external_)
             c->init(*this);
     }
+    const Tick from = now();
+    const std::uint64_t before = events_.executed();
     events_.runUntil(until);
+    if (obs::traceEnabled()) {
+        obs::setTraceClock(now());
+        obs::emitSpan(from, now(), "sim", "sim.run",
+                      {obs::TraceField::integer(
+                          "events", static_cast<std::int64_t>(
+                                        events_.executed() - before))});
+    }
 }
 
 void

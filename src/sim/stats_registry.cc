@@ -1,11 +1,53 @@
 #include "sim/stats_registry.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <ostream>
+#include <sstream>
 
+#include "util/json_writer.h"
 #include "util/logging.h"
 
 namespace pad::sim {
+
+void
+StatsRegistry::HistogramData::record(double v)
+{
+    if (count == 0) {
+        min = max = v;
+    } else {
+        min = std::min(min, v);
+        max = std::max(max, v);
+    }
+    ++count;
+    sum += v;
+    if (v < spec.lo) {
+        ++underflow;
+    } else if (v >= spec.hi) {
+        ++overflow;
+    } else {
+        const double width = (spec.hi - spec.lo) / spec.buckets;
+        auto bucket = static_cast<std::size_t>((v - spec.lo) / width);
+        // Floating-point division can land exactly on spec.buckets
+        // for values just below hi; clamp into the last bucket.
+        if (bucket >= spec.buckets)
+            bucket = spec.buckets - 1;
+        ++counts[bucket];
+    }
+}
+
+void
+StatsRegistry::TimerData::record(double seconds)
+{
+    if (count == 0) {
+        minSeconds = maxSeconds = seconds;
+    } else {
+        minSeconds = std::min(minSeconds, seconds);
+        maxSeconds = std::max(maxSeconds, seconds);
+    }
+    ++count;
+    totalSeconds += seconds;
+}
 
 StatsRegistry::Scalar
 StatsRegistry::registerScalar(const std::string &name,
@@ -17,6 +59,48 @@ StatsRegistry::registerScalar(const std::string &name,
         it->second.desc = desc;
     // std::map nodes are stable, so handing out a pointer is safe.
     return Scalar(&it->second.value);
+}
+
+StatsRegistry::Counter
+StatsRegistry::registerCounter(const std::string &name,
+                               const std::string &desc)
+{
+    PAD_ASSERT(!name.empty());
+    auto [it, inserted] = counters_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return Counter(&it->second.value);
+}
+
+StatsRegistry::Histogram
+StatsRegistry::registerHistogram(const std::string &name,
+                                 const std::string &desc,
+                                 const HistogramSpec &spec)
+{
+    PAD_ASSERT(!name.empty());
+    PAD_ASSERT(spec.buckets > 0 && spec.hi > spec.lo,
+               "degenerate histogram spec");
+    auto [it, inserted] = histograms_.try_emplace(name);
+    if (inserted) {
+        it->second.desc = desc;
+        it->second.data.spec = spec;
+        it->second.data.counts.assign(spec.buckets, 0);
+    } else {
+        PAD_ASSERT(it->second.data.spec == spec,
+                   "histogram re-registered with a different spec");
+    }
+    return Histogram(&it->second.data);
+}
+
+StatsRegistry::Timer
+StatsRegistry::registerTimer(const std::string &name,
+                             const std::string &desc)
+{
+    PAD_ASSERT(!name.empty());
+    auto [it, inserted] = timers_.try_emplace(name);
+    if (inserted)
+        it->second.desc = desc;
+    return Timer(&it->second.data);
 }
 
 void
@@ -33,7 +117,8 @@ StatsRegistry::setVector(const std::string &name,
 std::size_t
 StatsRegistry::size() const
 {
-    return scalars_.size() + vectors_.size();
+    return scalars_.size() + vectors_.size() + counters_.size() +
+           histograms_.size() + timers_.size();
 }
 
 double
@@ -43,10 +128,19 @@ StatsRegistry::lookup(const std::string &name) const
     return it == scalars_.end() ? 0.0 : it->second.value;
 }
 
+std::uint64_t
+StatsRegistry::lookupCounter(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value;
+}
+
 bool
 StatsRegistry::contains(const std::string &name) const
 {
-    return scalars_.count(name) > 0 || vectors_.count(name) > 0;
+    return scalars_.count(name) > 0 || vectors_.count(name) > 0 ||
+           counters_.count(name) > 0 || histograms_.count(name) > 0 ||
+           timers_.count(name) > 0;
 }
 
 void
@@ -54,6 +148,13 @@ StatsRegistry::dump(std::ostream &os) const
 {
     os << "---------- begin stats ----------\n";
     for (const auto &[name, entry] : scalars_) {
+        os << std::left << std::setw(42) << name << " "
+           << std::setw(14) << entry.value;
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &[name, entry] : counters_) {
         os << std::left << std::setw(42) << name << " "
            << std::setw(14) << entry.value;
         if (!entry.desc.empty())
@@ -72,8 +173,185 @@ StatsRegistry::dump(std::ostream &os) const
             os << " # " << entry.desc;
         os << '\n';
     }
+    for (const auto &[name, entry] : histograms_) {
+        const HistogramData &h = entry.data;
+        os << std::left << std::setw(42) << name << " count="
+           << h.count << " sum=" << h.sum << " under=" << h.underflow
+           << " over=" << h.overflow << " [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i)
+                os << ' ';
+            os << h.counts[i];
+        }
+        os << "]";
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
+    for (const auto &[name, entry] : timers_) {
+        const TimerData &t = entry.data;
+        os << std::left << std::setw(42) << name << " count="
+           << t.count << " total_s=" << t.totalSeconds;
+        if (t.count > 0)
+            os << " min_s=" << t.minSeconds << " max_s="
+               << t.maxSeconds;
+        if (!entry.desc.empty())
+            os << " # " << entry.desc;
+        os << '\n';
+    }
     os << "---------- end stats ----------\n";
     os.flush();
+}
+
+void
+StatsRegistry::dumpJson(std::ostream &os) const
+{
+    JsonWriter w(os);
+    w.beginObject();
+    if (!scalars_.empty()) {
+        w.key("scalars").beginObject();
+        for (const auto &[name, entry] : scalars_)
+            w.key(name).value(entry.value);
+        w.endObject();
+    }
+    if (!counters_.empty()) {
+        w.key("counters").beginObject();
+        for (const auto &[name, entry] : counters_)
+            w.key(name).value(entry.value);
+        w.endObject();
+    }
+    if (!vectors_.empty()) {
+        w.key("vectors").beginObject();
+        for (const auto &[name, entry] : vectors_) {
+            w.key(name).beginArray();
+            for (const double v : entry.values)
+                w.value(v);
+            w.endArray();
+        }
+        w.endObject();
+    }
+    if (!histograms_.empty()) {
+        w.key("histograms").beginObject();
+        for (const auto &[name, entry] : histograms_) {
+            const HistogramData &h = entry.data;
+            w.key(name).beginObject();
+            w.key("lo").value(h.spec.lo);
+            w.key("hi").value(h.spec.hi);
+            w.key("count").value(h.count);
+            w.key("sum").value(h.sum);
+            if (h.count > 0) {
+                w.key("min").value(h.min);
+                w.key("max").value(h.max);
+            }
+            w.key("underflow").value(h.underflow);
+            w.key("overflow").value(h.overflow);
+            w.key("buckets").beginArray();
+            for (const std::uint64_t c : h.counts)
+                w.value(c);
+            w.endArray();
+            w.endObject();
+        }
+        w.endObject();
+    }
+    if (!timers_.empty()) {
+        w.key("timers").beginObject();
+        for (const auto &[name, entry] : timers_) {
+            const TimerData &t = entry.data;
+            w.key(name).beginObject();
+            w.key("count").value(t.count);
+            w.key("total_seconds").value(t.totalSeconds);
+            if (t.count > 0) {
+                w.key("min_seconds").value(t.minSeconds);
+                w.key("max_seconds").value(t.maxSeconds);
+            }
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endObject();
+}
+
+std::string
+StatsRegistry::dumpJsonString() const
+{
+    std::ostringstream out;
+    dumpJson(out);
+    return out.str();
+}
+
+void
+StatsRegistry::mergeFrom(const StatsRegistry &other)
+{
+    for (const auto &[name, entry] : other.scalars_) {
+        auto [it, inserted] = scalars_.try_emplace(name);
+        if (inserted)
+            it->second.desc = entry.desc;
+        it->second.value += entry.value;
+    }
+    for (const auto &[name, entry] : other.counters_) {
+        auto [it, inserted] = counters_.try_emplace(name);
+        if (inserted)
+            it->second.desc = entry.desc;
+        it->second.value += entry.value;
+    }
+    for (const auto &[name, entry] : other.vectors_) {
+        auto [it, inserted] = vectors_.try_emplace(name);
+        if (inserted)
+            it->second.desc = entry.desc;
+        it->second.values.insert(it->second.values.end(),
+                                 entry.values.begin(),
+                                 entry.values.end());
+    }
+    for (const auto &[name, entry] : other.histograms_) {
+        auto [it, inserted] = histograms_.try_emplace(name);
+        HistogramData &mine = it->second.data;
+        const HistogramData &theirs = entry.data;
+        if (inserted) {
+            it->second.desc = entry.desc;
+            mine = theirs;
+            continue;
+        }
+        PAD_ASSERT(mine.spec == theirs.spec,
+                   "merging histograms with different specs");
+        if (theirs.count > 0) {
+            if (mine.count == 0) {
+                mine.min = theirs.min;
+                mine.max = theirs.max;
+            } else {
+                mine.min = std::min(mine.min, theirs.min);
+                mine.max = std::max(mine.max, theirs.max);
+            }
+        }
+        mine.count += theirs.count;
+        mine.sum += theirs.sum;
+        mine.underflow += theirs.underflow;
+        mine.overflow += theirs.overflow;
+        for (std::size_t i = 0; i < mine.counts.size(); ++i)
+            mine.counts[i] += theirs.counts[i];
+    }
+    for (const auto &[name, entry] : other.timers_) {
+        auto [it, inserted] = timers_.try_emplace(name);
+        TimerData &mine = it->second.data;
+        const TimerData &theirs = entry.data;
+        if (inserted) {
+            it->second.desc = entry.desc;
+            mine = theirs;
+            continue;
+        }
+        if (theirs.count > 0) {
+            if (mine.count == 0) {
+                mine.minSeconds = theirs.minSeconds;
+                mine.maxSeconds = theirs.maxSeconds;
+            } else {
+                mine.minSeconds =
+                    std::min(mine.minSeconds, theirs.minSeconds);
+                mine.maxSeconds =
+                    std::max(mine.maxSeconds, theirs.maxSeconds);
+            }
+        }
+        mine.count += theirs.count;
+        mine.totalSeconds += theirs.totalSeconds;
+    }
 }
 
 void
@@ -86,6 +364,21 @@ StatsRegistry::reset()
     for (auto &[name, entry] : vectors_) {
         (void)name;
         entry.values.clear();
+    }
+    for (auto &[name, entry] : counters_) {
+        (void)name;
+        entry.value = 0;
+    }
+    for (auto &[name, entry] : histograms_) {
+        (void)name;
+        HistogramData &h = entry.data;
+        h.counts.assign(h.spec.buckets, 0);
+        h.underflow = h.overflow = h.count = 0;
+        h.sum = h.min = h.max = 0.0;
+    }
+    for (auto &[name, entry] : timers_) {
+        (void)name;
+        entry.data = TimerData{};
     }
 }
 

@@ -5,11 +5,21 @@
  * the end of a run. Components register stats at construction; the
  * registry renders `group.name value # description` lines so runs
  * can be diffed.
+ *
+ * Beyond plain scalars and vectors the registry supports counters
+ * (integer event tallies), fixed-bucket histograms, and timers
+ * (duration accumulators), all with deterministic rendering: the
+ * text dump() keeps its historical format, and dumpJson() exports
+ * everything as a machine-readable JSON value suitable for
+ * --stats-json files and run manifests. Registries from independent
+ * sweep jobs combine with mergeFrom(); merging in submission order
+ * is deterministic regardless of worker count.
  */
 
 #ifndef PAD_SIM_STATS_REGISTRY_H
 #define PAD_SIM_STATS_REGISTRY_H
 
+#include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -17,12 +27,29 @@
 
 namespace pad::sim {
 
+/** Bucketing layout for a histogram statistic. */
+struct HistogramSpec {
+    /** Inclusive lower bound of the first bucket. */
+    double lo = 0.0;
+    /** Exclusive upper bound of the last bucket. */
+    double hi = 1.0;
+    /** Number of equal-width buckets between lo and hi. */
+    std::size_t buckets = 10;
+
+    bool
+    operator==(const HistogramSpec &o) const
+    {
+        return lo == o.lo && hi == o.hi && buckets == o.buckets;
+    }
+};
+
 /**
  * A registry of named statistics.
  *
- * Statistics are plain doubles (scalars) or double vectors, recorded
- * under a dotted hierarchical name. The registry owns the storage;
- * components update through the returned handles.
+ * Statistics are recorded under a dotted hierarchical name. The
+ * registry owns the storage; components update through the returned
+ * handles (raw pointers into std::map nodes, stable across inserts
+ * and registry moves).
  */
 class StatsRegistry
 {
@@ -61,6 +88,112 @@ class StatsRegistry
         double *value_ = nullptr;
     };
 
+    /** Handle to a registered integer event counter. */
+    class Counter
+    {
+      public:
+        Counter() = default;
+
+        /** Add @p n events. */
+        void
+        add(std::uint64_t n)
+        {
+            if (value_)
+                *value_ += n;
+        }
+
+        /** Count one event. */
+        void inc() { add(1); }
+
+        /** Current count (0 for an unbound handle). */
+        std::uint64_t value() const { return value_ ? *value_ : 0; }
+
+      private:
+        friend class StatsRegistry;
+        explicit Counter(std::uint64_t *value) : value_(value) {}
+        std::uint64_t *value_ = nullptr;
+    };
+
+    /** Sample distribution state behind a Histogram handle. */
+    struct HistogramData {
+        HistogramSpec spec;
+        /** Per-bucket sample counts; size == spec.buckets. */
+        std::vector<std::uint64_t> counts;
+        std::uint64_t underflow = 0;
+        std::uint64_t overflow = 0;
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        /** Observed extremes; meaningful only when count > 0. */
+        double min = 0.0;
+        double max = 0.0;
+
+        void record(double v);
+    };
+
+    /** Duration accumulator state behind a Timer handle. */
+    struct TimerData {
+        std::uint64_t count = 0;
+        double totalSeconds = 0.0;
+        /** Observed extremes; meaningful only when count > 0. */
+        double minSeconds = 0.0;
+        double maxSeconds = 0.0;
+
+        void record(double seconds);
+    };
+
+    /** Handle to a registered fixed-bucket histogram. */
+    class Histogram
+    {
+      public:
+        Histogram() = default;
+
+        /** Record one sample. */
+        void
+        record(double v)
+        {
+            if (data_)
+                data_->record(v);
+        }
+
+        /** Total recorded samples (includes under/overflow). */
+        std::uint64_t count() const { return data_ ? data_->count : 0; }
+
+      private:
+        friend class StatsRegistry;
+        explicit Histogram(HistogramData *data) : data_(data) {}
+        HistogramData *data_ = nullptr;
+    };
+
+    /** Handle to a registered duration accumulator. */
+    class Timer
+    {
+      public:
+        Timer() = default;
+
+        /** Record one duration in seconds. */
+        void
+        record(double seconds)
+        {
+            if (data_)
+                data_->record(seconds);
+        }
+
+        /** Number of recorded durations. */
+        std::uint64_t count() const { return data_ ? data_->count : 0; }
+
+        /** Sum of recorded durations in seconds. */
+        double
+        totalSeconds() const
+        {
+            return data_ ? data_->totalSeconds : 0.0;
+        }
+
+      private:
+        friend class StatsRegistry;
+        explicit Timer(TimerData *data) : data_(data) {}
+        TimerData *data_ = nullptr;
+    };
+
     /**
      * Register a scalar statistic.
      *
@@ -69,6 +202,25 @@ class StatsRegistry
      */
     Scalar registerScalar(const std::string &name,
                           const std::string &desc);
+
+    /** Register an integer event counter. */
+    Counter registerCounter(const std::string &name,
+                            const std::string &desc);
+
+    /**
+     * Register a histogram with @p spec's fixed bucket layout.
+     * Samples below spec.lo / at-or-above spec.hi land in dedicated
+     * underflow/overflow counts, so bucketing is deterministic for
+     * any input. Re-registering an existing name requires an equal
+     * spec.
+     */
+    Histogram registerHistogram(const std::string &name,
+                                const std::string &desc,
+                                const HistogramSpec &spec);
+
+    /** Register a duration accumulator. */
+    Timer registerTimer(const std::string &name,
+                        const std::string &desc);
 
     /** Register (or overwrite) a vector statistic by value. */
     void setVector(const std::string &name, const std::string &desc,
@@ -80,13 +232,32 @@ class StatsRegistry
     /** Value of a scalar by name; 0 when absent. */
     double lookup(const std::string &name) const;
 
+    /** Value of a counter by name; 0 when absent. */
+    std::uint64_t lookupCounter(const std::string &name) const;
+
     /** True when a statistic with this name exists. */
     bool contains(const std::string &name) const;
 
     /** Render all statistics, sorted by name. */
     void dump(std::ostream &os) const;
 
-    /** Reset every scalar to zero and clear vectors' values. */
+    /** Render all statistics as one minified JSON object. */
+    void dumpJson(std::ostream &os) const;
+
+    /** dumpJson() into a string, for splicing into manifests. */
+    std::string dumpJsonString() const;
+
+    /**
+     * Fold @p other into this registry: scalars and counters add,
+     * vectors concatenate (other's values appended), histograms with
+     * equal specs add bucket counts, timers combine count/total/
+     * min/max. Statistics present only in @p other are created.
+     * Merging job registries in submission order yields the same
+     * result for any worker count.
+     */
+    void mergeFrom(const StatsRegistry &other);
+
+    /** Reset every statistic to its freshly-registered state. */
     void reset();
 
   private:
@@ -98,14 +269,33 @@ class StatsRegistry
         std::vector<double> values;
         std::string desc;
     };
+    struct CounterEntry {
+        std::uint64_t value = 0;
+        std::string desc;
+    };
+    struct HistogramEntry {
+        HistogramData data;
+        std::string desc;
+    };
+    struct TimerEntry {
+        TimerData data;
+        std::string desc;
+    };
 
     std::map<std::string, ScalarEntry> scalars_;
     std::map<std::string, VectorEntry> vectors_;
+    std::map<std::string, CounterEntry> counters_;
+    std::map<std::string, HistogramEntry> histograms_;
+    std::map<std::string, TimerEntry> timers_;
 
   public:
     StatsRegistry() = default;
     StatsRegistry(const StatsRegistry &) = delete;
     StatsRegistry &operator=(const StatsRegistry &) = delete;
+    // Moving a std::map transfers its nodes, so outstanding handles
+    // keep pointing at live entries after a registry move.
+    StatsRegistry(StatsRegistry &&) noexcept = default;
+    StatsRegistry &operator=(StatsRegistry &&) noexcept = default;
 };
 
 } // namespace pad::sim

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Minimal JSON parser for tooling and tests.
+ *
+ * The observability layer *writes* JSON (traces, stats exports, run
+ * manifests); this parser closes the loop so tests and CLI tooling
+ * can validate that those artifacts really are well-formed and carry
+ * the required fields, without any external dependency. It is a
+ * strict RFC-8259-style recursive-descent parser over an in-memory
+ * string — fine for test fixtures and manifests, not meant for
+ * gigabyte trace files.
+ */
+
+#ifndef PAD_UTIL_JSON_H
+#define PAD_UTIL_JSON_H
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pad {
+
+/** A parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    /** Members in document order (duplicate keys keep both). */
+    std::vector<std::pair<std::string, JsonValue>> members;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member with key @p k, or nullptr. Object nodes only. */
+    const JsonValue *find(std::string_view k) const;
+
+    /** True when an object node has a member named @p k. */
+    bool contains(std::string_view k) const { return find(k) != nullptr; }
+
+    /** Array length / object member count / 0 for scalars. */
+    std::size_t size() const;
+};
+
+/**
+ * Parse a complete JSON document.
+ *
+ * @param text  the document; trailing garbage is an error
+ * @param error receives a human-readable message on failure
+ * @return the root value, or nullopt on a syntax error
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+} // namespace pad
+
+#endif // PAD_UTIL_JSON_H

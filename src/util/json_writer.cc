@@ -1,0 +1,232 @@
+#include "util/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "util/logging.h"
+
+namespace pad {
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{
+    PAD_ASSERT(indent >= 0);
+}
+
+std::string
+JsonWriter::escape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\b':
+            out += "\\b";
+            break;
+          case '\f':
+            out += "\\f";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+JsonWriter::formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+void
+JsonWriter::newline()
+{
+    if (indent_ == 0)
+        return;
+    os_ << '\n';
+    for (std::size_t i = 0; i < stack_.size(); ++i)
+        for (int s = 0; s < indent_; ++s)
+            os_ << ' ';
+}
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        PAD_ASSERT(!keyPending_);
+        return;
+    }
+    Level &top = stack_.back();
+    if (top.object) {
+        // Inside an object a bare value is only legal after key().
+        PAD_ASSERT(keyPending_,
+                   "JSON object member written without a key");
+        keyPending_ = false;
+        return;
+    }
+    if (top.count++ > 0)
+        os_ << ',';
+    newline();
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    PAD_ASSERT(!stack_.empty() && stack_.back().object,
+               "JSON key outside an object");
+    PAD_ASSERT(!keyPending_, "two JSON keys in a row");
+    if (stack_.back().count++ > 0)
+        os_ << ',';
+    newline();
+    os_ << '"' << escape(k) << '"' << ':';
+    if (indent_ > 0)
+        os_ << ' ';
+    keyPending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    os_ << '{';
+    stack_.push_back(Level{true});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    PAD_ASSERT(!stack_.empty() && stack_.back().object && !keyPending_);
+    const bool empty = stack_.back().count == 0;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    os_ << '[';
+    stack_.push_back(Level{false});
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    PAD_ASSERT(!stack_.empty() && !stack_.back().object);
+    const bool empty = stack_.back().count == 0;
+    stack_.pop_back();
+    if (!empty)
+        newline();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    os_ << '"' << escape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string_view(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    os_ << formatDouble(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    os_ << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view json)
+{
+    beforeValue();
+    os_ << json;
+    return *this;
+}
+
+} // namespace pad

@@ -3,12 +3,43 @@
 #include <atomic>
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace pad {
 
 namespace {
 
 std::atomic<LogLevel> globalLevel{LogLevel::Info};
+
+// SweepRunner workers log concurrently; one mutex keeps each message
+// line intact on the shared streams.
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+// Sweep-job tag for the current thread; < 0 means "not a worker".
+thread_local int tlsLogJob = -1;
+
+std::string
+prefixed(const std::string &msg)
+{
+    if (tlsLogJob < 0)
+        return msg;
+    return "[job " + std::to_string(tlsLogJob) + "] " + msg;
+}
+
+std::string
+asciiLower(std::string_view s)
+{
+    std::string out(s);
+    for (char &c : out)
+        if (c >= 'A' && c <= 'Z')
+            c = static_cast<char>(c - 'A' + 'a');
+    return out;
+}
 
 } // namespace
 
@@ -24,40 +55,125 @@ logLevel()
     return globalLevel.load(std::memory_order_relaxed);
 }
 
+std::optional<LogLevel>
+logLevelFromName(std::string_view name)
+{
+    const std::string lower = asciiLower(name);
+    if (lower == "silent")
+        return LogLevel::Silent;
+    if (lower == "error")
+        return LogLevel::Error;
+    if (lower == "warn" || lower == "warning")
+        return LogLevel::Warn;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "debug")
+        return LogLevel::Debug;
+    return std::nullopt;
+}
+
+std::string_view
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Silent:
+        return "silent";
+      case LogLevel::Error:
+        return "error";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Debug:
+        return "debug";
+    }
+    return "info";
+}
+
+void
+initLoggingFromEnvironment()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        const char *env = std::getenv("PAD_LOG_LEVEL");
+        if (!env || !*env)
+            return;
+        if (const auto level = logLevelFromName(env)) {
+            setLogLevel(*level);
+        } else {
+            warn("PAD_LOG_LEVEL='{}' is not a log level "
+                 "(silent|error|warn|info|debug); ignoring",
+                 env);
+        }
+    });
+}
+
+ScopedLogJob::ScopedLogJob(int job) : prev_(tlsLogJob)
+{
+    tlsLogJob = job;
+}
+
+ScopedLogJob::~ScopedLogJob()
+{
+    tlsLogJob = prev_;
+}
+
 namespace detail {
+
+void
+missingFormatArg(std::string_view fmt)
+{
+    static std::atomic<bool> warned{false};
+    if (warned.exchange(true, std::memory_order_relaxed))
+        return;
+    // Call warnImpl directly: going through warn() would re-enter
+    // formatMessage with this same diagnostic.
+    if (logLevel() >= LogLevel::Warn)
+        warnImpl("format string \"" + std::string(fmt) +
+                 "\" has more {} placeholders than arguments");
+}
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "panic: " << msg << " (" << file << ":" << line << ")"
-              << std::endl;
+    {
+        const std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "panic: " << prefixed(msg) << " (" << file << ":"
+                  << line << ")" << std::endl;
+    }
     std::abort();
 }
 
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    std::cerr << "fatal: " << msg << " (" << file << ":" << line << ")"
-              << std::endl;
+    {
+        const std::lock_guard<std::mutex> lock(logMutex());
+        std::cerr << "fatal: " << prefixed(msg) << " (" << file << ":"
+                  << line << ")" << std::endl;
+    }
     std::exit(1);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    std::cerr << "warn: " << msg << std::endl;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "warn: " << prefixed(msg) << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::cout << "info: " << msg << std::endl;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::cout << "info: " << prefixed(msg) << std::endl;
 }
 
 void
 debugImpl(const std::string &msg)
 {
-    std::cerr << "debug: " << msg << std::endl;
+    const std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << "debug: " << prefixed(msg) << std::endl;
 }
 
 } // namespace detail

@@ -15,6 +15,7 @@
 #ifndef PAD_UTIL_LOGGING_H
 #define PAD_UTIL_LOGGING_H
 
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,9 +31,48 @@ void setLogLevel(LogLevel level);
 /** Current global log verbosity. */
 LogLevel logLevel();
 
+/** Parse a level name ("silent".."debug", case-insensitive). */
+std::optional<LogLevel> logLevelFromName(std::string_view name);
+
+/** Canonical lower-case name for @p level. */
+std::string_view logLevelName(LogLevel level);
+
+/**
+ * Apply the PAD_LOG_LEVEL environment variable, if set, to the global
+ * log level. Reads the environment exactly once per process; later
+ * calls are no-ops, so CLI flags applied afterwards always win.
+ */
+void initLoggingFromEnvironment();
+
+/**
+ * RAII tag marking this thread's log output as belonging to sweep job
+ * @p job: messages gain a "[job N] " prefix so interleaved worker
+ * lines stay attributable. Nestable; restores the previous tag.
+ */
+class ScopedLogJob
+{
+  public:
+    explicit ScopedLogJob(int job);
+    ~ScopedLogJob();
+
+    ScopedLogJob(const ScopedLogJob &) = delete;
+    ScopedLogJob &operator=(const ScopedLogJob &) = delete;
+
+  private:
+    int prev_;
+};
+
 namespace detail {
 
-/** Render "{}" placeholders in @p fmt with the stringified @p args. */
+/** Warn (once per process) that a format string ran out of args. */
+void missingFormatArg(std::string_view fmt);
+
+/**
+ * Render "{}" placeholders in @p fmt with the stringified @p args.
+ * "{{" and "}}" escape to literal braces. If the format has more
+ * placeholders than args, the placeholder is kept verbatim and a
+ * one-time warning flags the format bug.
+ */
 template <typename... Args>
 std::string
 formatMessage(std::string_view fmt, const Args &...args)
@@ -49,14 +89,30 @@ formatMessage(std::string_view fmt, const Args &...args)
      ...);
 
     std::size_t arg = 0;
+    bool starved = false;
     for (std::size_t i = 0; i < fmt.size(); ++i) {
-        if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '}') {
-            out << (arg < n ? rendered[arg++] : std::string("{}"));
+        if (i + 1 < fmt.size() && fmt[i] == '{' && fmt[i + 1] == '{') {
+            out << '{';
+            ++i;
+        } else if (i + 1 < fmt.size() && fmt[i] == '}' &&
+                   fmt[i + 1] == '}') {
+            out << '}';
+            ++i;
+        } else if (i + 1 < fmt.size() && fmt[i] == '{' &&
+                   fmt[i + 1] == '}') {
+            if (arg < n) {
+                out << rendered[arg++];
+            } else {
+                out << "{}";
+                starved = true;
+            }
             ++i;
         } else {
             out << fmt[i];
         }
     }
+    if (starved)
+        missingFormatArg(fmt);
     return out.str();
 }
 

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * End-to-end CLI observability test: runs a short padsim campaign
+ * through the real binary (path injected as PADSIM_BIN at compile
+ * time) with --trace / --stats-json / --manifest, then validates
+ * that every artifact is well-formed JSON carrying the required
+ * fields. This is the ctest-level guarantee that the flags survive
+ * refactors of the binary's plumbing.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/json.h"
+
+using namespace pad;
+
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+int
+runPadsim(const std::string &args)
+{
+    const std::string cmd =
+        std::string(PADSIM_BIN) + " " + args + " > /dev/null 2>&1";
+    return std::system(cmd.c_str());
+}
+
+// Every test uses its own file names so the cases stay independent
+// when ctest runs them concurrently.
+using CliTraceTest = ::testing::Test;
+
+TEST_F(CliTraceTest, ChromeTraceStatsAndManifest)
+{
+    ASSERT_EQ(runPadsim("--scheme PAD --duration 30 --quiet"
+                        " --trace cli_a_trace.json --trace-format chrome"
+                        " --stats-json cli_a_stats.json"
+                        " --manifest cli_a_manifest.json"),
+              0);
+
+    // Chrome trace: one well-formed document with a traceEvents
+    // array whose entries carry name/ph/ts.
+    std::string error;
+    const auto trace = parseJson(slurp("cli_a_trace.json"), &error);
+    ASSERT_TRUE(trace.has_value()) << error;
+    const JsonValue *events = trace->find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    ASSERT_TRUE(events->isArray());
+    ASSERT_GT(events->array.size(), 0u);
+    for (const JsonValue &e : events->array) {
+        EXPECT_TRUE(e.contains("name"));
+        EXPECT_TRUE(e.contains("ph"));
+        const std::string &ph = e.find("ph")->str;
+        if (ph != "M") {
+            EXPECT_TRUE(e.contains("ts"));
+            EXPECT_TRUE(e.contains("pid"));
+            EXPECT_TRUE(e.contains("tid"));
+        }
+    }
+
+    // Stats export: a JSON object with the attack scalars padsim
+    // always registers.
+    const auto stats = parseJson(slurp("cli_a_stats.json"), &error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    const JsonValue *scalars = stats->find("scalars");
+    ASSERT_NE(scalars, nullptr);
+    EXPECT_TRUE(scalars->contains("attack.survival_sec"));
+    EXPECT_TRUE(scalars->contains("attack.throughput"));
+    ASSERT_NE(stats->find("counters"), nullptr);
+    EXPECT_TRUE(
+        stats->find("counters")->contains("attack.spikes_launched"));
+
+    // Manifest: tool/seed/version/config plus pointers to the other
+    // artifacts and the inline stats copy.
+    const auto manifest = parseJson(slurp("cli_a_manifest.json"), &error);
+    ASSERT_TRUE(manifest.has_value()) << error;
+    EXPECT_EQ(manifest->find("tool")->str, "padsim");
+    EXPECT_TRUE(manifest->contains("version"));
+    EXPECT_TRUE(manifest->contains("seed"));
+    EXPECT_EQ(manifest->find("config")->find("scheme")->str, "PAD");
+    const JsonValue *artifacts = manifest->find("artifacts");
+    ASSERT_NE(artifacts, nullptr);
+    EXPECT_EQ(artifacts->find("trace")->str, "cli_a_trace.json");
+    EXPECT_EQ(artifacts->find("trace_format")->str, "chrome");
+    EXPECT_EQ(artifacts->find("stats_json")->str, "cli_a_stats.json");
+    EXPECT_TRUE(manifest->find("stats")->contains("scalars"));
+    EXPECT_GE(manifest->find("wall_seconds")->number, 0.0);
+}
+
+TEST_F(CliTraceTest, JsonlTraceLinesParse)
+{
+    ASSERT_EQ(runPadsim("--scheme uDEB --duration 30 --quiet"
+                        " --trace cli_b_trace.jsonl"),
+              0);
+    std::ifstream in("cli_b_trace.jsonl");
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        std::string error;
+        const auto doc = parseJson(line, &error);
+        ASSERT_TRUE(doc.has_value()) << error << ": " << line;
+        EXPECT_TRUE(doc->contains("ts"));
+        EXPECT_TRUE(doc->contains("component"));
+        EXPECT_TRUE(doc->contains("name"));
+        ++lines;
+    }
+    EXPECT_GT(lines, 0);
+}
+
+TEST_F(CliTraceTest, RejectsUnknownTraceFormat)
+{
+    EXPECT_NE(runPadsim("--scheme PAD --duration 30"
+                        " --trace cli_c_trace.json --trace-format xml"),
+              0);
+}
+
+TEST_F(CliTraceTest, TracingDoesNotChangeTableOutput)
+{
+    const std::string base = std::string(PADSIM_BIN) +
+                             " --scheme PAD --duration 30 --quiet";
+    ASSERT_EQ(std::system((base + " > cli_out_a.txt 2>&1").c_str()), 0);
+    ASSERT_EQ(std::system((base + " --trace cli_d_trace.json"
+                                  " --trace-format chrome"
+                                  " > cli_out_b.txt 2>&1")
+                              .c_str()),
+              0);
+    EXPECT_EQ(slurp("cli_out_a.txt"), slurp("cli_out_b.txt"));
+    std::remove("cli_out_a.txt");
+    std::remove("cli_out_b.txt");
+}
+
+} // namespace

@@ -13,6 +13,7 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/trace_sink.h"
 #include "runner/experiment.h"
 #include "runner/sweep_runner.h"
 
@@ -190,6 +191,70 @@ TEST(SweepRunner, WorkerExceptionsPropagateToCaller)
                                                      "job 9 failed");
                                          }),
         std::runtime_error);
+}
+
+TEST(SweepRunner, TracingDoesNotPerturbResults)
+{
+    // The observability acceptance bar: with a sink bound around
+    // every job, parallel results stay bit-identical to a traced
+    // serial run AND to an untraced run.
+    auto grid = labGrid();
+    SweepRunner::assignSeeds(grid, 7);
+
+    const auto plain = SweepRunner({.jobs = 1}).run(grid);
+
+    obs::CountingTraceSink serialSink;
+    const auto serial =
+        SweepRunner({.jobs = 1, .trace = &serialSink}).run(grid);
+    obs::CountingTraceSink parallelSink;
+    const auto parallel =
+        SweepRunner({.jobs = 4, .trace = &parallelSink}).run(grid);
+
+    ASSERT_EQ(serial.size(), plain.size());
+    ASSERT_EQ(parallel.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        expectSameLabResult(plain[i], serial[i]);
+        expectSameLabResult(plain[i], parallel[i]);
+    }
+    // Same jobs emit the same events no matter the worker count.
+    EXPECT_EQ(serialSink.count(), parallelSink.count());
+}
+
+TEST(SweepRunner, ReportMergesStatsDeterministically)
+{
+    const auto cw = runner::makeClusterWorkload(1.0);
+    std::vector<Experiment> grid;
+    for (core::SchemeKind scheme :
+         {core::SchemeKind::Conv, core::SchemeKind::Pad}) {
+        runner::ClusterAttackSpec spec;
+        spec.scheme = scheme;
+        spec.durationSec = 120.0;
+        grid.push_back(Experiment::clusterAttack(spec, cw));
+    }
+    SweepRunner::assignSeeds(grid, 3);
+
+    const auto serial =
+        SweepRunner({.jobs = 1}).runWithReport(grid);
+    const auto parallel =
+        SweepRunner({.jobs = 2}).runWithReport(grid);
+
+    ASSERT_EQ(serial.results.size(), grid.size());
+    ASSERT_EQ(parallel.results.size(), grid.size());
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        ASSERT_NE(serial.results[i].stats, nullptr);
+        EXPECT_EQ(serial.results[i].attack().survivalSec,
+                  parallel.results[i].attack().survivalSec);
+    }
+
+    // The merged registry is byte-identical across worker counts;
+    // wall-clock profiling lives outside it by design.
+    EXPECT_EQ(serial.stats.dumpJsonString(),
+              parallel.stats.dumpJsonString());
+    EXPECT_GT(serial.stats.lookup("attack.survival_sec"), 0.0);
+    EXPECT_EQ(serial.stats.lookupCounter("attack.spikes_launched"),
+              parallel.stats.lookupCounter("attack.spikes_launched"));
+    EXPECT_EQ(serial.jobWallSeconds.size(), grid.size());
+    EXPECT_GE(serial.wallSeconds, 0.0);
 }
 
 } // namespace

@@ -36,6 +36,33 @@ TEST(Logging, FormatSubstitutesPlaceholders)
     EXPECT_EQ(detail::formatMessage("extra {} {}", 7), "extra 7 {}");
 }
 
+TEST(Logging, FormatBraceEscapes)
+{
+    EXPECT_EQ(detail::formatMessage("{{}}"), "{}");
+    EXPECT_EQ(detail::formatMessage("{{{}}}", 5), "{5}");
+    EXPECT_EQ(detail::formatMessage("json: {{\"k\": {}}}", 1),
+              "json: {\"k\": 1}");
+    EXPECT_EQ(detail::formatMessage("lone { and } stay"),
+              "lone { and } stay");
+    // A starved placeholder is kept verbatim, not dropped.
+    EXPECT_EQ(detail::formatMessage("{{literal}} then {}"),
+              "{literal} then {}");
+}
+
+TEST(Logging, LevelNamesRoundTrip)
+{
+    EXPECT_EQ(logLevelFromName("debug"), LogLevel::Debug);
+    EXPECT_EQ(logLevelFromName("WARN"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("warning"), LogLevel::Warn);
+    EXPECT_EQ(logLevelFromName("Info"), LogLevel::Info);
+    EXPECT_EQ(logLevelFromName("silent"), LogLevel::Silent);
+    EXPECT_FALSE(logLevelFromName("loud").has_value());
+    for (LogLevel level : {LogLevel::Silent, LogLevel::Error,
+                           LogLevel::Warn, LogLevel::Info,
+                           LogLevel::Debug})
+        EXPECT_EQ(logLevelFromName(logLevelName(level)), level);
+}
+
 TEST(RunningStats, MeanVarianceExtrema)
 {
     RunningStats s;
