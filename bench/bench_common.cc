@@ -8,6 +8,7 @@
 
 #include "obs/manifest.h"
 #include "obs/trace_sink.h"
+#include "telemetry/prom.h"
 #include "util/logging.h"
 
 namespace pad::bench {
@@ -20,7 +21,7 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0
         << " [--jobs N] [--trace FILE] [--trace-format jsonl|chrome]\n"
-        << "       [--stats-json FILE] [--manifest FILE]\n"
+        << "       [--stats-json FILE] [--prom FILE] [--manifest FILE]\n"
         << "       [--log-level silent|error|warn|info|debug]\n"
         << "  --jobs N  worker threads for the sweep (0 = all cores);\n"
         << "            results are bit-identical for every N\n";
@@ -57,6 +58,8 @@ parseBenchArgs(int argc, char **argv)
             }
         } else if (arg == "--stats-json") {
             opts.statsJson = need(i);
+        } else if (arg == "--prom") {
+            opts.prom = need(i);
         } else if (arg == "--manifest") {
             opts.manifest = need(i);
         } else if (arg == "--log-level") {
@@ -90,10 +93,33 @@ runSweep(const std::string &tool, const BenchOptions &opts,
     runner::SweepRunner::Options runnerOpts = opts.runnerOptions();
     runnerOpts.trace = sink.get();
     const runner::SweepRunner pool(runnerOpts);
-    runner::SweepReport report = pool.runWithReport(grid);
+
+    // --prom needs per-job telemetry hubs; flip the flag on a copy of
+    // the grid so the caller's experiments stay untouched. Telemetry
+    // never alters results, only records them.
+    runner::SweepReport report;
+    if (!opts.prom.empty()) {
+        std::vector<runner::Experiment> telemetered = grid;
+        for (auto &experiment : telemetered)
+            experiment.telemetryEnabled = true;
+        report = pool.runWithReport(telemetered);
+    } else {
+        report = pool.runWithReport(grid);
+    }
 
     if (sink)
         sink->close();
+
+    if (!opts.prom.empty()) {
+        std::ofstream prom(opts.prom);
+        if (!prom) {
+            warn("{}: cannot write Prometheus exposition to {}", tool,
+                 opts.prom);
+        } else {
+            telemetry::PromWriter().write(prom, &report.stats,
+                                          report.telemetry.get());
+        }
+    }
 
     if (!opts.statsJson.empty()) {
         std::ofstream js(opts.statsJson);

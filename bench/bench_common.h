@@ -91,6 +91,13 @@ struct BenchOptions {
     std::string traceFormat = "jsonl";
     /** --stats-json FILE: merged sweep stats as JSON. */
     std::string statsJson;
+    /**
+     * --prom FILE: merged sweep stats plus per-job telemetry series
+     * in Prometheus text exposition format. Turns telemetry
+     * recording on for every job (series appear under job<i>.
+     * prefixes); job results stay bit-identical either way.
+     */
+    std::string prom;
     /** --manifest FILE: machine-readable run manifest. */
     std::string manifest;
     /** Raw command line, for the manifest. */
@@ -106,7 +113,7 @@ struct BenchOptions {
 
 /**
  * Parse the common bench flags (`--jobs N` / `-j N`, `--trace FILE`,
- * `--trace-format jsonl|chrome`, `--stats-json FILE`,
+ * `--trace-format jsonl|chrome`, `--stats-json FILE`, `--prom FILE`,
  * `--manifest FILE`, `--log-level L`); exits with usage on anything
  * unrecognized. Also applies the PAD_LOG_LEVEL environment fallback.
  * Sweep output is independent of --jobs by the SweepRunner

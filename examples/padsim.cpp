@@ -17,15 +17,27 @@
  *          [--trace FILE] [--trace-format jsonl|chrome]
  *          [--stats-json FILE] [--manifest FILE]
  *          [--log-level silent|error|warn|info|debug]
+ *          [--detector] [--prom FILE]
+ *          [--metrics-port N] [--metrics-linger SEC]
  *
  * A --config file supplies the same knobs as `key = value` lines
  * (scheme, virus, style, nodes, racks, duration, budget,
  * cluster_budget, victim_pct, hour, seed, csv, stats, quiet, trace,
- * trace_format, stats_json, manifest, log_level); command-line flags
- * override it.
+ * trace_format, stats_json, manifest, log_level, detector, prom,
+ * metrics_port, metrics_linger); command-line flags override it.
+ *
+ * Observability: --prom dumps the final stats registry plus telemetry
+ * time-series in Prometheus text exposition format; --metrics-port
+ * serves the same rendering over HTTP at /metrics on 127.0.0.1 (port
+ * 0 picks a free port, printed on startup). --metrics-linger keeps
+ * the endpoint alive for SEC seconds after the run so a scraper can
+ * collect the final state. Telemetry recording is enabled only when
+ * one of the two is requested — otherwise the run is byte-identical
+ * to a build without any of this.
  */
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +45,7 @@
 #include <iostream>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "attack/attacker.h"
 #include "attack/virus_trace.h"
@@ -42,6 +55,9 @@
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 #include "sim/stats_registry.h"
+#include "telemetry/http.h"
+#include "telemetry/hub.h"
+#include "telemetry/prom.h"
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 #include "util/csv.h"
@@ -73,6 +89,10 @@ struct Options {
     std::string statsJsonPath;
     std::string manifestPath;
     std::string logLevel;
+    bool detector = false;
+    std::string promPath;
+    int metricsPort = -1; // -1 = no HTTP endpoint; 0 = ephemeral
+    double metricsLingerSec = 0.0;
 };
 
 [[noreturn]] void
@@ -88,7 +108,9 @@ usage()
            "              [--csv FILE] [--stats] [--quiet]\n"
            "              [--trace FILE] [--trace-format jsonl|chrome]\n"
            "              [--stats-json FILE] [--manifest FILE]\n"
-           "              [--log-level silent|error|warn|info|debug]\n";
+           "              [--log-level silent|error|warn|info|debug]\n"
+           "              [--detector] [--prom FILE]\n"
+           "              [--metrics-port N] [--metrics-linger SEC]\n";
     std::exit(2);
 }
 
@@ -139,6 +161,12 @@ applyConfig(Options &opt, const std::string &path)
     opt.statsJsonPath = cfg.getString("stats_json", opt.statsJsonPath);
     opt.manifestPath = cfg.getString("manifest", opt.manifestPath);
     opt.logLevel = cfg.getString("log_level", opt.logLevel);
+    opt.detector = cfg.getBool("detector", opt.detector);
+    opt.promPath = cfg.getString("prom", opt.promPath);
+    opt.metricsPort = static_cast<int>(
+        cfg.getInt("metrics_port", opt.metricsPort));
+    opt.metricsLingerSec =
+        cfg.getDouble("metrics_linger", opt.metricsLingerSec);
 }
 
 attack::VirusKind
@@ -212,11 +240,21 @@ parseArgs(int argc, char **argv)
             opt.manifestPath = need(i);
         else if (arg == "--log-level")
             opt.logLevel = need(i);
+        else if (arg == "--detector")
+            opt.detector = true;
+        else if (arg == "--prom")
+            opt.promPath = need(i);
+        else if (arg == "--metrics-port")
+            opt.metricsPort = std::atoi(need(i).c_str());
+        else if (arg == "--metrics-linger")
+            opt.metricsLingerSec = std::atof(need(i).c_str());
         else
             usage();
     }
     if (opt.nodes < 1 || opt.nodes > 10 || opt.racks < 1 ||
         opt.racks > 22 || opt.durationSec <= 0.0)
+        usage();
+    if (opt.metricsPort > 65535 || opt.metricsLingerSec < 0.0)
         usage();
     if (!obs::traceFormatFromName(opt.traceFormat)) {
         std::cerr << "padsim: unknown trace format: " << opt.traceFormat
@@ -268,7 +306,40 @@ main(int argc, char **argv)
     cfg.clusterBudgetFraction = opt.clusterBudget;
     cfg.deb = core::defaultDebConfig(cfg.rackNameplate());
     cfg.seed = opt.seed;
+    cfg.detectorResponse = opt.detector;
     core::DataCenter dc(cfg, &workload);
+
+    // Telemetry is recorded only when something will consume it, so
+    // plain runs stay byte-identical to a build without these flags.
+    telemetry::TelemetryHub hub;
+    const bool wantTelemetry =
+        !opt.promPath.empty() || opt.metricsPort >= 0;
+    if (wantTelemetry)
+        dc.setTelemetry(&hub);
+
+    // The scrape endpoint renders the live hub during the run; the
+    // stats registry joins once the run has finalised it (the atomic
+    // pointer flips exactly once, after which the registry is only
+    // ever read).
+    std::atomic<const sim::StatsRegistry *> scrapeStats{nullptr};
+    std::unique_ptr<telemetry::MetricsHttpServer> metrics;
+    if (opt.metricsPort >= 0) {
+        metrics = std::make_unique<telemetry::MetricsHttpServer>(
+            opt.metricsPort, [&hub, &scrapeStats] {
+                return telemetry::PromWriter().render(
+                    scrapeStats.load(std::memory_order_acquire),
+                    &hub);
+            });
+        std::string error;
+        if (!metrics->start(&error)) {
+            std::cerr << "padsim: cannot serve metrics: " << error
+                      << "\n";
+            return 1;
+        }
+        std::cout << "metrics endpoint: http://127.0.0.1:"
+                  << metrics->port() << "/metrics\n";
+    }
+
     dc.runCoarseUntil(kTicksPerDay +
                       static_cast<Tick>(opt.hour * kTicksPerHour));
 
@@ -340,6 +411,19 @@ main(int argc, char **argv)
                          "hidden spikes launched in Phase II")
         .add(static_cast<std::uint64_t>(
             std::max(0, out.spikesLaunched)));
+    scrapeStats.store(&stats, std::memory_order_release);
+
+    if (!opt.promPath.empty()) {
+        std::ofstream prom(opt.promPath);
+        if (!prom) {
+            warn("padsim: cannot write Prometheus exposition to {}",
+                 opt.promPath);
+        } else {
+            telemetry::PromWriter().write(prom, &stats, &hub);
+            std::cout << "\nPrometheus exposition written to "
+                      << opt.promPath << "\n";
+        }
+    }
 
     if (opt.statsDump) {
         std::cout << "\n";
@@ -401,6 +485,13 @@ main(int argc, char **argv)
         }
         std::cout << "\ntime series written to " << opt.csvPath
                   << "\n";
+    }
+
+    if (metrics) {
+        if (opt.metricsLingerSec > 0.0)
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(opt.metricsLingerSec));
+        metrics->stop();
     }
     return 0;
 }

@@ -1,0 +1,668 @@
+/**
+ * @file
+ * padtrace — attack-forensics toolkit over padsim JSONL traces.
+ *
+ * Reads the one-event-per-line trace a `padsim --trace run.jsonl`
+ * (or any sweep with --trace) produces and reconstructs the incident
+ * from the defender's point of view:
+ *
+ *   padtrace report   [options] TRACE.jsonl   full incident report
+ *   padtrace timeline [options] TRACE.jsonl   chronological key events
+ *   padtrace summary  [options] TRACE.jsonl   one-paragraph digest
+ *
+ * Options:
+ *   --format md|json|csv   output format (default md)
+ *   --out FILE             write to FILE instead of stdout
+ *   --job N                only events from sweep job N
+ *
+ * The report covers the attack window (survival time recomputed from
+ * the first overload event, cross-checked against the value the
+ * simulator recorded), the attacker's phase timeline with the ground
+ * truth Phase I -> Phase II boundary, the defender-visible estimate
+ * of that boundary (first µDEB engagement or policy escalation),
+ * time-to-detection, per-rack security-level transitions, and DEB
+ * depletion curves from soc.sample events. `report --format csv`
+ * exports the depletion curve rows.
+ *
+ * Corrupt or truncated trailing lines are skipped with a warning
+ * (the count appears in the report); padtrace never refuses a trace
+ * just because the run died mid-write.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/trace_reader.h"
+#include "util/json_writer.h"
+#include "util/table.h"
+#include "util/types.h"
+
+using namespace pad;
+
+namespace {
+
+struct Options {
+    std::string command = "report";
+    std::string format = "md";
+    std::string outPath;
+    int job = -1; // -1 = all jobs
+    std::string tracePath;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage: padtrace [report|timeline|summary]\n"
+           "                [--format md|json|csv] [--out FILE]\n"
+           "                [--job N] TRACE.jsonl\n";
+    std::exit(2);
+}
+
+Options
+parseArgs(int argc, char **argv)
+{
+    Options opt;
+    auto need = [&](int &i) -> std::string {
+        if (++i >= argc)
+            usage();
+        return argv[i];
+    };
+    bool commandSet = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--format")
+            opt.format = need(i);
+        else if (arg == "--out")
+            opt.outPath = need(i);
+        else if (arg == "--job")
+            opt.job = std::atoi(need(i).c_str());
+        else if (!commandSet && (arg == "report" || arg == "timeline" ||
+                                 arg == "summary")) {
+            opt.command = arg;
+            commandSet = true;
+        } else if (!arg.empty() && arg[0] == '-')
+            usage();
+        else if (opt.tracePath.empty())
+            opt.tracePath = arg;
+        else
+            usage();
+    }
+    if (opt.tracePath.empty())
+        usage();
+    if (opt.format != "md" && opt.format != "json" &&
+        opt.format != "csv")
+        usage();
+    return opt;
+}
+
+/** One attacker phase transition, in file order. */
+struct PhaseChange {
+    Tick ts = 0;
+    std::string from, to, reason;
+};
+
+/** One security-policy level transition. */
+struct LevelChange {
+    Tick ts = 0;
+    std::string from, to;
+};
+
+/** One soc.sample row (DEB depletion curve point). */
+struct SocSample {
+    Tick ts = 0;
+    int rack = 0;
+    double soc = 0.0, udebSoc = 0.0, powerW = 0.0, drawW = 0.0;
+    int level = 0;
+};
+
+/** Per-rack depletion digest. */
+struct RackDepletion {
+    std::size_t samples = 0;
+    double firstSoc = 1.0, minSoc = 1.0, lastSoc = 1.0;
+    double minUdebSoc = 1.0;
+    Tick minSocTs = kTickNever;
+};
+
+/** Everything the report needs, distilled from one pass. */
+struct Forensics {
+    std::size_t records = 0, skipped = 0, lines = 0;
+
+    bool hasWindow = false;
+    Tick windowStart = 0, windowDur = 0;
+    double recordedSurvivalSec = -1.0;
+    double throughput = 0.0;
+    int spikesRecorded = -1;
+
+    Tick firstOverload = kTickNever;
+    std::size_t rackOverloads = 0, clusterOverloads = 0;
+
+    std::vector<PhaseChange> phases;
+    double phase2GroundTruthSec = -1.0; // relative to window start
+    Tick firstSpikeLaunch = kTickNever;
+    std::size_t spikeLaunches = 0, probes = 0;
+    double autonomySec = -1.0;
+    std::string virusKind;
+
+    std::vector<LevelChange> transitions;
+    Tick firstEscalation = kTickNever;
+    Tick firstDetection = kTickNever;
+    std::size_t detections = 0;
+    Tick firstShave = kTickNever;
+    std::size_t shaves = 0;
+
+    std::vector<SocSample> socSamples;
+    std::map<int, RackDepletion> depletion;
+
+    /** Survival from events; falls back to the recorded value when
+     * the run saw no overload (the simulator then reports the full
+     * scenario duration, which only it knows exactly). */
+    double
+    survivalSec() const
+    {
+        if (hasWindow && firstOverload != kTickNever)
+            return ticksToSeconds(firstOverload - windowStart);
+        return recordedSurvivalSec;
+    }
+
+    /** Absolute sim-seconds of the first detector flag; -1 = never.
+     * Comparable bit-for-bit with stats detector.first_flag_sec. */
+    double
+    timeToDetectionSec() const
+    {
+        return firstDetection == kTickNever
+                   ? -1.0
+                   : ticksToSeconds(firstDetection);
+    }
+
+    /** Absolute sim-seconds of the first escalation; -1 = never.
+     * Comparable with stats policy.first_escalation_sec. */
+    double
+    firstEscalationSec() const
+    {
+        return firstEscalation == kTickNever
+                   ? -1.0
+                   : ticksToSeconds(firstEscalation);
+    }
+
+    /**
+     * Defender-visible Phase II estimate relative to the window
+     * start: the earliest distress signal (µDEB engagement or policy
+     * escalation). -1 when neither fired.
+     */
+    double
+    phase2EstimateSec() const
+    {
+        Tick first = kTickNever;
+        for (Tick t : {firstShave, firstEscalation})
+            if (t != kTickNever && (first == kTickNever || t < first))
+                first = t;
+        if (!hasWindow || first == kTickNever)
+            return -1.0;
+        return ticksToSeconds(first - windowStart);
+    }
+};
+
+Forensics
+analyze(const telemetry::TraceLog &log, int jobFilter)
+{
+    Forensics fx;
+    fx.skipped = log.skipped;
+    fx.lines = log.lines;
+    for (const auto &rec : log.records) {
+        if (jobFilter >= 0 && rec.job != jobFilter)
+            continue;
+        ++fx.records;
+        if (rec.name == "attack.window") {
+            fx.hasWindow = true;
+            fx.windowStart = rec.ts;
+            fx.windowDur = rec.dur;
+            fx.recordedSurvivalSec =
+                rec.argNumber("survival_sec", -1.0);
+            fx.throughput = rec.argNumber("throughput", 0.0);
+            fx.spikesRecorded =
+                static_cast<int>(rec.argNumber("spikes", -1.0));
+        } else if (rec.name == "attack.overload") {
+            if (fx.firstOverload == kTickNever ||
+                rec.ts < fx.firstOverload)
+                fx.firstOverload = rec.ts;
+            if (rec.argString("scope") == "cluster")
+                ++fx.clusterOverloads;
+            else
+                ++fx.rackOverloads;
+        } else if (rec.name == "attacker.phase") {
+            fx.phases.push_back({rec.ts, rec.argString("from"),
+                                 rec.argString("to"),
+                                 rec.argString("reason")});
+        } else if (rec.name == "attack.phase2") {
+            fx.phase2GroundTruthSec =
+                rec.argNumber("start_sec", -1.0);
+        } else if (rec.name == "attacker.spike_launch") {
+            ++fx.spikeLaunches;
+            if (fx.firstSpikeLaunch == kTickNever ||
+                rec.ts < fx.firstSpikeLaunch)
+                fx.firstSpikeLaunch = rec.ts;
+        } else if (rec.name == "attacker.probe") {
+            ++fx.probes;
+        } else if (rec.name == "attacker.autonomy") {
+            fx.autonomySec = rec.argNumber("autonomy_sec", -1.0);
+        } else if (rec.name == "virus.deploy") {
+            fx.virusKind = rec.argString("kind");
+        } else if (rec.name == "policy.transition") {
+            fx.transitions.push_back(
+                {rec.ts, rec.argString("from"), rec.argString("to")});
+            if (rec.argString("to") != "L1-Normal" &&
+                fx.firstEscalation == kTickNever)
+                fx.firstEscalation = rec.ts;
+        } else if (rec.name == "detector.anomaly") {
+            ++fx.detections;
+            if (fx.firstDetection == kTickNever)
+                fx.firstDetection = rec.ts;
+        } else if (rec.name == "udeb.shave") {
+            ++fx.shaves;
+            if (fx.firstShave == kTickNever)
+                fx.firstShave = rec.ts;
+        } else if (rec.name == "soc.sample") {
+            SocSample s;
+            s.ts = rec.ts;
+            s.rack = static_cast<int>(rec.argNumber("rack", -1.0));
+            s.soc = rec.argNumber("soc", 0.0);
+            s.udebSoc = rec.argNumber("udeb_soc", 1.0);
+            s.powerW = rec.argNumber("power_w", 0.0);
+            s.drawW = rec.argNumber("draw_w", 0.0);
+            s.level = static_cast<int>(rec.argNumber("level", 0.0));
+            fx.socSamples.push_back(s);
+            auto &d = fx.depletion[s.rack];
+            if (d.samples == 0)
+                d.firstSoc = s.soc;
+            ++d.samples;
+            if (s.soc < d.minSoc) {
+                d.minSoc = s.soc;
+                d.minSocTs = s.ts;
+            }
+            d.minUdebSoc = std::min(d.minUdebSoc, s.udebSoc);
+            d.lastSoc = s.soc;
+        }
+    }
+    return fx;
+}
+
+std::string
+fmtSec(double sec)
+{
+    return sec < 0.0 ? std::string("n/a") : formatFixed(sec, 1);
+}
+
+double
+relSec(const Forensics &fx, Tick t)
+{
+    if (t == kTickNever || !fx.hasWindow)
+        return -1.0;
+    return ticksToSeconds(t - fx.windowStart);
+}
+
+void
+reportMarkdown(const Forensics &fx, std::ostream &os)
+{
+    os << "# padtrace incident report\n\n";
+    os << "Events: " << fx.records << " parsed";
+    if (fx.skipped > 0)
+        os << ", " << fx.skipped << " corrupt line(s) skipped";
+    os << ".\n\n";
+
+    os << "## Attack window\n\n";
+    if (!fx.hasWindow) {
+        os << "No attack.window span found — was the run traced to "
+              "completion?\n\n";
+    } else {
+        TextTable t("attack window");
+        t.setHeader({"metric", "value"});
+        t.addRow({"window start (s)",
+                  formatFixed(ticksToSeconds(fx.windowStart), 1)});
+        t.addRow({"window length (s)",
+                  formatFixed(ticksToSeconds(fx.windowDur), 1)});
+        t.addRow({"survival (s)", fmtSec(fx.survivalSec())});
+        t.addRow(
+            {"survival (recorded)", fmtSec(fx.recordedSurvivalSec)});
+        t.addRow({"rack overloads",
+                  std::to_string(fx.rackOverloads)});
+        t.addRow({"cluster overloads",
+                  std::to_string(fx.clusterOverloads)});
+        t.addRow({"throughput", formatFixed(fx.throughput, 4)});
+        t.print(os);
+        os << "\n";
+    }
+
+    os << "## Attacker forensics\n\n";
+    {
+        TextTable t("attacker");
+        t.setHeader({"metric", "value"});
+        if (!fx.virusKind.empty())
+            t.addRow({"virus", fx.virusKind});
+        t.addRow({"phase transitions",
+                  std::to_string(fx.phases.size())});
+        t.addRow({"side-channel probes", std::to_string(fx.probes)});
+        t.addRow({"learned autonomy (s)", fmtSec(fx.autonomySec)});
+        t.addRow({"phase II start, ground truth (s)",
+                  fmtSec(fx.phase2GroundTruthSec)});
+        t.addRow({"phase II start, defender estimate (s)",
+                  fmtSec(fx.phase2EstimateSec())});
+        t.addRow({"hidden spikes launched",
+                  std::to_string(fx.spikeLaunches)});
+        t.print(os);
+        os << "\n";
+    }
+    if (!fx.phases.empty()) {
+        TextTable t("attacker phase timeline");
+        t.setHeader({"t (s)", "from", "to", "reason"});
+        for (const auto &p : fx.phases)
+            t.addRow({formatFixed(ticksToSeconds(p.ts), 1), p.from,
+                      p.to, p.reason});
+        t.print(os);
+        os << "\n";
+    }
+
+    os << "## Defender response\n\n";
+    {
+        TextTable t("defender");
+        t.setHeader({"metric", "value"});
+        t.addRow({"time to detection (s, absolute)",
+                  fmtSec(fx.timeToDetectionSec())});
+        t.addRow({"time to detection (s, in-window)",
+                  fmtSec(relSec(fx, fx.firstDetection))});
+        t.addRow({"detector flags", std::to_string(fx.detections)});
+        t.addRow({"first escalation (s, absolute)",
+                  fmtSec(fx.firstEscalationSec())});
+        t.addRow({"policy transitions",
+                  std::to_string(fx.transitions.size())});
+        t.addRow({"µDEB engagements", std::to_string(fx.shaves)});
+        t.print(os);
+        os << "\n";
+    }
+    if (!fx.transitions.empty()) {
+        TextTable t("policy-level timeline");
+        t.setHeader({"t (s)", "from", "to"});
+        for (const auto &c : fx.transitions)
+            t.addRow({formatFixed(ticksToSeconds(c.ts), 1), c.from,
+                      c.to});
+        t.print(os);
+        os << "\n";
+    }
+
+    os << "## DEB depletion\n\n";
+    if (fx.depletion.empty()) {
+        os << "No soc.sample events (trace predates telemetry or "
+              "tracing was off during the attack).\n";
+    } else {
+        TextTable t("per-rack depletion");
+        t.setHeader({"rack", "samples", "soc start", "soc min",
+                     "soc min at (s)", "udeb min", "soc end"});
+        for (const auto &[rack, d] : fx.depletion)
+            t.addRow({std::to_string(rack),
+                      std::to_string(d.samples),
+                      formatFixed(d.firstSoc, 3),
+                      formatFixed(d.minSoc, 3),
+                      fmtSec(relSec(fx, d.minSocTs)),
+                      formatFixed(d.minUdebSoc, 3),
+                      formatFixed(d.lastSoc, 3)});
+        t.print(os);
+    }
+}
+
+void
+reportJson(const Forensics &fx, std::ostream &os)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.key("records").value(static_cast<std::uint64_t>(fx.records));
+    w.key("skipped").value(static_cast<std::uint64_t>(fx.skipped));
+    w.key("window").beginObject();
+    w.key("found").value(fx.hasWindow);
+    if (fx.hasWindow) {
+        w.key("start_sec").value(ticksToSeconds(fx.windowStart));
+        w.key("length_sec").value(ticksToSeconds(fx.windowDur));
+    }
+    w.key("survival_sec").value(fx.survivalSec());
+    w.key("survival_recorded_sec").value(fx.recordedSurvivalSec);
+    w.key("rack_overloads")
+        .value(static_cast<std::uint64_t>(fx.rackOverloads));
+    w.key("cluster_overloads")
+        .value(static_cast<std::uint64_t>(fx.clusterOverloads));
+    w.key("throughput").value(fx.throughput);
+    w.endObject();
+
+    w.key("attacker").beginObject();
+    w.key("virus").value(fx.virusKind);
+    w.key("phase2_ground_truth_sec").value(fx.phase2GroundTruthSec);
+    w.key("phase2_estimate_sec").value(fx.phase2EstimateSec());
+    w.key("spike_launches")
+        .value(static_cast<std::uint64_t>(fx.spikeLaunches));
+    w.key("spikes_recorded").value(fx.spikesRecorded);
+    w.key("probes").value(static_cast<std::uint64_t>(fx.probes));
+    w.key("autonomy_sec").value(fx.autonomySec);
+    w.key("phases").beginArray();
+    for (const auto &p : fx.phases) {
+        w.beginObject();
+        w.key("t_sec").value(ticksToSeconds(p.ts));
+        w.key("from").value(p.from);
+        w.key("to").value(p.to);
+        w.key("reason").value(p.reason);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("defender").beginObject();
+    w.key("time_to_detection_sec").value(fx.timeToDetectionSec());
+    w.key("time_to_detection_in_window_sec")
+        .value(relSec(fx, fx.firstDetection));
+    w.key("detector_flags")
+        .value(static_cast<std::uint64_t>(fx.detections));
+    w.key("first_escalation_sec").value(fx.firstEscalationSec());
+    w.key("udeb_engagements")
+        .value(static_cast<std::uint64_t>(fx.shaves));
+    w.key("transitions").beginArray();
+    for (const auto &c : fx.transitions) {
+        w.beginObject();
+        w.key("t_sec").value(ticksToSeconds(c.ts));
+        w.key("from").value(c.from);
+        w.key("to").value(c.to);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.key("depletion").beginArray();
+    for (const auto &[rack, d] : fx.depletion) {
+        w.beginObject();
+        w.key("rack").value(rack);
+        w.key("samples").value(static_cast<std::uint64_t>(d.samples));
+        w.key("soc_start").value(d.firstSoc);
+        w.key("soc_min").value(d.minSoc);
+        w.key("soc_min_at_sec").value(relSec(fx, d.minSocTs));
+        w.key("udeb_soc_min").value(d.minUdebSoc);
+        w.key("soc_end").value(d.lastSoc);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+/** report --format csv: the DEB depletion curve, one sample a row. */
+void
+reportCsv(const Forensics &fx, std::ostream &os)
+{
+    os << "t_sec,rack,soc,udeb_soc,power_w,draw_w,level\n";
+    for (const auto &s : fx.socSamples) {
+        os << JsonWriter::formatDouble(relSec(fx, s.ts)) << ','
+           << s.rack << ',' << JsonWriter::formatDouble(s.soc) << ','
+           << JsonWriter::formatDouble(s.udebSoc) << ','
+           << JsonWriter::formatDouble(s.powerW) << ','
+           << JsonWriter::formatDouble(s.drawW) << ',' << s.level
+           << "\n";
+    }
+}
+
+/** A key event for the timeline view. */
+struct TimelineRow {
+    Tick ts;
+    std::string kind, detail;
+};
+
+std::vector<TimelineRow>
+buildTimeline(const telemetry::TraceLog &log, int jobFilter)
+{
+    std::vector<TimelineRow> rows;
+    for (const auto &rec : log.records) {
+        if (jobFilter >= 0 && rec.job != jobFilter)
+            continue;
+        if (rec.name == "policy.transition")
+            rows.push_back({rec.ts, rec.name,
+                            rec.argString("from") + " -> " +
+                                rec.argString("to")});
+        else if (rec.name == "detector.anomaly")
+            rows.push_back(
+                {rec.ts, rec.name,
+                 "rack " + std::to_string(static_cast<int>(
+                               rec.argNumber("rack", -1.0)))});
+        else if (rec.name == "attacker.phase")
+            rows.push_back({rec.ts, rec.name,
+                            rec.argString("from") + " -> " +
+                                rec.argString("to") + " (" +
+                                rec.argString("reason") + ")"});
+        else if (rec.name == "attacker.spike_launch")
+            rows.push_back(
+                {rec.ts, rec.name,
+                 "spike #" + std::to_string(static_cast<int>(
+                                 rec.argNumber("index", -1.0)))});
+        else if (rec.name == "attack.overload")
+            rows.push_back(
+                {rec.ts, rec.name, rec.argString("scope")});
+        else if (rec.name == "attack.phase2")
+            rows.push_back({rec.ts, rec.name, "ground truth"});
+        else if (rec.name == "udeb.shave")
+            rows.push_back({rec.ts, rec.name, rec.component});
+        else if (rec.name == "virus.deploy")
+            rows.push_back({rec.ts, rec.name,
+                            rec.argString("kind")});
+        else if (rec.name == "attack.window")
+            rows.push_back({rec.ts, rec.name, "attack begins"});
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const TimelineRow &a, const TimelineRow &b) {
+                         return a.ts < b.ts;
+                     });
+    return rows;
+}
+
+void
+timelineOut(const std::vector<TimelineRow> &rows,
+            const std::string &format, std::ostream &os)
+{
+    if (format == "json") {
+        JsonWriter w(os, 2);
+        w.beginArray();
+        for (const auto &r : rows) {
+            w.beginObject();
+            w.key("t_sec").value(ticksToSeconds(r.ts));
+            w.key("event").value(r.kind);
+            w.key("detail").value(r.detail);
+            w.endObject();
+        }
+        w.endArray();
+        os << "\n";
+    } else if (format == "csv") {
+        os << "t_sec,event,detail\n";
+        for (const auto &r : rows)
+            os << JsonWriter::formatDouble(ticksToSeconds(r.ts))
+               << ',' << r.kind << ",\"" << r.detail << "\"\n";
+    } else {
+        TextTable t("attack timeline");
+        t.setHeader({"t (s)", "event", "detail"});
+        for (const auto &r : rows)
+            t.addRow({formatFixed(ticksToSeconds(r.ts), 1), r.kind,
+                      r.detail});
+        t.print(os);
+    }
+}
+
+void
+summaryOut(const Forensics &fx, const std::string &format,
+           std::ostream &os)
+{
+    if (format == "json") {
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("records").value(
+            static_cast<std::uint64_t>(fx.records));
+        w.key("skipped").value(
+            static_cast<std::uint64_t>(fx.skipped));
+        w.key("survival_sec").value(fx.survivalSec());
+        w.key("time_to_detection_sec")
+            .value(fx.timeToDetectionSec());
+        w.key("first_escalation_sec").value(fx.firstEscalationSec());
+        w.key("spike_launches")
+            .value(static_cast<std::uint64_t>(fx.spikeLaunches));
+        w.key("detector_flags")
+            .value(static_cast<std::uint64_t>(fx.detections));
+        w.endObject();
+        os << "\n";
+        return;
+    }
+    os << "padtrace: " << fx.records << " events";
+    if (fx.skipped > 0)
+        os << " (" << fx.skipped << " corrupt skipped)";
+    os << "; survival " << fmtSec(fx.survivalSec()) << " s"
+       << "; detection at " << fmtSec(fx.timeToDetectionSec())
+       << " s; escalation at " << fmtSec(fx.firstEscalationSec())
+       << " s; " << fx.spikeLaunches << " spikes, " << fx.detections
+       << " detector flags.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parseArgs(argc, argv);
+
+    std::string error;
+    const auto log =
+        telemetry::readTraceLogFile(opt.tracePath, &error);
+    if (!log) {
+        std::cerr << "padtrace: " << error << "\n";
+        return 1;
+    }
+
+    std::ofstream file;
+    std::ostream *os = &std::cout;
+    if (!opt.outPath.empty()) {
+        file.open(opt.outPath);
+        if (!file) {
+            std::cerr << "padtrace: cannot write " << opt.outPath
+                      << "\n";
+            return 1;
+        }
+        os = &file;
+    }
+
+    const Forensics fx = analyze(*log, opt.job);
+    if (opt.command == "timeline")
+        timelineOut(buildTimeline(*log, opt.job), opt.format, *os);
+    else if (opt.command == "summary")
+        summaryOut(fx, opt.format, *os);
+    else if (opt.format == "json")
+        reportJson(fx, *os);
+    else if (opt.format == "csv")
+        reportCsv(fx, *os);
+    else
+        reportMarkdown(fx, *os);
+    return 0;
+}

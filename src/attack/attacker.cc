@@ -1,5 +1,6 @@
 #include "attack/attacker.h"
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::attack {
@@ -15,13 +16,41 @@ TwoPhaseAttacker::TwoPhaseAttacker(const AttackerConfig &config)
     PAD_ASSERT(config_.recoverSec >= 0.0);
 }
 
+const char *
+TwoPhaseAttacker::phaseName(Phase phase)
+{
+    switch (phase) {
+      case Phase::Prepare:
+        return "Prepare";
+      case Phase::Drain:
+        return "Drain";
+      case Phase::Recover:
+        return "Recover";
+      case Phase::Spike:
+        return "Spike";
+    }
+    return "?";
+}
+
+void
+TwoPhaseAttacker::setPhase(Phase next, double atSec, const char *reason)
+{
+    if (obs::traceEnabled())
+        obs::emit("attacker", "attacker.phase",
+                  {obs::TraceField::str("from", phaseName(phase_)),
+                   obs::TraceField::str("to", phaseName(next)),
+                   obs::TraceField::num("at_sec", atSec),
+                   obs::TraceField::str("reason", reason)});
+    phase_ = next;
+}
+
 void
 TwoPhaseAttacker::advance(double nowSec)
 {
     switch (phase_) {
       case Phase::Prepare:
         if (nowSec >= config_.prepareSec) {
-            phase_ = Phase::Drain;
+            setPhase(Phase::Drain, nowSec, "prepare done");
             drainStart_ = nowSec;
         }
         break;
@@ -32,12 +61,29 @@ TwoPhaseAttacker::advance(double nowSec)
         break;
       case Phase::Recover:
         if (nowSec - recoverStart_ >= config_.recoverSec) {
-            phase_ = Phase::Drain;
+            setPhase(Phase::Drain, nowSec, "recovered");
             drainStart_ = nowSec;
             cappedSince_ = -1.0;
         }
         break;
       case Phase::Spike:
+        // Ground-truth markers for every hidden spike whose start has
+        // passed, so forensics can validate boundary estimates.
+        if (obs::traceEnabled()) {
+            while (spikeStart_ + virus_.spikeStart(spikesEmitted_) <=
+                   nowSec) {
+                obs::emit(
+                    "attacker", "attacker.spike_launch",
+                    {obs::TraceField::integer(
+                         "index",
+                         static_cast<std::int64_t>(spikesEmitted_)),
+                     obs::TraceField::num(
+                         "at_sec",
+                         spikeStart_ +
+                             virus_.spikeStart(spikesEmitted_))});
+                ++spikesEmitted_;
+            }
+        }
         break;
     }
 }
@@ -50,6 +96,12 @@ TwoPhaseAttacker::observePerformance(double nowSec,
     if (phase_ != Phase::Drain)
         return;
     const bool capped = executedFraction < 0.97;
+    if (obs::traceEnabled())
+        obs::emit("attacker", "attacker.probe",
+                  {obs::TraceField::num("at_sec", nowSec),
+                   obs::TraceField::num("exec_fraction",
+                                        executedFraction),
+                   obs::TraceField::boolean("capped", capped)});
     if (!capped) {
         cappedSince_ = -1.0;
         return;
@@ -69,12 +121,20 @@ TwoPhaseAttacker::finishRound(double nowSec, double autonomy)
     if (autonomy >= 0.0) {
         learnedAutonomy_ = autonomy;
         samples_.push_back(autonomy);
+        if (obs::traceEnabled())
+            obs::emit(
+                "attacker", "attacker.autonomy",
+                {obs::TraceField::num("autonomy_sec", autonomy),
+                 obs::TraceField::integer(
+                     "round",
+                     static_cast<std::int64_t>(roundsDone_ + 1))});
     }
     ++roundsDone_;
     if (roundsDone_ >= config_.learnRounds) {
         enterSpike(nowSec);
     } else {
-        phase_ = Phase::Recover;
+        setPhase(Phase::Recover, nowSec,
+                 autonomy >= 0.0 ? "autonomy learned" : "drain timeout");
         recoverStart_ = nowSec;
     }
 }
@@ -82,7 +142,9 @@ TwoPhaseAttacker::finishRound(double nowSec, double autonomy)
 void
 TwoPhaseAttacker::enterSpike(double nowSec)
 {
-    phase_ = Phase::Spike;
+    setPhase(Phase::Spike, nowSec,
+             learnedAutonomy_ >= 0.0 ? "autonomy learned"
+                                     : "drain timeout");
     spikeStart_ = nowSec;
 }
 

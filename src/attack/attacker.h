@@ -77,6 +77,9 @@ class TwoPhaseAttacker
 
     explicit TwoPhaseAttacker(const AttackerConfig &config);
 
+    /** Human-readable phase name ("Prepare", "Drain", ...). */
+    static const char *phaseName(Phase phase);
+
     /**
      * Utilization the attacker demands on controlled node @p node at
      * @p nowSec seconds since the attack began. Call advance() (or
@@ -124,6 +127,7 @@ class TwoPhaseAttacker
   private:
     void enterSpike(double nowSec);
     void finishRound(double nowSec, double autonomy);
+    void setPhase(Phase next, double atSec, const char *reason);
 
     AttackerConfig config_;
     PowerVirus virus_;
@@ -134,6 +138,7 @@ class TwoPhaseAttacker
     double cappedSince_ = -1.0;
     double learnedAutonomy_ = -1.0;
     int roundsDone_ = 0;
+    int spikesEmitted_ = 0;
     std::vector<double> samples_;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracer.h"
 #include "util/logging.h"
 
 namespace pad::attack {
@@ -67,6 +68,17 @@ PowerVirus::PowerVirus(VirusKind kind, const SpikeTrain &train,
     PAD_ASSERT(train_.widthSec > 0.0);
     PAD_ASSERT(train_.perMinute > 0.0);
     PAD_ASSERT(train_.height > 0.0 && train_.height <= 1.0);
+
+    if (obs::traceEnabled()) {
+        const std::string kindName = virusKindName(kind_);
+        obs::emit("virus", "virus.deploy",
+                  {obs::TraceField::str("kind", kindName),
+                   obs::TraceField::num("width_sec", train_.widthSec),
+                   obs::TraceField::num("per_minute",
+                                        train_.perMinute),
+                   obs::TraceField::num("height", train_.height),
+                   obs::TraceField::num("max_util", sig_.maxUtil)});
+    }
 }
 
 double

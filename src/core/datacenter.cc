@@ -209,6 +209,8 @@ DataCenter::detectorStep(const StepPower &step, Tick dt)
             if (rack.vpEnergy > 0.0 &&
                 avg > rack.vpEnergy * (1.0 + config_.detectorMargin)) {
                 ++detections_;
+                if (firstDetectionTick_ == kTickNever)
+                    firstDetectionTick_ = now_;
                 clusterCapUntil_ =
                     now_ + secondsToTicks(config_.detectorCapHoldSec);
                 if (obs::traceEnabled())
@@ -598,6 +600,9 @@ DataCenter::controlDecisions(const StepPower &step, double dtSec)
         in.udebAvailable = udebOk;
         in.visiblePeak = visiblePeak_;
         level_ = policy_.update(in);
+        if (level_ != SecurityLevel::Normal &&
+            firstEscalationTick_ == kTickNever)
+            firstEscalationTick_ = now_;
 
         // Usable fraction of the pool's charge (above LVD floors).
         Joules usable = 0.0, usableCap = 0.0;
@@ -653,6 +658,33 @@ DataCenter::controlDecisions(const StepPower &step, double dtSec)
 }
 
 void
+DataCenter::telemetrySample(const StepPower &step)
+{
+    if (!telemetry_)
+        return;
+    auto &hub = *telemetry_;
+    const Watts budget = config_.rackBudget();
+    double score = 0.0;
+    for (std::size_t r = 0; r < racks_.size(); ++r) {
+        const auto &rack = racks_[r];
+        const std::string base = "rack" + std::to_string(r);
+        hub.record(base + ".power", now_, step.rackPower[r]);
+        hub.record(base + ".draw", now_, step.rackDraw[r]);
+        hub.record(base + ".soc", now_, rack.soc());
+        hub.record(base + ".udeb_soc", now_,
+                   rack.udeb ? rack.udeb->soc() : 1.0);
+        if (budget > 0.0)
+            score = std::max(score, rack.vpEnergy / budget);
+    }
+    hub.record("pdu.power", now_, step.totalPower);
+    hub.record("pdu.draw", now_, step.totalDraw);
+    hub.record("policy.level", now_, static_cast<double>(level_));
+    hub.record("shed.servers", now_,
+               static_cast<double>(sheddedServers()));
+    hub.record("detector.score", now_, score);
+}
+
+void
 DataCenter::stepCoarse()
 {
     // Components without their own clock (policy, µDEBs, breakers)
@@ -665,6 +697,7 @@ DataCenter::stepCoarse()
     detectorStep(step, config_.coarseStep);
     rechargeAll(step, dtSec);
     controlDecisions(step, dtSec);
+    telemetrySample(step);
 
     if (recordHistory_) {
         socHistory_.push_back(allSocs());
@@ -731,6 +764,8 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
     Tick nextControl = start;
     double malDemandAccum = 0.0;
     double malExecAccum = 0.0;
+    std::size_t rackOnsetsSeen = 0;
+    std::size_t clusterOnsetsSeen = 0;
 
     while (now_ < horizon) {
         obs::setTraceClock(now_);
@@ -813,6 +848,28 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
         out.rack.observe(now_, worst, 1.0, anyTrip);
         out.cluster.observe(now_, step.totalDraw, clusterLimit, false);
 
+        // Instant markers at every overload onset, so forensics can
+        // recompute survival time from the event stream alone and
+        // match AttackStats tick-for-tick.
+        if (obs::traceEnabled()) {
+            for (; rackOnsetsSeen < out.rack.overloadOnsets().size();
+                 ++rackOnsetsSeen)
+                obs::emit(
+                    "datacenter", "attack.overload",
+                    {obs::TraceField::str("scope", "rack"),
+                     obs::TraceField::integer(
+                         "onset",
+                         static_cast<std::int64_t>(rackOnsetsSeen))});
+            for (; clusterOnsetsSeen <
+                   out.cluster.overloadOnsets().size();
+                 ++clusterOnsetsSeen)
+                obs::emit("datacenter", "attack.overload",
+                          {obs::TraceField::str("scope", "cluster"),
+                           obs::TraceField::integer(
+                               "onset", static_cast<std::int64_t>(
+                                            clusterOnsetsSeen))});
+        }
+
         rechargeAll(step, dtSec);
 
         if (now_ + config_.fineStep >= nextControl) {
@@ -828,6 +885,31 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
                 out.maxShedRatio,
                 static_cast<double>(sheddedServers()) /
                     static_cast<double>(config_.totalServers()));
+            telemetrySample(step);
+            // DEB depletion curves for the racks under attack, one
+            // event per control period per victim.
+            if (obs::traceEnabled()) {
+                for (std::size_t r = 0; r < racks_.size(); ++r) {
+                    if (!victimMask[r])
+                        continue;
+                    const auto &rack = racks_[r];
+                    obs::emit(
+                        "telemetry", "soc.sample",
+                        {obs::TraceField::integer(
+                             "rack", static_cast<std::int64_t>(r)),
+                         obs::TraceField::num("soc", rack.soc()),
+                         obs::TraceField::num(
+                             "udeb_soc",
+                             rack.udeb ? rack.udeb->soc() : 1.0),
+                         obs::TraceField::num("power_w",
+                                              step.rackPower[r]),
+                         obs::TraceField::num("draw_w",
+                                              step.rackDraw[r]),
+                         obs::TraceField::integer(
+                             "level",
+                             static_cast<std::int64_t>(level_))});
+                }
+            }
         }
 
         now_ += config_.fineStep;
@@ -1002,6 +1084,16 @@ DataCenter::exportStats(sim::StatsRegistry &stats) const
            "servers asleep right now");
     scalar("detector.flags", static_cast<double>(detections_),
            "anomalies flagged by the detector response");
+    scalar("detector.first_flag_sec",
+           firstDetectionTick_ == kTickNever
+               ? -1.0
+               : ticksToSeconds(firstDetectionTick_),
+           "sim time of the first detector anomaly (-1 = none)");
+    scalar("policy.first_escalation_sec",
+           firstEscalationTick_ == kTickNever
+               ? -1.0
+               : ticksToSeconds(firstEscalationTick_),
+           "sim time the policy first left L1 (-1 = never)");
 
     std::vector<double> socs, wear;
     double discharged = 0.0, charged = 0.0;

@@ -38,6 +38,7 @@
 #include "sched/perf_monitor.h"
 #include "sim/stats_registry.h"
 #include "sim/time_series.h"
+#include "telemetry/hub.h"
 #include "trace/workload.h"
 
 namespace pad::core {
@@ -206,6 +207,24 @@ class DataCenter
     std::uint64_t detectionsFlagged() const { return detections_; }
 
     /**
+     * Attach a telemetry hub: every control period the data center
+     * records per-rack power/draw/SOC/µDEB-SOC, PDU totals, the
+     * security level, the shed-server count and the detector score
+     * into it. Pass nullptr to detach; the hub is not owned and the
+     * default (no hub) costs nothing.
+     */
+    void setTelemetry(telemetry::TelemetryHub *hub) { telemetry_ = hub; }
+
+    /** The attached telemetry hub, or nullptr. */
+    telemetry::TelemetryHub *telemetry() const { return telemetry_; }
+
+    /** Tick of the first detector anomaly; kTickNever if none. */
+    Tick firstDetectionTick() const { return firstDetectionTick_; }
+
+    /** Tick the policy first left L1-Normal; kTickNever if never. */
+    Tick firstEscalationTick() const { return firstEscalationTick_; }
+
+    /**
      * Export the full telemetry of the run into @p stats: per-rack
      * battery state, wear, LVD trips, µDEB engagements, breaker
      * trips, shedding, policy transitions and throughput accounting.
@@ -308,6 +327,9 @@ class DataCenter
     /** Control-period decisions: policy, capping, shedding. */
     void controlDecisions(const StepPower &step, double dtSec);
 
+    /** Record the step's signals into the attached telemetry hub. */
+    void telemetrySample(const StepPower &step);
+
     bool isShed(int rack, int server) const;
     std::size_t serverIndex(int rack, int server) const;
 
@@ -330,6 +352,9 @@ class DataCenter
     SecurityLevel level_ = SecurityLevel::Normal;
     Tick clusterCapUntil_ = 0;     ///< detector-response cap latch
     std::uint64_t detections_ = 0;
+    Tick firstDetectionTick_ = kTickNever;
+    Tick firstEscalationTick_ = kTickNever;
+    telemetry::TelemetryHub *telemetry_ = nullptr;
 
     Tick now_ = 0;
     bool recordHistory_ = false;

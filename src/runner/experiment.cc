@@ -241,12 +241,18 @@ resolveConfig(const ClusterAttackSpec &spec)
 
 ExperimentResult
 runClusterAttack(const ClusterAttackSpec &spec,
-                 const ClusterWorkload &cw, std::uint64_t seed)
+                 const ClusterWorkload &cw, std::uint64_t seed,
+                 bool telemetryEnabled)
 {
     core::DataCenterConfig cfg = resolveConfig(spec);
     if (seed != kSpecSeed)
         cfg.seed = seed;
     core::DataCenter dc(cfg, cw.workload.get());
+    std::shared_ptr<telemetry::TelemetryHub> hub;
+    if (telemetryEnabled) {
+        hub = std::make_shared<telemetry::TelemetryHub>();
+        dc.setTelemetry(hub.get());
+    }
     // Warm up through one night and the next morning so batteries
     // carry realistic state, then strike near the diurnal peak.
     dc.runCoarseUntil(kTicksPerDay +
@@ -312,12 +318,14 @@ runClusterAttack(const ClusterAttackSpec &spec,
                           "hidden spikes launched in Phase II")
         .add(static_cast<std::uint64_t>(
             std::max(0, out.attackOutcome.spikesLaunched)));
+    out.hub = std::move(hub);
     return out;
 }
 
 ExperimentResult
 runClusterCoarse(const ClusterCoarseSpec &spec,
-                 const ClusterWorkload &cw, std::uint64_t seed)
+                 const ClusterWorkload &cw, std::uint64_t seed,
+                 bool telemetryEnabled)
 {
     core::DataCenterConfig cfg;
     if (spec.config) {
@@ -330,6 +338,11 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     if (seed != kSpecSeed)
         cfg.seed = seed;
     core::DataCenter dc(cfg, cw.workload.get());
+    std::shared_ptr<telemetry::TelemetryHub> hub;
+    if (telemetryEnabled) {
+        hub = std::make_shared<telemetry::TelemetryHub>();
+        dc.setTelemetry(hub.get());
+    }
     dc.setRecordHistory(spec.recordHistory);
     dc.runCoarseUntil(
         static_cast<Tick>(spec.untilHours * kTicksPerHour));
@@ -343,6 +356,7 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     out.telemetry.shedHistory = dc.shedHistory();
     out.stats = std::make_shared<sim::StatsRegistry>();
     dc.exportStats(*out.stats);
+    out.hub = std::move(hub);
     return out;
 }
 
@@ -492,13 +506,15 @@ runExperiment(const Experiment &experiment)
                    "cluster experiments need a workload");
         return runClusterAttack(experiment.attack,
                                 *experiment.workload,
-                                experiment.seed);
+                                experiment.seed,
+                                experiment.telemetryEnabled);
       case ExperimentKind::ClusterCoarse:
         PAD_ASSERT(experiment.workload != nullptr,
                    "cluster experiments need a workload");
         return runClusterCoarse(experiment.coarse,
                                 *experiment.workload,
-                                experiment.seed);
+                                experiment.seed,
+                                experiment.telemetryEnabled);
     }
     PAD_PANIC("unreachable experiment kind");
 }

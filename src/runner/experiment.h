@@ -39,6 +39,7 @@
 #include "core/datacenter.h"
 #include "core/schemes.h"
 #include "sim/stats_registry.h"
+#include "telemetry/hub.h"
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 #include "util/types.h"
@@ -286,6 +287,14 @@ struct Experiment {
      * SweepRunner::assignSeeds() fills in for seed sweeps.
      */
     std::uint64_t seed = kSpecSeed;
+    /**
+     * Attach a telemetry hub to the job's DataCenter (cluster kinds
+     * only): per-rack power/SOC, PDU totals, policy level, shed
+     * count and detector score land in ExperimentResult::hub. Off by
+     * default — the zero-cost-when-disabled contract — and purely
+     * additive: enabling it never changes simulation results.
+     */
+    bool telemetryEnabled = false;
 
     /** Make a mini-rack overload-counting experiment. */
     static Experiment rackLab(RackLabSpec spec, double windowSec);
@@ -335,6 +344,13 @@ struct ExperimentResult {
      * member.
      */
     std::shared_ptr<sim::StatsRegistry> stats;
+    /**
+     * The job's telemetry hub; non-null only when the experiment ran
+     * with telemetryEnabled (cluster kinds). Shared for the same
+     * reason stats is: TelemetryHub is non-copyable while results
+     * are copied around freely.
+     */
+    std::shared_ptr<telemetry::TelemetryHub> hub;
 
     /** RackLab result (asserts kind). */
     const RackLabResult &lab() const;

@@ -92,6 +92,15 @@ SweepRunner::runWithReport(
     for (const ExperimentResult &result : report.results)
         if (result.stats)
             report.stats.mergeFrom(*result.stats);
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        if (!report.results[i].hub)
+            continue;
+        if (!report.telemetry)
+            report.telemetry =
+                std::make_shared<telemetry::TelemetryHub>();
+        report.telemetry->mergeFrom(*report.results[i].hub,
+                                    "job" + std::to_string(i) + ".");
+    }
 
     report.wallSeconds =
         std::chrono::duration<double>(Clock::now() - sweepStart)

@@ -49,6 +49,13 @@ struct SweepReport {
     std::vector<ExperimentResult> results;
     /** Deterministic merge of all per-job stats registries. */
     sim::StatsRegistry stats;
+    /**
+     * Deterministic merge of every job's telemetry hub (null when no
+     * job ran with telemetryEnabled): job i's series appear under a
+     * "job<i>." prefix, merged in submission order. A shared_ptr
+     * because TelemetryHub owns a mutex and cannot move.
+     */
+    std::shared_ptr<telemetry::TelemetryHub> telemetry;
     /** Wall-clock seconds each job took (profiling only). */
     std::vector<double> jobWallSeconds;
     /** Wall-clock seconds for the whole sweep (profiling only). */

@@ -36,6 +36,45 @@ StatsRegistry::HistogramData::record(double v)
     }
 }
 
+double
+StatsRegistry::HistogramData::quantile(double q) const
+{
+    if (count == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return min;
+    if (q >= 1.0)
+        return max;
+
+    // Walk the cumulative distribution. Underflow mass sits at
+    // spec.lo, overflow mass at spec.hi; in-range mass is uniform
+    // within its bucket.
+    const double target = q * static_cast<double>(count);
+    double seen = static_cast<double>(underflow);
+    double result = spec.hi;
+    if (seen >= target) {
+        result = spec.lo;
+    } else {
+        const double width = (spec.hi - spec.lo) / spec.buckets;
+        bool found = false;
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+            const double inBucket = static_cast<double>(counts[b]);
+            if (inBucket > 0.0 && seen + inBucket >= target) {
+                const double frac = (target - seen) / inBucket;
+                result = spec.lo + width * (b + frac);
+                found = true;
+                break;
+            }
+            seen += inBucket;
+        }
+        if (!found)
+            result = spec.hi; // remaining mass is overflow
+    }
+    // Clamp to the observed extremes so degenerate shapes (single
+    // sample, everything in one bucket) stay inside the data.
+    return std::min(std::max(result, min), max);
+}
+
 void
 StatsRegistry::TimerData::record(double seconds)
 {

@@ -128,6 +128,28 @@ class StatsRegistry
         double max = 0.0;
 
         void record(double v);
+
+        /**
+         * Estimate the q-quantile (q in [0, 1]) of the recorded
+         * distribution.
+         *
+         * The estimate is the smallest value v whose cumulative count
+         * reaches q * count, linearly interpolated inside the
+         * containing equal-width bucket (samples are assumed uniform
+         * within a bucket, the usual fixed-bucket convention).
+         * Boundary behavior, tested in stats tests:
+         *
+         *  - empty histogram: returns 0.0;
+         *  - underflow mass is treated as sitting at spec.lo and
+         *    overflow mass at spec.hi (the recorded extremes are not
+         *    kept per-bucket);
+         *  - the result is finally clamped to the observed
+         *    [min, max], so a single-sample histogram returns that
+         *    sample exactly and an all-in-one-bucket histogram never
+         *    reports a value outside the data;
+         *  - q <= 0 returns min, q >= 1 returns max.
+         */
+        double quantile(double q) const;
     };
 
     /** Duration accumulator state behind a Timer handle. */
@@ -289,6 +311,52 @@ class StatsRegistry
     std::map<std::string, TimerEntry> timers_;
 
   public:
+    /**
+     * Visit every statistic of one kind in name order. The callbacks
+     * receive (name, value-or-data, desc) by const reference; used by
+     * exporters (telemetry::PromWriter) that need more than the text
+     * dump offers.
+     */
+    template <typename F>
+    void
+    forEachScalar(F &&f) const
+    {
+        for (const auto &[name, e] : scalars_)
+            f(name, e.value, e.desc);
+    }
+
+    template <typename F>
+    void
+    forEachCounter(F &&f) const
+    {
+        for (const auto &[name, e] : counters_)
+            f(name, e.value, e.desc);
+    }
+
+    template <typename F>
+    void
+    forEachVector(F &&f) const
+    {
+        for (const auto &[name, e] : vectors_)
+            f(name, e.values, e.desc);
+    }
+
+    template <typename F>
+    void
+    forEachHistogram(F &&f) const
+    {
+        for (const auto &[name, e] : histograms_)
+            f(name, e.data, e.desc);
+    }
+
+    template <typename F>
+    void
+    forEachTimer(F &&f) const
+    {
+        for (const auto &[name, e] : timers_)
+            f(name, e.data, e.desc);
+    }
+
     StatsRegistry() = default;
     StatsRegistry(const StatsRegistry &) = delete;
     StatsRegistry &operator=(const StatsRegistry &) = delete;

@@ -1,0 +1,75 @@
+#include "telemetry/hub.h"
+
+namespace pad::telemetry {
+
+void
+TelemetryHub::record(std::string_view name, Tick when, double value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = series_.find(name);
+    if (it == series_.end())
+        it = series_.emplace(std::string(name), TimeSeries(opts_)).first;
+    it->second.record(when, value);
+}
+
+const TimeSeries *
+TelemetryHub::find(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = series_.find(name);
+    return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string>
+TelemetryHub::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    out.reserve(series_.size());
+    for (const auto &[name, series] : series_)
+        out.push_back(name);
+    return out;
+}
+
+std::size_t
+TelemetryHub::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return series_.size();
+}
+
+std::vector<TelemetryHub::SeriesSummary>
+TelemetryHub::summary() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SeriesSummary> out;
+    out.reserve(series_.size());
+    for (const auto &[name, series] : series_) {
+        SeriesSummary s;
+        s.name = name;
+        s.last = series.last();
+        s.count = series.totalSamples();
+        s.min = series.overallMin();
+        s.max = series.overallMax();
+        s.mean = series.overallMean();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void
+TelemetryHub::mergeFrom(const TelemetryHub &other, const std::string &prefix)
+{
+    // Copy the source series under its lock first so self-merge and
+    // lock-order issues cannot arise.
+    std::map<std::string, TimeSeries, std::less<>> copy;
+    {
+        std::lock_guard<std::mutex> lock(other.mu_);
+        copy = other.series_;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[name, series] : copy)
+        series_.insert_or_assign(prefix + name, std::move(series));
+}
+
+} // namespace pad::telemetry

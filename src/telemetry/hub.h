@@ -1,0 +1,81 @@
+/**
+ * @file
+ * TelemetryHub: a named collection of telemetry time series.
+ *
+ * The hub owns one telemetry::TimeSeries per dotted metric name
+ * ("rack3.power", "policy.level", ...) and is safe to record into
+ * from the simulation thread while another thread (the optional
+ * metrics HTTP endpoint) renders summaries. Series are created
+ * lazily on first record with the hub's capacity options.
+ *
+ * Hubs from independent sweep jobs combine with mergeFrom(), which
+ * copies every series under a caller-supplied name prefix; merging
+ * job hubs in submission order is deterministic for any worker
+ * count, mirroring the StatsRegistry contract.
+ */
+
+#ifndef PAD_TELEMETRY_HUB_H
+#define PAD_TELEMETRY_HUB_H
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/time_series.h"
+
+namespace pad::telemetry {
+
+class TelemetryHub
+{
+  public:
+    TelemetryHub() = default;
+    explicit TelemetryHub(const TimeSeriesOptions &opts) : opts_(opts) {}
+
+    /** Record one sample into the series @p name (created lazily). */
+    void record(std::string_view name, Tick when, double value);
+
+    /**
+     * Series by name, or nullptr. The pointer stays valid for the
+     * hub's lifetime (map nodes are stable) but reading it while a
+     * writer thread records is not synchronised — use summary() for
+     * concurrent access, find() for post-run inspection.
+     */
+    const TimeSeries *find(std::string_view name) const;
+
+    /** Sorted names of every series. */
+    std::vector<std::string> names() const;
+
+    std::size_t size() const;
+    bool empty() const { return size() == 0; }
+
+    /** Point-in-time digest of one series, safe to take mid-run. */
+    struct SeriesSummary {
+        std::string name;
+        Sample last;
+        std::uint64_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        double mean = 0.0;
+    };
+
+    /** Digest of every series, sorted by name, under the hub lock. */
+    std::vector<SeriesSummary> summary() const;
+
+    /**
+     * Copy every series of @p other into this hub under
+     * @p prefix + name. Existing series with colliding names are
+     * replaced, keeping the operation idempotent.
+     */
+    void mergeFrom(const TelemetryHub &other, const std::string &prefix);
+
+  private:
+    mutable std::mutex mu_;
+    TimeSeriesOptions opts_;
+    std::map<std::string, TimeSeries, std::less<>> series_;
+};
+
+} // namespace pad::telemetry
+
+#endif // PAD_TELEMETRY_HUB_H

@@ -1,0 +1,394 @@
+#include "telemetry/prom.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "sim/stats_registry.h"
+#include "util/json_writer.h"
+
+namespace pad::telemetry {
+
+namespace {
+
+std::string
+fmtValue(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "+Inf" : "-Inf";
+    return JsonWriter::formatDouble(v);
+}
+
+/** Escape a HELP text or label value per the exposition format. */
+std::string
+escapeText(std::string_view s, bool label)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '\n')
+            out += "\\n";
+        else if (label && c == '"')
+            out += "\\\"";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+writeHeader(std::ostream &os, const std::string &metric,
+            const std::string &desc, const char *type)
+{
+    if (!desc.empty())
+        os << "# HELP " << metric << " " << escapeText(desc, false)
+           << "\n";
+    os << "# TYPE " << metric << " " << type << "\n";
+}
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    auto ok = [](char c, bool first) {
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')
+            return true;
+        return !first && std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!ok(name[0], true))
+        return false;
+    for (std::size_t k = 1; k < name.size(); ++k)
+        if (!ok(name[k], false))
+            return false;
+    return true;
+}
+
+bool
+validLabelName(std::string_view name)
+{
+    if (name.empty())
+        return false;
+    auto ok = [](char c, bool first) {
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+            return true;
+        return !first && std::isdigit(static_cast<unsigned char>(c));
+    };
+    if (!ok(name[0], true))
+        return false;
+    for (std::size_t k = 1; k < name.size(); ++k)
+        if (!ok(name[k], false))
+            return false;
+    return true;
+}
+
+bool
+parseSampleValue(std::string_view token)
+{
+    if (token == "NaN" || token == "+Inf" || token == "-Inf" ||
+        token == "Inf")
+        return true;
+    if (token.empty())
+        return false;
+    char *end = nullptr;
+    const std::string buf(token);
+    std::strtod(buf.c_str(), &end);
+    return end == buf.c_str() + buf.size();
+}
+
+/** Metric a sample name belongs to for TYPE-placement accounting. */
+std::string
+baseMetric(std::string_view name)
+{
+    for (const std::string_view suffix :
+         {"_sum", "_count", "_bucket"}) {
+        if (name.size() > suffix.size() &&
+            name.substr(name.size() - suffix.size()) == suffix)
+            return std::string(name.substr(0, name.size() -
+                                                  suffix.size()));
+    }
+    return std::string(name);
+}
+
+} // namespace
+
+std::string
+promSanitize(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')
+            out += c;
+        else
+            out += '_';
+    }
+    if (!out.empty() && std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+void
+PromWriter::write(std::ostream &os, const sim::StatsRegistry *stats,
+                  const TelemetryHub *hub) const
+{
+    const std::string p =
+        opts_.prefix.empty() ? std::string() : opts_.prefix + "_";
+
+    if (stats) {
+        stats->forEachScalar([&](const std::string &name, double value,
+                                 const std::string &desc) {
+            const std::string m = p + promSanitize(name);
+            writeHeader(os, m, desc, "gauge");
+            os << m << " " << fmtValue(value) << "\n";
+        });
+        stats->forEachCounter([&](const std::string &name,
+                                  std::uint64_t value,
+                                  const std::string &desc) {
+            const std::string m = p + promSanitize(name) + "_total";
+            writeHeader(os, m, desc, "counter");
+            os << m << " " << value << "\n";
+        });
+        stats->forEachVector([&](const std::string &name,
+                                 const std::vector<double> &values,
+                                 const std::string &desc) {
+            const std::string m = p + promSanitize(name);
+            writeHeader(os, m, desc, "gauge");
+            for (std::size_t k = 0; k < values.size(); ++k)
+                os << m << "{index=\"" << k << "\"} "
+                   << fmtValue(values[k]) << "\n";
+        });
+        stats->forEachHistogram(
+            [&](const std::string &name,
+                const sim::StatsRegistry::HistogramData &data,
+                const std::string &desc) {
+                const std::string m = p + promSanitize(name);
+                writeHeader(os, m, desc, "summary");
+                for (const double q : {0.5, 0.95, 0.99})
+                    os << m << "{quantile=\"" << fmtValue(q) << "\"} "
+                       << fmtValue(data.quantile(q)) << "\n";
+                os << m << "_sum " << fmtValue(data.sum) << "\n";
+                os << m << "_count " << data.count << "\n";
+            });
+        stats->forEachTimer(
+            [&](const std::string &name,
+                const sim::StatsRegistry::TimerData &data,
+                const std::string &desc) {
+                const std::string m =
+                    p + promSanitize(name) + "_seconds";
+                writeHeader(os, m, desc, "summary");
+                os << m << "_sum " << fmtValue(data.totalSeconds)
+                   << "\n";
+                os << m << "_count " << data.count << "\n";
+                writeHeader(os, m + "_min", desc, "gauge");
+                os << m << "_min "
+                   << fmtValue(data.count ? data.minSeconds : 0.0)
+                   << "\n";
+                writeHeader(os, m + "_max", desc, "gauge");
+                os << m << "_max "
+                   << fmtValue(data.count ? data.maxSeconds : 0.0)
+                   << "\n";
+            });
+    }
+
+    if (hub) {
+        const auto digest = hub->summary();
+        if (!digest.empty()) {
+            struct Section {
+                const char *suffix;
+                const char *type;
+                const char *help;
+            };
+            const Section sections[] = {
+                {"series_last", "gauge",
+                 "Newest sample of each telemetry series"},
+                {"series_min", "gauge",
+                 "Minimum over every recorded sample"},
+                {"series_max", "gauge",
+                 "Maximum over every recorded sample"},
+                {"series_avg", "gauge",
+                 "Arithmetic mean over every recorded sample"},
+                {"series_samples_total", "counter",
+                 "Samples recorded into each telemetry series"},
+            };
+            for (const Section &sec : sections) {
+                const std::string m = p + sec.suffix;
+                writeHeader(os, m, sec.help, sec.type);
+                for (const auto &s : digest) {
+                    os << m << "{series=\""
+                       << escapeText(s.name, true) << "\"} ";
+                    if (std::string_view(sec.suffix) == "series_last")
+                        os << fmtValue(s.last.value);
+                    else if (std::string_view(sec.suffix) ==
+                             "series_min")
+                        os << fmtValue(s.min);
+                    else if (std::string_view(sec.suffix) ==
+                             "series_max")
+                        os << fmtValue(s.max);
+                    else if (std::string_view(sec.suffix) ==
+                             "series_avg")
+                        os << fmtValue(s.mean);
+                    else
+                        os << s.count;
+                    os << "\n";
+                }
+            }
+        }
+    }
+}
+
+std::string
+PromWriter::render(const sim::StatsRegistry *stats,
+                   const TelemetryHub *hub) const
+{
+    std::ostringstream os;
+    write(os, stats, hub);
+    return os.str();
+}
+
+bool
+validatePromExposition(std::string_view text, std::string *error)
+{
+    auto fail = [&](std::size_t lineNo, const std::string &what) {
+        if (error)
+            *error = "line " + std::to_string(lineNo) + ": " + what;
+        return false;
+    };
+
+    std::set<std::string> typedMetrics;
+    std::set<std::string> sampledMetrics;
+
+    std::size_t lineNo = 0;
+    std::size_t pos = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string_view line =
+            text.substr(pos, eol == std::string_view::npos
+                                 ? std::string_view::npos
+                                 : eol - pos);
+        pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+        ++lineNo;
+        if (line.empty())
+            continue;
+
+        if (line[0] == '#') {
+            std::istringstream ss{std::string(line)};
+            std::string hash, kind, metric;
+            ss >> hash >> kind;
+            if (kind == "TYPE") {
+                std::string type;
+                if (!(ss >> metric >> type))
+                    return fail(lineNo, "malformed TYPE comment");
+                if (!validMetricName(metric))
+                    return fail(lineNo,
+                                "bad metric name in TYPE: " + metric);
+                if (type != "counter" && type != "gauge" &&
+                    type != "histogram" && type != "summary" &&
+                    type != "untyped")
+                    return fail(lineNo, "unknown metric type: " + type);
+                if (!typedMetrics.insert(metric).second)
+                    return fail(lineNo, "duplicate TYPE for " + metric);
+                if (sampledMetrics.count(metric))
+                    return fail(lineNo,
+                                "TYPE after samples of " + metric);
+            } else if (kind == "HELP") {
+                if (!(ss >> metric))
+                    return fail(lineNo, "malformed HELP comment");
+                if (!validMetricName(metric))
+                    return fail(lineNo,
+                                "bad metric name in HELP: " + metric);
+            }
+            // Other '#' lines are plain comments.
+            continue;
+        }
+
+        // Sample line: name[{labels}] value [timestamp]
+        std::size_t k = 0;
+        while (k < line.size() && line[k] != '{' && line[k] != ' ')
+            ++k;
+        const std::string_view name = line.substr(0, k);
+        if (!validMetricName(name))
+            return fail(lineNo,
+                        "bad metric name: " + std::string(name));
+        sampledMetrics.insert(baseMetric(name));
+
+        if (k < line.size() && line[k] == '{') {
+            ++k;
+            bool first = true;
+            while (k < line.size() && line[k] != '}') {
+                if (!first) {
+                    if (line[k] != ',')
+                        return fail(lineNo, "expected ',' in labels");
+                    ++k;
+                }
+                first = false;
+                std::size_t start = k;
+                while (k < line.size() && line[k] != '=')
+                    ++k;
+                if (k >= line.size())
+                    return fail(lineNo, "unterminated label");
+                if (!validLabelName(line.substr(start, k - start)))
+                    return fail(lineNo, "bad label name");
+                ++k; // '='
+                if (k >= line.size() || line[k] != '"')
+                    return fail(lineNo, "label value not quoted");
+                ++k;
+                while (k < line.size() && line[k] != '"') {
+                    if (line[k] == '\\') {
+                        if (k + 1 >= line.size())
+                            return fail(lineNo, "dangling escape");
+                        const char e = line[k + 1];
+                        if (e != '\\' && e != '"' && e != 'n')
+                            return fail(lineNo, "bad escape in label");
+                        ++k;
+                    }
+                    ++k;
+                }
+                if (k >= line.size())
+                    return fail(lineNo, "unterminated label value");
+                ++k; // closing '"'
+            }
+            if (k >= line.size())
+                return fail(lineNo, "unterminated label set");
+            ++k; // '}'
+        }
+
+        if (k >= line.size() || line[k] != ' ')
+            return fail(lineNo, "missing value");
+        while (k < line.size() && line[k] == ' ')
+            ++k;
+        std::size_t vEnd = k;
+        while (vEnd < line.size() && line[vEnd] != ' ')
+            ++vEnd;
+        if (!parseSampleValue(line.substr(k, vEnd - k)))
+            return fail(lineNo,
+                        "unparsable value: " +
+                            std::string(line.substr(k, vEnd - k)));
+        k = vEnd;
+        while (k < line.size() && line[k] == ' ')
+            ++k;
+        if (k < line.size()) {
+            // Optional timestamp: integer (milliseconds).
+            std::size_t t = k;
+            if (line[t] == '-' || line[t] == '+')
+                ++t;
+            if (t >= line.size())
+                return fail(lineNo, "bad timestamp");
+            for (; t < line.size(); ++t)
+                if (!std::isdigit(static_cast<unsigned char>(line[t])))
+                    return fail(lineNo, "bad timestamp");
+        }
+    }
+    return true;
+}
+
+} // namespace pad::telemetry

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Prometheus text-format exposition (format version 0.0.4).
+ *
+ * PromWriter renders a StatsRegistry and/or a TelemetryHub as the
+ * plain-text scrape format Prometheus and promtool understand:
+ *
+ *   - scalars   -> gauges
+ *   - counters  -> counters, canonical `_total` suffix
+ *   - vectors   -> gauges with an `index` label per element
+ *   - histograms-> summaries with p50/p95/p99 `quantile` labels
+ *                  plus `_sum` / `_count`
+ *   - timers    -> `<name>_seconds` summaries (`_sum`/`_count`) with
+ *                  `_seconds_min` / `_seconds_max` gauges
+ *   - hub series-> `pad_series_{last,min,max,avg}` gauges and a
+ *                  `pad_series_samples_total` counter, one labelled
+ *                  sample per series
+ *
+ * Dotted stat names are sanitised to the Prometheus charset and
+ * prefixed (default `pad_`). Rendering order is deterministic (name
+ * order within each section), so --prom files can be diffed.
+ *
+ * validatePromExposition() is a promtool-style grammar check used by
+ * tests and available to tools; it verifies comment syntax, metric
+ * name/label charsets, value parseability, and TYPE placement.
+ */
+
+#ifndef PAD_TELEMETRY_PROM_H
+#define PAD_TELEMETRY_PROM_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "telemetry/hub.h"
+
+namespace pad::sim {
+class StatsRegistry;
+}
+
+namespace pad::telemetry {
+
+class PromWriter
+{
+  public:
+    struct Options {
+        /** Prepended (with '_') to every metric name. */
+        std::string prefix = "pad";
+    };
+
+    PromWriter() = default;
+    explicit PromWriter(Options opts) : opts_(std::move(opts)) {}
+
+    /** Render @p stats and/or @p hub (either may be null). */
+    void write(std::ostream &os, const sim::StatsRegistry *stats,
+               const TelemetryHub *hub) const;
+
+    /** write() into a string. */
+    std::string render(const sim::StatsRegistry *stats,
+                       const TelemetryHub *hub) const;
+
+  private:
+    Options opts_;
+};
+
+/**
+ * Map an arbitrary dotted stat name onto the Prometheus metric-name
+ * charset [a-zA-Z0-9_:]: '.' becomes '_', every other invalid byte
+ * becomes '_', and a leading digit gains a '_' prefix.
+ */
+std::string promSanitize(std::string_view name);
+
+/**
+ * Grammar-check a text exposition. Returns true when every line is
+ * a valid comment, metric sample, or blank, and every # TYPE appears
+ * at most once per metric and before that metric's first sample.
+ * On failure @p error (when non-null) describes the first offence
+ * with its line number.
+ */
+bool validatePromExposition(std::string_view text,
+                            std::string *error = nullptr);
+
+} // namespace pad::telemetry
+
+#endif // PAD_TELEMETRY_PROM_H

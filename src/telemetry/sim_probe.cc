@@ -1,0 +1,18 @@
+#include "telemetry/sim_probe.h"
+
+namespace pad::telemetry {
+
+std::size_t
+attachSimulator(sim::Simulator &sim, TelemetryHub &hub, Tick period)
+{
+    sim::Simulator *engine = &sim;
+    TelemetryHub *target = &hub;
+    return sim.every(period, [engine, target] {
+        const Tick t = engine->now();
+        target->record("sim.queue_depth", t,
+                       static_cast<double>(engine->events().size()));
+        target->record("sim.time_sec", t, ticksToSeconds(t));
+    });
+}
+
+} // namespace pad::telemetry

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Direct Simulator-side telemetry hook.
+ *
+ * attachSimulator() installs a periodic probe on a sim::Simulator
+ * that records engine health series into a TelemetryHub:
+ *
+ *   sim.queue_depth  - live events in the queue
+ *   sim.time_sec     - simulated seconds at each probe firing
+ *
+ * The probe rides the simulator's own event queue (Simulator::every)
+ * so it observes time exactly as components do and costs nothing
+ * when no hub is attached anywhere. Returns the periodic id for
+ * Simulator::cancelPeriodic().
+ */
+
+#ifndef PAD_TELEMETRY_SIM_PROBE_H
+#define PAD_TELEMETRY_SIM_PROBE_H
+
+#include <cstddef>
+
+#include "sim/simulator.h"
+#include "telemetry/hub.h"
+
+namespace pad::telemetry {
+
+/**
+ * Install the probe; @p hub must outlive the simulation run.
+ *
+ * @param period sampling period in ticks (default one minute)
+ */
+std::size_t attachSimulator(sim::Simulator &sim, TelemetryHub &hub,
+                            Tick period = kTicksPerMinute);
+
+} // namespace pad::telemetry
+
+#endif // PAD_TELEMETRY_SIM_PROBE_H

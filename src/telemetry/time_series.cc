@@ -1,0 +1,99 @@
+#include "telemetry/time_series.h"
+
+namespace pad::telemetry {
+
+TimeSeries::TimeSeries(const TimeSeriesOptions &opts)
+    : raw_(opts.rawCapacity),
+      minute_(kTicksPerMinute, opts.bucketCapacity),
+      fiveMinute_(5 * kTicksPerMinute, opts.bucketCapacity)
+{
+}
+
+void
+TimeSeries::Rollup::fold(Tick when, double value)
+{
+    // Align to the bucket grid; ticks are non-negative in practice
+    // but guard the modulo for robustness.
+    Tick start = (when / width) * width;
+    if (start > when)
+        start -= width;
+
+    if (hasOpen && start <= open.start) {
+        // Same bucket (or a late sample): fold into the open bucket.
+        if (value < open.min)
+            open.min = value;
+        if (value > open.max)
+            open.max = value;
+        open.sum += value;
+        open.last = value;
+        ++open.count;
+        return;
+    }
+    if (hasOpen)
+        closed.push(open);
+    open = Bucket{};
+    open.start = start;
+    open.width = width;
+    open.min = value;
+    open.max = value;
+    open.sum = value;
+    open.last = value;
+    open.count = 1;
+    hasOpen = true;
+}
+
+std::vector<Bucket>
+TimeSeries::Rollup::buckets() const
+{
+    std::vector<Bucket> out = closed.ordered();
+    if (hasOpen)
+        out.push_back(open);
+    return out;
+}
+
+void
+TimeSeries::record(Tick when, double value)
+{
+    raw_.push(Sample{when, value});
+    minute_.fold(when, value);
+    fiveMinute_.fold(when, value);
+
+    if (total_ == 0) {
+        min_ = value;
+        max_ = value;
+    } else {
+        if (value < min_)
+            min_ = value;
+        if (value > max_)
+            max_ = value;
+    }
+    sum_ += value;
+    ++total_;
+    last_ = Sample{when, value};
+}
+
+double
+TimeSeries::overallMean() const
+{
+    return total_ ? sum_ / static_cast<double>(total_) : 0.0;
+}
+
+std::vector<Sample>
+TimeSeries::raw() const
+{
+    return raw_.ordered();
+}
+
+std::vector<Bucket>
+TimeSeries::minuteBuckets() const
+{
+    return minute_.buckets();
+}
+
+std::vector<Bucket>
+TimeSeries::fiveMinuteBuckets() const
+{
+    return fiveMinute_.buckets();
+}
+
+} // namespace pad::telemetry

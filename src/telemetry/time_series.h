@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Fixed-memory multi-resolution telemetry time series.
+ *
+ * A telemetry::TimeSeries keeps the most recent raw samples in a
+ * fixed-size ring buffer and simultaneously folds every sample into
+ * two coarser rollup levels (1-minute and 5-minute buckets, each
+ * tracking min/max/sum/last/count). Memory is bounded regardless of
+ * run length: once a ring fills, the oldest entries are evicted, but
+ * whole-series aggregates (total count, overall min/max/mean, latest
+ * sample) remain exact because they are maintained incrementally.
+ *
+ * This type differs from sim::TimeSeries (an append-only trajectory
+ * used by figure benches, which must retain every point): telemetry
+ * series are for live inspection and Prometheus exposition at
+ * production scale, where unbounded growth is unacceptable.
+ *
+ * Timestamps are sim Ticks and are expected to be non-decreasing, as
+ * produced by the simulator loop; a sample older than the open
+ * rollup bucket is folded into that bucket rather than rejected.
+ */
+
+#ifndef PAD_TELEMETRY_TIME_SERIES_H
+#define PAD_TELEMETRY_TIME_SERIES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::telemetry {
+
+/** One raw observation. */
+struct Sample {
+    Tick when = 0;
+    double value = 0.0;
+};
+
+/** One rollup bucket: aggregate of the samples in [start, start+width). */
+struct Bucket {
+    /** Inclusive bucket start, aligned to a multiple of width. */
+    Tick start = 0;
+    /** Bucket width in ticks. */
+    Tick width = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    /** Value of the newest sample folded into the bucket. */
+    double last = 0.0;
+    std::uint64_t count = 0;
+
+    double
+    mean() const
+    {
+        return count ? sum / static_cast<double>(count) : 0.0;
+    }
+};
+
+/** Capacity knobs; defaults bound a series to a few hundred KiB. */
+struct TimeSeriesOptions {
+    /** Raw samples retained (newest wins once full). */
+    std::size_t rawCapacity = 4096;
+    /** Closed rollup buckets retained per resolution level. */
+    std::size_t bucketCapacity = 1024;
+};
+
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(const TimeSeriesOptions &opts = {});
+
+    /** Record one sample; @p when should be non-decreasing. */
+    void record(Tick when, double value);
+
+    /** True when no sample was ever recorded. */
+    bool empty() const { return total_ == 0; }
+
+    /** Samples ever recorded, including ones evicted from the ring. */
+    std::uint64_t totalSamples() const { return total_; }
+
+    /** Samples currently held in the raw ring. */
+    std::size_t rawSize() const { return raw_.size(); }
+
+    /** Newest sample; zero-initialised when empty(). */
+    Sample last() const { return last_; }
+
+    /** Exact aggregates over every sample ever recorded. */
+    double overallMin() const { return total_ ? min_ : 0.0; }
+    double overallMax() const { return total_ ? max_ : 0.0; }
+    double overallMean() const;
+
+    /** Raw retained samples in chronological order. */
+    std::vector<Sample> raw() const;
+
+    /**
+     * Rollup buckets in chronological order, the still-open newest
+     * bucket included as the final entry.
+     */
+    std::vector<Bucket> minuteBuckets() const;
+    std::vector<Bucket> fiveMinuteBuckets() const;
+
+  private:
+    /** Fixed-capacity ring; push evicts the oldest once full. */
+    template <typename T>
+    class Ring
+    {
+      public:
+        explicit Ring(std::size_t capacity)
+            : capacity_(capacity ? capacity : 1)
+        {
+        }
+
+        void
+        push(const T &v)
+        {
+            if (buf_.size() < capacity_) {
+                buf_.push_back(v);
+            } else {
+                buf_[head_] = v;
+                head_ = (head_ + 1) % capacity_;
+            }
+        }
+
+        std::size_t size() const { return buf_.size(); }
+
+        std::vector<T>
+        ordered() const
+        {
+            std::vector<T> out;
+            out.reserve(buf_.size());
+            for (std::size_t k = 0; k < buf_.size(); ++k)
+                out.push_back(buf_[(head_ + k) % buf_.size()]);
+            return out;
+        }
+
+      private:
+        std::size_t capacity_;
+        std::size_t head_ = 0;
+        std::vector<T> buf_;
+    };
+
+    struct Rollup {
+        Rollup(Tick width, std::size_t capacity)
+            : width(width), closed(capacity)
+        {
+        }
+
+        Tick width;
+        Bucket open;
+        bool hasOpen = false;
+        Ring<Bucket> closed;
+
+        void fold(Tick when, double value);
+        std::vector<Bucket> buckets() const;
+    };
+
+    Ring<Sample> raw_;
+    Rollup minute_;
+    Rollup fiveMinute_;
+
+    Sample last_;
+    std::uint64_t total_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+} // namespace pad::telemetry
+
+#endif // PAD_TELEMETRY_TIME_SERIES_H

@@ -1,0 +1,115 @@
+#include "telemetry/trace_feed.h"
+
+#include <string>
+
+namespace pad::telemetry {
+
+namespace {
+
+const obs::TraceField *
+findField(const obs::TraceEvent &event, std::string_view key)
+{
+    for (std::size_t k = 0; k < event.numFields; ++k)
+        if (event.fields[k].key == key)
+            return &event.fields[k];
+    return nullptr;
+}
+
+/** Numeric reading of a field regardless of its declared kind. */
+double
+fieldNumber(const obs::TraceField &f)
+{
+    switch (f.kind) {
+      case obs::TraceField::Kind::Int:
+        return static_cast<double>(f.i);
+      case obs::TraceField::Kind::Double:
+        return f.d;
+      case obs::TraceField::Kind::Bool:
+        return f.b ? 1.0 : 0.0;
+      case obs::TraceField::Kind::Str:
+        return 0.0;
+    }
+    return 0.0;
+}
+
+} // namespace
+
+int
+securityLevelFromName(std::string_view name)
+{
+    // Level names render as "L<digit>-<label>"; see securityLevelName.
+    if (name.size() >= 2 && name[0] == 'L' && name[1] >= '1' &&
+        name[1] <= '9')
+        return name[1] - '0';
+    return 0;
+}
+
+int
+attackerPhaseFromName(std::string_view name)
+{
+    if (name == "Prepare")
+        return 0;
+    if (name == "Drain")
+        return 1;
+    if (name == "Recover")
+        return 2;
+    if (name == "Spike")
+        return 3;
+    return -1;
+}
+
+void
+TelemetryTraceSink::write(const obs::TraceEvent &event)
+{
+    const Tick ts = event.when;
+    if (event.name == "policy.transition") {
+        if (const auto *to = findField(event, "to"))
+            hub_.record("policy.level", ts,
+                        securityLevelFromName(to->s));
+    } else if (event.name == "detector.anomaly") {
+        hub_.record("detector.anomalies", ts,
+                    static_cast<double>(
+                        anomalies_.fetch_add(1) + 1));
+    } else if (event.name == "udeb.shave") {
+        // Component is the unit name, e.g. "rack3.udeb".
+        const std::string base(event.component);
+        if (const auto *soc = findField(event, "soc"))
+            hub_.record(base + ".soc", ts, fieldNumber(*soc));
+        if (const auto *shaved = findField(event, "shaved_w"))
+            hub_.record(base + ".shaved_w", ts, fieldNumber(*shaved));
+    } else if (event.name == "attacker.phase") {
+        if (const auto *to = findField(event, "to"))
+            hub_.record("attacker.phase", ts,
+                        attackerPhaseFromName(to->s));
+    } else if (event.name == "attacker.spike_launch") {
+        hub_.record("attacker.spikes", ts,
+                    static_cast<double>(spikes_.fetch_add(1) + 1));
+    } else if (event.name == "soc.sample") {
+        const auto *rack = findField(event, "rack");
+        if (rack) {
+            const std::string base =
+                "rack" + std::to_string(rack->i);
+            if (const auto *soc = findField(event, "soc"))
+                hub_.record(base + ".soc", ts, fieldNumber(*soc));
+            if (const auto *usoc = findField(event, "udeb_soc"))
+                hub_.record(base + ".udeb_soc", ts,
+                            fieldNumber(*usoc));
+            if (const auto *power = findField(event, "power_w"))
+                hub_.record(base + ".power", ts, fieldNumber(*power));
+            if (const auto *draw = findField(event, "draw_w"))
+                hub_.record(base + ".draw", ts, fieldNumber(*draw));
+        }
+    }
+
+    if (inner_)
+        inner_->write(event);
+}
+
+void
+TelemetryTraceSink::flush()
+{
+    if (inner_)
+        inner_->flush();
+}
+
+} // namespace pad::telemetry

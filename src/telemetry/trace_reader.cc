@@ -1,0 +1,97 @@
+#include "telemetry/trace_reader.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace pad::telemetry {
+
+const JsonValue *
+TraceRecord::arg(std::string_view key) const
+{
+    if (!args.isObject())
+        return nullptr;
+    return args.find(key);
+}
+
+double
+TraceRecord::argNumber(std::string_view key, double fallback) const
+{
+    const JsonValue *v = arg(key);
+    if (!v)
+        return fallback;
+    if (v->isNumber())
+        return v->number;
+    if (v->isBool())
+        return v->boolean ? 1.0 : 0.0;
+    return fallback;
+}
+
+std::string
+TraceRecord::argString(std::string_view key) const
+{
+    const JsonValue *v = arg(key);
+    return v && v->isString() ? v->str : std::string();
+}
+
+TraceLog
+readTraceLog(std::istream &in)
+{
+    TraceLog log;
+    std::string line;
+    while (std::getline(in, line)) {
+        ++log.lines;
+        if (line.empty())
+            continue;
+
+        std::string error;
+        auto doc = parseJson(line, &error);
+        if (!doc || !doc->isObject()) {
+            ++log.skipped;
+            warn("trace reader: skipping corrupt line {}: {}",
+                 log.lines, doc ? "not an object" : error);
+            continue;
+        }
+        const JsonValue *ts = doc->find("ts");
+        const JsonValue *name = doc->find("name");
+        if (!ts || !ts->isNumber() || !name || !name->isString()) {
+            ++log.skipped;
+            warn("trace reader: line {} is not a trace record",
+                 log.lines);
+            continue;
+        }
+
+        TraceRecord rec;
+        rec.ts = static_cast<Tick>(std::llround(ts->number));
+        rec.name = name->str;
+        if (const JsonValue *dur = doc->find("dur");
+            dur && dur->isNumber())
+            rec.dur = static_cast<Tick>(std::llround(dur->number));
+        if (const JsonValue *job = doc->find("job");
+            job && job->isNumber())
+            rec.job = static_cast<int>(std::llround(job->number));
+        if (const JsonValue *component = doc->find("component");
+            component && component->isString())
+            rec.component = component->str;
+        if (const JsonValue *args = doc->find("args"))
+            rec.args = *args;
+        log.records.push_back(std::move(rec));
+    }
+    return log;
+}
+
+std::optional<TraceLog>
+readTraceLogFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open " + path;
+        return std::nullopt;
+    }
+    return readTraceLog(in);
+}
+
+} // namespace pad::telemetry

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * JSONL trace-log reader for forensics tooling.
+ *
+ * Reads the one-JSON-object-per-line format that JsonlTraceSink
+ * writes back into typed TraceRecords. Real trace files get
+ * truncated — a run killed mid-write leaves a partial last line —
+ * so the reader is deliberately forgiving: a line that fails to
+ * parse, or parses but is not a trace record (no "ts"/"name"), is
+ * counted and skipped with a warning rather than aborting the load.
+ * `padtrace` relies on this to analyse whatever prefix of a run made
+ * it to disk.
+ */
+
+#ifndef PAD_TELEMETRY_TRACE_READER_H
+#define PAD_TELEMETRY_TRACE_READER_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/json.h"
+#include "util/types.h"
+
+namespace pad::telemetry {
+
+/** One parsed trace event. */
+struct TraceRecord {
+    Tick ts = 0;
+    /** Span length; 0 for instants. */
+    Tick dur = 0;
+    /** Sweep job index; -1 = main thread. */
+    int job = -1;
+    std::string component;
+    std::string name;
+    /** The "args" object; Null kind when the event had none. */
+    JsonValue args;
+
+    /** Arg by key, or nullptr. */
+    const JsonValue *arg(std::string_view key) const;
+    /** Numeric arg by key; @p fallback when absent or non-numeric. */
+    double argNumber(std::string_view key, double fallback = 0.0) const;
+    /** String arg by key; empty when absent or non-string. */
+    std::string argString(std::string_view key) const;
+};
+
+/** A loaded trace file. */
+struct TraceLog {
+    /** Records in file order. */
+    std::vector<TraceRecord> records;
+    /** Lines skipped because they were corrupt or not records. */
+    std::size_t skipped = 0;
+    /** Total lines visited (records + skipped + blanks). */
+    std::size_t lines = 0;
+};
+
+/** Read JSONL records from @p in; never fails, see TraceLog. */
+TraceLog readTraceLog(std::istream &in);
+
+/**
+ * Read a JSONL trace file. Returns nullopt (and fills @p error) only
+ * when the file cannot be opened; corrupt content is reported via
+ * TraceLog::skipped.
+ */
+std::optional<TraceLog> readTraceLogFile(const std::string &path,
+                                         std::string *error = nullptr);
+
+} // namespace pad::telemetry
+
+#endif // PAD_TELEMETRY_TRACE_READER_H

@@ -1,0 +1,637 @@
+/**
+ * @file
+ * Unit tests for the telemetry subsystem: multi-resolution time
+ * series, the TelemetryHub, the tracer-event feed, Prometheus
+ * exposition (writer and grammar validator), the scrape HTTP
+ * endpoint, the JSONL trace reader, the Simulator probe, and the
+ * StatsRegistry histogram-quantile boundary contract the exposition
+ * relies on.
+ */
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace_sink.h"
+#include "obs/tracer.h"
+#include "sim/simulator.h"
+#include "sim/stats_registry.h"
+#include "telemetry/http.h"
+#include "telemetry/hub.h"
+#include "telemetry/prom.h"
+#include "telemetry/sim_probe.h"
+#include "telemetry/time_series.h"
+#include "telemetry/trace_feed.h"
+#include "telemetry/trace_reader.h"
+
+using namespace pad;
+using namespace pad::telemetry;
+
+// ---------------------------------------------------------------------
+// TimeSeries
+// ---------------------------------------------------------------------
+
+TEST(TimeSeries, EmptySeriesIsWellDefined)
+{
+    const TimeSeries ts;
+    EXPECT_TRUE(ts.empty());
+    EXPECT_EQ(ts.totalSamples(), 0u);
+    EXPECT_EQ(ts.rawSize(), 0u);
+    EXPECT_EQ(ts.overallMin(), 0.0);
+    EXPECT_EQ(ts.overallMax(), 0.0);
+    EXPECT_EQ(ts.overallMean(), 0.0);
+    EXPECT_TRUE(ts.raw().empty());
+    EXPECT_TRUE(ts.minuteBuckets().empty());
+    EXPECT_TRUE(ts.fiveMinuteBuckets().empty());
+}
+
+TEST(TimeSeries, MinuteRollupAggregates)
+{
+    TimeSeries ts;
+    // Three samples in minute 0, one in minute 1.
+    ts.record(0, 10.0);
+    ts.record(20 * kTicksPerSecond, 30.0);
+    ts.record(40 * kTicksPerSecond, 20.0);
+    ts.record(kTicksPerMinute + 1, 5.0);
+
+    const auto minutes = ts.minuteBuckets();
+    ASSERT_EQ(minutes.size(), 2u);
+    EXPECT_EQ(minutes[0].start, 0);
+    EXPECT_EQ(minutes[0].width, kTicksPerMinute);
+    EXPECT_EQ(minutes[0].count, 3u);
+    EXPECT_DOUBLE_EQ(minutes[0].min, 10.0);
+    EXPECT_DOUBLE_EQ(minutes[0].max, 30.0);
+    EXPECT_DOUBLE_EQ(minutes[0].mean(), 20.0);
+    EXPECT_DOUBLE_EQ(minutes[0].last, 20.0);
+    // The still-open second bucket is included.
+    EXPECT_EQ(minutes[1].start, kTicksPerMinute);
+    EXPECT_EQ(minutes[1].count, 1u);
+    EXPECT_DOUBLE_EQ(minutes[1].last, 5.0);
+
+    // All four samples land in a single open 5-minute bucket.
+    const auto fives = ts.fiveMinuteBuckets();
+    ASSERT_EQ(fives.size(), 1u);
+    EXPECT_EQ(fives[0].count, 4u);
+    EXPECT_DOUBLE_EQ(fives[0].min, 5.0);
+    EXPECT_DOUBLE_EQ(fives[0].max, 30.0);
+
+    EXPECT_DOUBLE_EQ(ts.overallMean(), 65.0 / 4.0);
+    EXPECT_EQ(ts.last().when, kTicksPerMinute + 1);
+}
+
+TEST(TimeSeries, RingEvictionKeepsAggregatesExact)
+{
+    TimeSeriesOptions opts;
+    opts.rawCapacity = 4;
+    TimeSeries ts(opts);
+    for (int i = 0; i < 10; ++i)
+        ts.record(i * kTicksPerSecond, static_cast<double>(i));
+
+    EXPECT_EQ(ts.totalSamples(), 10u);
+    EXPECT_EQ(ts.rawSize(), 4u);
+    const auto raw = ts.raw();
+    ASSERT_EQ(raw.size(), 4u);
+    // Chronological order, newest four survive.
+    EXPECT_DOUBLE_EQ(raw.front().value, 6.0);
+    EXPECT_DOUBLE_EQ(raw.back().value, 9.0);
+    // Whole-series aggregates still cover evicted samples.
+    EXPECT_DOUBLE_EQ(ts.overallMin(), 0.0);
+    EXPECT_DOUBLE_EQ(ts.overallMax(), 9.0);
+    EXPECT_DOUBLE_EQ(ts.overallMean(), 4.5);
+}
+
+TEST(TimeSeries, BucketStartsAreAligned)
+{
+    TimeSeries ts;
+    ts.record(kTicksPerMinute + 1234, 1.0);
+    const auto minutes = ts.minuteBuckets();
+    ASSERT_EQ(minutes.size(), 1u);
+    EXPECT_EQ(minutes[0].start, kTicksPerMinute);
+    EXPECT_EQ(minutes[0].start % kTicksPerMinute, 0);
+}
+
+// ---------------------------------------------------------------------
+// TelemetryHub
+// ---------------------------------------------------------------------
+
+TEST(TelemetryHub, LazyCreationAndSortedNames)
+{
+    TelemetryHub hub;
+    EXPECT_TRUE(hub.empty());
+    hub.record("zeta", 0, 1.0);
+    hub.record("alpha", 0, 2.0);
+    hub.record("zeta", 1, 3.0);
+    EXPECT_EQ(hub.size(), 2u);
+    const auto names = hub.names();
+    ASSERT_EQ(names.size(), 2u);
+    EXPECT_EQ(names[0], "alpha");
+    EXPECT_EQ(names[1], "zeta");
+    ASSERT_NE(hub.find("zeta"), nullptr);
+    EXPECT_EQ(hub.find("zeta")->totalSamples(), 2u);
+    EXPECT_EQ(hub.find("missing"), nullptr);
+}
+
+TEST(TelemetryHub, SummaryDigest)
+{
+    TelemetryHub hub;
+    hub.record("s", 0, 1.0);
+    hub.record("s", kTicksPerSecond, 3.0);
+    const auto digest = hub.summary();
+    ASSERT_EQ(digest.size(), 1u);
+    EXPECT_EQ(digest[0].name, "s");
+    EXPECT_EQ(digest[0].count, 2u);
+    EXPECT_DOUBLE_EQ(digest[0].min, 1.0);
+    EXPECT_DOUBLE_EQ(digest[0].max, 3.0);
+    EXPECT_DOUBLE_EQ(digest[0].mean, 2.0);
+    EXPECT_DOUBLE_EQ(digest[0].last.value, 3.0);
+}
+
+TEST(TelemetryHub, MergeFromPrefixesAndIsIdempotent)
+{
+    TelemetryHub job;
+    job.record("rack0.power", 0, 100.0);
+    job.record("policy.level", 0, 1.0);
+
+    TelemetryHub merged;
+    merged.mergeFrom(job, "job0.");
+    merged.mergeFrom(job, "job0."); // idempotent replace
+    EXPECT_EQ(merged.size(), 2u);
+    ASSERT_NE(merged.find("job0.rack0.power"), nullptr);
+    EXPECT_EQ(merged.find("job0.rack0.power")->totalSamples(), 1u);
+    EXPECT_EQ(merged.find("rack0.power"), nullptr);
+}
+
+TEST(TelemetryHub, ConcurrentRecordingIsSafe)
+{
+    TelemetryHub hub;
+    constexpr int kPer = 2000;
+    std::thread a([&] {
+        for (int i = 0; i < kPer; ++i)
+            hub.record("a", i, 1.0);
+    });
+    std::thread b([&] {
+        for (int i = 0; i < kPer; ++i)
+            hub.record("b", i, 2.0);
+    });
+    a.join();
+    b.join();
+    EXPECT_EQ(hub.size(), 2u);
+    EXPECT_EQ(hub.find("a")->totalSamples(),
+              static_cast<std::uint64_t>(kPer));
+    EXPECT_EQ(hub.find("b")->totalSamples(),
+              static_cast<std::uint64_t>(kPer));
+}
+
+// ---------------------------------------------------------------------
+// TelemetryTraceSink
+// ---------------------------------------------------------------------
+
+TEST(TraceFeed, NameHelpers)
+{
+    EXPECT_EQ(securityLevelFromName("L1-Normal"), 1);
+    EXPECT_EQ(securityLevelFromName("L2-MinorIncident"), 2);
+    EXPECT_EQ(securityLevelFromName("L3-Emergency"), 3);
+    EXPECT_EQ(securityLevelFromName("garbage"), 0);
+    EXPECT_EQ(securityLevelFromName(""), 0);
+
+    EXPECT_EQ(attackerPhaseFromName("Prepare"), 0);
+    EXPECT_EQ(attackerPhaseFromName("Drain"), 1);
+    EXPECT_EQ(attackerPhaseFromName("Recover"), 2);
+    EXPECT_EQ(attackerPhaseFromName("Spike"), 3);
+    EXPECT_EQ(attackerPhaseFromName("???"), -1);
+}
+
+TEST(TraceFeed, CuratedEventsBecomeSeries)
+{
+    TelemetryHub hub;
+    obs::CountingTraceSink inner;
+    TelemetryTraceSink sink(hub, &inner);
+    const obs::TraceScope scope(&sink);
+    obs::setTraceClock(kTicksPerSecond);
+
+    obs::emit("policy", "policy.transition",
+              {obs::TraceField::str("from", "L1-Normal"),
+               obs::TraceField::str("to", "L3-Emergency"),
+               obs::TraceField::integer("transitions", 1)});
+    obs::emit("detector", "detector.anomaly",
+              {obs::TraceField::integer("rack", 3)});
+    obs::emit("detector", "detector.anomaly",
+              {obs::TraceField::integer("rack", 4)});
+    obs::emit("rack3.udeb", "udeb.shave",
+              {obs::TraceField::num("excess_w", 50.0),
+               obs::TraceField::num("shaved_w", 42.0),
+               obs::TraceField::num("soc", 0.8),
+               obs::TraceField::num("engaged_sec", 1.0)});
+    obs::emit("attacker", "attacker.phase",
+              {obs::TraceField::str("from", "Drain"),
+               obs::TraceField::str("to", "Spike"),
+               obs::TraceField::num("at_sec", 1.0)});
+    obs::emit("attacker", "attacker.spike_launch",
+              {obs::TraceField::integer("index", 0)});
+    obs::emit("telemetry", "soc.sample",
+              {obs::TraceField::integer("rack", 7),
+               obs::TraceField::num("soc", 0.9),
+               obs::TraceField::num("udeb_soc", 0.7),
+               obs::TraceField::num("power_w", 1000.0),
+               obs::TraceField::num("draw_w", 1100.0),
+               obs::TraceField::integer("level", 2)});
+    obs::emit("other", "unrelated.event", {});
+
+    ASSERT_NE(hub.find("policy.level"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("policy.level")->last().value, 3.0);
+    EXPECT_EQ(hub.find("policy.level")->last().when, kTicksPerSecond);
+
+    ASSERT_NE(hub.find("detector.anomalies"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("detector.anomalies")->last().value,
+                     2.0);
+
+    ASSERT_NE(hub.find("rack3.udeb.soc"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("rack3.udeb.soc")->last().value, 0.8);
+    ASSERT_NE(hub.find("rack3.udeb.shaved_w"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("rack3.udeb.shaved_w")->last().value,
+                     42.0);
+
+    ASSERT_NE(hub.find("attacker.phase"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("attacker.phase")->last().value, 3.0);
+    ASSERT_NE(hub.find("attacker.spikes"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("attacker.spikes")->last().value, 1.0);
+
+    ASSERT_NE(hub.find("rack7.soc"), nullptr);
+    ASSERT_NE(hub.find("rack7.udeb_soc"), nullptr);
+    ASSERT_NE(hub.find("rack7.power"), nullptr);
+    ASSERT_NE(hub.find("rack7.draw"), nullptr);
+    EXPECT_DOUBLE_EQ(hub.find("rack7.draw")->last().value, 1100.0);
+
+    // The unrelated event produced no series but passed through.
+    EXPECT_EQ(hub.find("unrelated.event"), nullptr);
+    EXPECT_EQ(inner.count(), 8u);
+}
+
+// ---------------------------------------------------------------------
+// PromWriter + validator
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** A registry exercising every stat kind. */
+sim::StatsRegistry
+makeRegistry()
+{
+    sim::StatsRegistry stats;
+    stats.registerScalar("attack.survival_sec", "survival").set(740.5);
+    stats.registerCounter("breaker.trips", "trips").add(3);
+    stats.setVector("rack.soc", "per-rack soc", {0.9, 0.8, 0.7});
+    auto hist = stats.registerHistogram("step.power_w", "step power",
+                                        {0.0, 100.0, 10});
+    for (int i = 0; i < 100; ++i)
+        hist.record(static_cast<double>(i));
+    auto timer = stats.registerTimer("phase.duration", "phase time");
+    timer.record(0.5);
+    timer.record(1.5);
+    return stats;
+}
+
+} // namespace
+
+TEST(Prom, SanitizeMapsToMetricCharset)
+{
+    EXPECT_EQ(promSanitize("rack3.power"), "rack3_power");
+    EXPECT_EQ(promSanitize("job0.rack3.udeb_soc"),
+              "job0_rack3_udeb_soc");
+    EXPECT_EQ(promSanitize("3abc"), "_3abc");
+    EXPECT_EQ(promSanitize("weird name-with/stuff"),
+              "weird_name_with_stuff");
+}
+
+TEST(Prom, RendersEveryStatKindAndValidates)
+{
+    const sim::StatsRegistry stats = makeRegistry();
+    TelemetryHub hub;
+    hub.record("rack0.power", 0, 900.5);
+    hub.record("rack0.power", kTicksPerSecond, 1100.5);
+
+    const std::string text = PromWriter().render(&stats, &hub);
+
+    EXPECT_NE(text.find("# TYPE pad_attack_survival_sec gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("pad_attack_survival_sec 740.5"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE pad_breaker_trips_total counter"),
+              std::string::npos);
+    EXPECT_NE(text.find("pad_breaker_trips_total 3"),
+              std::string::npos);
+    EXPECT_NE(text.find("pad_rack_soc{index=\"2\"} 0.7"),
+              std::string::npos);
+    EXPECT_NE(text.find("# TYPE pad_step_power_w summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+    EXPECT_NE(text.find("pad_step_power_w_count 100"),
+              std::string::npos);
+    EXPECT_NE(text.find("pad_phase_duration_seconds_count 2"),
+              std::string::npos);
+    EXPECT_NE(text.find("pad_phase_duration_seconds_sum 2"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("pad_series_last{series=\"rack0.power\"} 1100.5"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find(
+            "pad_series_samples_total{series=\"rack0.power\"} 2"),
+        std::string::npos);
+
+    std::string error;
+    EXPECT_TRUE(validatePromExposition(text, &error)) << error;
+}
+
+TEST(Prom, EmptyInputsValidate)
+{
+    const std::string text = PromWriter().render(nullptr, nullptr);
+    std::string error;
+    EXPECT_TRUE(validatePromExposition(text, &error)) << error;
+}
+
+TEST(Prom, ValidatorRejectsMalformedExpositions)
+{
+    std::string error;
+    // Unknown TYPE.
+    EXPECT_FALSE(validatePromExposition("# TYPE foo widget\nfoo 1\n",
+                                        &error));
+    EXPECT_NE(error.find("line 1"), std::string::npos);
+    // Metric name starting with a digit.
+    EXPECT_FALSE(validatePromExposition("3foo 1\n", &error));
+    // Unparsable value.
+    EXPECT_FALSE(validatePromExposition("foo banana\n", &error));
+    // TYPE after a sample of the same metric.
+    EXPECT_FALSE(validatePromExposition(
+        "foo 1\n# TYPE foo gauge\n", &error));
+    // Duplicate TYPE.
+    EXPECT_FALSE(validatePromExposition(
+        "# TYPE foo gauge\n# TYPE foo gauge\n", &error));
+    // Unterminated label value.
+    EXPECT_FALSE(
+        validatePromExposition("foo{bar=\"baz} 1\n", &error));
+    // Well-formed corner cases pass.
+    EXPECT_TRUE(validatePromExposition("foo NaN\nbar +Inf\n", &error))
+        << error;
+    EXPECT_TRUE(validatePromExposition("", &error)) << error;
+}
+
+// ---------------------------------------------------------------------
+// StatsRegistry histogram quantiles (exposition contract)
+// ---------------------------------------------------------------------
+
+TEST(HistogramQuantile, EmptyHistogramReturnsZero)
+{
+    sim::StatsRegistry::HistogramData data;
+    data.spec = {0.0, 100.0, 10};
+    data.counts.assign(10, 0);
+    EXPECT_DOUBLE_EQ(data.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(data.quantile(0.99), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleReturnsThatSample)
+{
+    sim::StatsRegistry stats;
+    auto h = stats.registerHistogram("h", "h", {0.0, 100.0, 10});
+    h.record(37.0);
+    double p50 = 0.0, p99 = 0.0;
+    stats.forEachHistogram(
+        [&](const std::string &,
+            const sim::StatsRegistry::HistogramData &d,
+            const std::string &) {
+            p50 = d.quantile(0.5);
+            p99 = d.quantile(0.99);
+        });
+    EXPECT_DOUBLE_EQ(p50, 37.0);
+    EXPECT_DOUBLE_EQ(p99, 37.0);
+}
+
+TEST(HistogramQuantile, AllSamplesInOneBucketStayInsideData)
+{
+    sim::StatsRegistry stats;
+    auto h = stats.registerHistogram("h", "h", {0.0, 100.0, 10});
+    // All mass in bucket [30, 40); observed range [33, 36].
+    h.record(33.0);
+    h.record(34.0);
+    h.record(35.0);
+    h.record(36.0);
+    stats.forEachHistogram(
+        [&](const std::string &,
+            const sim::StatsRegistry::HistogramData &d,
+            const std::string &) {
+            for (double q : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+                const double v = d.quantile(q);
+                EXPECT_GE(v, 33.0) << "q=" << q;
+                EXPECT_LE(v, 36.0) << "q=" << q;
+            }
+            EXPECT_DOUBLE_EQ(d.quantile(0.0), 33.0);
+            EXPECT_DOUBLE_EQ(d.quantile(1.0), 36.0);
+        });
+}
+
+TEST(HistogramQuantile, UniformSpreadInterpolates)
+{
+    sim::StatsRegistry stats;
+    auto h = stats.registerHistogram("h", "h", {0.0, 100.0, 10});
+    for (int i = 0; i < 100; ++i)
+        h.record(static_cast<double>(i));
+    stats.forEachHistogram(
+        [&](const std::string &,
+            const sim::StatsRegistry::HistogramData &d,
+            const std::string &) {
+            // Median of 0..99 estimated within its bucket.
+            EXPECT_NEAR(d.quantile(0.5), 50.0, 1.0);
+            EXPECT_NEAR(d.quantile(0.95), 95.0, 1.0);
+            // Quantiles are monotone in q.
+            EXPECT_LE(d.quantile(0.5), d.quantile(0.95));
+            EXPECT_LE(d.quantile(0.95), d.quantile(0.99));
+        });
+}
+
+TEST(HistogramQuantile, OverflowMassSitsAtHi)
+{
+    sim::StatsRegistry stats;
+    auto h = stats.registerHistogram("h", "h", {0.0, 10.0, 10});
+    h.record(500.0);
+    h.record(600.0);
+    stats.forEachHistogram(
+        [&](const std::string &,
+            const sim::StatsRegistry::HistogramData &d,
+            const std::string &) {
+            // All mass overflowed: the estimate is spec.hi, clamped
+            // into the observed range [500, 600].
+            EXPECT_DOUBLE_EQ(d.quantile(0.5), 500.0);
+        });
+}
+
+// ---------------------------------------------------------------------
+// MetricsHttpServer
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Minimal HTTP GET against 127.0.0.1:port; returns the raw reply. */
+std::string
+httpGet(int port, const std::string &path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return {};
+    }
+    const std::string req =
+        "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n";
+    (void)::send(fd, req.data(), req.size(), 0);
+    std::string reply;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0)
+        reply.append(buf, static_cast<std::size_t>(n));
+    ::close(fd);
+    return reply;
+}
+
+} // namespace
+
+TEST(MetricsHttp, ServesRenderedMetricsAndFourOhFour)
+{
+    MetricsHttpServer server(0, [] {
+        return std::string("demo_metric 42\n");
+    });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ASSERT_GT(server.port(), 0);
+    EXPECT_TRUE(server.running());
+
+    const std::string ok = httpGet(server.port(), "/metrics");
+    EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+    EXPECT_NE(ok.find("demo_metric 42"), std::string::npos) << ok;
+    EXPECT_NE(ok.find("text/plain"), std::string::npos);
+
+    const std::string root = httpGet(server.port(), "/");
+    EXPECT_NE(root.find("200 OK"), std::string::npos);
+
+    const std::string missing = httpGet(server.port(), "/nope");
+    EXPECT_NE(missing.find("404"), std::string::npos) << missing;
+
+    server.stop();
+    EXPECT_FALSE(server.running());
+    server.stop(); // idempotent
+}
+
+TEST(MetricsHttp, ServesLiveHubSnapshot)
+{
+    TelemetryHub hub;
+    MetricsHttpServer server(
+        0, [&hub] { return PromWriter().render(nullptr, &hub); });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    hub.record("policy.level", 0, 1.0);
+    const std::string first = httpGet(server.port(), "/metrics");
+    EXPECT_NE(
+        first.find("pad_series_last{series=\"policy.level\"} 1"),
+        std::string::npos)
+        << first;
+
+    hub.record("policy.level", kTicksPerSecond, 3.0);
+    const std::string second = httpGet(server.port(), "/metrics");
+    EXPECT_NE(
+        second.find("pad_series_last{series=\"policy.level\"} 3"),
+        std::string::npos)
+        << second;
+
+    // Grammar-check the exposition body (strip the HTTP headers).
+    const auto split = second.find("\r\n\r\n");
+    ASSERT_NE(split, std::string::npos);
+    std::string verror;
+    EXPECT_TRUE(
+        validatePromExposition(second.substr(split + 4), &verror))
+        << verror;
+    server.stop();
+}
+
+// ---------------------------------------------------------------------
+// Trace reader
+// ---------------------------------------------------------------------
+
+TEST(TraceReader, ParsesRecordsAndSkipsCorruptLines)
+{
+    std::istringstream in(
+        "{\"ts\":1000,\"component\":\"policy\","
+        "\"name\":\"policy.transition\","
+        "\"args\":{\"from\":\"L1-Normal\",\"to\":\"L2-MinorIncident\""
+        "}}\n"
+        "\n"
+        "{\"ts\":2000,\"dur\":500,\"job\":3,\"component\":\"dc\","
+        "\"name\":\"attack.window\",\"args\":{\"survival_sec\":7.25}}"
+        "\n"
+        "{\"this\":\"is json but not a record\"}\n"
+        "{\"ts\":3000,\"component\":\"x\",\"name\":\"trunc");
+    const TraceLog log = readTraceLog(in);
+    ASSERT_EQ(log.records.size(), 2u);
+    EXPECT_EQ(log.skipped, 2u);
+    EXPECT_EQ(log.lines, 5u);
+
+    const TraceRecord &first = log.records[0];
+    EXPECT_EQ(first.ts, 1000);
+    EXPECT_EQ(first.dur, 0);
+    EXPECT_EQ(first.job, -1);
+    EXPECT_EQ(first.component, "policy");
+    EXPECT_EQ(first.name, "policy.transition");
+    EXPECT_EQ(first.argString("to"), "L2-MinorIncident");
+    EXPECT_EQ(first.argString("absent"), "");
+    EXPECT_DOUBLE_EQ(first.argNumber("absent", -7.0), -7.0);
+
+    const TraceRecord &second = log.records[1];
+    EXPECT_EQ(second.ts, 2000);
+    EXPECT_EQ(second.dur, 500);
+    EXPECT_EQ(second.job, 3);
+    EXPECT_DOUBLE_EQ(second.argNumber("survival_sec"), 7.25);
+    EXPECT_NE(second.arg("survival_sec"), nullptr);
+    EXPECT_EQ(second.arg("nope"), nullptr);
+}
+
+TEST(TraceReader, MissingFileReportsError)
+{
+    std::string error;
+    const auto log =
+        readTraceLogFile("/nonexistent/trace.jsonl", &error);
+    EXPECT_FALSE(log.has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------
+// Simulator probe
+// ---------------------------------------------------------------------
+
+TEST(SimProbe, RecordsEngineHealthSeries)
+{
+    sim::Simulator sim;
+    TelemetryHub hub;
+    attachSimulator(sim, hub, kTicksPerSecond);
+    sim.run(10 * kTicksPerSecond);
+
+    const TimeSeries *depth = hub.find("sim.queue_depth");
+    const TimeSeries *time = hub.find("sim.time_sec");
+    ASSERT_NE(depth, nullptr);
+    ASSERT_NE(time, nullptr);
+    EXPECT_GE(depth->totalSamples(), 5u);
+    EXPECT_GE(time->last().value, 1.0);
+}

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "util/csv.h"
+#include "util/json.h"
+#include "util/json_writer.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stats.h"
@@ -215,6 +217,103 @@ TEST(Table, Formatters)
 {
     EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
     EXPECT_EQ(formatPercent(0.431, 1), "43.1%");
+}
+
+// The JSON parser is the read side of every padtrace input; these
+// tests pin the behaviors the forensics path depends on.
+
+TEST(Json, DeeplyNestedDocumentsParse)
+{
+    // 64 levels of alternating object/array nesting, the shape a
+    // pathological-but-legal trace args blob could take.
+    std::string text;
+    for (int i = 0; i < 32; ++i)
+        text += "{\"a\":[";
+    text += "42";
+    for (int i = 0; i < 32; ++i)
+        text += "]}";
+    std::string error;
+    const auto doc = parseJson(text, &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    const JsonValue *node = &*doc;
+    for (int i = 0; i < 32; ++i) {
+        ASSERT_TRUE(node->isObject());
+        node = node->find("a");
+        ASSERT_NE(node, nullptr);
+        ASSERT_TRUE(node->isArray());
+        ASSERT_EQ(node->array.size(), 1u);
+        node = &node->array[0];
+    }
+    EXPECT_DOUBLE_EQ(node->number, 42.0);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8)
+{
+    std::string error;
+    const auto doc = parseJson(
+        "{\"ascii\":\"\\u0041\",\"latin\":\"\\u00e9\","
+        "\"bmp\":\"\\u20ac\",\"controls\":\"\\n\\t\\\\\\\"\"}",
+        &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->find("ascii")->str, "A");
+    EXPECT_EQ(doc->find("latin")->str, "\xC3\xA9");   // é
+    EXPECT_EQ(doc->find("bmp")->str, "\xE2\x82\xAC"); // €
+    EXPECT_EQ(doc->find("controls")->str, "\n\t\\\"");
+
+    // Truncated \u escape is a syntax error, not a crash.
+    EXPECT_FALSE(parseJson("{\"x\":\"\\u12\"}", &error).has_value());
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, TruncatedAndCorruptInputsFailCleanly)
+{
+    // Exactly the shapes a killed run leaves at the end of a JSONL
+    // trace: cut-off objects, strings and numbers, plus raw garbage.
+    const char *broken[] = {
+        "{\"ts\":1000,\"name\":\"po",
+        "{\"ts\":1000,",
+        "{\"ts\":",
+        "{",
+        "[1, 2,",
+        "\"unterminated",
+        "{\"a\":1}trailing",
+        "nul",
+        "\x01\x02\x03",
+    };
+    for (const char *text : broken) {
+        std::string error;
+        EXPECT_FALSE(parseJson(text, &error).has_value()) << text;
+        EXPECT_FALSE(error.empty()) << text;
+    }
+}
+
+TEST(Json, WriterOutputRoundTripsThroughParser)
+{
+    std::ostringstream os;
+    {
+        JsonWriter w(os);
+        w.beginObject();
+        w.key("name").value("padtrace \"report\"\nline2");
+        w.key("survival").value(740.0625);
+        w.key("count").value(std::int64_t{-3});
+        w.key("flags").beginArray();
+        w.value(true).value(false).null();
+        w.endArray();
+        w.key("nested").beginObject();
+        w.key("unicode").value("é€");
+        w.endObject();
+        w.endObject();
+    }
+    std::string error;
+    const auto doc = parseJson(os.str(), &error);
+    ASSERT_TRUE(doc.has_value()) << error;
+    EXPECT_EQ(doc->find("name")->str, "padtrace \"report\"\nline2");
+    // formatDouble guarantees bit-exact double round-trips.
+    EXPECT_EQ(doc->find("survival")->number, 740.0625);
+    EXPECT_DOUBLE_EQ(doc->find("count")->number, -3.0);
+    ASSERT_EQ(doc->find("flags")->array.size(), 3u);
+    EXPECT_TRUE(doc->find("flags")->array[2].isNull());
+    EXPECT_EQ(doc->find("nested")->find("unicode")->str, "é€");
 }
 
 } // namespace
