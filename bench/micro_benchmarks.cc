@@ -1,12 +1,22 @@
 /**
  * @file
- * google-benchmark microbenchmarks for the simulator's hot paths:
- * the KiBaM closed-form step, the Algorithm-1 vDEB assignment, the
- * breaker thermal update, event-queue throughput, workload fine
- * sampling, and the server power model.
+ * Microbenchmarks for the simulator's hot paths: the KiBaM
+ * closed-form step, the Algorithm-1 vDEB assignment, the breaker
+ * thermal update, event-queue throughput, workload fine sampling, and
+ * the server power model.
+ *
+ * Built on the perfbench timing utilities (perf_timing.h): each
+ * benchmark warms up untimed, then reports the median and minimum of
+ * repeated timed runs instead of a single-shot wall clock. `--smoke`
+ * shrinks iteration counts so the ctest smoke merely asserts the
+ * benchmarks run; real numbers belong to Release builds (see README).
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "battery/kibam.h"
 #include "core/vdeb.h"
@@ -16,109 +26,205 @@
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 
+#include "perf_timing.h"
+
 using namespace pad;
+using namespace pad::bench;
 
 namespace {
 
-void
-BM_KibamStep(benchmark::State &state)
+/** Iteration scale: --smoke divides every op count by this. */
+int g_scale = 1;
+
+int
+ops(int full)
 {
-    battery::Kibam model(battery::KibamParams{260640.0, 0.625, 4.5e-4});
-    double power = 500.0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(model.step(power, 0.1));
-        if (model.depleted()) {
-            model.resetFull();
-            power = 500.0;
-        }
-    }
+    return std::max(1, full / g_scale);
 }
-BENCHMARK(BM_KibamStep);
 
 void
-BM_KibamMaxSustainable(benchmark::State &state)
+report(const char *name, const TimingResult &t, int opsPerRep)
 {
-    battery::Kibam model(battery::KibamParams{260640.0, 0.625, 4.5e-4});
+    std::printf("%-28s %10.1f ns/op   (median %.6f s, min %.6f s, "
+                "%d reps x %d ops)\n",
+                name, t.medianSec / opsPerRep * 1e9, t.medianSec,
+                t.minSec, t.reps, opsPerRep);
+}
+
+void
+benchKibamStep()
+{
+    const int n = ops(200000);
+    battery::Kibam model(
+        battery::KibamParams{260640.0, 0.625, 4.5e-4});
+    const TimingResult t = timeIt(
+        [&] {
+            double acc = 0.0;
+            for (int i = 0; i < n; ++i) {
+                acc += model.step(500.0, 0.1);
+                if (model.depleted())
+                    model.resetFull();
+            }
+            keep(acc);
+        },
+        1, 5);
+    report("kibam_step", t, n);
+}
+
+void
+benchKibamMaxSustainable()
+{
+    const int n = ops(200000);
+    battery::Kibam model(
+        battery::KibamParams{260640.0, 0.625, 4.5e-4});
     model.setSoc(0.6);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(model.maxSustainablePower(1.0));
+    const TimingResult t = timeIt(
+        [&] {
+            double acc = 0.0;
+            for (int i = 0; i < n; ++i)
+                acc += model.maxSustainablePower(1.0);
+            keep(acc);
+        },
+        1, 5);
+    report("kibam_max_sustainable", t, n);
 }
-BENCHMARK(BM_KibamMaxSustainable);
 
 void
-BM_VdebAssign(benchmark::State &state)
+benchVdebAssign(std::size_t racks)
 {
-    const auto n = static_cast<std::size_t>(state.range(0));
+    const int n = ops(20000);
     core::VdebController ctl(core::VdebConfig{800.0});
-    std::vector<Joules> soc(n);
-    for (std::size_t i = 0; i < n; ++i)
+    std::vector<Joules> soc(racks);
+    for (std::size_t i = 0; i < racks; ++i)
         soc[i] = 1000.0 + 137.0 * static_cast<double>(i % 17);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(
-            ctl.assign(soc, 90000.0, 86000.0));
+    core::VdebAssignment plan;
+    const TimingResult t = timeIt(
+        [&] {
+            double acc = 0.0;
+            for (int i = 0; i < n; ++i) {
+                ctl.assignInto(soc, 90000.0, 86000.0, plan);
+                acc += plan.shaveTarget;
+            }
+            keep(acc);
+        },
+        1, 5);
+    char name[64];
+    std::snprintf(name, sizeof(name), "vdeb_assign/%zu", racks);
+    report(name, t, n);
 }
-BENCHMARK(BM_VdebAssign)->Arg(22)->Arg(220)->Arg(2200);
 
 void
-BM_BreakerObserve(benchmark::State &state)
+benchBreakerObserve()
 {
+    const int n = ops(200000);
     power::CircuitBreakerConfig cfg;
     cfg.ratedPower = 5000.0;
     power::CircuitBreaker cb("bm.cb", cfg);
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(cb.observe(5200.0, 0.1));
-        if (cb.tripped())
-            cb.reset();
-    }
+    const TimingResult t = timeIt(
+        [&] {
+            int trips = 0;
+            for (int i = 0; i < n; ++i) {
+                if (cb.observe(5200.0, 0.1))
+                    ++trips;
+                if (cb.tripped())
+                    cb.reset();
+            }
+            keep(static_cast<double>(trips));
+        },
+        1, 5);
+    report("breaker_observe", t, n);
 }
-BENCHMARK(BM_BreakerObserve);
 
 void
-BM_EventQueueScheduleAndRun(benchmark::State &state)
+benchEventQueue()
 {
-    for (auto _ : state) {
-        sim::EventQueue q;
-        int sink = 0;
-        for (int i = 0; i < 1000; ++i)
-            q.schedule(i * 7 % 997, [&sink] { ++sink; });
-        q.runUntil(1000);
-        benchmark::DoNotOptimize(sink);
-    }
+    const int queues = ops(100);
+    const int events = 1000;
+    const TimingResult t = timeIt(
+        [&] {
+            int sink = 0;
+            for (int q = 0; q < queues; ++q) {
+                sim::EventQueue queue;
+                for (int i = 0; i < events; ++i)
+                    queue.schedule(i * 7 % 997, [&sink] { ++sink; });
+                queue.runUntil(1000);
+            }
+            keep(static_cast<double>(sink));
+        },
+        1, 5);
+    report("event_queue", t, queues * events);
 }
-BENCHMARK(BM_EventQueueScheduleAndRun);
 
 void
-BM_WorkloadFineSample(benchmark::State &state)
+benchWorkloadFineSample()
 {
+    const int n = ops(200000);
     trace::SyntheticTraceConfig tc;
     tc.machines = 220;
     tc.days = 1.0;
     const auto events = trace::SyntheticGoogleTrace(tc).generate();
     trace::Workload w(events, tc.machines, kTicksPerDay);
-    Tick t = 0;
-    int machine = 0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(w.utilFine(machine, t));
-        t = (t + 137) % kTicksPerDay;
-        machine = (machine + 1) % tc.machines;
-    }
+    const TimingResult t = timeIt(
+        [&] {
+            double acc = 0.0;
+            Tick tk = 0;
+            int machine = 0;
+            for (int i = 0; i < n; ++i) {
+                acc += w.utilFine(machine, tk);
+                tk = (tk + 137) % kTicksPerDay;
+                machine = (machine + 1) % tc.machines;
+            }
+            keep(acc);
+        },
+        1, 5);
+    report("workload_fine_sample", t, n);
 }
-BENCHMARK(BM_WorkloadFineSample);
 
 void
-BM_ServerPowerModel(benchmark::State &state)
+benchServerPowerModel()
 {
+    const int n = ops(200000);
     power::ServerPowerModel model(power::ServerPowerConfig{});
-    double u = 0.0;
-    for (auto _ : state) {
-        benchmark::DoNotOptimize(model.power(u, 0.9));
-        u += 0.001;
-        if (u > 1.0)
-            u = 0.0;
-    }
+    const TimingResult t = timeIt(
+        [&] {
+            double acc = 0.0;
+            double u = 0.0;
+            for (int i = 0; i < n; ++i) {
+                acc += model.power(u, 0.9);
+                u += 0.001;
+                if (u > 1.0)
+                    u = 0.0;
+            }
+            keep(acc);
+        },
+        1, 5);
+    report("server_power_model", t, n);
 }
-BENCHMARK(BM_ServerPowerModel);
 
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            g_scale = 100;
+        } else {
+            std::fprintf(stderr, "usage: %s [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    std::printf("=== micro benchmarks%s ===\n",
+                g_scale > 1 ? " (smoke)" : "");
+    benchKibamStep();
+    benchKibamMaxSustainable();
+    benchVdebAssign(22);
+    benchVdebAssign(220);
+    benchVdebAssign(2200);
+    benchBreakerObserve();
+    benchEventQueue();
+    benchWorkloadFineSample();
+    benchServerPowerModel();
+    return 0;
+}

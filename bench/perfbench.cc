@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Reproducible perf benchmark harness (BENCH_*.json).
+ *
+ * Times the simulator's hot paths at three granularities — component
+ * microbenchmarks (KiBaM step, event queue), the fine-grained attack
+ * loop (ns/tick), and whole experiments (single-run and sweep
+ * throughput) — under both engine profiles, so every optimization
+ * gated on EngineTuning is measured against the exact pre-PR code
+ * path in one binary:
+ *
+ *   perfbench --profile both --json BENCH_PR4.json
+ *
+ * Results are wall-clock medians over repeated runs (see
+ * perf_timing.h). Benchmark only Release builds (see README); the
+ * default RelWithDebInfo build is fine for the ctest smoke, which
+ * uses --quick to shrink repetitions and only asserts the harness
+ * runs.
+ *
+ * Speedup is reported as baseline/optimized time (equivalently
+ * optimized/baseline throughput), so > 1 always means the Optimized
+ * profile is faster.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "battery/kibam.h"
+#include "core/datacenter.h"
+#include "runner/experiment.h"
+#include "runner/sweep_runner.h"
+#include "sim/event_queue.h"
+#include "util/engine_tuning.h"
+#include "util/json_writer.h"
+#include "util/logging.h"
+
+#include "perf_timing.h"
+
+using namespace pad;
+using namespace pad::bench;
+
+namespace {
+
+struct PerfOptions {
+    bool runBaseline = true;
+    bool runOptimized = true;
+    bool quick = false;
+    std::string jsonPath;
+};
+
+/** One profile's measurement: raw timing plus the derived value. */
+struct ProfileMeasure {
+    TimingResult timing;
+    /** Value in the benchmark's unit (ns/op or runs/s). */
+    double value = 0.0;
+};
+
+struct BenchRow {
+    std::string name;
+    /** "ns_per_op", "ns_per_event", "ns_per_tick", "runs_per_sec". */
+    std::string unit;
+    /** True when larger values are better (throughput units). */
+    bool higherIsBetter = false;
+    std::optional<ProfileMeasure> baseline;
+    std::optional<ProfileMeasure> optimized;
+
+    /** baseline-time / optimized-time; 0 when a profile is missing. */
+    double
+    speedup() const
+    {
+        if (!baseline || !optimized || baseline->value <= 0.0 ||
+            optimized->value <= 0.0)
+            return 0.0;
+        return higherIsBetter ? optimized->value / baseline->value
+                              : baseline->value / optimized->value;
+    }
+};
+
+// ---------------------------------------------------------------------
+// Benchmark bodies. Each returns the measurement for the *current*
+// engine profile; callers set the profile first. All state that
+// latches tuning flags at construction (EventQueue pools, DataCenter
+// caches) is built inside the body, after the profile switch.
+// ---------------------------------------------------------------------
+
+ProfileMeasure
+benchKibamStep(const PerfOptions &opt)
+{
+    const int ops = opt.quick ? 20000 : 200000;
+    const int reps = opt.quick ? 3 : 9;
+    battery::Kibam model(
+        battery::KibamParams{260640.0, 0.625, 4.5e-4});
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            double acc = 0.0;
+            for (int i = 0; i < ops; ++i) {
+                acc += model.step(500.0, 0.1);
+                if (model.depleted())
+                    model.resetFull();
+            }
+            keep(acc);
+        },
+        /*warmup=*/1, reps);
+    m.value = m.timing.medianSec / static_cast<double>(ops) * 1e9;
+    return m;
+}
+
+ProfileMeasure
+benchEventQueue(const PerfOptions &opt)
+{
+    const int queues = opt.quick ? 10 : 100;
+    const int events = 1000;
+    const int reps = opt.quick ? 3 : 9;
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            int sink = 0;
+            for (int q = 0; q < queues; ++q) {
+                sim::EventQueue queue;
+                for (int i = 0; i < events; ++i)
+                    queue.schedule(i * 7 % 997, [&sink] { ++sink; });
+                queue.runUntil(1000);
+            }
+            keep(static_cast<double>(sink));
+        },
+        /*warmup=*/1, reps);
+    m.value = m.timing.medianSec /
+              static_cast<double>(queues * events) * 1e9;
+    return m;
+}
+
+/**
+ * Fine-grained attack loop, ns per fine tick. Each repetition warms
+ * a fresh data center up to the attack hour untimed, then times only
+ * DataCenter::runAttack.
+ */
+ProfileMeasure
+benchFineTick(const PerfOptions &opt, const runner::ClusterWorkload &cw)
+{
+    const double durationSec = opt.quick ? 30.0 : 120.0;
+    const int reps = opt.quick ? 2 : 5;
+    const core::DataCenterConfig cfg =
+        runner::clusterConfig(core::SchemeKind::Pad);
+    const double ticks =
+        durationSec / ticksToSeconds(cfg.fineStep);
+
+    std::vector<double> samples;
+    for (int i = 0; i < reps; ++i) {
+        core::DataCenter dc(cfg, cw.workload.get());
+        dc.runCoarseUntil(kTicksPerDay +
+                          static_cast<Tick>(11.0 * kTicksPerHour));
+        attack::AttackerConfig ac;
+        ac.controlledNodes = 4;
+        attack::TwoPhaseAttacker attacker(ac);
+        core::AttackScenario sc;
+        sc.targetPolicy = core::TargetPolicy::MostVulnerable;
+        sc.durationSec = durationSec;
+        const double t0 = nowSec();
+        const core::AttackOutcome out = dc.runAttack(attacker, sc);
+        samples.push_back(nowSec() - t0);
+        keep(out.survivalSec);
+    }
+    ProfileMeasure m;
+    m.timing = summarize(std::move(samples));
+    m.value = m.timing.medianSec / ticks * 1e9;
+    return m;
+}
+
+/** The standard Fig. 15/16 cluster-attack measurement, end to end. */
+runner::Experiment
+standardAttack(const runner::ClusterWorkload &cw, bool quick)
+{
+    runner::ClusterAttackSpec spec;
+    if (quick)
+        spec.durationSec = 60.0;
+    return runner::Experiment::clusterAttack(spec, cw);
+}
+
+ProfileMeasure
+benchSingleRun(const PerfOptions &opt,
+               const runner::ClusterWorkload &cw)
+{
+    const int reps = opt.quick ? 2 : 9;
+    const runner::Experiment e = standardAttack(cw, opt.quick);
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            const runner::ExperimentResult r = runner::runExperiment(e);
+            keep(static_cast<double>(r.telemetry.detections));
+        },
+        /*warmup=*/1, reps);
+    m.value = 1.0 / m.timing.medianSec;
+    return m;
+}
+
+ProfileMeasure
+benchSweep(const PerfOptions &opt, const runner::ClusterWorkload &cw,
+           int jobs)
+{
+    const int n = opt.quick ? 2 : 8;
+    const int reps = opt.quick ? 1 : 3;
+    std::vector<runner::Experiment> grid;
+    grid.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        runner::Experiment e = standardAttack(cw, opt.quick);
+        e.seed = static_cast<std::uint64_t>(i + 1);
+        grid.push_back(e);
+    }
+    runner::SweepRunner runner(runner::SweepRunner::Options{jobs});
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            const auto results = runner.run(grid);
+            keep(static_cast<double>(results.size()));
+        },
+        /*warmup=*/opt.quick ? 0 : 1, reps);
+    m.value = static_cast<double>(n) / m.timing.medianSec;
+    return m;
+}
+
+// ---------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------
+
+template <typename Fn>
+BenchRow
+runRow(const PerfOptions &opt, const std::string &name,
+       const std::string &unit, bool higherIsBetter, Fn &&body)
+{
+    BenchRow row;
+    row.name = name;
+    row.unit = unit;
+    row.higherIsBetter = higherIsBetter;
+    if (opt.runBaseline) {
+        ScopedEngineProfile scope(EngineProfile::Baseline);
+        row.baseline = body();
+    }
+    if (opt.runOptimized) {
+        ScopedEngineProfile scope(EngineProfile::Optimized);
+        row.optimized = body();
+    }
+
+    auto print = [&](const char *label,
+                     const std::optional<ProfileMeasure> &pm) {
+        if (!pm)
+            return;
+        std::printf("  %-9s %12.2f %-12s (median %.6f s, min %.6f s, "
+                    "%d reps)\n",
+                    label, pm->value, unit.c_str(),
+                    pm->timing.medianSec, pm->timing.minSec,
+                    pm->timing.reps);
+    };
+    std::printf("%s\n", name.c_str());
+    print("baseline", row.baseline);
+    print("optimized", row.optimized);
+    if (row.speedup() > 0.0)
+        std::printf("  %-9s %12.2fx\n", "speedup", row.speedup());
+    std::fflush(stdout);
+    return row;
+}
+
+void
+writeJson(const std::string &path, const PerfOptions &opt,
+          const std::vector<BenchRow> &rows)
+{
+    std::ofstream os(path);
+    if (!os)
+        PAD_FATAL("cannot open {} for writing", path);
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.key("schema").value("pad-perfbench-v1");
+    w.key("quick").value(opt.quick);
+    w.key("benchmarks").beginArray();
+    for (const BenchRow &row : rows) {
+        w.beginObject();
+        w.key("name").value(row.name);
+        w.key("unit").value(row.unit);
+        w.key("higher_is_better").value(row.higherIsBetter);
+        auto profile = [&](const char *key,
+                           const std::optional<ProfileMeasure> &pm) {
+            if (!pm)
+                return;
+            w.key(key).beginObject();
+            w.key("value").value(pm->value);
+            w.key("median_sec").value(pm->timing.medianSec);
+            w.key("min_sec").value(pm->timing.minSec);
+            w.key("mean_sec").value(pm->timing.meanSec);
+            w.key("reps").value(pm->timing.reps);
+            w.endObject();
+        };
+        profile("baseline", row.baseline);
+        profile("optimized", row.optimized);
+        if (row.speedup() > 0.0)
+            w.key("speedup").value(row.speedup());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+    PAD_ASSERT(w.balanced());
+}
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--profile baseline|optimized|both] [--json FILE] "
+        "[--quick]\n",
+        argv0);
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    PerfOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--profile" && i + 1 < argc) {
+            const std::string p = argv[++i];
+            if (p == "baseline") {
+                opt.runOptimized = false;
+            } else if (p == "optimized") {
+                opt.runBaseline = false;
+            } else if (p != "both") {
+                usage(argv[0]);
+            }
+        } else if (arg == "--json" && i + 1 < argc) {
+            opt.jsonPath = argv[++i];
+        } else if (arg == "--quick") {
+            opt.quick = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+
+    std::printf("=== perfbench: engine hot-path benchmarks%s ===\n",
+                opt.quick ? " (quick)" : "");
+
+    // Shared read-only workload for the cluster benchmarks, built
+    // once outside every timed region.
+    const runner::ClusterWorkload cw =
+        runner::makeClusterWorkload(3.0);
+
+    std::vector<BenchRow> rows;
+    rows.push_back(runRow(opt, "kibam_step", "ns_per_op", false,
+                          [&] { return benchKibamStep(opt); }));
+    rows.push_back(runRow(opt, "event_queue", "ns_per_event", false,
+                          [&] { return benchEventQueue(opt); }));
+    rows.push_back(runRow(opt, "fine_tick", "ns_per_tick", false,
+                          [&] { return benchFineTick(opt, cw); }));
+    rows.push_back(runRow(opt, "single_run", "runs_per_sec", true,
+                          [&] { return benchSingleRun(opt, cw); }));
+    rows.push_back(runRow(opt, "sweep_jobs1", "runs_per_sec", true,
+                          [&] { return benchSweep(opt, cw, 1); }));
+    rows.push_back(runRow(opt, "sweep_jobs2", "runs_per_sec", true,
+                          [&] { return benchSweep(opt, cw, 2); }));
+
+    if (!opt.jsonPath.empty()) {
+        writeJson(opt.jsonPath, opt, rows);
+        std::printf("wrote %s\n", opt.jsonPath.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+#
+# Rebuild the perf harness in Release mode and regenerate the
+# committed benchmark results (BENCH_PR4.json) reproducibly:
+#
+#   scripts/bench.sh                # portable codegen
+#   PAD_NATIVE=ON scripts/bench.sh  # tune for this machine
+#   BENCH_OUT=my.json scripts/bench.sh
+#
+# Benchmark numbers are only meaningful from Release binaries (O3 +
+# LTO, no sanitizers); the default developer build is RelWithDebInfo,
+# which is why this script maintains its own build tree.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-rel}
+BENCH_OUT=${BENCH_OUT:-BENCH_PR4.json}
+PAD_NATIVE=${PAD_NATIVE:-OFF}
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DPAD_NATIVE="$PAD_NATIVE" >/dev/null
+cmake --build "$BUILD_DIR" --target perfbench -j "$JOBS"
+
+"$BUILD_DIR/bench/perfbench" --profile both --json "$BENCH_OUT"
+echo "benchmark results written to $BENCH_OUT"

@@ -76,6 +76,8 @@ class ChargeController
     ChargeControllerConfig config_;
     /** Offline policy latch: unit index -> currently recharging. */
     mutable std::vector<bool> recharging_;
+    /** Hot-path sort scratch (Optimized engine profile). */
+    std::vector<std::size_t> orderScratch_;
 };
 
 } // namespace pad::battery

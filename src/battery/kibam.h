@@ -34,6 +34,27 @@ struct KibamParams {
 };
 
 /**
+ * Memoized per-dt coefficients of the Manwell-McGowan closed form.
+ *
+ * The simulator advances batteries with a fixed dt per phase (5 min
+ * coarse, 100 ms fine), so exp(-k*dt) and the derived sustainable-
+ * power denominator are loop invariants. The cache stores exactly
+ * the values the uncached formulas produce — the same exp() result
+ * and the denominator as one unrefactored expression — so cached and
+ * uncached paths are bit-identical.
+ */
+struct KibamCoeffs {
+    /** The dt the coefficients were computed for; <0 = invalid. */
+    double dt = -1.0;
+    /** exp(-k * dt). */
+    double r = 1.0;
+    /** k * dt. */
+    double kt = 0.0;
+    /** ((1 - r) + c * (kt - 1 + r)) / k, the affine-solve denominator. */
+    double mspDenom = 0.0;
+};
+
+/**
  * Two-well kinetic battery state with an exact closed-form update
  * for piecewise-constant power.
  */
@@ -95,9 +116,31 @@ class Kibam
     /** Clamp wells into their physical ranges. */
     void clampWells();
 
+    /** Coefficients for @p dt, recomputed only when dt changes. */
+    const KibamCoeffs &coeffsFor(double dt) const;
+
+    /**
+     * Available-well charge after drawing @p power for @p t seconds
+     * from the current state, without mutating it. The expression is
+     * verbatim the y1 line of advance(), so a decision taken on its
+     * sign matches one taken through a whole-object probe bit for bit.
+     */
+    double availableAfter(Watts power, double t) const;
+
+    /** Depletion crossing by 60-step dyadic bisection (copy-free). */
+    double crossingTimeBisect(Watts power, double dt) const;
+
+    /**
+     * Depletion crossing by Newton with a bisection guard; falls back
+     * to crossingTimeBisect() when the bracket has not collapsed to
+     * the golden tolerance within the iteration budget.
+     */
+    double crossingTimeNewton(Watts power, double dt) const;
+
     KibamParams params_;
     Joules y1_; ///< available well charge
     Joules y2_; ///< bound well charge
+    mutable KibamCoeffs coeffs_; ///< per-dt closed-form cache
 };
 
 } // namespace pad::battery

@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "obs/tracer.h"
+#include "util/engine_tuning.h"
 #include "util/logging.h"
 
 namespace pad::core {
@@ -96,6 +97,10 @@ DataCenter::RackState::rest(double dtSec)
 void
 DataCenter::RackState::recharge(Watts headroom, double dtSec)
 {
+    if (!unitCache.empty()) {
+        charger->recharge(unitCache, headroom, dtSec);
+        return;
+    }
     std::vector<battery::BatteryUnit *> units;
     units.reserve(debs.size());
     for (auto &u : debs)
@@ -146,7 +151,7 @@ DataCenter::DataCenter(const DataCenterConfig &config,
 
     racks_.resize(static_cast<std::size_t>(config_.racks));
     assigned_.assign(racks_.size(), 0.0);
-    shed_.assign(static_cast<std::size_t>(config_.totalServers()), false);
+    shed_.assign(static_cast<std::size_t>(config_.totalServers()), 0);
 
     for (int r = 0; r < config_.racks; ++r) {
         auto &rack = racks_[static_cast<std::size_t>(r)];
@@ -189,6 +194,14 @@ DataCenter::DataCenter(const DataCenterConfig &config,
         if (config_.detectorResponse)
             rack.meter = std::make_unique<power::PowerMeter>(
                 base + ".meter", config_.detectorInterval);
+    }
+
+    if (engineTuning().stepScratchReuse) {
+        for (auto &rack : racks_) {
+            rack.unitCache.reserve(rack.debs.size());
+            for (auto &u : rack.debs)
+                rack.unitCache.push_back(u.get());
+        }
     }
 }
 
@@ -248,86 +261,158 @@ double
 DataCenter::serverDemand(int rack, int server, Tick t, bool fine) const
 {
     const int machine = machineId(rack, server);
+    if (demand_.tick == t && demand_.fine == fine)
+        return demand_.values[static_cast<std::size_t>(machine)];
     return fine ? workload_->utilFine(machine, t)
                 : workload_->utilAt(machine, t);
 }
 
-DataCenter::StepPower
-DataCenter::computeStep(Tick t, double dtSec, bool fine,
+const std::vector<double> &
+DataCenter::refreshDemand(Tick t, bool fine)
+{
+    DemandCache &dc = demand_;
+    if (dc.tick == t && dc.fine == fine)
+        return dc.values;
+
+    const auto machines =
+        static_cast<std::size_t>(config_.totalServers());
+    const std::size_t slot = workload_->slotAt(t);
+    if (dc.slot != slot || dc.base.size() != machines) {
+        dc.base.resize(machines);
+        for (std::size_t m = 0; m < machines; ++m)
+            dc.base[m] =
+                workload_->utilAtSlot(static_cast<int>(m), slot);
+        dc.slot = slot;
+        dc.second = ~std::uint64_t{0};
+    }
+    if (fine) {
+        const auto second =
+            static_cast<std::uint64_t>(t / kTicksPerSecond);
+        if (dc.second != second || dc.values.size() != machines) {
+            dc.values.resize(machines);
+            for (std::size_t m = 0; m < machines; ++m)
+                dc.values[m] = trace::Workload::combineFine(
+                    dc.base[m],
+                    trace::Workload::jitterAt(static_cast<int>(m),
+                                              second),
+                    trace::kDefaultFineNoiseAmp);
+            dc.second = second;
+        }
+    } else {
+        dc.values = dc.base;
+        dc.second = ~std::uint64_t{0}; // values hold no jitter now
+    }
+    dc.tick = t;
+    dc.fine = fine;
+    return dc.values;
+}
+
+void
+DataCenter::computeStep(StepPower &step, Tick t, double dtSec, bool fine,
                         const attack::TwoPhaseAttacker *attacker,
                         const AttackScenario *scenario,
                         const std::vector<bool> *victimMask,
                         double attackRelSec, bool attackerActive,
                         sched::PerfMonitor *windowPerf)
 {
-    StepPower step;
     step.rackPower.assign(racks_.size(), 0.0);
     step.rackDraw.assign(racks_.size(), 0.0);
     step.rackUncapped.assign(racks_.size(), 0.0);
     step.serverPower.assign(
         static_cast<std::size_t>(config_.totalServers()), 0.0);
+    step.totalPower = 0.0;
+    step.totalDraw = 0.0;
+    step.shedSuppressed = 0.0;
+
+    // Per-step invariants, hoisted out of the per-server walk.
+    const EngineTuning &tuning = engineTuning();
+    const bool sharedEval = tuning.serverPowerSharedEval;
+    const double *demand =
+        tuning.tickDemandCache ? refreshDemand(t, fine).data() : nullptr;
+    const std::uint8_t *shedFlags = shed_.data();
+    double *serverPower = step.serverPower.data();
 
     for (int r = 0; r < config_.racks; ++r) {
         auto &rack = racks_[static_cast<std::size_t>(r)];
+        const std::size_t rackBase =
+            static_cast<std::size_t>(r) *
+            static_cast<std::size_t>(config_.serversPerRack);
 
         // A rack whose breaker tripped is dark until service is
         // restored; its demanded work is lost outright.
         if (t < rack.downUntil) {
+            const bool victimRack =
+                victimMask &&
+                (*victimMask)[static_cast<std::size_t>(r)] && scenario;
             for (int s = 0; s < config_.serversPerRack; ++s) {
-                const double demand = serverDemand(r, s, t, fine);
+                const double demandU =
+                    demand ? demand[rackBase +
+                                    static_cast<std::size_t>(s)]
+                           : serverDemand(r, s, t, fine);
                 const bool malicious =
-                    victimMask && (*victimMask)[static_cast<
-                                      std::size_t>(r)] &&
-                    scenario && s < scenario->maliciousNodes;
+                    victimRack && s < scenario->maliciousNodes;
                 if (!malicious) {
-                    perf_.recordShed(demand, dtSec);
+                    perf_.recordShed(demandU, dtSec);
                     if (windowPerf)
-                        windowPerf->recordShed(demand, dtSec);
+                        windowPerf->recordShed(demandU, dtSec);
                 }
             }
             continue;
         }
 
+        const bool attackedRack =
+            attacker && scenario && victimMask &&
+            (*victimMask)[static_cast<std::size_t>(r)];
+        const double dvfs = rack.dvfs;
         double rackTotal = 0.0;
         double rackUncapped = 0.0;
         for (int s = 0; s < config_.serversPerRack; ++s) {
-            double demand = serverDemand(r, s, t, fine);
+            const std::size_t idx =
+                rackBase + static_cast<std::size_t>(s);
+            double demandU = demand ? demand[idx]
+                                    : serverDemand(r, s, t, fine);
             bool malicious = false;
-            if (attacker && scenario && victimMask &&
-                (*victimMask)[static_cast<std::size_t>(r)] &&
-                s < scenario->maliciousNodes) {
+            if (attackedRack && s < scenario->maliciousNodes) {
                 malicious = true;
                 if (attackerActive)
-                    demand = std::max(
-                        demand, attacker->demandedUtil(s, attackRelSec));
+                    demandU = std::max(
+                        demandU,
+                        attacker->demandedUtil(s, attackRelSec));
             }
 
             double powerW;
             double executed;
-            if (isShed(r, s)) {
+            if (shedFlags[idx]) {
                 powerW = config_.sleepPower;
                 executed = 0.0;
                 step.shedSuppressed +=
-                    serverModel_.power(demand, rack.dvfs) - powerW;
+                    serverModel_.power(demandU, dvfs) - powerW;
+            } else if (sharedEval) {
+                // One pow() yields capped power, uncapped power and
+                // executed throughput (bit-identical to the scalar
+                // accessors below).
+                double uncapped;
+                serverModel_.evaluate(demandU, dvfs, powerW, uncapped,
+                                      executed);
+                rackUncapped += uncapped;
             } else {
-                powerW = serverModel_.power(demand, rack.dvfs);
-                executed = serverModel_.executed(demand, rack.dvfs);
-                rackUncapped += serverModel_.power(demand, 1.0);
+                powerW = serverModel_.power(demandU, dvfs);
+                executed = serverModel_.executed(demandU, dvfs);
+                rackUncapped += serverModel_.power(demandU, 1.0);
             }
-            step.serverPower[serverIndex(r, s)] = powerW;
+            serverPower[idx] = powerW;
             rackTotal += powerW;
 
             if (!malicious) {
-                perf_.record(demand, executed, dtSec);
+                perf_.record(demandU, executed, dtSec);
                 if (windowPerf)
-                    windowPerf->record(demand, executed, dtSec);
+                    windowPerf->record(demandU, executed, dtSec);
             }
         }
         step.rackPower[static_cast<std::size_t>(r)] = rackTotal;
         step.rackUncapped[static_cast<std::size_t>(r)] = rackUncapped;
         step.totalPower += rackTotal;
     }
-    return step;
 }
 
 void
@@ -342,10 +427,16 @@ DataCenter::applyShaving(StepPower &step, double dtSec)
         DataCenterConfig::DebPlacement::PerServer;
 
     // Bound on what each unit may offset: its own server's draw with
-    // per-server placement, the rack's draw for a cabinet.
-    auto unitBounds = [&](std::size_t r) {
+    // per-server placement, the rack's draw for a cabinet. The
+    // Optimized profile reuses one scratch vector across racks.
+    const bool reuse = engineTuning().stepScratchReuse;
+    std::vector<Watts> localBounds;
+    auto unitBounds =
+        [&](std::size_t r) -> const std::vector<Watts> & {
         auto &rack = racks_[r];
-        std::vector<Watts> bounds(rack.debs.size());
+        std::vector<Watts> &bounds =
+            reuse ? boundsScratch_ : localBounds;
+        bounds.assign(rack.debs.size(), 0.0);
         if (perServer) {
             for (std::size_t s = 0; s < bounds.size(); ++s)
                 bounds[s] = step.serverPower[serverIndex(
@@ -359,17 +450,21 @@ DataCenter::applyShaving(StepPower &step, double dtSec)
     if (traits_.vdebSharing) {
         // Cluster-level assignment (Algorithm 1) against the PDU
         // budget, recomputed from live SOC each step.
-        std::vector<Joules> soc(racks_.size());
+        std::vector<Joules> localSoc;
+        std::vector<Joules> &soc = reuse ? socScratch_ : localSoc;
+        soc.resize(racks_.size());
         for (std::size_t r = 0; r < racks_.size(); ++r)
             soc[r] = racks_[r].stored();
-        const VdebAssignment plan = vdeb_.assign(
-            soc, step.totalPower, config_.clusterBudget());
+        VdebAssignment localPlan;
+        VdebAssignment &plan = reuse ? planScratch_ : localPlan;
+        vdeb_.assignInto(soc, step.totalPower,
+                         config_.clusterBudget(), plan);
         assigned_ = plan.power;
 
         for (std::size_t r = 0; r < racks_.size(); ++r) {
             auto &rack = racks_[r];
             const double powerW = step.rackPower[r];
-            const auto bounds = unitBounds(r);
+            const auto &bounds = unitBounds(r);
             // A rack cannot offset more than its own draw.
             const Watts want = std::min(plan.power[r], powerW);
             Watts shaved = 0.0;
@@ -433,14 +528,23 @@ DataCenter::applyShaving(StepPower &step, double dtSec)
 std::vector<Watts>
 DataCenter::rackLimits(const StepPower &step) const
 {
+    std::vector<Watts> limits;
+    fillRackLimits(step, limits);
+    return limits;
+}
+
+void
+DataCenter::fillRackLimits(const StepPower &step,
+                           std::vector<Watts> &limits) const
+{
     const Watts budget = config_.rackBudget();
     const Watts hardLimit = budget * config_.rackBreakerMargin;
-    std::vector<Watts> limits(racks_.size());
+    limits.resize(racks_.size());
 
     if (!traits_.vdebSharing) {
         std::fill(limits.begin(), limits.end(),
                   config_.rackOverloadLimit());
-        return limits;
+        return;
     }
 
     // Capacity sharing: the iPDU may raise a rack's soft limit by
@@ -457,7 +561,6 @@ DataCenter::rackLimits(const StepPower &step) const
             std::min(hardLimit, budget + shared);
         limits[r] = allocation * (1.0 + config_.overshootTolerance);
     }
-    return limits;
 }
 
 void
@@ -691,8 +794,11 @@ DataCenter::stepCoarse()
     // stamp events with the thread-local trace clock.
     obs::setTraceClock(now_);
     const double dtSec = ticksToSeconds(config_.coarseStep);
-    StepPower step = computeStep(now_, dtSec, /*fine=*/false, nullptr,
-                                 nullptr, nullptr, 0.0, false, nullptr);
+    StepPower localStep;
+    StepPower &step =
+        engineTuning().stepScratchReuse ? stepScratch_ : localStep;
+    computeStep(step, now_, dtSec, /*fine=*/false, nullptr, nullptr,
+                nullptr, 0.0, false, nullptr);
     applyShaving(step, dtSec);
     detectorStep(step, config_.coarseStep);
     rechargeAll(step, dtSec);
@@ -767,6 +873,9 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
     std::size_t rackOnsetsSeen = 0;
     std::size_t clusterOnsetsSeen = 0;
 
+    const bool reuse = engineTuning().stepScratchReuse;
+    const double dtSec = ticksToSeconds(config_.fineStep);
+
     while (now_ < horizon) {
         obs::setTraceClock(now_);
         const double relSec = ticksToSeconds(now_ - start);
@@ -774,7 +883,6 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
             sc.dutyCycle >= 1.0 ||
             std::fmod(relSec, sc.dutyPeriodSec) <
                 sc.dutyCycle * sc.dutyPeriodSec;
-        const double dtSec = ticksToSeconds(config_.fineStep);
 
         if (now_ >= nextControl) {
             attacker.advance(relSec);
@@ -788,9 +896,10 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
             nextControl += config_.controlPeriod;
         }
 
-        StepPower step = computeStep(now_, dtSec, /*fine=*/true,
-                                     &attacker, &sc, &victimMask,
-                                     relSec, active, &windowPerf);
+        StepPower localStep;
+        StepPower &step = reuse ? stepScratch_ : localStep;
+        computeStep(step, now_, dtSec, /*fine=*/true, &attacker, &sc,
+                    &victimMask, relSec, active, &windowPerf);
 
         // Track the attacker's performance side channel on its own
         // nodes: demanded vs executed under the rack's DVFS factor.
@@ -811,7 +920,9 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
         }
 
         applyShaving(step, dtSec);
-        const std::vector<Watts> limits = rackLimits(step);
+        std::vector<Watts> localLimits;
+        std::vector<Watts> &limits = reuse ? limitsScratch_ : localLimits;
+        fillRackLimits(step, limits);
         applyUdeb(step, limits, dtSec);
         detectorStep(step, config_.fineStep);
 
@@ -1051,7 +1162,7 @@ int
 DataCenter::sheddedServers() const
 {
     return static_cast<int>(
-        std::count(shed_.begin(), shed_.end(), true));
+        std::count(shed_.begin(), shed_.end(), std::uint8_t{1}));
 }
 
 void

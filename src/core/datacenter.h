@@ -278,6 +278,14 @@ class DataCenter
         void rest(double dtSec);
         /** Recharge the units from @p headroom watts via charger. */
         void recharge(Watts headroom, double dtSec);
+
+        /**
+         * Raw unit pointers for the charge controller, built once
+         * after construction (debs never changes afterwards) so
+         * recharge() does not rebuild the vector every step. Empty
+         * under the Baseline engine profile.
+         */
+        std::vector<battery::BatteryUnit *> unitCache;
     };
 
     /** Demand/draw snapshot for one step. */
@@ -299,13 +307,39 @@ class DataCenter
     int machineId(int rack, int server) const;
     double serverDemand(int rack, int server, Tick t, bool fine) const;
 
+    /**
+     * Per-machine demand cache for the step at one tick.
+     *
+     * The trace slot changes every 5 minutes and the jitter second
+     * every 10 fine steps, so the flat per-machine demand array is
+     * recombined only on those boundaries instead of hashing and
+     * indexing the grid for all servers on every step. Values are
+     * bit-identical to Workload::utilAt/utilFine by construction
+     * (Workload::combineFine over cached slot bases and jitters).
+     */
+    struct DemandCache {
+        Tick tick = kTickNever; ///< tick `values` is valid for
+        bool fine = false;      ///< granularity `values` holds
+        std::size_t slot = static_cast<std::size_t>(-1);
+        std::uint64_t second = ~std::uint64_t{0};
+        std::vector<double> base;   ///< slot averages, per machine
+        std::vector<double> values; ///< demand at `tick`, per machine
+    };
+
+    /**
+     * Refresh demand_ for tick @p t and return its per-machine
+     * values; after this, serverDemand(r, s, t, fine) is a cached
+     * array read for the same (t, fine).
+     */
+    const std::vector<double> &refreshDemand(Tick t, bool fine);
+
     /** Compute demand and apply shaving for one step of dt seconds. */
-    StepPower computeStep(Tick t, double dtSec, bool fine,
-                          const attack::TwoPhaseAttacker *attacker,
-                          const AttackScenario *scenario,
-                          const std::vector<bool> *victimMask,
-                          double attackRelSec, bool attackerActive,
-                          sched::PerfMonitor *windowPerf);
+    void computeStep(StepPower &step, Tick t, double dtSec, bool fine,
+                     const attack::TwoPhaseAttacker *attacker,
+                     const AttackScenario *scenario,
+                     const std::vector<bool> *victimMask,
+                     double attackRelSec, bool attackerActive,
+                     sched::PerfMonitor *windowPerf);
 
     /** Apply scheme-specific battery shaving; fills rackDraw. */
     void applyShaving(StepPower &step, double dtSec);
@@ -316,6 +350,10 @@ class DataCenter
      * an iPDU allocation raised by the headroom other racks free.
      */
     std::vector<Watts> rackLimits(const StepPower &step) const;
+
+    /** rackLimits() into a caller-owned vector (hot-path variant). */
+    void fillRackLimits(const StepPower &step,
+                        std::vector<Watts> &limits) const;
 
     /** µDEB spike shaving against the current limits (fine only). */
     void applyUdeb(StepPower &step, const std::vector<Watts> &limits,
@@ -346,8 +384,21 @@ class DataCenter
     void detectorStep(const StepPower &step, Tick dt);
 
     std::vector<RackState> racks_;
-    std::vector<bool> shed_;       ///< per server (rack-major)
+    /** Per-server shed flags, rack-major (0/1; uint8_t for a flat
+     *  byte array in the per-server hot loop). */
+    std::vector<std::uint8_t> shed_;
     std::vector<Watts> assigned_;  ///< last vDEB assignment per rack
+
+    // Hot-path scratch, reused across steps under the Optimized
+    // engine profile so the per-tick path is allocation-free. Each
+    // vector is (re)filled before use; none carries state between
+    // steps.
+    StepPower stepScratch_;
+    std::vector<Watts> boundsScratch_;  ///< per-unit discharge bounds
+    std::vector<Joules> socScratch_;    ///< per-rack stored energy
+    std::vector<Watts> limitsScratch_;  ///< per-rack overload limits
+    VdebAssignment planScratch_;        ///< vDEB assignment output
+    DemandCache demand_;
     bool visiblePeak_ = false;
     SecurityLevel level_ = SecurityLevel::Normal;
     Tick clusterCapUntil_ = 0;     ///< detector-response cap latch

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "obs/tracer.h"
+#include "util/engine_tuning.h"
 #include "util/logging.h"
 
 namespace pad::core {
@@ -17,14 +18,24 @@ VdebAssignment
 VdebController::assign(const std::vector<Joules> &socJoules,
                        Watts totalPower, Watts maxPower) const
 {
+    VdebAssignment out;
+    assignInto(socJoules, totalPower, maxPower, out);
+    return out;
+}
+
+void
+VdebController::assignInto(const std::vector<Joules> &socJoules,
+                           Watts totalPower, Watts maxPower,
+                           VdebAssignment &out) const
+{
     const std::size_t n = socJoules.size();
     PAD_ASSERT(n > 0);
 
-    VdebAssignment out;
     out.power.assign(n, 0.0);
+    out.even = false;
     out.shaveTarget = std::max(0.0, totalPower - maxPower);
     if (out.shaveTarget <= 0.0)
-        return out;
+        return;
 
     const Watts pIdeal = config_.idealDischargePower;
     const Watts shave = out.shaveTarget;
@@ -43,11 +54,16 @@ VdebController::assign(const std::vector<Joules> &socJoules,
                        obs::TraceField::num(
                            "max_rate_w",
                            shave / static_cast<double>(n))});
-        return out;
+        return;
     }
 
     // Sort rack indices by SOC, descending (Algorithm 1 line 9-10).
-    std::vector<std::size_t> order(n);
+    // This runs every step under vDEB sharing; the Optimized profile
+    // reuses a sort scratch instead of allocating one per call.
+    std::vector<std::size_t> localOrder;
+    std::vector<std::size_t> &order =
+        engineTuning().stepScratchReuse ? orderScratch_ : localOrder;
+    order.resize(n);
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::stable_sort(order.begin(), order.end(),
                      [&](std::size_t a, std::size_t b) {
@@ -93,7 +109,6 @@ VdebController::assign(const std::vector<Joules> &socJoules,
                        "max_rate_w",
                        *std::max_element(out.power.begin(),
                                          out.power.end()))});
-    return out;
 }
 
 } // namespace pad::core

@@ -73,11 +73,24 @@ class VdebController
     VdebAssignment assign(const std::vector<Joules> &socJoules,
                           Watts totalPower, Watts maxPower) const;
 
+    /**
+     * Allocation-free variant for the per-step hot path: writes the
+     * assignment into @p out, reusing its vector's capacity (and,
+     * under the Optimized engine profile, an internal sort scratch).
+     * Results are identical to assign(). Not thread-safe across
+     * concurrent calls on one controller; the simulator owns one
+     * controller per DataCenter, which is single-threaded.
+     */
+    void assignInto(const std::vector<Joules> &socJoules,
+                    Watts totalPower, Watts maxPower,
+                    VdebAssignment &out) const;
+
     /** Static configuration. */
     const VdebConfig &config() const { return config_; }
 
   private:
     VdebConfig config_;
+    mutable std::vector<std::size_t> orderScratch_;
 };
 
 } // namespace pad::core

@@ -58,6 +58,17 @@ class ServerPowerModel
     double executed(double util, double dvfs = 1.0) const;
 
     /**
+     * Hot-path bundle: power at @p dvfs, power at full frequency and
+     * executed throughput in one call, sharing the single pow() both
+     * power() evaluations would otherwise repeat. Each output is
+     * bit-identical to the corresponding scalar accessor — the
+     * simulation step needs all three per server, and the pow() is
+     * the dominant cost of the per-server walk.
+     */
+    void evaluate(double util, double dvfs, Watts &powerAtDvfs,
+                  Watts &powerUncapped, double &executedUtil) const;
+
+    /**
      * Inverse mapping: the utilization that would produce @p watts at
      * full frequency (clamped to [0, 1]). Used by attackers to reason
      * about how much load is needed for a target power level.

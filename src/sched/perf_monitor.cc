@@ -1,26 +1,6 @@
 #include "sched/perf_monitor.h"
 
-#include <algorithm>
-
-#include "util/logging.h"
-
 namespace pad::sched {
-
-void
-PerfMonitor::record(double demandedUtil, double executedUtil, double dt)
-{
-    PAD_ASSERT(dt >= 0.0);
-    PAD_ASSERT(executedUtil <= demandedUtil + 1e-9,
-               "cannot execute more than demanded");
-    demanded_ += std::max(0.0, demandedUtil) * dt;
-    executed_ += std::max(0.0, executedUtil) * dt;
-}
-
-void
-PerfMonitor::recordShed(double demandedUtil, double dt)
-{
-    record(demandedUtil, 0.0, dt);
-}
 
 double
 PerfMonitor::normalizedThroughput() const

@@ -11,8 +11,10 @@
 #ifndef PAD_SCHED_PERF_MONITOR_H
 #define PAD_SCHED_PERF_MONITOR_H
 
+#include <algorithm>
 #include <cstdint>
 
+#include "util/logging.h"
 #include "util/types.h"
 
 namespace pad::sched {
@@ -26,15 +28,33 @@ class PerfMonitor
     /**
      * Record one server-step.
      *
+     * Inline: this runs once (or twice, with a window monitor) per
+     * server per simulation step, and the accumulation order is part
+     * of the determinism contract — per server, demanded then
+     * executed — so it is kept as a header-inline per-sample update
+     * rather than batched.
+     *
      * @param demandedUtil utilization the workload asked for
      * @param executedUtil utilization actually executed (after DVFS
      *                     capping or shedding)
      * @param dt           step length, seconds
      */
-    void record(double demandedUtil, double executedUtil, double dt);
+    void
+    record(double demandedUtil, double executedUtil, double dt)
+    {
+        PAD_ASSERT(dt >= 0.0);
+        PAD_ASSERT(executedUtil <= demandedUtil + 1e-9,
+                   "cannot execute more than demanded");
+        demanded_ += std::max(0.0, demandedUtil) * dt;
+        executed_ += std::max(0.0, executedUtil) * dt;
+    }
 
     /** Charge a fully-shed server-step (nothing executes). */
-    void recordShed(double demandedUtil, double dt);
+    void
+    recordShed(double demandedUtil, double dt)
+    {
+        record(demandedUtil, 0.0, dt);
+    }
 
     /** Executed / demanded work; 1.0 when nothing was demanded. */
     double normalizedThroughput() const;

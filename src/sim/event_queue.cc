@@ -1,25 +1,99 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+
 #include "obs/tracer.h"
+#include "util/engine_tuning.h"
 #include "util/logging.h"
 
 namespace pad::sim {
 
+EventQueue::EventQueue() : pooled_(engineTuning().eventPoolAllocation)
+{
+    if (pooled_) {
+        heap_.reserve(kBlockSize);
+        byId_.reserve(kBlockSize);
+    }
+}
+
 EventQueue::~EventQueue()
 {
-    while (!heap_.empty()) {
-        delete heap_.top();
-        heap_.pop();
+    if (!pooled_) {
+        for (Entry *entry : heap_)
+            delete entry;
     }
+    // Pooled entries live in blocks_ and are freed with them.
+}
+
+EventQueue::Entry *
+EventQueue::allocEntry()
+{
+    if (!pooled_)
+        return new Entry;
+    if (freeList_.empty()) {
+        blocks_.push_back(std::make_unique<Entry[]>(kBlockSize));
+        Entry *block = blocks_.back().get();
+        freeList_.reserve(freeList_.size() + kBlockSize);
+        for (std::size_t i = kBlockSize; i > 0; --i)
+            freeList_.push_back(&block[i - 1]);
+    }
+    Entry *entry = freeList_.back();
+    freeList_.pop_back();
+    return entry;
+}
+
+void
+EventQueue::releaseEntry(Entry *entry)
+{
+    if (!pooled_) {
+        delete entry;
+        return;
+    }
+    entry->cb = nullptr; // free the callback's captures eagerly
+    freeList_.push_back(entry);
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    heap_.reserve(events);
+    byId_.reserve(events);
+    if (!pooled_)
+        return;
+    while (blocks_.size() * kBlockSize < events) {
+        blocks_.push_back(std::make_unique<Entry[]>(kBlockSize));
+        Entry *block = blocks_.back().get();
+        freeList_.reserve(freeList_.size() + kBlockSize);
+        for (std::size_t i = kBlockSize; i > 0; --i)
+            freeList_.push_back(&block[i - 1]);
+    }
+}
+
+void
+EventQueue::setMaxLiveEvents(std::size_t bound)
+{
+    PAD_ASSERT(bound >= live_,
+               "live-event bound below current live count");
+    maxLive_ = bound;
 }
 
 EventHandle
 EventQueue::schedule(Tick when, Callback cb, EventPriority priority)
 {
     PAD_ASSERT(when >= now_, "event scheduled in the past");
-    auto *entry = new Entry{when, static_cast<int>(priority), nextSeq_++,
-                            nextId_++, std::move(cb)};
-    heap_.push(entry);
+    PAD_ASSERT(live_ < maxLive_,
+               "event queue exceeded its live-event bound ({}); "
+               "runaway rescheduling? see setMaxLiveEvents()",
+               maxLive_);
+    Entry *entry = allocEntry();
+    entry->when = when;
+    entry->priority = static_cast<int>(priority);
+    entry->seq = nextSeq_++;
+    entry->id = nextId_++;
+    entry->cb = std::move(cb);
+    entry->cancelled = false;
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), EntryCompare{});
     byId_.emplace(entry->id, entry);
     ++live_;
     return EventHandle(entry->id);
@@ -45,10 +119,11 @@ EventQueue::Entry *
 EventQueue::popNextLive()
 {
     while (!heap_.empty()) {
-        Entry *top = heap_.top();
-        heap_.pop();
+        std::pop_heap(heap_.begin(), heap_.end(), EntryCompare{});
+        Entry *top = heap_.back();
+        heap_.pop_back();
         if (top->cancelled) {
-            delete top;
+            releaseEntry(top);
             continue;
         }
         byId_.erase(top->id);
@@ -61,13 +136,12 @@ EventQueue::popNextLive()
 Tick
 EventQueue::nextEventTick() const
 {
-    // Skim cancelled entries off a copy-free view: the heap top may be
-    // cancelled, so do a const-safe scan by copying pointers is too
-    // costly; instead accept the cheap answer when the top is live and
-    // fall back to a scan of the underlying container otherwise.
+    // The heap top may be a lazily-cancelled entry; accept the cheap
+    // answer when it is live and fall back to scanning the live map
+    // otherwise.
     if (heap_.empty() || live_ == 0)
         return kTickNever;
-    const Entry *top = heap_.top();
+    const Entry *top = heap_.front();
     if (!top->cancelled)
         return top->when;
     Tick best = kTickNever;
@@ -114,7 +188,7 @@ EventQueue::step()
                        static_cast<std::int64_t>(entry->priority))});
     }
     Callback cb = std::move(entry->cb);
-    delete entry;
+    releaseEntry(entry);
     cb();
     return true;
 }

@@ -11,9 +11,10 @@
 #ifndef PAD_SIM_EVENT_QUEUE_H
 #define PAD_SIM_EVENT_QUEUE_H
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -102,6 +103,25 @@ class EventQueue
     /** Total events executed over the queue's lifetime. */
     std::uint64_t executed() const { return executed_; }
 
+    /**
+     * Pre-size the queue for @p events concurrently-live events:
+     * reserves the heap vector and id map and, under pooled
+     * allocation, pre-allocates enough arena blocks. Purely a
+     * performance hint; the queue still grows on demand (up to
+     * maxLiveEvents()).
+     */
+    void reserve(std::size_t events);
+
+    /**
+     * Hard bound on concurrently live events; scheduling past it is
+     * a fatal error (a runaway self-rescheduling callback otherwise
+     * grows the arena without bound). Default 1,048,576.
+     */
+    std::size_t maxLiveEvents() const { return maxLive_; }
+
+    /** Adjust the live-event bound (must cover current live count). */
+    void setMaxLiveEvents(std::size_t bound);
+
   private:
     struct Entry {
         Tick when;
@@ -113,7 +133,9 @@ class EventQueue
     };
 
     struct EntryCompare {
-        // std::priority_queue is a max-heap; invert for earliest-first.
+        // Max-heap comparator; inverted for earliest-first popping.
+        // (when, priority, seq) is a total order — seq is unique —
+        // so the pop sequence is deterministic for any heap layout.
         bool
         operator()(const Entry *a, const Entry *b) const
         {
@@ -125,10 +147,27 @@ class EventQueue
         }
     };
 
+    /** Entries per arena block. */
+    static constexpr std::size_t kBlockSize = 256;
+
+    Entry *allocEntry();
+    void releaseEntry(Entry *entry);
     Entry *popNextLive();
 
-    std::priority_queue<Entry *, std::vector<Entry *>, EntryCompare> heap_;
+    /** Binary heap over heap_ (std::push_heap/std::pop_heap). */
+    std::vector<Entry *> heap_;
     std::unordered_map<std::uint64_t, Entry *> byId_;
+    /**
+     * Arena blocks and the free list of recycled entries. Entries
+     * live in fixed blocks for the queue's lifetime; a released
+     * entry drops its callback and returns to freeList_. Unused in
+     * heap-allocation mode (pooled_ == false).
+     */
+    std::vector<std::unique_ptr<Entry[]>> blocks_;
+    std::vector<Entry *> freeList_;
+    /** Allocation mode, latched from the engine tuning at creation. */
+    bool pooled_;
+    std::size_t maxLive_ = 1u << 20;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t nextId_ = 1;
@@ -136,7 +175,7 @@ class EventQueue
     std::size_t live_ = 0;
 
   public:
-    EventQueue() = default;
+    EventQueue();
     ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;

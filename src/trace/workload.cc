@@ -75,12 +75,28 @@ Workload::utilAtSlot(int machine, std::size_t slot) const
     return grid_[index(machine, slot)];
 }
 
+std::size_t
+Workload::slotAt(Tick t) const
+{
+    return static_cast<std::size_t>(
+        std::clamp<Tick>(t, 0, horizon() - 1) / slotTicks_);
+}
+
 double
 Workload::utilAt(int machine, Tick t) const
 {
-    auto slot = static_cast<std::size_t>(
-        std::clamp<Tick>(t, 0, horizon() - 1) / slotTicks_);
-    return utilAtSlot(machine, slot);
+    return utilAtSlot(machine, slotAt(t));
+}
+
+double
+Workload::jitterAt(int machine, std::uint64_t second)
+{
+    const std::uint64_t h = splitmix64(
+        (static_cast<std::uint64_t>(machine) << 40) ^ second);
+    // Map hash to [-1, 1].
+    return static_cast<double>(h >> 11) /
+               static_cast<double>(1ULL << 53) * 2.0 -
+           1.0;
 }
 
 double
@@ -88,15 +104,7 @@ Workload::utilFine(int machine, Tick t, double noiseAmp) const
 {
     const double base = utilAt(machine, t);
     const auto second = static_cast<std::uint64_t>(t / kTicksPerSecond);
-    const std::uint64_t h = splitmix64(
-        (static_cast<std::uint64_t>(machine) << 40) ^ second);
-    // Map hash to [-1, 1].
-    const double jitter =
-        static_cast<double>(h >> 11) /
-            static_cast<double>(1ULL << 53) * 2.0 -
-        1.0;
-    const double v = base * (1.0 + noiseAmp * jitter);
-    return std::clamp(v, 0.0, 1.0);
+    return combineFine(base, jitterAt(machine, second), noiseAmp);
 }
 
 double

@@ -12,12 +12,16 @@
 #ifndef PAD_TRACE_WORKLOAD_H
 #define PAD_TRACE_WORKLOAD_H
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "trace/task_event.h"
 
 namespace pad::trace {
+
+/** Default relative jitter amplitude of the fine-grained view. */
+constexpr double kDefaultFineNoiseAmp = 0.15;
 
 /**
  * Dense (machine x slot) utilization grid.
@@ -55,6 +59,26 @@ class Workload
     /** Slot-average utilization by slot index. */
     double utilAtSlot(int machine, std::size_t slot) const;
 
+    /** Slot index covering tick @p t (clamped into the timeline). */
+    std::size_t slotAt(Tick t) const;
+
+    /**
+     * The deterministic jitter sample utilFine() layers on the slot
+     * average: splitmix64 of (machine, second) mapped into [-1, 1].
+     * Exposed so per-tick callers can hoist the hash out of their
+     * inner loops — combineFine(utilAtSlot(m, slotAt(t)),
+     * jitterAt(m, t / kTicksPerSecond), amp) == utilFine(m, t, amp)
+     * bit for bit.
+     */
+    static double jitterAt(int machine, std::uint64_t second);
+
+    /** Combine a slot average and a jitter sample as utilFine() does. */
+    static double
+    combineFine(double base, double jitter, double noiseAmp)
+    {
+        return std::clamp(base * (1.0 + noiseAmp * jitter), 0.0, 1.0);
+    }
+
     /**
      * Fine-grained utilization with deterministic second-scale
      * jitter layered on the slot average: the same (machine, second)
@@ -65,7 +89,8 @@ class Workload
      * @param t         query tick
      * @param noiseAmp  relative jitter amplitude (e.g. 0.15)
      */
-    double utilFine(int machine, Tick t, double noiseAmp = 0.15) const;
+    double utilFine(int machine, Tick t,
+                    double noiseAmp = kDefaultFineNoiseAmp) const;
 
     /** Mean utilization across all machines at tick @p t. */
     double clusterUtilAt(Tick t) const;

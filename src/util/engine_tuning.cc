@@ -1,0 +1,35 @@
+#include "util/engine_tuning.h"
+
+namespace pad {
+
+EngineTuning &
+engineTuning()
+{
+    static EngineTuning tuning; // defaults == Optimized
+    return tuning;
+}
+
+void
+setEngineProfile(EngineProfile profile)
+{
+    EngineTuning &t = engineTuning();
+    if (profile == EngineProfile::Baseline) {
+        t.kibamCoeffCache = false;
+        t.kibamScalarCrossing = false;
+        t.kibamNewtonCrossing = false;
+        t.serverPowerSharedEval = false;
+        t.tickDemandCache = false;
+        t.stepScratchReuse = false;
+        t.eventPoolAllocation = false;
+    } else {
+        t = EngineTuning{};
+    }
+}
+
+const char *
+engineProfileName(EngineProfile profile)
+{
+    return profile == EngineProfile::Baseline ? "baseline" : "optimized";
+}
+
+} // namespace pad

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Engine tuning profile: a process-wide set of switches for the
+ * simulation hot-path optimizations introduced by the perf work
+ * (KiBaM coefficient cache, copy-free depletion crossing, shared
+ * power-curve evaluation, per-tick demand cache, scratch-buffer
+ * reuse, pooled event allocation).
+ *
+ * Every switch is value-preserving by construction — with the sole
+ * exception of kibamNewtonCrossing, which replaces the dyadic
+ * bisection by a Newton solve that agrees only to the golden
+ * tolerance — so the Optimized profile (the default) produces
+ * bit-identical simulation results to the Baseline profile. The
+ * Baseline profile exists so the perfbench harness can measure the
+ * pre-optimization engine inside the same binary; engine_parity_test
+ * asserts the bit-identity contract.
+ *
+ * Thread-safety: the tuning block is written only from single-threaded
+ * context (process start, bench setup, test fixtures) and read
+ * concurrently by sweep workers. Do not flip switches while a
+ * SweepRunner is in flight.
+ */
+
+#ifndef PAD_UTIL_ENGINE_TUNING_H
+#define PAD_UTIL_ENGINE_TUNING_H
+
+namespace pad {
+
+/** Hot-path optimization switches. Defaults = Optimized profile. */
+struct EngineTuning {
+    /** Memoize exp(-k*dt) and derived KiBaM terms per dt. */
+    bool kibamCoeffCache = true;
+    /**
+     * Find the depletion crossing with a copy-free scalar y1(t)
+     * bisection (same 60 dyadic midpoints and arithmetic as the
+     * original whole-object probe loop; bit-identical).
+     */
+    bool kibamScalarCrossing = true;
+    /**
+     * Replace the crossing bisection with a guarded Newton solve.
+     * Converges in ~6 iterations instead of 60 but lands anywhere
+     * within the golden tolerance of the root, so results are only
+     * tolerance-identical, not bit-identical. Opt-in; overrides
+     * kibamScalarCrossing when set.
+     */
+    bool kibamNewtonCrossing = false;
+    /** Evaluate pow(util, e) once per server for capped/uncapped/executed. */
+    bool serverPowerSharedEval = true;
+    /** Cache per-machine demand per (trace slot, jitter second). */
+    bool tickDemandCache = true;
+    /** Reuse persistent scratch buffers across simulation steps. */
+    bool stepScratchReuse = true;
+    /** Allocate event-queue entries from a free-list arena. */
+    bool eventPoolAllocation = true;
+};
+
+/** Named tuning presets. */
+enum class EngineProfile {
+    /** Pre-optimization engine: every switch off. */
+    Baseline,
+    /** All value-preserving optimizations on (the default). */
+    Optimized,
+};
+
+/** The process-wide tuning block (mutable). */
+EngineTuning &engineTuning();
+
+/** Reset the tuning block to a named preset. */
+void setEngineProfile(EngineProfile profile);
+
+/** Human-readable preset name ("baseline" / "optimized"). */
+const char *engineProfileName(EngineProfile profile);
+
+/**
+ * RAII preset override for tests and benches: applies a profile on
+ * construction and restores the previous tuning block on destruction.
+ */
+class ScopedEngineProfile
+{
+  public:
+    explicit ScopedEngineProfile(EngineProfile profile)
+        : saved_(engineTuning())
+    {
+        setEngineProfile(profile);
+    }
+
+    ~ScopedEngineProfile() { engineTuning() = saved_; }
+
+    ScopedEngineProfile(const ScopedEngineProfile &) = delete;
+    ScopedEngineProfile &operator=(const ScopedEngineProfile &) = delete;
+
+  private:
+    EngineTuning saved_;
+};
+
+} // namespace pad
+
+#endif // PAD_UTIL_ENGINE_TUNING_H

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Engine-profile parity tests: every optimization gated on
+ * EngineTuning must leave simulation results bit-identical to the
+ * Baseline (pre-optimization) code paths. These tests run the same
+ * experiments under both profiles and require exact equality, plus
+ * event-queue ordering stability under the pooled allocator.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.h"
+#include "sim/event_queue.h"
+#include "util/engine_tuning.h"
+
+using namespace pad;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// EventQueue: pooled vs heap allocation
+// ---------------------------------------------------------------------
+
+/**
+ * Drive one deterministic schedule/cancel/reschedule script and
+ * record the firing order. Same-tick events carry distinct ids so
+ * the order exposes any instability.
+ */
+std::vector<int>
+eventScript()
+{
+    sim::EventQueue q;
+    std::vector<int> fired;
+    std::vector<sim::EventHandle> handles;
+
+    // A burst of same-timestamp events across priorities.
+    for (int i = 0; i < 40; ++i)
+        handles.push_back(q.schedule(
+            10, [&fired, i] { fired.push_back(i); },
+            static_cast<sim::EventPriority>(i % 4)));
+    // Cancel a few mid-burst (forces pooled entries back to the free
+    // list before anything fires).
+    q.cancel(handles[3]);
+    q.cancel(handles[17]);
+    q.cancel(handles[36]);
+    // Reschedule on the same tick: pooled mode recycles the freed
+    // entries; order must still be insertion order within priority.
+    for (int i = 100; i < 106; ++i)
+        q.schedule(10, [&fired, i] { fired.push_back(i); });
+    // Self-rescheduling callback, exercising allocation while firing.
+    q.schedule(5, [&] {
+        q.schedule(10, [&fired] { fired.push_back(-1); });
+    });
+    q.runUntil(20);
+    EXPECT_TRUE(q.empty());
+    return fired;
+}
+
+TEST(EngineParity, EventQueueOrderingStableUnderPooling)
+{
+    std::vector<int> pooled;
+    std::vector<int> heaped;
+    {
+        ScopedEngineProfile scope(EngineProfile::Optimized);
+        pooled = eventScript();
+    }
+    {
+        ScopedEngineProfile scope(EngineProfile::Baseline);
+        heaped = eventScript();
+    }
+    EXPECT_EQ(pooled, heaped);
+
+    // Within one priority class, same-tick events fire in insertion
+    // order; the cancelled ids never fire.
+    std::vector<int> controlOrder;
+    for (int id : pooled)
+        if (id >= 0 && id < 40 && id % 4 == 1)
+            controlOrder.push_back(id);
+    std::vector<int> expected;
+    for (int i = 1; i < 40; i += 4)
+        if (i != 17)
+            expected.push_back(i);
+    EXPECT_EQ(controlOrder, expected);
+    for (int id : pooled)
+        EXPECT_TRUE(id != 3 && id != 17 && id != 36);
+}
+
+TEST(EngineParity, EventQueueReserveAndBoundsSurviveReuse)
+{
+    ScopedEngineProfile scope(EngineProfile::Optimized);
+    sim::EventQueue q;
+    q.reserve(4096);
+    int sink = 0;
+    // Several generations through the free list, far past one block.
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 2000; ++i)
+            q.schedule(q.now() + 1 + i % 7,
+                       [&sink] { ++sink; });
+        q.runUntil(q.now() + 10);
+        EXPECT_TRUE(q.empty());
+    }
+    EXPECT_EQ(sink, 8000);
+    EXPECT_EQ(q.executed(), 8000u);
+}
+
+// ---------------------------------------------------------------------
+// DataCenter: Baseline vs Optimized full-simulation parity
+// ---------------------------------------------------------------------
+
+class DataCenterParity : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload_ = new runner::ClusterWorkload(
+            runner::makeClusterWorkload(2.0));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete workload_;
+        workload_ = nullptr;
+    }
+
+    static runner::ClusterWorkload *workload_;
+};
+
+runner::ClusterWorkload *DataCenterParity::workload_ = nullptr;
+
+TEST_F(DataCenterParity, AttackRunBitIdentical)
+{
+    runner::ClusterAttackSpec spec;
+    spec.durationSec = 120.0;
+    const runner::Experiment e =
+        runner::Experiment::clusterAttack(spec, *workload_);
+
+    runner::ExperimentResult tuned;
+    runner::ExperimentResult reference;
+    {
+        ScopedEngineProfile scope(EngineProfile::Optimized);
+        tuned = runner::runExperiment(e);
+    }
+    {
+        ScopedEngineProfile scope(EngineProfile::Baseline);
+        reference = runner::runExperiment(e);
+    }
+
+    EXPECT_EQ(tuned.attackOutcome.survivalSec,
+              reference.attackOutcome.survivalSec);
+    EXPECT_EQ(tuned.attackOutcome.throughput,
+              reference.attackOutcome.throughput);
+    EXPECT_EQ(tuned.attackOutcome.spikesLaunched,
+              reference.attackOutcome.spikesLaunched);
+    EXPECT_EQ(tuned.attackOutcome.spikeWindows,
+              reference.attackOutcome.spikeWindows);
+    EXPECT_EQ(tuned.telemetry.detections, reference.telemetry.detections);
+    EXPECT_EQ(tuned.telemetry.socStdDevPercent,
+              reference.telemetry.socStdDevPercent);
+    ASSERT_EQ(tuned.telemetry.socs.size(),
+              reference.telemetry.socs.size());
+    for (std::size_t i = 0; i < tuned.telemetry.socs.size(); ++i)
+        EXPECT_EQ(tuned.telemetry.socs[i], reference.telemetry.socs[i])
+            << "rack " << i;
+}
+
+TEST_F(DataCenterParity, CoarseHistoryBitIdentical)
+{
+    runner::ClusterCoarseSpec spec;
+    spec.untilHours = 8.0;
+    spec.recordHistory = true;
+    const runner::Experiment e =
+        runner::Experiment::clusterCoarse(spec, *workload_);
+
+    runner::ExperimentResult tuned;
+    runner::ExperimentResult reference;
+    {
+        ScopedEngineProfile scope(EngineProfile::Optimized);
+        tuned = runner::runExperiment(e);
+    }
+    {
+        ScopedEngineProfile scope(EngineProfile::Baseline);
+        reference = runner::runExperiment(e);
+    }
+
+    EXPECT_EQ(tuned.telemetry.socHistory,
+              reference.telemetry.socHistory);
+    EXPECT_EQ(tuned.telemetry.shedHistory,
+              reference.telemetry.shedHistory);
+}
+
+} // namespace

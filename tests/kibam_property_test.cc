@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Randomized property tests for the KiBaM hot path, pinning the
+ * physics invariants and — critically for the engine-tuning work —
+ * the bit-identity contract between the optimized code paths
+ * (coefficient cache, copy-free scalar crossing) and the original
+ * formulas they replaced.
+ */
+
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "battery/kibam.h"
+#include "util/engine_tuning.h"
+
+using namespace pad;
+using battery::Kibam;
+using battery::KibamParams;
+
+namespace {
+
+constexpr double kCapacity = 260640.0;
+
+KibamParams
+params()
+{
+    return KibamParams{kCapacity, 0.625, 4.5e-4};
+}
+
+/** Deterministic (soc, power, dt) sample grid for the property runs. */
+struct Sample {
+    double soc;
+    Watts power;
+    double dt;
+};
+
+std::vector<Sample>
+randomSamples(std::size_t n, std::uint64_t seed)
+{
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> soc(0.01, 1.0);
+    std::uniform_real_distribution<double> logPower(0.0, 4.0);
+    std::vector<double> dts{0.1, 0.1, 0.1, 1.0, 300.0};
+    std::uniform_int_distribution<std::size_t> dtPick(0,
+                                                      dts.size() - 1);
+    std::vector<Sample> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out.push_back(Sample{soc(rng),
+                             std::pow(10.0, logPower(rng)),
+                             dts[dtPick(rng)]});
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Physics invariants (run under the default Optimized profile).
+// ---------------------------------------------------------------------
+
+TEST(KibamProperty, EnergyConservationAcrossStep)
+{
+    for (const Sample &s : randomSamples(500, 7)) {
+        Kibam model(params());
+        model.setSoc(s.soc);
+        const Joules before = model.stored();
+        const Joules delivered = model.step(s.power, s.dt);
+        const Joules after = model.stored();
+        // stored_before == stored_after + delivered, to within a
+        // relative epsilon of the magnitudes involved.
+        const double scale =
+            std::max({std::abs(before), std::abs(after), 1.0});
+        EXPECT_NEAR(before - after, delivered, 1e-9 * scale)
+            << "soc=" << s.soc << " power=" << s.power
+            << " dt=" << s.dt;
+    }
+}
+
+TEST(KibamProperty, SocMonotoneNonIncreasingUnderDischarge)
+{
+    for (const Sample &s : randomSamples(200, 11)) {
+        Kibam model(params());
+        model.setSoc(s.soc);
+        double prev = model.soc();
+        for (int i = 0; i < 20; ++i) {
+            model.step(s.power, s.dt);
+            const double cur = model.soc();
+            EXPECT_LE(cur, prev + 1e-12)
+                << "soc=" << s.soc << " power=" << s.power
+                << " dt=" << s.dt << " iter=" << i;
+            prev = cur;
+        }
+    }
+}
+
+TEST(KibamProperty, MaxSustainablePowerIsSustainable)
+{
+    for (const Sample &s : randomSamples(300, 13)) {
+        Kibam model(params());
+        model.setSoc(s.soc);
+        const Watts msp = model.maxSustainablePower(s.dt);
+        ASSERT_GE(msp, 0.0);
+        if (msp == 0.0)
+            continue;
+        // Drawing exactly the sustainable power must deliver the full
+        // power * dt (no truncation) and leave the available well at
+        // (numerically) zero: the step ends exactly at depletion.
+        const Joules delivered = model.step(msp, s.dt);
+        EXPECT_NEAR(delivered, msp * s.dt,
+                    1e-6 * std::max(1.0, msp * s.dt));
+        EXPECT_NEAR(model.available(), 0.0, 1e-6 * kCapacity);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Bit-identity between tuned and original code paths.
+// ---------------------------------------------------------------------
+
+/** Run one full trajectory and collect exact state+delivery values. */
+std::vector<double>
+trajectory(const Sample &s)
+{
+    Kibam model(params());
+    model.setSoc(s.soc);
+    std::vector<double> out;
+    for (int i = 0; i < 50; ++i) {
+        out.push_back(model.step(s.power, s.dt));
+        out.push_back(model.available());
+        out.push_back(model.bound());
+        out.push_back(model.maxSustainablePower(s.dt));
+    }
+    return out;
+}
+
+TEST(KibamBitIdentity, CachedCoefficientsMatchUncached)
+{
+    for (const Sample &s : randomSamples(300, 17)) {
+        std::vector<double> tuned;
+        std::vector<double> reference;
+        {
+            ScopedEngineProfile scope(EngineProfile::Optimized);
+            tuned = trajectory(s);
+        }
+        {
+            ScopedEngineProfile scope(EngineProfile::Baseline);
+            reference = trajectory(s);
+        }
+        ASSERT_EQ(tuned.size(), reference.size());
+        for (std::size_t i = 0; i < tuned.size(); ++i)
+            ASSERT_EQ(tuned[i], reference[i])
+                << "index " << i << " soc=" << s.soc
+                << " power=" << s.power << " dt=" << s.dt;
+    }
+}
+
+TEST(KibamBitIdentity, ScalarCrossingMatchesProbeBisection)
+{
+    // Overdraw cases: force the boundary-crossing branch of step()
+    // and compare the copy-free scalar bisection against the original
+    // whole-object probe loop.
+    std::mt19937_64 rng(23);
+    std::uniform_real_distribution<double> soc(0.02, 0.4);
+    std::uniform_real_distribution<double> overdraw(1.5, 50.0);
+    for (int i = 0; i < 300; ++i) {
+        const double s = soc(rng);
+        Kibam probe(params());
+        probe.setSoc(s);
+        const double dt = 300.0;
+        const Watts power =
+            overdraw(rng) * std::max(1.0, probe.maxSustainablePower(dt));
+
+        Kibam tunedModel(params());
+        tunedModel.setSoc(s);
+        Kibam refModel(params());
+        refModel.setSoc(s);
+
+        double tunedDelivered;
+        double refDelivered;
+        {
+            ScopedEngineProfile scope(EngineProfile::Optimized);
+            tunedDelivered = tunedModel.step(power, dt);
+        }
+        {
+            ScopedEngineProfile scope(EngineProfile::Baseline);
+            refDelivered = refModel.step(power, dt);
+        }
+        ASSERT_EQ(tunedDelivered, refDelivered)
+            << "soc=" << s << " power=" << power;
+        ASSERT_EQ(tunedModel.available(), refModel.available());
+        ASSERT_EQ(tunedModel.bound(), refModel.bound());
+    }
+}
+
+TEST(KibamBitIdentity, NewtonCrossingWithinTolerance)
+{
+    // The opt-in Newton crossing may differ from the bisection only
+    // by the golden tolerance (1 ns of crossing time), which bounds
+    // the delivered-energy difference by power * tol.
+    std::mt19937_64 rng(29);
+    std::uniform_real_distribution<double> soc(0.02, 0.4);
+    std::uniform_real_distribution<double> overdraw(1.5, 50.0);
+    for (int i = 0; i < 200; ++i) {
+        const double s = soc(rng);
+        Kibam probe(params());
+        probe.setSoc(s);
+        const double dt = 300.0;
+        const Watts power =
+            overdraw(rng) * std::max(1.0, probe.maxSustainablePower(dt));
+
+        Kibam newtonModel(params());
+        newtonModel.setSoc(s);
+        Kibam bisectModel(params());
+        bisectModel.setSoc(s);
+
+        double newtonDelivered;
+        double bisectDelivered;
+        {
+            ScopedEngineProfile scope(EngineProfile::Optimized);
+            engineTuning().kibamNewtonCrossing = true;
+            newtonDelivered = newtonModel.step(power, dt);
+        }
+        {
+            ScopedEngineProfile scope(EngineProfile::Optimized);
+            bisectDelivered = bisectModel.step(power, dt);
+        }
+        const double tolJoules = power * 1e-9 + 1e-9;
+        EXPECT_NEAR(newtonDelivered, bisectDelivered, tolJoules)
+            << "soc=" << s << " power=" << power;
+    }
+}
+
+} // namespace
