@@ -6,6 +6,9 @@
 #include <memory>
 #include <string>
 
+#include "alert/html.h"
+#include "alert/incident.h"
+#include "alert/rule.h"
 #include "obs/manifest.h"
 #include "obs/trace_sink.h"
 #include "telemetry/prom.h"
@@ -22,6 +25,8 @@ usage(const char *argv0)
         << "usage: " << argv0
         << " [--jobs N] [--trace FILE] [--trace-format jsonl|chrome]\n"
         << "       [--stats-json FILE] [--prom FILE] [--manifest FILE]\n"
+        << "       [--alerts RULES] [--incidents FILE]\n"
+        << "       [--incident-html FILE]\n"
         << "       [--log-level silent|error|warn|info|debug]\n"
         << "  --jobs N  worker threads for the sweep (0 = all cores);\n"
         << "            results are bit-identical for every N\n";
@@ -62,6 +67,12 @@ parseBenchArgs(int argc, char **argv)
             opts.prom = need(i);
         } else if (arg == "--manifest") {
             opts.manifest = need(i);
+        } else if (arg == "--alerts") {
+            opts.alerts = need(i);
+        } else if (arg == "--incidents") {
+            opts.incidents = need(i);
+        } else if (arg == "--incident-html") {
+            opts.incidentHtml = need(i);
         } else if (arg == "--log-level") {
             const std::string name = need(i);
             if (const auto level = logLevelFromName(name)) {
@@ -74,6 +85,12 @@ parseBenchArgs(int argc, char **argv)
         } else {
             usage(argv[0]);
         }
+    }
+    if (opts.alerts.empty() &&
+        (!opts.incidents.empty() || !opts.incidentHtml.empty())) {
+        std::cerr << argv[0]
+                  << ": --incidents/--incident-html require --alerts\n";
+        usage(argv[0]);
     }
     return opts;
 }
@@ -94,15 +111,34 @@ runSweep(const std::string &tool, const BenchOptions &opts,
     runnerOpts.trace = sink.get();
     const runner::SweepRunner pool(runnerOpts);
 
-    // --prom needs per-job telemetry hubs; flip the flag on a copy of
-    // the grid so the caller's experiments stay untouched. Telemetry
-    // never alters results, only records them.
+    // --alerts loads the rule file once; every job then evaluates
+    // the same shared, read-only RuleSet. A parse error is fatal
+    // before any job runs.
+    std::shared_ptr<const alert::RuleSet> rules;
+    if (!opts.alerts.empty()) {
+        std::string error;
+        auto loaded = alert::loadRulesFile(opts.alerts, &error);
+        if (!loaded) {
+            std::cerr << tool << ": " << error << "\n";
+            std::exit(1);
+        }
+        rules = std::make_shared<const alert::RuleSet>(
+            std::move(*loaded));
+    }
+
+    // --prom needs per-job telemetry hubs and --alerts needs per-job
+    // engines; flip both on a copy of the grid so the caller's
+    // experiments stay untouched. Observability never alters results,
+    // only records them.
     runner::SweepReport report;
-    if (!opts.prom.empty()) {
-        std::vector<runner::Experiment> telemetered = grid;
-        for (auto &experiment : telemetered)
-            experiment.telemetryEnabled = true;
-        report = pool.runWithReport(telemetered);
+    if (!opts.prom.empty() || rules) {
+        std::vector<runner::Experiment> observed = grid;
+        for (auto &experiment : observed) {
+            if (!opts.prom.empty())
+                experiment.telemetryEnabled = true;
+            experiment.alertRules = rules;
+        }
+        report = pool.runWithReport(observed);
     } else {
         report = pool.runWithReport(grid);
     }
@@ -116,9 +152,28 @@ runSweep(const std::string &tool, const BenchOptions &opts,
             warn("{}: cannot write Prometheus exposition to {}", tool,
                  opts.prom);
         } else {
-            telemetry::PromWriter().write(prom, &report.stats,
-                                          report.telemetry.get());
+            telemetry::PromWriter().write(
+                prom, &report.stats, report.telemetry.get(),
+                rules ? &report.alertStates : nullptr);
         }
+    }
+
+    if (!opts.incidents.empty()) {
+        std::ofstream os(opts.incidents);
+        if (!os)
+            warn("{}: cannot write incidents to {}", tool,
+                 opts.incidents);
+        else
+            alert::writeIncidentsJsonl(os, report.incidents);
+    }
+
+    if (!opts.incidentHtml.empty()) {
+        std::ofstream os(opts.incidentHtml);
+        if (!os)
+            warn("{}: cannot write incident dashboard to {}", tool,
+                 opts.incidentHtml);
+        else
+            alert::writeIncidentDashboard(os, report.incidents);
     }
 
     if (!opts.statsJson.empty()) {

@@ -100,6 +100,16 @@ struct BenchOptions {
     std::string prom;
     /** --manifest FILE: machine-readable run manifest. */
     std::string manifest;
+    /**
+     * --alerts RULES: evaluate the alert rules file online in every
+     * sweep job (cluster experiment kinds). Like --prom, purely
+     * observational: job results stay bit-identical either way.
+     */
+    std::string alerts;
+    /** --incidents FILE: merged incidents.jsonl (needs --alerts). */
+    std::string incidents;
+    /** --incident-html FILE: HTML dashboard (needs --alerts). */
+    std::string incidentHtml;
     /** Raw command line, for the manifest. */
     std::vector<std::string> argv;
 
@@ -114,7 +124,8 @@ struct BenchOptions {
 /**
  * Parse the common bench flags (`--jobs N` / `-j N`, `--trace FILE`,
  * `--trace-format jsonl|chrome`, `--stats-json FILE`, `--prom FILE`,
- * `--manifest FILE`, `--log-level L`); exits with usage on anything
+ * `--manifest FILE`, `--alerts RULES`, `--incidents FILE`,
+ * `--incident-html FILE`, `--log-level L`); exits with usage on anything
  * unrecognized. Also applies the PAD_LOG_LEVEL environment fallback.
  * Sweep output is independent of --jobs by the SweepRunner
  * determinism contract — the flag only changes wall-clock time, and

@@ -29,6 +29,8 @@
 #include <string>
 #include <vector>
 
+#include "alert/engine.h"
+#include "alert/rule.h"
 #include "attack/attacker.h"
 #include "battery/kibam.h"
 #include "core/datacenter.h"
@@ -199,6 +201,112 @@ benchSingleRun(const PerfOptions &opt,
     return m;
 }
 
+/** Shipped default rules, loaded once from the source tree. */
+std::shared_ptr<const alert::RuleSet>
+defaultRules()
+{
+    std::string error;
+    auto rules = alert::loadRulesFile(
+        std::string(PAD_RULES_DIR) + "/pad_default.json", &error);
+    if (!rules)
+        PAD_FATAL("cannot load default alert rules: {}", error);
+    return std::make_shared<const alert::RuleSet>(std::move(*rules));
+}
+
+/**
+ * Alert-engine dispatch cost, ns per telemetry sample: a synthetic
+ * stream cycling through the signal names the default rules watch
+ * (plus unmatched ones, the common case) at 100 ms cadence.
+ */
+ProfileMeasure
+benchAlertEval(const PerfOptions &opt)
+{
+    const int ops = opt.quick ? 20000 : 200000;
+    const int reps = opt.quick ? 3 : 9;
+    const auto rules = defaultRules();
+
+    // Name table built outside the timed region: per-sample cost is
+    // the engine's routing + evaluation, not string formatting.
+    std::vector<std::string> names;
+    for (int r = 0; r < 22; ++r) {
+        names.push_back("rack" + std::to_string(r) + ".soc");
+        names.push_back("rack" + std::to_string(r) + ".power");
+    }
+    names.push_back("pdu.power");
+    names.push_back("detector.score");
+    names.push_back("policy.level");
+
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            alert::AlertEngine engine(*rules);
+            Tick now = 0;
+            for (int i = 0; i < ops; ++i) {
+                const auto id = static_cast<std::uint32_t>(
+                    static_cast<std::size_t>(i) % names.size());
+                // The id overload is the hub's steady-state path.
+                engine.onSample(id, names[id], now,
+                                0.5 + 0.4 * ((i * 37 % 100) / 100.0));
+                if (i % 10 == 9)
+                    now += 100; // 100 ms sim step
+            }
+            engine.finalize(now);
+            keep(static_cast<double>(engine.incidents().size()));
+        },
+        /*warmup=*/1, reps);
+    m.value = m.timing.medianSec / static_cast<double>(ops) * 1e9;
+    return m;
+}
+
+/**
+ * benchSingleRun with full-resolution telemetry recording on. This
+ * is the fair baseline for the alerting overhead claim: enabling
+ * alerts necessarily turns the hub on, so the alert-engine cost is
+ * single_run_alerts vs single_run_telemetry, not vs the bare run.
+ */
+ProfileMeasure
+benchSingleRunTelemetry(const PerfOptions &opt,
+                        const runner::ClusterWorkload &cw)
+{
+    const int reps = opt.quick ? 2 : 9;
+    runner::Experiment e = standardAttack(cw, opt.quick);
+    e.telemetryEnabled = true;
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            const runner::ExperimentResult r = runner::runExperiment(e);
+            keep(static_cast<double>(r.telemetry.detections));
+        },
+        /*warmup=*/1, reps);
+    m.value = 1.0 / m.timing.medianSec;
+    return m;
+}
+
+/**
+ * benchSingleRun with online alerting attached: the delta against
+ * single_run_telemetry is the alert-engine overhead (< 3% is the
+ * acceptance bar; alerting is off the hot fine-tick path entirely
+ * when no rules are loaded).
+ */
+ProfileMeasure
+benchSingleRunAlerts(const PerfOptions &opt,
+                     const runner::ClusterWorkload &cw)
+{
+    const int reps = opt.quick ? 2 : 9;
+    runner::Experiment e = standardAttack(cw, opt.quick);
+    e.telemetryEnabled = true;
+    e.alertRules = defaultRules();
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            const runner::ExperimentResult r = runner::runExperiment(e);
+            keep(static_cast<double>(r.alerts->incidents().size()));
+        },
+        /*warmup=*/1, reps);
+    m.value = 1.0 / m.timing.medianSec;
+    return m;
+}
+
 ProfileMeasure
 benchSweep(const PerfOptions &opt, const runner::ClusterWorkload &cw,
            int jobs)
@@ -358,8 +466,16 @@ main(int argc, char **argv)
                           [&] { return benchEventQueue(opt); }));
     rows.push_back(runRow(opt, "fine_tick", "ns_per_tick", false,
                           [&] { return benchFineTick(opt, cw); }));
+    rows.push_back(runRow(opt, "alert_eval", "ns_per_op", false,
+                          [&] { return benchAlertEval(opt); }));
     rows.push_back(runRow(opt, "single_run", "runs_per_sec", true,
                           [&] { return benchSingleRun(opt, cw); }));
+    rows.push_back(
+        runRow(opt, "single_run_telemetry", "runs_per_sec", true,
+               [&] { return benchSingleRunTelemetry(opt, cw); }));
+    rows.push_back(
+        runRow(opt, "single_run_alerts", "runs_per_sec", true,
+               [&] { return benchSingleRunAlerts(opt, cw); }));
     rows.push_back(runRow(opt, "sweep_jobs1", "runs_per_sec", true,
                           [&] { return benchSweep(opt, cw, 1); }));
     rows.push_back(runRow(opt, "sweep_jobs2", "runs_per_sec", true,

@@ -19,12 +19,15 @@
  *          [--log-level silent|error|warn|info|debug]
  *          [--detector] [--prom FILE]
  *          [--metrics-port N] [--metrics-linger SEC]
+ *          [--alerts RULES] [--incidents FILE]
+ *          [--incident-html FILE]
  *
  * A --config file supplies the same knobs as `key = value` lines
  * (scheme, virus, style, nodes, racks, duration, budget,
  * cluster_budget, victim_pct, hour, seed, csv, stats, quiet, trace,
  * trace_format, stats_json, manifest, log_level, detector, prom,
- * metrics_port, metrics_linger); command-line flags override it.
+ * metrics_port, metrics_linger, alerts, incidents, incident_html);
+ * command-line flags override it.
  *
  * Observability: --prom dumps the final stats registry plus telemetry
  * time-series in Prometheus text exposition format; --metrics-port
@@ -34,6 +37,13 @@
  * collect the final state. Telemetry recording is enabled only when
  * one of the two is requested — otherwise the run is byte-identical
  * to a build without any of this.
+ *
+ * Alerting: --alerts evaluates a JSON rules file online against the
+ * run's telemetry and curated trace events (src/alert); --incidents
+ * streams the sealed incident records as JSONL and --incident-html
+ * renders the self-contained dashboard. Alerting is observational
+ * like telemetry: the simulation outcome and every other artifact
+ * stay byte-identical whether or not it is on.
  */
 
 #include <algorithm>
@@ -44,9 +54,15 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "alert/engine.h"
+#include "alert/html.h"
+#include "alert/incident.h"
+#include "alert/rule.h"
 #include "attack/attacker.h"
 #include "attack/virus_trace.h"
 #include "core/config.h"
@@ -93,6 +109,9 @@ struct Options {
     std::string promPath;
     int metricsPort = -1; // -1 = no HTTP endpoint; 0 = ephemeral
     double metricsLingerSec = 0.0;
+    std::string alertsPath;
+    std::string incidentsPath;
+    std::string incidentHtmlPath;
 };
 
 [[noreturn]] void
@@ -110,7 +129,9 @@ usage()
            "              [--stats-json FILE] [--manifest FILE]\n"
            "              [--log-level silent|error|warn|info|debug]\n"
            "              [--detector] [--prom FILE]\n"
-           "              [--metrics-port N] [--metrics-linger SEC]\n";
+           "              [--metrics-port N] [--metrics-linger SEC]\n"
+           "              [--alerts RULES] [--incidents FILE]\n"
+           "              [--incident-html FILE]\n";
     std::exit(2);
 }
 
@@ -167,6 +188,10 @@ applyConfig(Options &opt, const std::string &path)
         cfg.getInt("metrics_port", opt.metricsPort));
     opt.metricsLingerSec =
         cfg.getDouble("metrics_linger", opt.metricsLingerSec);
+    opt.alertsPath = cfg.getString("alerts", opt.alertsPath);
+    opt.incidentsPath = cfg.getString("incidents", opt.incidentsPath);
+    opt.incidentHtmlPath =
+        cfg.getString("incident_html", opt.incidentHtmlPath);
 }
 
 attack::VirusKind
@@ -248,8 +273,20 @@ parseArgs(int argc, char **argv)
             opt.metricsPort = std::atoi(need(i).c_str());
         else if (arg == "--metrics-linger")
             opt.metricsLingerSec = std::atof(need(i).c_str());
+        else if (arg == "--alerts")
+            opt.alertsPath = need(i);
+        else if (arg == "--incidents")
+            opt.incidentsPath = need(i);
+        else if (arg == "--incident-html")
+            opt.incidentHtmlPath = need(i);
         else
             usage();
+    }
+    if (opt.alertsPath.empty() && (!opt.incidentsPath.empty() ||
+                                   !opt.incidentHtmlPath.empty())) {
+        std::cerr << "padsim: --incidents/--incident-html require "
+                     "--alerts\n";
+        usage();
     }
     if (opt.nodes < 1 || opt.nodes > 10 || opt.racks < 1 ||
         opt.racks > 22 || opt.durationSec <= 0.0)
@@ -291,6 +328,20 @@ main(int argc, char **argv)
     }
     const obs::TraceScope traceScope(traceSink.get());
 
+    // --alerts: parse the rules up front so a bad file fails before
+    // the simulation spends any time.
+    std::unique_ptr<alert::AlertEngine> alerts;
+    if (!opt.alertsPath.empty()) {
+        std::string error;
+        auto rules = alert::loadRulesFile(opt.alertsPath, &error);
+        if (!rules) {
+            std::cerr << "padsim: " << error << "\n";
+            return 1;
+        }
+        alerts =
+            std::make_unique<alert::AlertEngine>(std::move(*rules));
+    }
+
     trace::SyntheticTraceConfig tc;
     tc.machines = 220;
     tc.days = 2.0;
@@ -311,11 +362,26 @@ main(int argc, char **argv)
 
     // Telemetry is recorded only when something will consume it, so
     // plain runs stay byte-identical to a build without these flags.
+    // The alert engine feeds off hub samples, so --alerts activates
+    // the hub too (still observational — results never change).
     telemetry::TelemetryHub hub;
     const bool wantTelemetry =
         !opt.promPath.empty() || opt.metricsPort >= 0;
-    if (wantTelemetry)
+    if (wantTelemetry || alerts)
         dc.setTelemetry(&hub);
+    if (alerts)
+        hub.setListener(alerts.get());
+
+    // Curated trace events reach the engine through a sink wrapper
+    // bound around the run; the inner sink (possibly null) still
+    // receives everything, so --trace output is unaffected.
+    std::unique_ptr<alert::AlertTraceSink> alertFeed;
+    std::optional<obs::TraceScope> alertScope;
+    if (alerts) {
+        alertFeed = std::make_unique<alert::AlertTraceSink>(
+            *alerts, traceSink.get());
+        alertScope.emplace(alertFeed.get());
+    }
 
     // The scrape endpoint renders the live hub during the run; the
     // stats registry joins once the run has finalised it (the atomic
@@ -373,6 +439,12 @@ main(int argc, char **argv)
 
     const auto out = dc.runAttack(attacker, sc);
 
+    if (alerts) {
+        hub.setListener(nullptr);
+        alertScope.reset();
+        alerts->finalize(dc.now());
+    }
+
     TextTable table("padsim result");
     table.setHeader({"metric", "value"});
     table.addRow({"scheme", core::schemeName(opt.scheme)});
@@ -413,15 +485,44 @@ main(int argc, char **argv)
             std::max(0, out.spikesLaunched)));
     scrapeStats.store(&stats, std::memory_order_release);
 
+    std::vector<telemetry::AlertStateSample> alertStates;
+    if (alerts)
+        alertStates = alerts->ruleStates();
+
     if (!opt.promPath.empty()) {
         std::ofstream prom(opt.promPath);
         if (!prom) {
             warn("padsim: cannot write Prometheus exposition to {}",
                  opt.promPath);
         } else {
-            telemetry::PromWriter().write(prom, &stats, &hub);
+            telemetry::PromWriter().write(
+                prom, &stats, &hub, alerts ? &alertStates : nullptr);
             std::cout << "\nPrometheus exposition written to "
                       << opt.promPath << "\n";
+        }
+    }
+
+    if (!opt.incidentsPath.empty()) {
+        std::ofstream os(opt.incidentsPath);
+        if (!os) {
+            warn("padsim: cannot write incidents to {}",
+                 opt.incidentsPath);
+        } else {
+            alert::writeIncidentsJsonl(os, alerts->incidents());
+            std::cout << "\nincidents written to " << opt.incidentsPath
+                      << "\n";
+        }
+    }
+
+    if (!opt.incidentHtmlPath.empty()) {
+        std::ofstream os(opt.incidentHtmlPath);
+        if (!os) {
+            warn("padsim: cannot write incident dashboard to {}",
+                 opt.incidentHtmlPath);
+        } else {
+            alert::writeIncidentDashboard(os, alerts->incidents());
+            std::cout << "\nincident dashboard written to "
+                      << opt.incidentHtmlPath << "\n";
         }
     }
 

@@ -9,11 +9,15 @@
  *   padtrace report   [options] TRACE.jsonl   full incident report
  *   padtrace timeline [options] TRACE.jsonl   chronological key events
  *   padtrace summary  [options] TRACE.jsonl   one-paragraph digest
+ *   padtrace incidents [options] INCIDENTS.jsonl
+ *                      alert incidents (from padsim/sweep --incidents)
  *
  * Options:
  *   --format md|json|csv   output format (default md)
  *   --out FILE             write to FILE instead of stdout
  *   --job N                only events from sweep job N
+ *   --html FILE            (incidents) write the standalone HTML
+ *                          dashboard next to the textual output
  *
  * The report covers the attack window (survival time recomputed from
  * the first overload event, cross-checked against the value the
@@ -25,8 +29,10 @@
  * exports the depletion curve rows.
  *
  * Corrupt or truncated trailing lines are skipped with a warning
- * (the count appears in the report); padtrace never refuses a trace
- * just because the run died mid-write.
+ * (the count appears in the report and is echoed to stderr);
+ * padtrace never refuses a trace just because the run died
+ * mid-write. A missing or unreadable input, however, is a hard
+ * error: one line on stderr and a nonzero exit.
  */
 
 #include <algorithm>
@@ -38,6 +44,8 @@
 #include <string>
 #include <vector>
 
+#include "alert/html.h"
+#include "alert/incident.h"
 #include "telemetry/trace_reader.h"
 #include "util/json_writer.h"
 #include "util/table.h"
@@ -51,6 +59,7 @@ struct Options {
     std::string command = "report";
     std::string format = "md";
     std::string outPath;
+    std::string htmlPath;
     int job = -1; // -1 = all jobs
     std::string tracePath;
 };
@@ -61,7 +70,10 @@ usage()
     std::cerr
         << "usage: padtrace [report|timeline|summary]\n"
            "                [--format md|json|csv] [--out FILE]\n"
-           "                [--job N] TRACE.jsonl\n";
+           "                [--job N] TRACE.jsonl\n"
+           "       padtrace incidents [--format md|json]\n"
+           "                [--out FILE] [--html FILE]\n"
+           "                INCIDENTS.jsonl\n";
     std::exit(2);
 }
 
@@ -81,10 +93,13 @@ parseArgs(int argc, char **argv)
             opt.format = need(i);
         else if (arg == "--out")
             opt.outPath = need(i);
+        else if (arg == "--html")
+            opt.htmlPath = need(i);
         else if (arg == "--job")
             opt.job = std::atoi(need(i).c_str());
         else if (!commandSet && (arg == "report" || arg == "timeline" ||
-                                 arg == "summary")) {
+                                 arg == "summary" ||
+                                 arg == "incidents")) {
             opt.command = arg;
             commandSet = true;
         } else if (!arg.empty() && arg[0] == '-')
@@ -98,6 +113,10 @@ parseArgs(int argc, char **argv)
         usage();
     if (opt.format != "md" && opt.format != "json" &&
         opt.format != "csv")
+        usage();
+    if (opt.command == "incidents" && opt.format == "csv")
+        usage();
+    if (opt.command != "incidents" && !opt.htmlPath.empty())
         usage();
     return opt;
 }
@@ -626,20 +645,72 @@ summaryOut(const Forensics &fx, const std::string &format,
        << " detector flags.\n";
 }
 
+/** `incidents --format md`: summary line plus one row per incident. */
+void
+incidentsMarkdown(const std::vector<alert::Incident> &incidents,
+                  std::ostream &os)
+{
+    os << "# padtrace incidents\n\n";
+    std::size_t unresolved = 0;
+    for (const auto &inc : incidents)
+        if (inc.resolvedAt == kTickNever)
+            ++unresolved;
+    os << incidents.size() << " incident(s), " << unresolved
+       << " unresolved at end of run.\n\n";
+    if (incidents.empty())
+        return;
+    TextTable t("incidents");
+    t.setHeader({"id", "severity", "signal", "fired (s)",
+                 "resolved (s)", "trigger", "limit"});
+    for (const auto &inc : incidents)
+        t.addRow({inc.id(), alert::severityName(inc.severity),
+                  inc.signal,
+                  formatFixed(ticksToSeconds(inc.firingSince), 1),
+                  inc.resolvedAt == kTickNever
+                      ? std::string("n/a")
+                      : formatFixed(ticksToSeconds(inc.resolvedAt), 1),
+                  formatFixed(inc.triggerValue, 4),
+                  formatFixed(inc.threshold, 4)});
+    t.print(os);
+}
+
+/**
+ * The `incidents` command: reads an incidents.jsonl (strictly — it
+ * is a machine-written artifact, unlike a possibly-truncated trace)
+ * and re-renders it as a table, JSONL or the HTML dashboard.
+ */
+int
+runIncidents(const Options &opt, std::ostream &os)
+{
+    std::string error;
+    const auto incidents =
+        alert::readIncidentsFile(opt.tracePath, &error);
+    if (!incidents) {
+        std::cerr << "padtrace: " << error << "\n";
+        return 1;
+    }
+    if (opt.format == "json")
+        alert::writeIncidentsJsonl(os, *incidents);
+    else
+        incidentsMarkdown(*incidents, os);
+    if (!opt.htmlPath.empty()) {
+        std::ofstream html(opt.htmlPath);
+        if (!html) {
+            std::cerr << "padtrace: cannot write " << opt.htmlPath
+                      << "\n";
+            return 1;
+        }
+        alert::writeIncidentDashboard(html, *incidents);
+    }
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     const Options opt = parseArgs(argc, argv);
-
-    std::string error;
-    const auto log =
-        telemetry::readTraceLogFile(opt.tracePath, &error);
-    if (!log) {
-        std::cerr << "padtrace: " << error << "\n";
-        return 1;
-    }
 
     std::ofstream file;
     std::ostream *os = &std::cout;
@@ -652,6 +723,22 @@ main(int argc, char **argv)
         }
         os = &file;
     }
+
+    if (opt.command == "incidents")
+        return runIncidents(opt, *os);
+
+    std::string error;
+    const auto log =
+        telemetry::readTraceLogFile(opt.tracePath, &error);
+    if (!log) {
+        std::cerr << "padtrace: " << error << "\n";
+        return 1;
+    }
+    // Echo the corrupt-line tally on stderr too, so it is visible
+    // even when --out or a non-report command hides the report body.
+    if (log->skipped > 0)
+        std::cerr << "padtrace: skipped " << log->skipped
+                  << " corrupt line(s) in " << opt.tracePath << "\n";
 
     const Forensics fx = analyze(*log, opt.job);
     if (opt.command == "timeline")

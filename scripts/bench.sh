@@ -25,5 +25,16 @@ cmake -B "$BUILD_DIR" -S . \
     -DPAD_NATIVE="$PAD_NATIVE" >/dev/null
 cmake --build "$BUILD_DIR" --target perfbench -j "$JOBS"
 
-"$BUILD_DIR/bench/perfbench" --profile both --json "$BENCH_OUT"
+"$BUILD_DIR/bench/perfbench" --profile both --json "$BENCH_OUT" \
+    | tee "$BENCH_OUT.txt"
 echo "benchmark results written to $BENCH_OUT"
+
+# Alert-engine rows at a glance. The bars that matter (DESIGN.md
+# §10): alert_eval stays in the tens of ns per sample, and
+# single_run_alerts stays within ~10% of single_run_telemetry (the
+# fair baseline — enabling alerts also turns the telemetry hub on).
+echo
+echo "alert-engine micro-bench:"
+grep -A 3 -E '^(alert_eval|single_run|single_run_telemetry|single_run_alerts)$' \
+    "$BENCH_OUT.txt" || echo "  (no alert rows in perfbench output?)"
+rm -f "$BENCH_OUT.txt"

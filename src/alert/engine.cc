@@ -1,0 +1,380 @@
+#include "alert/engine.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace pad::alert {
+
+namespace {
+
+/** First dotted component plus the dot ("rack3." from "rack3.soc"). */
+std::string_view
+groupPrefix(std::string_view signal)
+{
+    const std::size_t dot = signal.find('.');
+    return dot == std::string_view::npos ? std::string_view{}
+                                         : signal.substr(0, dot + 1);
+}
+
+} // namespace
+
+AlertEngine::AlertEngine(RuleSet rules)
+    : AlertEngine(std::move(rules), Options{})
+{
+}
+
+AlertEngine::AlertEngine(RuleSet rules, const Options &opts)
+    : rules_(std::move(rules)),
+      opts_(opts),
+      contextTicks_(secondsToTicks(opts.contextWindowSec)),
+      recorder_(opts.flightCapacity),
+      instances_(rules_.size()),
+      fired_(rules_.size(), 0)
+{
+    forTicks_.reserve(rules_.size());
+    windowTicks_.reserve(rules_.size());
+    for (const AlertRule &rule : rules_.rules) {
+        forTicks_.push_back(secondsToTicks(rule.forSec));
+        windowTicks_.push_back(secondsToTicks(rule.windowSec));
+    }
+}
+
+AlertEngine::Route &
+AlertEngine::route(std::string_view signal)
+{
+    auto it = routes_.find(signal);
+    if (it != routes_.end())
+        return it->second;
+    Route r;
+    for (std::size_t k = 0; k < rules_.size(); ++k) {
+        const AlertRule &rule = rules_.rules[k];
+        if (!signalMatches(rule.signal, signal))
+            continue;
+        switch (rule.predicate) {
+          case PredicateKind::Threshold:
+          case PredicateKind::RateOfChange:
+            r.sampleRules.push_back(Route::Target{k, nullptr});
+            break;
+          case PredicateKind::Absence:
+            r.absenceRules.push_back(Route::Target{k, nullptr});
+            break;
+          case PredicateKind::EventCount:
+            r.eventRules.push_back(Route::Target{k, nullptr});
+            break;
+        }
+    }
+    return routes_.emplace(std::string(signal), std::move(r))
+        .first->second;
+}
+
+AlertEngine::Instance &
+AlertEngine::instance(std::size_t r, std::string_view signal)
+{
+    auto &bySignal = instances_[r];
+    auto it = bySignal.find(signal);
+    if (it == bySignal.end()) {
+        Instance inst;
+        inst.signal = std::string(signal);
+        it = bySignal.emplace(inst.signal, std::move(inst)).first;
+    }
+    return it->second;
+}
+
+void
+AlertEngine::handleSample(Route &r, std::string_view name, Tick when,
+                          double value)
+{
+    PAD_ASSERT(!finalized_, "alert engine already finalized");
+    if (!r.ring)
+        r.ring = &recorder_.ring(name);
+    r.ring->push(FlightSample{when, value});
+    for (Route::Target &t : r.sampleRules) {
+        if (!t.inst)
+            t.inst = &instance(t.rule, name);
+        const AlertRule &rule = rules_.rules[t.rule];
+        Instance &inst = *t.inst;
+        if (rule.predicate == PredicateKind::Threshold) {
+            evaluate(t.rule, inst, when,
+                     compareValues(rule.op, value, rule.value), value);
+            continue;
+        }
+        // Rate of change: per-second slope across the trailing
+        // window, evaluated whenever a new sample of the signal
+        // arrives. Fewer than two samples in the window means no
+        // defined slope, which never holds.
+        const Tick windowTicks = windowTicks_[t.rule];
+        inst.window.push_back(FlightSample{when, value});
+        const Tick cutoff = when - windowTicks;
+        std::size_t head = inst.windowHead;
+        while (head < inst.window.size() &&
+               inst.window[head].when < cutoff)
+            ++head;
+        if (head > 64 && head * 2 > inst.window.size()) {
+            inst.window.erase(inst.window.begin(),
+                              inst.window.begin() +
+                                  static_cast<std::ptrdiff_t>(head));
+            head = 0;
+        }
+        inst.windowHead = head;
+        bool cond = false;
+        double rate = 0.0;
+        if (inst.window.size() - head >= 2) {
+            const FlightSample &oldest = inst.window[head];
+            const double spanSec =
+                ticksToSeconds(when - oldest.when);
+            if (spanSec > 0.0) {
+                rate = (value - oldest.value) / spanSec;
+                cond = compareValues(rule.op, rate, rule.value);
+            }
+        }
+        evaluate(t.rule, inst, when, cond, rate);
+    }
+    for (Route::Target &t : r.absenceRules) {
+        if (!t.inst)
+            t.inst = &instance(t.rule, name);
+        t.inst->lastSeen = when;
+        windowsDirty_ = true;
+    }
+    advanceTo(when);
+}
+
+void
+AlertEngine::onSample(std::string_view name, Tick when, double value)
+{
+    handleSample(route(name), name, when, value);
+}
+
+void
+AlertEngine::onSample(std::uint32_t seriesId, std::string_view name,
+                      Tick when, double value)
+{
+    if (seriesId >= routesById_.size())
+        routesById_.resize(seriesId + 1, nullptr);
+    Route *&r = routesById_[seriesId];
+    if (!r)
+        r = &route(name);
+    handleSample(*r, name, when, value);
+}
+
+void
+AlertEngine::observeEvent(std::string_view name, Tick when)
+{
+    PAD_ASSERT(!finalized_, "alert engine already finalized");
+    Route &r = route(name);
+    if (!r.eventRules.empty()) {
+        if (!r.ring)
+            r.ring = &recorder_.ring(name);
+        r.ring->push(FlightSample{when, 1.0});
+    }
+    for (Route::Target &t : r.eventRules) {
+        if (!t.inst)
+            t.inst = &instance(t.rule, name);
+        t.inst->events.push_back(when);
+        windowsDirty_ = true;
+    }
+    advanceTo(when);
+}
+
+void
+AlertEngine::advanceTo(Tick now)
+{
+    if (now > now_)
+        now_ = now;
+    // Absence/event-count conditions depend only on the clock, the
+    // event deques and lastSeen marks, so re-scanning them is pure
+    // waste until one of those moved. This keeps the per-sample cost
+    // of the common case (a routed threshold check) flat no matter
+    // how many windowed rules are loaded.
+    if (windowsDirty_ || now_ > windowsCheckedAt_) {
+        checkWindows(now_);
+        windowsCheckedAt_ = now_;
+        windowsDirty_ = false;
+    }
+
+    // Seal context captures whose window the clock has passed.
+    if (openCaptures_.empty())
+        return;
+    std::size_t kept = 0;
+    for (const std::size_t idx : openCaptures_) {
+        if (now_ >= incidents_[idx].contextUntil)
+            sealCapture(incidents_[idx], now_);
+        else
+            openCaptures_[kept++] = idx;
+    }
+    openCaptures_.resize(kept);
+}
+
+void
+AlertEngine::checkWindows(Tick now)
+{
+    for (std::size_t k = 0; k < rules_.size(); ++k) {
+        const AlertRule &rule = rules_.rules[k];
+        if (rule.predicate == PredicateKind::Absence) {
+            const Tick windowTicks = windowTicks_[k];
+            for (auto &[signal, inst] : instances_[k]) {
+                const bool cond = inst.lastSeen != kTickNever &&
+                                  now - inst.lastSeen > windowTicks;
+                evaluate(k, inst, now, cond,
+                         inst.lastSeen == kTickNever
+                             ? 0.0
+                             : ticksToSeconds(now - inst.lastSeen));
+            }
+        } else if (rule.predicate == PredicateKind::EventCount) {
+            const Tick windowTicks = windowTicks_[k];
+            for (auto &[signal, inst] : instances_[k]) {
+                while (!inst.events.empty() &&
+                       inst.events.front() < now - windowTicks)
+                    inst.events.pop_front();
+                const auto count =
+                    static_cast<double>(inst.events.size());
+                evaluate(k, inst, now,
+                         compareValues(rule.op, count, rule.value),
+                         count);
+            }
+        }
+    }
+}
+
+void
+AlertEngine::evaluate(std::size_t r, Instance &inst, Tick when,
+                      bool cond, double trigger)
+{
+    const Tick forTicks = forTicks_[r];
+    switch (inst.state) {
+      case Instance::State::Idle:
+        if (cond) {
+            inst.state = Instance::State::Pending;
+            inst.pendingSince = when;
+            if (when - inst.pendingSince >= forTicks)
+                fire(r, inst, when, trigger);
+        }
+        break;
+      case Instance::State::Pending:
+        if (!cond) {
+            inst.state = Instance::State::Idle;
+            inst.pendingSince = kTickNever;
+        } else if (when - inst.pendingSince >= forTicks) {
+            fire(r, inst, when, trigger);
+        }
+        break;
+      case Instance::State::Firing:
+        if (!cond) {
+            incidents_[inst.incident].resolvedAt = when;
+            inst.state = Instance::State::Idle;
+            inst.pendingSince = kTickNever;
+            inst.incident = kNoIncident;
+        }
+        break;
+    }
+}
+
+void
+AlertEngine::fire(std::size_t r, Instance &inst, Tick when,
+                  double trigger)
+{
+    const AlertRule &rule = rules_.rules[r];
+    Incident inc;
+    inc.rule = rule.name;
+    inc.signal = inst.signal;
+    inc.severity = rule.severity;
+    inc.predicate = rule.predicate;
+    inc.description = rule.description;
+    inc.pendingSince = inst.pendingSince;
+    inc.firingSince = when;
+    inc.triggerValue = trigger;
+    inc.threshold = rule.value;
+    inc.contextFrom = std::max<Tick>(0, when - contextTicks_);
+    inc.contextUntil = when + contextTicks_;
+
+    inst.state = Instance::State::Firing;
+    inst.incident = incidents_.size();
+    openCaptures_.push_back(incidents_.size());
+    incidents_.push_back(std::move(inc));
+    ++fired_[r];
+}
+
+void
+AlertEngine::sealCapture(Incident &incident, Tick upTo)
+{
+    const Tick to = std::min(incident.contextUntil, upTo);
+
+    // Deterministic context pick: the triggering signal first, then
+    // the cluster-wide policy/PDU signals, then siblings that share
+    // the signal's first dotted component ("rack3."), alphabetical,
+    // capped at maxContextSeries.
+    std::vector<std::string> picks;
+    auto add = [&](std::string_view name) {
+        if (picks.size() >= opts_.maxContextSeries)
+            return;
+        if (std::find(picks.begin(), picks.end(), name) != picks.end())
+            return;
+        if (recorder_.lastSeen(name) == kTickNever)
+            return;
+        picks.emplace_back(name);
+    };
+    add(incident.signal);
+    add("policy.level");
+    add("pdu.power");
+    const std::string_view group = groupPrefix(incident.signal);
+    if (!group.empty())
+        for (const std::string &name : recorder_.signals())
+            if (std::string_view(name).substr(0, group.size()) ==
+                group)
+                add(name);
+
+    for (const std::string &name : picks)
+        incident.context.push_back(IncidentSeries{
+            name,
+            recorder_.window(name, incident.contextFrom, to)});
+}
+
+void
+AlertEngine::finalize(Tick endOfRun)
+{
+    PAD_ASSERT(!finalized_, "alert engine finalized twice");
+    advanceTo(endOfRun);
+    for (const std::size_t idx : openCaptures_)
+        sealCapture(incidents_[idx], now_);
+    openCaptures_.clear();
+    std::stable_sort(incidents_.begin(), incidents_.end(),
+                     [](const Incident &a, const Incident &b) {
+                         if (a.firingSince != b.firingSince)
+                             return a.firingSince < b.firingSince;
+                         if (a.rule != b.rule)
+                             return a.rule < b.rule;
+                         return a.signal < b.signal;
+                     });
+    finalized_ = true;
+}
+
+const std::vector<Incident> &
+AlertEngine::incidents() const
+{
+    PAD_ASSERT(finalized_, "incidents() before finalize()");
+    return incidents_;
+}
+
+std::vector<telemetry::AlertStateSample>
+AlertEngine::ruleStates() const
+{
+    std::vector<telemetry::AlertStateSample> out;
+    out.reserve(rules_.size());
+    for (std::size_t k = 0; k < rules_.size(); ++k) {
+        telemetry::AlertStateSample s;
+        s.rule = rules_.rules[k].name;
+        s.severity = severityName(rules_.rules[k].severity);
+        for (const auto &[signal, inst] : instances_[k]) {
+            const int state =
+                inst.state == Instance::State::Firing    ? 2
+                : inst.state == Instance::State::Pending ? 1
+                                                         : 0;
+            s.state = std::max(s.state, state);
+        }
+        s.fired = fired_[k];
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+} // namespace pad::alert

@@ -1,0 +1,73 @@
+#include "alert/flight_recorder.h"
+
+namespace pad::alert {
+
+void
+FlightRecorder::Ring::push(FlightSample s)
+{
+    if (buf.size() < capacity) {
+        buf.push_back(s);
+        return;
+    }
+    buf[head] = s;
+    if (++head == capacity)
+        head = 0;
+}
+
+FlightRecorder::Ring &
+FlightRecorder::ring(std::string_view signal)
+{
+    auto it = rings_.find(signal);
+    if (it == rings_.end())
+        it = rings_.emplace(std::string(signal), Ring(capacity_)).first;
+    return it->second;
+}
+
+void
+FlightRecorder::record(std::string_view signal, Tick when,
+                       double value)
+{
+    ring(signal).push(FlightSample{when, value});
+}
+
+std::vector<FlightSample>
+FlightRecorder::window(std::string_view signal, Tick from,
+                       Tick to) const
+{
+    std::vector<FlightSample> out;
+    const auto it = rings_.find(signal);
+    if (it == rings_.end())
+        return out;
+    const Ring &ring = it->second;
+    for (std::size_t k = 0; k < ring.buf.size(); ++k) {
+        const FlightSample &s =
+            ring.buf[(ring.head + k) % ring.buf.size()];
+        if (s.when >= from && s.when <= to)
+            out.push_back(s);
+    }
+    return out;
+}
+
+std::vector<std::string>
+FlightRecorder::signals() const
+{
+    std::vector<std::string> out;
+    out.reserve(rings_.size());
+    for (const auto &[name, ring] : rings_)
+        out.push_back(name);
+    return out;
+}
+
+Tick
+FlightRecorder::lastSeen(std::string_view signal) const
+{
+    const auto it = rings_.find(signal);
+    if (it == rings_.end() || it->second.buf.empty())
+        return kTickNever;
+    const Ring &ring = it->second;
+    const std::size_t newest =
+        (ring.head + ring.buf.size() - 1) % ring.buf.size();
+    return ring.buf[newest].when;
+}
+
+} // namespace pad::alert

@@ -1,0 +1,300 @@
+#include "alert/html.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "util/json_writer.h"
+#include "util/types.h"
+
+namespace pad::alert {
+
+namespace {
+
+/** Deterministic short decimal for on-page numbers. */
+std::string
+fmt(double v)
+{
+    const double r = std::round(v * 1000.0) / 1000.0;
+    return JsonWriter::formatDouble(r == 0.0 ? 0.0 : r);
+}
+
+/** Sim tick -> "1234.5s". */
+std::string
+fmtTick(Tick t)
+{
+    if (t == kTickNever)
+        return "—";
+    return fmt(ticksToSeconds(t)) + "s";
+}
+
+/** SVG coordinate: two decimals keep files small and stable. */
+std::string
+coord(double v)
+{
+    const double r = std::round(v * 100.0) / 100.0;
+    return JsonWriter::formatDouble(r == 0.0 ? 0.0 : r);
+}
+
+constexpr double kSparkW = 300.0;
+constexpr double kSparkH = 72.0;
+constexpr double kPad = 6.0;
+
+/**
+ * One inline-SVG sparkline of @p samples over [from, to], with a
+ * marker line at @p mark (the firing moment). Steps (rather than
+ * slopes) when @p step is set — right for discrete levels.
+ */
+void
+sparkline(std::ostream &os, const std::vector<FlightSample> &samples,
+          Tick from, Tick to, Tick mark, bool step)
+{
+    os << "<svg viewBox=\"0 0 " << coord(kSparkW) << " "
+       << coord(kSparkH) << "\" class=\"spark\">";
+    if (samples.size() >= 2 && to > from) {
+        double lo = samples[0].value;
+        double hi = samples[0].value;
+        for (const FlightSample &s : samples) {
+            lo = std::min(lo, s.value);
+            hi = std::max(hi, s.value);
+        }
+        if (hi - lo < 1e-12) {
+            lo -= 0.5;
+            hi += 0.5;
+        }
+        const double spanT = static_cast<double>(to - from);
+        auto x = [&](Tick t) {
+            return kPad + (kSparkW - 2.0 * kPad) *
+                              static_cast<double>(t - from) / spanT;
+        };
+        auto y = [&](double v) {
+            return kSparkH - kPad -
+                   (kSparkH - 2.0 * kPad) * (v - lo) / (hi - lo);
+        };
+        if (mark >= from && mark <= to)
+            os << "<line x1=\"" << coord(x(mark)) << "\" y1=\"0\" x2=\""
+               << coord(x(mark)) << "\" y2=\"" << coord(kSparkH)
+               << "\" class=\"mark\"/>";
+        os << "<polyline points=\"";
+        bool first = true;
+        double prevY = 0.0;
+        for (const FlightSample &s : samples) {
+            if (!first) {
+                os << " ";
+                if (step)
+                    os << coord(x(s.when)) << "," << coord(prevY)
+                       << " ";
+            }
+            os << coord(x(s.when)) << "," << coord(y(s.value));
+            prevY = y(s.value);
+            first = false;
+        }
+        os << "\"/>";
+        os << "<text x=\"" << coord(kPad) << "\" y=\"10\">"
+           << htmlEscape(fmt(hi)) << "</text>";
+        os << "<text x=\"" << coord(kPad) << "\" y=\""
+           << coord(kSparkH - 1.0) << "\">" << htmlEscape(fmt(lo))
+           << "</text>";
+    } else {
+        os << "<text x=\"" << coord(kSparkW / 2.0) << "\" y=\""
+           << coord(kSparkH / 2.0)
+           << "\" class=\"empty\">no context samples</text>";
+    }
+    os << "</svg>";
+}
+
+const char *kStyle = R"(
+  body { font: 14px/1.45 -apple-system, "Segoe UI", sans-serif;
+         margin: 1.5rem auto; max-width: 70rem; padding: 0 1rem;
+         color: #1d2733; background: #f7f8fa; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  .tiles { display: flex; flex-wrap: wrap; gap: .75rem; }
+  .tile { background: #fff; border: 1px solid #dde2e8;
+          border-radius: .5rem; padding: .6rem 1rem; min-width: 8rem; }
+  .tile b { display: block; font-size: 1.3rem; }
+  table { border-collapse: collapse; width: 100%; background: #fff; }
+  th, td { border: 1px solid #dde2e8; padding: .35rem .6rem;
+           text-align: left; font-size: .85rem; }
+  th { background: #eef1f5; }
+  .sev-critical { color: #b3261e; font-weight: 600; }
+  .sev-warning { color: #9a6700; font-weight: 600; }
+  .sev-info { color: #2a6fb0; }
+  .card { background: #fff; border: 1px solid #dde2e8;
+          border-radius: .5rem; padding: .8rem 1rem; margin: 1rem 0; }
+  .card h3 { margin: 0 0 .3rem; font-size: 1rem; }
+  .meta { color: #5a6676; font-size: .8rem; }
+  .sparks { display: flex; flex-wrap: wrap; gap: .75rem;
+            margin-top: .5rem; }
+  .sparkbox { width: 300px; }
+  .sparkbox .name { font-size: .75rem; color: #5a6676;
+                    word-break: break-all; }
+  svg.spark { width: 300px; height: 72px; background: #fbfcfd;
+              border: 1px solid #e6eaef; }
+  svg.spark polyline { fill: none; stroke: #2a6fb0;
+                       stroke-width: 1.5; }
+  svg.spark line.mark { stroke: #b3261e; stroke-width: 1;
+                        stroke-dasharray: 3 2; }
+  svg.spark text { font-size: 9px; fill: #8a94a0; }
+  svg.spark text.empty { font-size: 11px; text-anchor: middle; }
+)";
+
+} // namespace
+
+std::string
+htmlEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+          case '&':
+            out += "&amp;";
+            break;
+          case '<':
+            out += "&lt;";
+            break;
+          case '>':
+            out += "&gt;";
+            break;
+          case '"':
+            out += "&quot;";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeIncidentDashboard(std::ostream &os,
+                       const std::vector<Incident> &incidents,
+                       const DashboardOptions &opts)
+{
+    std::size_t critical = 0;
+    std::size_t warning = 0;
+    std::size_t info = 0;
+    std::size_t unresolved = 0;
+    Tick firstFiring = kTickNever;
+    Tick lastFiring = kTickNever;
+    // Policy-level timeline assembled from every incident's context
+    // captures: the flight recorder snapshots "policy.level" around
+    // each firing, so the union is exactly the monitored span.
+    std::map<Tick, double> policy;
+    for (const Incident &inc : incidents) {
+        switch (inc.severity) {
+          case Severity::Critical:
+            ++critical;
+            break;
+          case Severity::Warning:
+            ++warning;
+            break;
+          case Severity::Info:
+            ++info;
+            break;
+        }
+        if (inc.resolvedAt == kTickNever)
+            ++unresolved;
+        if (firstFiring == kTickNever ||
+            inc.firingSince < firstFiring)
+            firstFiring = inc.firingSince;
+        if (lastFiring == kTickNever || inc.firingSince > lastFiring)
+            lastFiring = inc.firingSince;
+        for (const IncidentSeries &series : inc.context)
+            if (series.signal == "policy.level")
+                for (const FlightSample &s : series.samples)
+                    policy[s.when] = s.value;
+    }
+
+    os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+       << "<meta charset=\"utf-8\">\n"
+       << "<title>" << htmlEscape(opts.title) << "</title>\n"
+       << "<style>" << kStyle << "</style>\n</head>\n<body>\n";
+    os << "<h1>" << htmlEscape(opts.title) << "</h1>\n";
+
+    os << "<div class=\"tiles\">\n"
+       << "<div class=\"tile\"><b>" << incidents.size()
+       << "</b>incidents</div>\n"
+       << "<div class=\"tile\"><b class=\"sev-critical\">" << critical
+       << "</b>critical</div>\n"
+       << "<div class=\"tile\"><b class=\"sev-warning\">" << warning
+       << "</b>warning</div>\n"
+       << "<div class=\"tile\"><b class=\"sev-info\">" << info
+       << "</b>info</div>\n"
+       << "<div class=\"tile\"><b>" << unresolved
+       << "</b>unresolved at end</div>\n"
+       << "</div>\n";
+
+    if (policy.size() >= 2) {
+        os << "<h2>Policy level</h2>\n<div class=\"card\">"
+           << "<div class=\"meta\">Security-policy level around the "
+              "captured incidents (1 normal, 2 minor incident, 3 "
+              "emergency)</div>";
+        std::vector<FlightSample> samples;
+        samples.reserve(policy.size());
+        for (const auto &[when, value] : policy)
+            samples.push_back(FlightSample{when, value});
+        sparkline(os, samples, samples.front().when,
+                  samples.back().when, kTickNever, true);
+        os << "</div>\n";
+    }
+
+    os << "<h2>Incidents</h2>\n<table>\n<tr><th>id</th><th>severity"
+       << "</th><th>rule</th><th>signal</th><th>fired</th>"
+       << "<th>resolved</th><th>trigger</th><th>threshold</th>"
+       << "</tr>\n";
+    for (const Incident &inc : incidents) {
+        const char *sev = severityName(inc.severity);
+        os << "<tr><td>" << htmlEscape(inc.id())
+           << "</td><td class=\"sev-" << sev << "\">" << sev
+           << "</td><td>" << htmlEscape(inc.rule) << "</td><td>"
+           << htmlEscape(inc.signal) << "</td><td>"
+           << fmtTick(inc.firingSince) << "</td><td>"
+           << fmtTick(inc.resolvedAt) << "</td><td>"
+           << fmt(inc.triggerValue) << "</td><td>"
+           << fmt(inc.threshold) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+
+    if (!incidents.empty())
+        os << "<h2>Flight-recorder context</h2>\n";
+    for (const Incident &inc : incidents) {
+        os << "<div class=\"card\">\n<h3>" << htmlEscape(inc.id())
+           << "</h3>\n<div class=\"meta\">";
+        if (!inc.description.empty())
+            os << htmlEscape(inc.description) << " — ";
+        os << "pending " << fmtTick(inc.pendingSince) << ", fired "
+           << fmtTick(inc.firingSince) << ", resolved "
+           << fmtTick(inc.resolvedAt) << ", context "
+           << fmtTick(inc.contextFrom) << " … "
+           << fmtTick(inc.contextUntil) << "</div>\n"
+           << "<div class=\"sparks\">\n";
+        std::size_t shown = 0;
+        for (const IncidentSeries &series : inc.context) {
+            if (shown++ >= opts.maxSparklines)
+                break;
+            os << "<div class=\"sparkbox\"><div class=\"name\">"
+               << htmlEscape(series.signal) << "</div>";
+            sparkline(os, series.samples, inc.contextFrom,
+                      inc.contextUntil, inc.firingSince,
+                      series.signal == "policy.level");
+            os << "</div>\n";
+        }
+        os << "</div>\n</div>\n";
+    }
+
+    os << "</body>\n</html>\n";
+}
+
+std::string
+renderIncidentDashboard(const std::vector<Incident> &incidents,
+                        const DashboardOptions &opts)
+{
+    std::ostringstream os;
+    writeIncidentDashboard(os, incidents, opts);
+    return os.str();
+}
+
+} // namespace pad::alert

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Self-contained HTML incident dashboard.
+ *
+ * Renders a list of incidents (typically read back from an
+ * incidents.jsonl file) as one standalone HTML document: summary
+ * tiles, a policy-level timeline, an incident table and per-incident
+ * flight-recorder sparklines — everything inline (CSS and SVG, no
+ * scripts, no external references), so the file opens anywhere and
+ * can be archived next to the run's other artifacts. Output is
+ * deterministic for identical input, like every artifact writer in
+ * the tree.
+ */
+
+#ifndef PAD_ALERT_HTML_H
+#define PAD_ALERT_HTML_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "alert/incident.h"
+
+namespace pad::alert {
+
+struct DashboardOptions {
+    /** Page heading. */
+    std::string title = "PAD incident dashboard";
+    /** Sparklines rendered per incident card. */
+    std::size_t maxSparklines = 6;
+};
+
+/** Render the dashboard for @p incidents onto @p os. */
+void writeIncidentDashboard(std::ostream &os,
+                            const std::vector<Incident> &incidents,
+                            const DashboardOptions &opts = {});
+
+/** writeIncidentDashboard() into a string. */
+std::string renderIncidentDashboard(
+    const std::vector<Incident> &incidents,
+    const DashboardOptions &opts = {});
+
+/** Escape text for inclusion in HTML element or attribute content. */
+std::string htmlEscape(std::string_view text);
+
+} // namespace pad::alert
+
+#endif // PAD_ALERT_HTML_H

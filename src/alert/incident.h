@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Incident records and their JSONL serialization.
+ *
+ * An Incident is one completed pending→firing(→resolved) episode of
+ * an alert-rule instance, annotated with the flight-recorder context
+ * snapshot taken around the firing moment. Incidents stream to an
+ * `incidents.jsonl` file (one self-contained JSON object per line,
+ * same convention as the trace files) and read back for the
+ * `padtrace incidents` dashboard.
+ *
+ * Incident IDs are a pure function of (rule, signal, firing tick) —
+ * sim time, never wall time — so the same scenario produces the same
+ * IDs on every run and under any sweep parallelism. Sweep jobs add a
+ * "job<i>." prefix, mirroring the stats/telemetry merge convention.
+ */
+
+#ifndef PAD_ALERT_INCIDENT_H
+#define PAD_ALERT_INCIDENT_H
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "alert/flight_recorder.h"
+#include "alert/rule.h"
+#include "util/types.h"
+
+namespace pad::alert {
+
+/** One context series captured into an incident. */
+struct IncidentSeries {
+    std::string signal;
+    std::vector<FlightSample> samples;
+};
+
+/** One firing episode of an alert-rule instance. */
+struct Incident {
+    /** Rule that fired. */
+    std::string rule;
+    /** Concrete signal instance ("rack3.soc", not "rack*.soc"). */
+    std::string signal;
+    Severity severity = Severity::Warning;
+    PredicateKind predicate = PredicateKind::Threshold;
+    std::string description;
+    /** Sweep-job index; -1 for a single (serial) run. */
+    int job = -1;
+    /** When the predicate first held. */
+    Tick pendingSince = 0;
+    /** When the hold duration elapsed and the alert fired. */
+    Tick firingSince = 0;
+    /** When the predicate stopped holding; kTickNever = end of run. */
+    Tick resolvedAt = kTickNever;
+    /** Observed value at the firing moment. */
+    double triggerValue = 0.0;
+    /** The rule's comparison limit. */
+    double threshold = 0.0;
+    /** Context snapshot bounds (sim ticks). */
+    Tick contextFrom = 0;
+    Tick contextUntil = 0;
+    /** Flight-recorder snapshot around the firing moment. */
+    std::vector<IncidentSeries> context;
+
+    /** Stable ID: [job<i>.]rule:signal@firingTick. */
+    std::string id() const;
+};
+
+/** Write one JSON object per incident, one per line. */
+void writeIncidentsJsonl(std::ostream &os,
+                         const std::vector<Incident> &incidents);
+
+/** writeIncidentsJsonl() into a string. */
+std::string renderIncidentsJsonl(const std::vector<Incident> &incidents);
+
+/**
+ * Parse an incidents.jsonl document. Strict: every non-empty line
+ * must be a valid incident object. Returns nullopt with a message in
+ * @p error (including the offending line number) on failure.
+ */
+std::optional<std::vector<Incident>>
+readIncidentsJsonl(std::string_view text, std::string *error = nullptr);
+
+/** readIncidentsJsonl() over the contents of @p path. */
+std::optional<std::vector<Incident>>
+readIncidentsFile(const std::string &path, std::string *error = nullptr);
+
+} // namespace pad::alert
+
+#endif // PAD_ALERT_INCIDENT_H

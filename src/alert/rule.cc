@@ -1,0 +1,290 @@
+#include "alert/rule.h"
+
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/json.h"
+
+namespace pad::alert {
+
+namespace {
+
+/** Split a dotted name into components (empty components kept). */
+std::vector<std::string_view>
+splitDots(std::string_view s)
+{
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = s.find('.', start);
+        if (dot == std::string_view::npos) {
+            out.push_back(s.substr(start));
+            return out;
+        }
+        out.push_back(s.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+bool
+componentMatches(std::string_view pat, std::string_view name)
+{
+    if (pat == "*")
+        return true;
+    if (!pat.empty() && pat.back() == '*') {
+        const std::string_view stem = pat.substr(0, pat.size() - 1);
+        return name.size() >= stem.size() &&
+               name.substr(0, stem.size()) == stem;
+    }
+    return pat == name;
+}
+
+} // namespace
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Info:
+        return "info";
+      case Severity::Warning:
+        return "warning";
+      case Severity::Critical:
+        return "critical";
+    }
+    return "warning";
+}
+
+std::optional<Severity>
+severityFromName(std::string_view name)
+{
+    if (name == "info")
+        return Severity::Info;
+    if (name == "warning")
+        return Severity::Warning;
+    if (name == "critical")
+        return Severity::Critical;
+    return std::nullopt;
+}
+
+const char *
+predicateName(PredicateKind k)
+{
+    switch (k) {
+      case PredicateKind::Threshold:
+        return "threshold";
+      case PredicateKind::RateOfChange:
+        return "rate_of_change";
+      case PredicateKind::Absence:
+        return "absence";
+      case PredicateKind::EventCount:
+        return "event_count";
+    }
+    return "threshold";
+}
+
+std::optional<PredicateKind>
+predicateFromName(std::string_view name)
+{
+    if (name == "threshold")
+        return PredicateKind::Threshold;
+    if (name == "rate_of_change")
+        return PredicateKind::RateOfChange;
+    if (name == "absence")
+        return PredicateKind::Absence;
+    if (name == "event_count")
+        return PredicateKind::EventCount;
+    return std::nullopt;
+}
+
+const char *
+compareOpName(CompareOp op)
+{
+    switch (op) {
+      case CompareOp::Gt:
+        return ">";
+      case CompareOp::Ge:
+        return ">=";
+      case CompareOp::Lt:
+        return "<";
+      case CompareOp::Le:
+        return "<=";
+    }
+    return ">";
+}
+
+std::optional<CompareOp>
+compareOpFromName(std::string_view name)
+{
+    if (name == ">")
+        return CompareOp::Gt;
+    if (name == ">=")
+        return CompareOp::Ge;
+    if (name == "<")
+        return CompareOp::Lt;
+    if (name == "<=")
+        return CompareOp::Le;
+    return std::nullopt;
+}
+
+bool
+compareValues(CompareOp op, double lhs, double rhs)
+{
+    switch (op) {
+      case CompareOp::Gt:
+        return lhs > rhs;
+      case CompareOp::Ge:
+        return lhs >= rhs;
+      case CompareOp::Lt:
+        return lhs < rhs;
+      case CompareOp::Le:
+        return lhs <= rhs;
+    }
+    return false;
+}
+
+bool
+signalMatches(std::string_view pattern, std::string_view name)
+{
+    const auto pats = splitDots(pattern);
+    const auto names = splitDots(name);
+    if (pats.size() != names.size())
+        return false;
+    for (std::size_t k = 0; k < pats.size(); ++k)
+        if (!componentMatches(pats[k], names[k]))
+            return false;
+    return true;
+}
+
+std::optional<RuleSet>
+parseRules(std::string_view text, std::string *error)
+{
+    auto fail = [&](const std::string &what) -> std::optional<RuleSet> {
+        if (error)
+            *error = what;
+        return std::nullopt;
+    };
+
+    std::string parseError;
+    const auto doc = parseJson(text, &parseError);
+    if (!doc)
+        return fail("invalid JSON: " + parseError);
+    if (!doc->isObject())
+        return fail("rules document must be a JSON object");
+    for (const auto &[key, value] : doc->members)
+        if (key != "rules")
+            return fail("unknown top-level key: " + key);
+    const JsonValue *list = doc->find("rules");
+    if (!list || !list->isArray())
+        return fail("missing \"rules\" array");
+
+    RuleSet out;
+    std::set<std::string> seen;
+    for (std::size_t k = 0; k < list->array.size(); ++k) {
+        const JsonValue &node = list->array[k];
+        const std::string where =
+            "rule #" + std::to_string(k + 1) + ": ";
+        if (!node.isObject())
+            return fail(where + "must be an object");
+
+        AlertRule rule;
+        bool hasValue = false;
+        bool hasWindow = false;
+        for (const auto &[key, value] : node.members) {
+            if (key == "name") {
+                if (!value.isString() || value.str.empty())
+                    return fail(where + "\"name\" must be a "
+                                        "non-empty string");
+                rule.name = value.str;
+            } else if (key == "severity") {
+                if (!value.isString())
+                    return fail(where + "\"severity\" must be a string");
+                const auto s = severityFromName(value.str);
+                if (!s)
+                    return fail(where + "unknown severity: " +
+                                value.str);
+                rule.severity = *s;
+            } else if (key == "predicate") {
+                if (!value.isString())
+                    return fail(where +
+                                "\"predicate\" must be a string");
+                const auto p = predicateFromName(value.str);
+                if (!p)
+                    return fail(where + "unknown predicate: " +
+                                value.str);
+                rule.predicate = *p;
+            } else if (key == "signal") {
+                if (!value.isString() || value.str.empty())
+                    return fail(where + "\"signal\" must be a "
+                                        "non-empty string");
+                rule.signal = value.str;
+            } else if (key == "op") {
+                if (!value.isString())
+                    return fail(where + "\"op\" must be a string");
+                const auto op = compareOpFromName(value.str);
+                if (!op)
+                    return fail(where + "unknown op: " + value.str);
+                rule.op = *op;
+            } else if (key == "value") {
+                if (!value.isNumber())
+                    return fail(where + "\"value\" must be a number");
+                rule.value = value.number;
+                hasValue = true;
+            } else if (key == "window_sec") {
+                if (!value.isNumber() || value.number <= 0.0)
+                    return fail(where + "\"window_sec\" must be a "
+                                        "positive number");
+                rule.windowSec = value.number;
+                hasWindow = true;
+            } else if (key == "for_sec") {
+                if (!value.isNumber() || value.number < 0.0)
+                    return fail(where + "\"for_sec\" must be a "
+                                        "non-negative number");
+                rule.forSec = value.number;
+            } else if (key == "description") {
+                if (!value.isString())
+                    return fail(where +
+                                "\"description\" must be a string");
+                rule.description = value.str;
+            } else {
+                return fail(where + "unknown key: " + key);
+            }
+        }
+
+        if (rule.name.empty())
+            return fail(where + "missing \"name\"");
+        if (rule.signal.empty())
+            return fail("rule \"" + rule.name +
+                        "\": missing \"signal\"");
+        if (!seen.insert(rule.name).second)
+            return fail("duplicate rule name: " + rule.name);
+        if (rule.predicate != PredicateKind::Absence && !hasValue)
+            return fail("rule \"" + rule.name +
+                        "\": missing \"value\"");
+        if (rule.predicate == PredicateKind::Absence && !hasWindow)
+            return fail("rule \"" + rule.name +
+                        "\": absence needs \"window_sec\"");
+        out.rules.push_back(std::move(rule));
+    }
+    return out;
+}
+
+std::optional<RuleSet>
+loadRulesFile(const std::string &path, std::string *error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error)
+            *error = "cannot open rules file: " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto out = parseRules(buf.str(), error);
+    if (!out && error)
+        *error = path + ": " + *error;
+    return out;
+}
+
+} // namespace pad::alert

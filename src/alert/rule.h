@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Declarative alert rules (DESIGN.md §10).
+ *
+ * A rule binds one predicate over a telemetry signal — a TimeSeries
+ * name pattern or a curated trace-event name — to a severity and a
+ * `for:`-style hold duration: the predicate must hold continuously
+ * for `forSec` simulated seconds before the rule fires. Four
+ * predicate kinds cover the paper's monitoring semantics:
+ *
+ *   threshold      value OP limit on every sample
+ *   rate_of_change per-second slope over a trailing window
+ *   absence        no sample of the signal for `windowSec`
+ *   event_count    occurrences of a trace event in a trailing window
+ *
+ * Rules are parsed from a JSON file by the in-tree parser — no
+ * external dependency — and evaluated on sim time only, so alert
+ * output obeys the same parallel==serial determinism contract as
+ * every other artifact (DESIGN.md §7).
+ */
+
+#ifndef PAD_ALERT_RULE_H
+#define PAD_ALERT_RULE_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/types.h"
+
+namespace pad::alert {
+
+/** Incident severity, ordered least to most severe. */
+enum class Severity { Info, Warning, Critical };
+
+/** Lower-case severity name ("info", "warning", "critical"). */
+const char *severityName(Severity s);
+
+/** Parse a severity name; nullopt when unknown. */
+std::optional<Severity> severityFromName(std::string_view name);
+
+/** What a rule evaluates. */
+enum class PredicateKind {
+    Threshold,    ///< sample value OP limit
+    RateOfChange, ///< per-second slope over windowSec OP limit
+    Absence,      ///< signal silent for more than windowSec
+    EventCount,   ///< trace-event occurrences in windowSec OP limit
+};
+
+/** Rules-file spelling of a predicate kind. */
+const char *predicateName(PredicateKind k);
+
+/** Parse a predicate name; nullopt when unknown. */
+std::optional<PredicateKind> predicateFromName(std::string_view name);
+
+/** Comparison operator of threshold-style predicates. */
+enum class CompareOp { Gt, Ge, Lt, Le };
+
+/** Rules-file spelling (">", ">=", "<", "<="). */
+const char *compareOpName(CompareOp op);
+
+/** Parse an operator spelling; nullopt when unknown. */
+std::optional<CompareOp> compareOpFromName(std::string_view name);
+
+/** Evaluate @p lhs OP @p rhs. */
+bool compareValues(CompareOp op, double lhs, double rhs);
+
+/**
+ * One declarative alert rule. `signal` names the telemetry series
+ * (threshold / rate_of_change / absence) or the trace-event type
+ * (event_count) the rule watches; series patterns may use '*' per
+ * dotted component ("rack*.soc" watches every rack's SOC and tracks
+ * one independent alert instance per concrete series).
+ */
+struct AlertRule {
+    /** Unique rule name; part of every incident ID. */
+    std::string name;
+    Severity severity = Severity::Warning;
+    PredicateKind predicate = PredicateKind::Threshold;
+    /** Series pattern or event name (see class comment). */
+    std::string signal;
+    CompareOp op = CompareOp::Gt;
+    /** Comparison limit (threshold/rate/count); unused for absence. */
+    double value = 0.0;
+    /** Trailing window, seconds (rate/absence/event_count). */
+    double windowSec = 60.0;
+    /** Continuous-hold duration before firing, seconds. */
+    double forSec = 0.0;
+    /** Human-readable description for dashboards and HELP text. */
+    std::string description;
+};
+
+/** An ordered collection of rules, as loaded from one rules file. */
+struct RuleSet {
+    std::vector<AlertRule> rules;
+
+    bool empty() const { return rules.empty(); }
+    std::size_t size() const { return rules.size(); }
+};
+
+/**
+ * Match a series name against a rule pattern, component by dotted
+ * component: a pattern component "*" matches anything, a trailing
+ * '*' matches any suffix ("rack*" matches "rack19"), otherwise the
+ * components must be equal. Component counts must agree.
+ */
+bool signalMatches(std::string_view pattern, std::string_view name);
+
+/**
+ * Parse a rules document:
+ *
+ *   {"rules": [{"name": "soc-low", "severity": "warning",
+ *               "predicate": "threshold", "signal": "rack*.soc",
+ *               "op": "<", "value": 0.35, "for_sec": 60,
+ *               "description": "..."}, ...]}
+ *
+ * Parsing is strict: unknown keys, duplicate rule names, unknown
+ * enum spellings and missing required fields are all errors, so a
+ * typo in a rules file cannot silently disable monitoring. Returns
+ * nullopt with a description in @p error on failure.
+ */
+std::optional<RuleSet> parseRules(std::string_view text,
+                                  std::string *error = nullptr);
+
+/** parseRules() over the contents of @p path. */
+std::optional<RuleSet> loadRulesFile(const std::string &path,
+                                     std::string *error = nullptr);
+
+} // namespace pad::alert
+
+#endif // PAD_ALERT_RULE_H

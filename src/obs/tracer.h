@@ -58,6 +58,24 @@ traceClock()
 }
 
 /**
+ * Sink currently bound to this thread, or nullptr when tracing is
+ * disabled. Lets adapters (the alert engine's AlertTraceSink) wrap
+ * whatever sink the caller already had and pass events through.
+ */
+inline TraceSink *
+currentTraceSink()
+{
+    return detail::tlsSink;
+}
+
+/** Sweep-job index bound to this thread; -1 on the main thread. */
+inline int
+currentTraceJob()
+{
+    return detail::tlsJob;
+}
+
+/**
  * Bind @p sink (and sweep-job @p job) to the current thread for the
  * scope's lifetime. Nestable; restores the previous binding. Passing
  * nullptr disables tracing within the scope.

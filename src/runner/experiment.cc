@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "attack/power_virus.h"
 #include "battery/battery_unit.h"
 #include "core/udeb.h"
+#include "obs/tracer.h"
 #include "power/server_power_model.h"
 #include "util/logging.h"
 
@@ -227,6 +230,57 @@ runRackLabServers(const RackLabSpec &cfg, double windowSec)
     return out;
 }
 
+/**
+ * Online monitoring attached to one cluster job: the telemetry hub
+ * (created even when the caller did not ask for telemetry, since the
+ * alert engine feeds off hub samples) plus the alert engine and the
+ * trace-sink adapter that routes curated events into it. Purely
+ * observational — attaching it never changes simulation results.
+ */
+class JobMonitoring
+{
+  public:
+    JobMonitoring(core::DataCenter &dc, bool telemetryEnabled,
+                  const alert::RuleSet *rules)
+    {
+        if (telemetryEnabled || rules) {
+            hub = std::make_shared<telemetry::TelemetryHub>();
+            dc.setTelemetry(hub.get());
+        }
+        if (rules) {
+            engine = std::make_shared<alert::AlertEngine>(*rules);
+            hub->setListener(engine.get());
+            // Route curated trace events into the engine, passing
+            // them through to whatever sink the thread already had
+            // (the run's real trace file, or nothing).
+            feed_ = std::make_unique<alert::AlertTraceSink>(
+                *engine, obs::currentTraceSink());
+            scope_.emplace(feed_.get(), obs::currentTraceJob());
+        }
+    }
+
+    JobMonitoring(const JobMonitoring &) = delete;
+    JobMonitoring &operator=(const JobMonitoring &) = delete;
+
+    /** Stop feeds and seal the engine at sim time @p end. */
+    void
+    finish(Tick end)
+    {
+        if (!engine || engine->finalized())
+            return;
+        hub->setListener(nullptr);
+        scope_.reset();
+        engine->finalize(end);
+    }
+
+    std::shared_ptr<telemetry::TelemetryHub> hub;
+    std::shared_ptr<alert::AlertEngine> engine;
+
+  private:
+    std::unique_ptr<alert::AlertTraceSink> feed_;
+    std::optional<obs::TraceScope> scope_;
+};
+
 /** Resolve the data-center config a cluster spec describes. */
 core::DataCenterConfig
 resolveConfig(const ClusterAttackSpec &spec)
@@ -242,17 +296,13 @@ resolveConfig(const ClusterAttackSpec &spec)
 ExperimentResult
 runClusterAttack(const ClusterAttackSpec &spec,
                  const ClusterWorkload &cw, std::uint64_t seed,
-                 bool telemetryEnabled)
+                 bool telemetryEnabled, const alert::RuleSet *rules)
 {
     core::DataCenterConfig cfg = resolveConfig(spec);
     if (seed != kSpecSeed)
         cfg.seed = seed;
     core::DataCenter dc(cfg, cw.workload.get());
-    std::shared_ptr<telemetry::TelemetryHub> hub;
-    if (telemetryEnabled) {
-        hub = std::make_shared<telemetry::TelemetryHub>();
-        dc.setTelemetry(hub.get());
-    }
+    JobMonitoring mon(dc, telemetryEnabled, rules);
     // Warm up through one night and the next morning so batteries
     // carry realistic state, then strike near the diurnal peak.
     dc.runCoarseUntil(kTicksPerDay +
@@ -318,14 +368,19 @@ runClusterAttack(const ClusterAttackSpec &spec,
                           "hidden spikes launched in Phase II")
         .add(static_cast<std::uint64_t>(
             std::max(0, out.attackOutcome.spikesLaunched)));
-    out.hub = std::move(hub);
+    mon.finish(dc.now());
+    // The hub only travels with the result when the caller asked for
+    // telemetry, so --prom artifacts are identical with or without
+    // alerting enabled.
+    out.hub = telemetryEnabled ? mon.hub : nullptr;
+    out.alerts = mon.engine;
     return out;
 }
 
 ExperimentResult
 runClusterCoarse(const ClusterCoarseSpec &spec,
                  const ClusterWorkload &cw, std::uint64_t seed,
-                 bool telemetryEnabled)
+                 bool telemetryEnabled, const alert::RuleSet *rules)
 {
     core::DataCenterConfig cfg;
     if (spec.config) {
@@ -338,11 +393,7 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     if (seed != kSpecSeed)
         cfg.seed = seed;
     core::DataCenter dc(cfg, cw.workload.get());
-    std::shared_ptr<telemetry::TelemetryHub> hub;
-    if (telemetryEnabled) {
-        hub = std::make_shared<telemetry::TelemetryHub>();
-        dc.setTelemetry(hub.get());
-    }
+    JobMonitoring mon(dc, telemetryEnabled, rules);
     dc.setRecordHistory(spec.recordHistory);
     dc.runCoarseUntil(
         static_cast<Tick>(spec.untilHours * kTicksPerHour));
@@ -356,7 +407,9 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     out.telemetry.shedHistory = dc.shedHistory();
     out.stats = std::make_shared<sim::StatsRegistry>();
     dc.exportStats(*out.stats);
-    out.hub = std::move(hub);
+    mon.finish(dc.now());
+    out.hub = telemetryEnabled ? mon.hub : nullptr;
+    out.alerts = mon.engine;
     return out;
 }
 
@@ -507,14 +560,16 @@ runExperiment(const Experiment &experiment)
         return runClusterAttack(experiment.attack,
                                 *experiment.workload,
                                 experiment.seed,
-                                experiment.telemetryEnabled);
+                                experiment.telemetryEnabled,
+                                experiment.alertRules.get());
       case ExperimentKind::ClusterCoarse:
         PAD_ASSERT(experiment.workload != nullptr,
                    "cluster experiments need a workload");
         return runClusterCoarse(experiment.coarse,
                                 *experiment.workload,
                                 experiment.seed,
-                                experiment.telemetryEnabled);
+                                experiment.telemetryEnabled,
+                                experiment.alertRules.get());
     }
     PAD_PANIC("unreachable experiment kind");
 }

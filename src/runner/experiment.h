@@ -33,6 +33,7 @@
 #include <utility>
 #include <vector>
 
+#include "alert/engine.h"
 #include "attack/attacker.h"
 #include "attack/power_virus.h"
 #include "core/config.h"
@@ -295,6 +296,16 @@ struct Experiment {
      * additive: enabling it never changes simulation results.
      */
     bool telemetryEnabled = false;
+    /**
+     * Alert rules evaluated online against the job's telemetry and
+     * trace streams (cluster kinds only): each job runs its own
+     * alert::AlertEngine and the sealed incidents land in
+     * ExperimentResult::alerts. Shared read-only across jobs like
+     * the workload. nullptr (default) disables alerting entirely —
+     * the same zero-cost-when-disabled contract as telemetry — and
+     * enabling it never changes simulation results.
+     */
+    std::shared_ptr<const alert::RuleSet> alertRules;
 
     /** Make a mini-rack overload-counting experiment. */
     static Experiment rackLab(RackLabSpec spec, double windowSec);
@@ -351,6 +362,12 @@ struct ExperimentResult {
      * are copied around freely.
      */
     std::shared_ptr<telemetry::TelemetryHub> hub;
+    /**
+     * The job's finalized alert engine (incidents + rule states);
+     * non-null only when the experiment ran with alertRules set.
+     * Shared for the same reason stats is.
+     */
+    std::shared_ptr<alert::AlertEngine> alerts;
 
     /** RackLab result (asserts kind). */
     const RackLabResult &lab() const;

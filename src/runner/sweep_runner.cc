@@ -101,6 +101,21 @@ SweepRunner::runWithReport(
         report.telemetry->mergeFrom(*report.results[i].hub,
                                     "job" + std::to_string(i) + ".");
     }
+    for (std::size_t i = 0; i < report.results.size(); ++i) {
+        const auto &alerts = report.results[i].alerts;
+        if (!alerts)
+            continue;
+        const std::string prefix = "job" + std::to_string(i) + ".";
+        for (alert::Incident incident : alerts->incidents()) {
+            incident.job = static_cast<int>(i);
+            report.incidents.push_back(std::move(incident));
+        }
+        for (telemetry::AlertStateSample state :
+             alerts->ruleStates()) {
+            state.rule = prefix + state.rule;
+            report.alertStates.push_back(std::move(state));
+        }
+    }
 
     report.wallSeconds =
         std::chrono::duration<double>(Clock::now() - sweepStart)

@@ -56,6 +56,18 @@ struct SweepReport {
      * because TelemetryHub owns a mutex and cannot move.
      */
     std::shared_ptr<telemetry::TelemetryHub> telemetry;
+    /**
+     * Every alerted job's sealed incidents, submission order, each
+     * stamped with its job index (so IDs carry the "job<i>." prefix
+     * — the same convention as the stats/telemetry merges). Empty
+     * when no job ran with alertRules.
+     */
+    std::vector<alert::Incident> incidents;
+    /**
+     * Per-rule alert states of every alerted job, submission order,
+     * rule names prefixed "job<i>.". Ready for PromWriter.
+     */
+    std::vector<telemetry::AlertStateSample> alertStates;
     /** Wall-clock seconds each job took (profiling only). */
     std::vector<double> jobWallSeconds;
     /** Wall-clock seconds for the whole sweep (profiling only). */

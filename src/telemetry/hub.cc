@@ -8,8 +8,20 @@ TelemetryHub::record(std::string_view name, Tick when, double value)
     std::lock_guard<std::mutex> lock(mu_);
     auto it = series_.find(name);
     if (it == series_.end())
-        it = series_.emplace(std::string(name), TimeSeries(opts_)).first;
-    it->second.record(when, value);
+        it = series_
+                 .emplace(std::string(name),
+                          Entry{TimeSeries(opts_), nextId_++})
+                 .first;
+    it->second.series.record(when, value);
+    if (listener_)
+        listener_->onSample(it->second.id, name, when, value);
+}
+
+void
+TelemetryHub::setListener(SampleListener *listener)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    listener_ = listener;
 }
 
 const TimeSeries *
@@ -17,7 +29,7 @@ TelemetryHub::find(std::string_view name) const
 {
     std::lock_guard<std::mutex> lock(mu_);
     const auto it = series_.find(name);
-    return it == series_.end() ? nullptr : &it->second;
+    return it == series_.end() ? nullptr : &it->second.series;
 }
 
 std::vector<std::string>
@@ -26,7 +38,7 @@ TelemetryHub::names() const
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<std::string> out;
     out.reserve(series_.size());
-    for (const auto &[name, series] : series_)
+    for (const auto &[name, entry] : series_)
         out.push_back(name);
     return out;
 }
@@ -44,7 +56,8 @@ TelemetryHub::summary() const
     std::lock_guard<std::mutex> lock(mu_);
     std::vector<SeriesSummary> out;
     out.reserve(series_.size());
-    for (const auto &[name, series] : series_) {
+    for (const auto &[name, entry] : series_) {
+        const TimeSeries &series = entry.series;
         SeriesSummary s;
         s.name = name;
         s.last = series.last();
@@ -62,14 +75,26 @@ TelemetryHub::mergeFrom(const TelemetryHub &other, const std::string &prefix)
 {
     // Copy the source series under its lock first so self-merge and
     // lock-order issues cannot arise.
-    std::map<std::string, TimeSeries, std::less<>> copy;
+    std::map<std::string, Entry, std::less<>> copy;
     {
         std::lock_guard<std::mutex> lock(other.mu_);
         copy = other.series_;
     }
     std::lock_guard<std::mutex> lock(mu_);
-    for (auto &[name, series] : copy)
-        series_.insert_or_assign(prefix + name, std::move(series));
+    for (auto &[name, entry] : copy) {
+        // An empty series carries no samples and would only add
+        // zero-valued rows to summaries and Prometheus expositions.
+        if (entry.series.empty())
+            continue;
+        // Ids are hub-local: a merged-in series keeps the target's
+        // existing id or receives a fresh one, never the source's.
+        auto it = series_.find(prefix + name);
+        if (it == series_.end())
+            series_.emplace(prefix + name,
+                            Entry{std::move(entry.series), nextId_++});
+        else
+            it->second.series = std::move(entry.series);
+    }
 }
 
 } // namespace pad::telemetry

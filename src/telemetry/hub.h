@@ -17,6 +17,7 @@
 #ifndef PAD_TELEMETRY_HUB_H
 #define PAD_TELEMETRY_HUB_H
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -27,6 +28,39 @@
 
 namespace pad::telemetry {
 
+/**
+ * Observer of every sample recorded into a TelemetryHub. The hub
+ * invokes the listener synchronously on the recording thread while
+ * holding its lock, so implementations must be cheap, must not call
+ * back into the hub, and need no synchronisation of their own when
+ * samples come from a single simulation thread (the alert engine's
+ * contract, DESIGN.md §10).
+ */
+class SampleListener
+{
+  public:
+    virtual ~SampleListener() = default;
+
+    /** One sample just recorded into series @p name. */
+    virtual void onSample(std::string_view name, Tick when,
+                          double value) = 0;
+
+    /**
+     * The same sample, with the hub's series id: a dense integer
+     * assigned at series creation (0, 1, 2, ...), stable for the
+     * hub's lifetime. Listeners with per-series state can index by
+     * id and skip name lookups on the hot path; the default simply
+     * forwards to the by-name overload.
+     */
+    virtual void
+    onSample(std::uint32_t seriesId, std::string_view name, Tick when,
+             double value)
+    {
+        (void)seriesId;
+        onSample(name, when, value);
+    }
+};
+
 class TelemetryHub
 {
   public:
@@ -35,6 +69,13 @@ class TelemetryHub
 
     /** Record one sample into the series @p name (created lazily). */
     void record(std::string_view name, Tick when, double value);
+
+    /**
+     * Attach @p listener (or detach with nullptr): every subsequent
+     * record() also invokes the listener. Not owned; the caller must
+     * detach before the listener is destroyed.
+     */
+    void setListener(SampleListener *listener);
 
     /**
      * Series by name, or nullptr. The pointer stays valid for the
@@ -71,9 +112,16 @@ class TelemetryHub
     void mergeFrom(const TelemetryHub &other, const std::string &prefix);
 
   private:
+    struct Entry {
+        TimeSeries series;
+        std::uint32_t id = 0;
+    };
+
     mutable std::mutex mu_;
     TimeSeriesOptions opts_;
-    std::map<std::string, TimeSeries, std::less<>> series_;
+    SampleListener *listener_ = nullptr;
+    std::map<std::string, Entry, std::less<>> series_;
+    std::uint32_t nextId_ = 0;
 };
 
 } // namespace pad::telemetry

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "sim/stats_registry.h"
@@ -41,6 +42,27 @@ escapeText(std::string_view s, bool label)
             out += c;
     }
     return out;
+}
+
+/** Spell out why a prefix is unusable; empty string = fine. */
+std::string
+prefixProblem(const std::string &prefix)
+{
+    if (prefix.empty())
+        return {};
+    auto ok = [](char c, bool first) {
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+            c == ':')
+            return true;
+        return !first && std::isdigit(static_cast<unsigned char>(c));
+    };
+    for (std::size_t k = 0; k < prefix.size(); ++k)
+        if (!ok(prefix[k], k == 0))
+            return "invalid Prometheus metric prefix \"" + prefix +
+                   "\": character '" + prefix[k] + "' at position " +
+                   std::to_string(k) +
+                   " is outside [a-zA-Z0-9_:] (or a leading digit)";
+    return {};
 }
 
 void
@@ -137,10 +159,45 @@ promSanitize(std::string_view name)
     return out;
 }
 
+std::string
+promEscapeLabel(std::string_view value)
+{
+    return escapeText(value, true);
+}
+
+std::optional<std::string>
+promUnescapeLabel(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (std::size_t k = 0; k < value.size(); ++k) {
+        if (value[k] != '\\') {
+            out += value[k];
+            continue;
+        }
+        if (k + 1 >= value.size())
+            return std::nullopt; // dangling escape
+        const char e = value[++k];
+        if (e == '\\')
+            out += '\\';
+        else if (e == 'n')
+            out += '\n';
+        else if (e == '"')
+            out += '"';
+        else
+            return std::nullopt; // unknown escape
+    }
+    return out;
+}
+
 void
 PromWriter::write(std::ostream &os, const sim::StatsRegistry *stats,
-                  const TelemetryHub *hub) const
+                  const TelemetryHub *hub,
+                  const std::vector<AlertStateSample> *alerts) const
 {
+    const std::string problem = prefixProblem(opts_.prefix);
+    if (!problem.empty())
+        throw std::invalid_argument(problem);
     const std::string p =
         opts_.prefix.empty() ? std::string() : opts_.prefix + "_";
 
@@ -244,14 +301,33 @@ PromWriter::write(std::ostream &os, const sim::StatsRegistry *stats,
             }
         }
     }
+
+    if (alerts && !alerts->empty()) {
+        const std::string state = p + "alert_state";
+        writeHeader(os, state,
+                    "Alert-rule lifecycle state: 0 idle, 1 pending, "
+                    "2 firing",
+                    "gauge");
+        for (const AlertStateSample &a : *alerts)
+            os << state << "{rule=\"" << escapeText(a.rule, true)
+               << "\",severity=\"" << escapeText(a.severity, true)
+               << "\"} " << a.state << "\n";
+        const std::string fired = p + "alert_fired_total";
+        writeHeader(os, fired, "Incidents fired by each alert rule",
+                    "counter");
+        for (const AlertStateSample &a : *alerts)
+            os << fired << "{rule=\"" << escapeText(a.rule, true)
+               << "\"} " << a.fired << "\n";
+    }
 }
 
 std::string
 PromWriter::render(const sim::StatsRegistry *stats,
-                   const TelemetryHub *hub) const
+                   const TelemetryHub *hub,
+                   const std::vector<AlertStateSample> *alerts) const
 {
     std::ostringstream os;
-    write(os, stats, hub);
+    write(os, stats, hub, alerts);
     return os.str();
 }
 

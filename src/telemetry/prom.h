@@ -28,9 +28,12 @@
 #ifndef PAD_TELEMETRY_PROM_H
 #define PAD_TELEMETRY_PROM_H
 
+#include <cstdint>
 #include <iosfwd>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/hub.h"
 
@@ -40,24 +43,57 @@ class StatsRegistry;
 
 namespace pad::telemetry {
 
+/**
+ * Exposition snapshot of one alert rule, produced by
+ * alert::AlertEngine::ruleStates(). Declared here (plain data, no
+ * alert dependency) so PromWriter can render alert gauges without
+ * the telemetry library depending on the alert library.
+ */
+struct AlertStateSample {
+    /** Rule name; sweep merges prefix it with "job<i>.". */
+    std::string rule;
+    /** Lower-case severity name ("info"/"warning"/"critical"). */
+    std::string severity;
+    /** Lifecycle state: 0 idle, 1 pending, 2 firing. */
+    int state = 0;
+    /** Incidents the rule has fired so far. */
+    std::uint64_t fired = 0;
+};
+
 class PromWriter
 {
   public:
     struct Options {
-        /** Prepended (with '_') to every metric name. */
+        /**
+         * Prepended (with '_') to every metric name. Must itself be
+         * a valid Prometheus metric name ([a-zA-Z_:][a-zA-Z0-9_:]*)
+         * or empty; write() rejects anything else with
+         * std::invalid_argument rather than emitting a malformed
+         * exposition. (Stat and series names need no such care —
+         * they are sanitised automatically.)
+         */
         std::string prefix = "pad";
     };
 
     PromWriter() = default;
     explicit PromWriter(Options opts) : opts_(std::move(opts)) {}
 
-    /** Render @p stats and/or @p hub (either may be null). */
+    /**
+     * Render @p stats and/or @p hub and/or @p alerts (each may be
+     * null). Alert states become `<prefix>_alert_state{rule,
+     * severity}` gauges plus `<prefix>_alert_fired_total{rule}`
+     * counters.
+     */
     void write(std::ostream &os, const sim::StatsRegistry *stats,
-               const TelemetryHub *hub) const;
+               const TelemetryHub *hub,
+               const std::vector<AlertStateSample> *alerts =
+                   nullptr) const;
 
     /** write() into a string. */
     std::string render(const sim::StatsRegistry *stats,
-                       const TelemetryHub *hub) const;
+                       const TelemetryHub *hub,
+                       const std::vector<AlertStateSample> *alerts =
+                           nullptr) const;
 
   private:
     Options opts_;
@@ -69,6 +105,18 @@ class PromWriter
  * becomes '_', and a leading digit gains a '_' prefix.
  */
 std::string promSanitize(std::string_view name);
+
+/**
+ * Escape a label value for the exposition format: '\\' -> "\\\\",
+ * newline -> "\\n", '"' -> "\\\"". Everything else passes through.
+ */
+std::string promEscapeLabel(std::string_view value);
+
+/**
+ * Invert promEscapeLabel(). Returns nullopt on a dangling or
+ * unknown escape sequence — the round-trip guarantee tests rely on.
+ */
+std::optional<std::string> promUnescapeLabel(std::string_view value);
 
 /**
  * Grammar-check a text exposition. Returns true when every line is

@@ -10,6 +10,7 @@
  * corrupt/truncated traces and the --prom exposition grammar.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -38,6 +39,16 @@ int
 runCmd(const std::string &bin, const std::string &args)
 {
     const std::string cmd = bin + " " + args + " > /dev/null 2>&1";
+    return std::system(cmd.c_str());
+}
+
+/** runCmd() but with stderr captured into @p errPath. */
+int
+runCmdErr(const std::string &bin, const std::string &args,
+          const std::string &errPath)
+{
+    const std::string cmd =
+        bin + " " + args + " > /dev/null 2> " + errPath;
     return std::system(cmd.c_str());
 }
 
@@ -177,6 +188,19 @@ TEST_F(PadtraceForensics, CorruptTrailingLinesAreSkippedNotFatal)
         parseJson(slurp("ptr_corrupt_summary.json"), &error);
     ASSERT_TRUE(corrupt.has_value()) << error;
 
+    // The skipped tally is also echoed on stderr (one line), so it
+    // is visible even when the report body goes to --out.
+    ASSERT_EQ(runCmdErr(PADTRACE_BIN,
+                        "summary --format json ptr_corrupt.jsonl"
+                        " --out ptr_corrupt_summary2.json",
+                        "ptr_corrupt_err.txt"),
+              0);
+    const std::string stderrText = slurp("ptr_corrupt_err.txt");
+    EXPECT_NE(stderrText.find("padtrace: skipped"),
+              std::string::npos)
+        << stderrText;
+    EXPECT_NE(stderrText.find("corrupt line"), std::string::npos);
+
     EXPECT_GE(corrupt->find("skipped")->number, 1.0);
     // The dropped tail doesn't change the incident headline numbers
     // (the attack.window span sits before the corrupted region only
@@ -216,5 +240,71 @@ TEST(PadtraceCli, UsageErrorsExitTwo)
     // Missing file is a runtime error (1), not a usage error.
     EXPECT_EQ(WEXITSTATUS(runCmd(PADTRACE_BIN,
                                  "report /does/not/exist.jsonl")),
+              1);
+    // incidents accepts md/json only, and --html is incidents-only.
+    EXPECT_EQ(WEXITSTATUS(runCmd(
+                  PADTRACE_BIN, "incidents --format csv x.jsonl")),
+              2);
+    EXPECT_EQ(WEXITSTATUS(runCmd(
+                  PADTRACE_BIN, "report --html x.html x.jsonl")),
+              2);
+}
+
+TEST(PadtraceCli, MissingTraceIsAOneLineErrorOnStderr)
+{
+    // Regression (hard error contract): a missing or unreadable
+    // input produces exactly one explanatory line on stderr and a
+    // nonzero exit — never a stack trace, never silence.
+    ASSERT_EQ(WEXITSTATUS(runCmdErr(PADTRACE_BIN,
+                                    "report /does/not/exist.jsonl",
+                                    "ptr_missing_err.txt")),
+              1);
+    const std::string text = slurp("ptr_missing_err.txt");
+    EXPECT_EQ(text.rfind("padtrace: ", 0), 0u) << text;
+    EXPECT_NE(text.find("/does/not/exist.jsonl"), std::string::npos)
+        << text;
+    // Exactly one line (one trailing newline, no embedded ones).
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1) << text;
+}
+
+TEST(PadtraceCli, IncidentsSubcommandRendersArtifacts)
+{
+    // End-to-end: padsim evaluates the shipped default rules online
+    // and streams incidents; padtrace re-renders them as a table,
+    // JSONL and the standalone HTML dashboard.
+    ASSERT_EQ(runCmd(PADSIM_BIN,
+                     "--scheme PAD --racks 22 --duration 120"
+                     " --detector --quiet"
+                     " --alerts " PAD_RULES_DIR "/pad_default.json"
+                     " --incidents ptr_incidents.jsonl"),
+              0);
+
+    ASSERT_EQ(runCmd(PADTRACE_BIN,
+                     "incidents ptr_incidents.jsonl"
+                     " --out ptr_incidents.md"
+                     " --html ptr_incidents.html"),
+              0);
+    const std::string md = slurp("ptr_incidents.md");
+    EXPECT_NE(md.find("# padtrace incidents"), std::string::npos);
+    EXPECT_NE(md.find("incident(s)"), std::string::npos);
+
+    const std::string html = slurp("ptr_incidents.html");
+    EXPECT_EQ(html.rfind("<!doctype html>", 0), 0u);
+    EXPECT_NE(html.find("</html>"), std::string::npos);
+    EXPECT_EQ(html.find("<script"), std::string::npos);
+    EXPECT_EQ(html.find("http://"), std::string::npos);
+    EXPECT_EQ(html.find("https://"), std::string::npos);
+
+    // JSON mode re-emits the JSONL stream byte-identically.
+    ASSERT_EQ(runCmd(PADTRACE_BIN,
+                     "incidents --format json ptr_incidents.jsonl"
+                     " --out ptr_incidents_back.jsonl"),
+              0);
+    EXPECT_EQ(slurp("ptr_incidents_back.jsonl"),
+              slurp("ptr_incidents.jsonl"));
+
+    // A missing incidents file is the same hard-error contract.
+    EXPECT_EQ(WEXITSTATUS(runCmd(PADTRACE_BIN,
+                                 "incidents /does/not/exist.jsonl")),
               1);
 }

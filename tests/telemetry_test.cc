@@ -119,6 +119,35 @@ TEST(TimeSeries, BucketStartsAreAligned)
     EXPECT_EQ(minutes[0].start % kTicksPerMinute, 0);
 }
 
+TEST(TimeSeries, BoundarySampleOpensTheNextBucket)
+{
+    // Regression: buckets are [start, start + width), so a sample at
+    // exactly the boundary belongs to the NEW bucket, never to the
+    // closing one.
+    TimeSeries ts;
+    ts.record(kTicksPerMinute - 1, 1.0);
+    ts.record(kTicksPerMinute, 2.0);
+
+    const auto minutes = ts.minuteBuckets();
+    ASSERT_EQ(minutes.size(), 2u);
+    EXPECT_EQ(minutes[0].start, 0);
+    EXPECT_EQ(minutes[0].count, 1u);
+    EXPECT_DOUBLE_EQ(minutes[0].last, 1.0);
+    EXPECT_EQ(minutes[1].start, kTicksPerMinute);
+    EXPECT_EQ(minutes[1].count, 1u);
+    EXPECT_DOUBLE_EQ(minutes[1].min, 2.0);
+    EXPECT_DOUBLE_EQ(minutes[1].max, 2.0);
+
+    // Same contract at the 5-minute resolution.
+    TimeSeries five;
+    five.record(5 * kTicksPerMinute - 1, 1.0);
+    five.record(5 * kTicksPerMinute, 2.0);
+    const auto fives = five.fiveMinuteBuckets();
+    ASSERT_EQ(fives.size(), 2u);
+    EXPECT_EQ(fives[1].start, 5 * kTicksPerMinute);
+    EXPECT_EQ(fives[1].count, 1u);
+}
+
 // ---------------------------------------------------------------------
 // TelemetryHub
 // ---------------------------------------------------------------------
@@ -168,6 +197,48 @@ TEST(TelemetryHub, MergeFromPrefixesAndIsIdempotent)
     ASSERT_NE(merged.find("job0.rack0.power"), nullptr);
     EXPECT_EQ(merged.find("job0.rack0.power")->totalSamples(), 1u);
     EXPECT_EQ(merged.find("rack0.power"), nullptr);
+}
+
+TEST(TelemetryHub, MergeFromSkipsEmptySeries)
+{
+    // Regression: merging must never create sample-less series in
+    // the target — they would render as zero-valued rows in
+    // summaries and Prometheus expositions.
+    TelemetryHub empty;
+    TelemetryHub merged;
+    merged.record("real", 0, 1.0);
+    merged.mergeFrom(empty, "job0.");
+    EXPECT_EQ(merged.size(), 1u);
+    EXPECT_EQ(merged.names(), std::vector<std::string>{"real"});
+    for (const auto &s : merged.summary())
+        EXPECT_GT(s.count, 0u);
+}
+
+TEST(TelemetryHub, ListenerSeesEverySampleAndDetaches)
+{
+    struct Capture : telemetry::SampleListener {
+        std::vector<std::string> seen;
+        void
+        onSample(std::string_view name, Tick when,
+                 double value) override
+        {
+            seen.push_back(std::string(name) + "@" +
+                           std::to_string(when) + "=" +
+                           std::to_string(static_cast<int>(value)));
+        }
+    };
+
+    TelemetryHub hub;
+    Capture capture;
+    hub.record("a", 0, 1.0); // before attach: unseen
+    hub.setListener(&capture);
+    hub.record("a", 1, 2.0);
+    hub.record("b", 2, 3.0);
+    hub.setListener(nullptr);
+    hub.record("a", 3, 4.0); // after detach: unseen
+
+    EXPECT_EQ(capture.seen,
+              (std::vector<std::string>{"a@1=2", "b@2=3"}));
 }
 
 TEST(TelemetryHub, ConcurrentRecordingIsSafe)
@@ -383,6 +454,73 @@ TEST(Prom, ValidatorRejectsMalformedExpositions)
     EXPECT_TRUE(validatePromExposition("foo NaN\nbar +Inf\n", &error))
         << error;
     EXPECT_TRUE(validatePromExposition("", &error)) << error;
+}
+
+TEST(Prom, LabelValuesRoundTripThroughEscaping)
+{
+    using telemetry::promEscapeLabel;
+    using telemetry::promUnescapeLabel;
+
+    const std::string hostile[] = {
+        "plain",
+        "with \"quotes\"",
+        "back\\slash",
+        "multi\nline",
+        "\\n literal then real\n",
+        "\"\\\n",
+        "",
+    };
+    for (const std::string &value : hostile) {
+        const std::string escaped = promEscapeLabel(value);
+        // Escaped text never contains a raw newline or bare quote.
+        EXPECT_EQ(escaped.find('\n'), std::string::npos) << value;
+        const auto back = promUnescapeLabel(escaped);
+        ASSERT_TRUE(back.has_value()) << value;
+        EXPECT_EQ(*back, value);
+        // And the escaped value embeds in a valid exposition line.
+        std::string error;
+        EXPECT_TRUE(validatePromExposition(
+            "m{l=\"" + escaped + "\"} 1\n", &error))
+            << value << ": " << error;
+    }
+
+    // Dangling or unknown escapes are rejected, not guessed at.
+    EXPECT_FALSE(promUnescapeLabel("dangling\\").has_value());
+    EXPECT_FALSE(promUnescapeLabel("unknown\\t").has_value());
+}
+
+TEST(Prom, InvalidPrefixIsRejectedWithAClearError)
+{
+    sim::StatsRegistry stats;
+    stats.registerScalar("x", "").set(1.0);
+    std::ostringstream os;
+
+    // A leading digit is not a valid metric-name start.
+    EXPECT_THROW(PromWriter(PromWriter::Options{"9bad"})
+                     .write(os, &stats, nullptr),
+                 std::invalid_argument);
+    // Neither is an embedded invalid character.
+    try {
+        PromWriter(PromWriter::Options{"pad metrics"})
+            .write(os, &stats, nullptr);
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_NE(std::string(e.what()).find("' '"),
+                  std::string::npos)
+            << e.what();
+    }
+
+    // Valid and empty prefixes both render cleanly.
+    std::string error;
+    EXPECT_TRUE(validatePromExposition(
+        PromWriter(PromWriter::Options{"ok_prefix"})
+            .render(&stats, nullptr),
+        &error))
+        << error;
+    EXPECT_TRUE(validatePromExposition(
+        PromWriter(PromWriter::Options{""}).render(&stats, nullptr),
+        &error))
+        << error;
 }
 
 // ---------------------------------------------------------------------
