@@ -27,10 +27,25 @@ usage(const char *argv0)
         << "       [--stats-json FILE] [--prom FILE] [--manifest FILE]\n"
         << "       [--alerts RULES] [--incidents FILE]\n"
         << "       [--incident-html FILE]\n"
+        << "       [--backend baseline|optimized|soa]\n"
         << "       [--log-level silent|error|warn|info|debug]\n"
         << "  --jobs N  worker threads for the sweep (0 = all cores);\n"
-        << "            results are bit-identical for every N\n";
+        << "            results are bit-identical for every N\n"
+        << "  --backend NAME  engine backend for every cluster job\n"
+        << "                  (default optimized; baseline is\n"
+        << "                  bit-identical, soa is the opt-in batch\n"
+        << "                  engine)\n";
     std::exit(2);
+}
+
+/** Parse --backend/--profile values; exits with usage on junk. */
+engine::BackendKind
+parseBackend(const char *argv0, const std::string &name)
+{
+    if (const auto kind = engine::backendFromName(name))
+        return *kind;
+    std::cerr << argv0 << ": unknown backend: " << name << "\n";
+    usage(argv0);
 }
 
 } // namespace
@@ -73,6 +88,18 @@ parseBenchArgs(int argc, char **argv)
             opts.incidents = need(i);
         } else if (arg == "--incident-html") {
             opts.incidentHtml = need(i);
+        } else if (arg == "--backend") {
+            opts.backend = parseBackend(argv[0], need(i));
+        } else if (arg == "--profile") {
+            // Historical spelling from the EngineTuning era; the
+            // profile names map 1:1 onto the scalar backends.
+            static bool warned = false;
+            if (!warned) {
+                warned = true;
+                warn("--profile is deprecated; use --backend "
+                     "baseline|optimized|soa");
+            }
+            opts.backend = parseBackend(argv[0], need(i));
         } else if (arg == "--log-level") {
             const std::string name = need(i);
             if (const auto level = logLevelFromName(name)) {
@@ -126,17 +153,22 @@ runSweep(const std::string &tool, const BenchOptions &opts,
             std::move(*loaded));
     }
 
-    // --prom needs per-job telemetry hubs and --alerts needs per-job
-    // engines; flip both on a copy of the grid so the caller's
+    // --prom needs per-job telemetry hubs, --alerts needs per-job
+    // engines, and --backend selects the engine every cluster job
+    // runs on; flip all three on a copy of the grid so the caller's
     // experiments stay untouched. Observability never alters results,
-    // only records them.
+    // only records them; the backend does (soa only, and only within
+    // the documented tolerances).
+    const bool stampBackend =
+        opts.backend != engine::BackendKind::Optimized;
     runner::SweepReport report;
-    if (!opts.prom.empty() || rules) {
+    if (!opts.prom.empty() || rules || stampBackend) {
         std::vector<runner::Experiment> observed = grid;
         for (auto &experiment : observed) {
             if (!opts.prom.empty())
                 experiment.telemetryEnabled = true;
             experiment.alertRules = rules;
+            experiment.backend = opts.backend;
         }
         report = pool.runWithReport(observed);
     } else {
@@ -194,6 +226,7 @@ runSweep(const std::string &tool, const BenchOptions &opts,
         manifest.config = {
             {"jobs", std::to_string(pool.threadCount())},
             {"grid_size", std::to_string(grid.size())},
+            {"backend", engine::backendName(opts.backend)},
         };
         manifest.argv = opts.argv;
         manifest.traceFile = opts.trace;

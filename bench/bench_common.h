@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/backend.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 #include "runner/experiment.h"
@@ -110,6 +111,14 @@ struct BenchOptions {
     std::string incidents;
     /** --incident-html FILE: HTML dashboard (needs --alerts). */
     std::string incidentHtml;
+    /**
+     * --backend baseline|optimized|soa: engine backend stamped onto
+     * every cluster experiment in the sweep. The default (Optimized)
+     * and Baseline are bit-identical, so figure outputs only move
+     * when soa is explicitly requested — and then only within the
+     * documented physical tolerances.
+     */
+    engine::BackendKind backend = engine::BackendKind::Optimized;
     /** Raw command line, for the manifest. */
     std::vector<std::string> argv;
 
@@ -125,8 +134,10 @@ struct BenchOptions {
  * Parse the common bench flags (`--jobs N` / `-j N`, `--trace FILE`,
  * `--trace-format jsonl|chrome`, `--stats-json FILE`, `--prom FILE`,
  * `--manifest FILE`, `--alerts RULES`, `--incidents FILE`,
- * `--incident-html FILE`, `--log-level L`); exits with usage on anything
- * unrecognized. Also applies the PAD_LOG_LEVEL environment fallback.
+ * `--incident-html FILE`, `--backend NAME`, `--log-level L`); exits
+ * with usage on anything unrecognized. `--profile NAME` is accepted
+ * as a deprecated warn-once alias for `--backend`. Also applies the
+ * PAD_LOG_LEVEL environment fallback.
  * Sweep output is independent of --jobs by the SweepRunner
  * determinism contract — the flag only changes wall-clock time, and
  * the observability flags never alter results either.

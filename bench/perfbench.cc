@@ -5,11 +5,19 @@
  * Times the simulator's hot paths at three granularities — component
  * microbenchmarks (KiBaM step, event queue), the fine-grained attack
  * loop (ns/tick), and whole experiments (single-run and sweep
- * throughput) — under both engine profiles, so every optimization
- * gated on EngineTuning is measured against the exact pre-PR code
- * path in one binary:
+ * throughput) — under every engine backend, so each optimization is
+ * measured against the exact pre-PR code path in one binary:
  *
- *   perfbench --profile both --json BENCH_PR4.json
+ *   perfbench --backend all --json BENCH_PR6.json
+ *
+ * The engine-level rows (fine_tick, single_run*, sweep*) run through
+ * the explicit engine::EngineBackend API, one column per backend:
+ * baseline and optimized are the scalar engine with the tuning
+ * switches off/on, soa is the structure-of-arrays batch engine. The
+ * component micro-rows (kibam_step, event_queue, alert_eval) measure
+ * the scalar tuning switches in isolation — the SoA engine has no
+ * equivalent standalone objects — so they report baseline/optimized
+ * only, via the deprecated-but-still-measurable ScopedEngineProfile.
  *
  * Results are wall-clock medians over repeated runs (see
  * perf_timing.h). Benchmark only Release builds (see README); the
@@ -17,9 +25,9 @@
  * uses --quick to shrink repetitions and only asserts the harness
  * runs.
  *
- * Speedup is reported as baseline/optimized time (equivalently
- * optimized/baseline throughput), so > 1 always means the Optimized
- * profile is faster.
+ * Speedup is reported as baseline-time / optimized-time and soa
+ * speedup as optimized-time / soa-time (equivalently the throughput
+ * ratios), so > 1 always means the later engine is faster.
  */
 
 #include <cstdio>
@@ -34,6 +42,7 @@
 #include "attack/attacker.h"
 #include "battery/kibam.h"
 #include "core/datacenter.h"
+#include "engine/backend.h"
 #include "runner/experiment.h"
 #include "runner/sweep_runner.h"
 #include "sim/event_queue.h"
@@ -51,11 +60,12 @@ namespace {
 struct PerfOptions {
     bool runBaseline = true;
     bool runOptimized = true;
+    bool runSoa = true;
     bool quick = false;
     std::string jsonPath;
 };
 
-/** One profile's measurement: raw timing plus the derived value. */
+/** One backend's measurement: raw timing plus the derived value. */
 struct ProfileMeasure {
     TimingResult timing;
     /** Value in the benchmark's unit (ns/op or runs/s). */
@@ -70,24 +80,42 @@ struct BenchRow {
     bool higherIsBetter = false;
     std::optional<ProfileMeasure> baseline;
     std::optional<ProfileMeasure> optimized;
+    std::optional<ProfileMeasure> soa;
 
-    /** baseline-time / optimized-time; 0 when a profile is missing. */
+    /** baseline-time / optimized-time; 0 when a column is missing. */
     double
     speedup() const
     {
-        if (!baseline || !optimized || baseline->value <= 0.0 ||
-            optimized->value <= 0.0)
+        return ratio(baseline, optimized);
+    }
+
+    /** optimized-time / soa-time; 0 when a column is missing. */
+    double
+    speedupSoa() const
+    {
+        return ratio(optimized, soa);
+    }
+
+  private:
+    double
+    ratio(const std::optional<ProfileMeasure> &before,
+          const std::optional<ProfileMeasure> &after) const
+    {
+        if (!before || !after || before->value <= 0.0 ||
+            after->value <= 0.0)
             return 0.0;
-        return higherIsBetter ? optimized->value / baseline->value
-                              : baseline->value / optimized->value;
+        return higherIsBetter ? after->value / before->value
+                              : before->value / after->value;
     }
 };
 
 // ---------------------------------------------------------------------
-// Benchmark bodies. Each returns the measurement for the *current*
-// engine profile; callers set the profile first. All state that
-// latches tuning flags at construction (EventQueue pools, DataCenter
-// caches) is built inside the body, after the profile switch.
+// Benchmark bodies. The component micro-rows return the measurement
+// for the *current* thread's engine profile; their caller sets the
+// profile first, and all state that latches tuning flags at
+// construction (EventQueue pools) is built inside the body, after
+// the profile switch. The engine-level rows instead take an explicit
+// engine::BackendKind and never touch the thread profile.
 // ---------------------------------------------------------------------
 
 ProfileMeasure
@@ -143,7 +171,8 @@ benchEventQueue(const PerfOptions &opt)
  * DataCenter::runAttack.
  */
 ProfileMeasure
-benchFineTick(const PerfOptions &opt, const runner::ClusterWorkload &cw)
+benchFineTick(const PerfOptions &opt, const runner::ClusterWorkload &cw,
+              engine::BackendKind backend)
 {
     const double durationSec = opt.quick ? 30.0 : 120.0;
     const int reps = opt.quick ? 2 : 5;
@@ -154,9 +183,10 @@ benchFineTick(const PerfOptions &opt, const runner::ClusterWorkload &cw)
 
     std::vector<double> samples;
     for (int i = 0; i < reps; ++i) {
-        core::DataCenter dc(cfg, cw.workload.get());
-        dc.runCoarseUntil(kTicksPerDay +
-                          static_cast<Tick>(11.0 * kTicksPerHour));
+        auto dc = engine::makeClusterEngine(backend, cfg,
+                                            cw.workload.get());
+        dc->runCoarseUntil(kTicksPerDay +
+                           static_cast<Tick>(11.0 * kTicksPerHour));
         attack::AttackerConfig ac;
         ac.controlledNodes = 4;
         attack::TwoPhaseAttacker attacker(ac);
@@ -164,7 +194,7 @@ benchFineTick(const PerfOptions &opt, const runner::ClusterWorkload &cw)
         sc.targetPolicy = core::TargetPolicy::MostVulnerable;
         sc.durationSec = durationSec;
         const double t0 = nowSec();
-        const core::AttackOutcome out = dc.runAttack(attacker, sc);
+        const core::AttackOutcome out = dc->runAttack(attacker, sc);
         samples.push_back(nowSec() - t0);
         keep(out.survivalSec);
     }
@@ -186,10 +216,12 @@ standardAttack(const runner::ClusterWorkload &cw, bool quick)
 
 ProfileMeasure
 benchSingleRun(const PerfOptions &opt,
-               const runner::ClusterWorkload &cw)
+               const runner::ClusterWorkload &cw,
+               engine::BackendKind backend)
 {
     const int reps = opt.quick ? 2 : 9;
-    const runner::Experiment e = standardAttack(cw, opt.quick);
+    runner::Experiment e = standardAttack(cw, opt.quick);
+    e.backend = backend;
     ProfileMeasure m;
     m.timing = timeIt(
         [&] {
@@ -266,10 +298,12 @@ benchAlertEval(const PerfOptions &opt)
  */
 ProfileMeasure
 benchSingleRunTelemetry(const PerfOptions &opt,
-                        const runner::ClusterWorkload &cw)
+                        const runner::ClusterWorkload &cw,
+                        engine::BackendKind backend)
 {
     const int reps = opt.quick ? 2 : 9;
     runner::Experiment e = standardAttack(cw, opt.quick);
+    e.backend = backend;
     e.telemetryEnabled = true;
     ProfileMeasure m;
     m.timing = timeIt(
@@ -290,10 +324,12 @@ benchSingleRunTelemetry(const PerfOptions &opt,
  */
 ProfileMeasure
 benchSingleRunAlerts(const PerfOptions &opt,
-                     const runner::ClusterWorkload &cw)
+                     const runner::ClusterWorkload &cw,
+                     engine::BackendKind backend)
 {
     const int reps = opt.quick ? 2 : 9;
     runner::Experiment e = standardAttack(cw, opt.quick);
+    e.backend = backend;
     e.telemetryEnabled = true;
     e.alertRules = defaultRules();
     ProfileMeasure m;
@@ -309,7 +345,7 @@ benchSingleRunAlerts(const PerfOptions &opt,
 
 ProfileMeasure
 benchSweep(const PerfOptions &opt, const runner::ClusterWorkload &cw,
-           int jobs)
+           int jobs, engine::BackendKind backend)
 {
     const int n = opt.quick ? 2 : 8;
     const int reps = opt.quick ? 1 : 3;
@@ -318,6 +354,7 @@ benchSweep(const PerfOptions &opt, const runner::ClusterWorkload &cw,
     for (int i = 0; i < n; ++i) {
         runner::Experiment e = standardAttack(cw, opt.quick);
         e.seed = static_cast<std::uint64_t>(i + 1);
+        e.backend = backend;
         grid.push_back(e);
     }
     runner::SweepRunner runner(runner::SweepRunner::Options{jobs});
@@ -336,10 +373,42 @@ benchSweep(const PerfOptions &opt, const runner::ClusterWorkload &cw,
 // Harness
 // ---------------------------------------------------------------------
 
+void
+printRow(const BenchRow &row)
+{
+    auto print = [&](const char *label,
+                     const std::optional<ProfileMeasure> &pm) {
+        if (!pm)
+            return;
+        std::printf("  %-9s %12.2f %-12s (median %.6f s, min %.6f s, "
+                    "%d reps)\n",
+                    label, pm->value, row.unit.c_str(),
+                    pm->timing.medianSec, pm->timing.minSec,
+                    pm->timing.reps);
+    };
+    std::printf("%s\n", row.name.c_str());
+    print("baseline", row.baseline);
+    print("optimized", row.optimized);
+    print("soa", row.soa);
+    if (row.speedup() > 0.0)
+        std::printf("  %-9s %12.2fx (optimized vs baseline)\n",
+                    "speedup", row.speedup());
+    if (row.speedupSoa() > 0.0)
+        std::printf("  %-9s %12.2fx (soa vs optimized)\n",
+                    "soa_gain", row.speedupSoa());
+    std::fflush(stdout);
+}
+
+/**
+ * Component micro-row: measures the scalar tuning switches in
+ * isolation by flipping the calling thread's profile around the
+ * body. The SoA engine has no standalone equivalent of these
+ * components, so no soa column is produced.
+ */
 template <typename Fn>
 BenchRow
-runRow(const PerfOptions &opt, const std::string &name,
-       const std::string &unit, bool higherIsBetter, Fn &&body)
+runScalarRow(const PerfOptions &opt, const std::string &name,
+             const std::string &unit, bool higherIsBetter, Fn &&body)
 {
     BenchRow row;
     row.name = name;
@@ -353,23 +422,32 @@ runRow(const PerfOptions &opt, const std::string &name,
         ScopedEngineProfile scope(EngineProfile::Optimized);
         row.optimized = body();
     }
+    printRow(row);
+    return row;
+}
 
-    auto print = [&](const char *label,
-                     const std::optional<ProfileMeasure> &pm) {
-        if (!pm)
-            return;
-        std::printf("  %-9s %12.2f %-12s (median %.6f s, min %.6f s, "
-                    "%d reps)\n",
-                    label, pm->value, unit.c_str(),
-                    pm->timing.medianSec, pm->timing.minSec,
-                    pm->timing.reps);
-    };
-    std::printf("%s\n", name.c_str());
-    print("baseline", row.baseline);
-    print("optimized", row.optimized);
-    if (row.speedup() > 0.0)
-        std::printf("  %-9s %12.2fx\n", "speedup", row.speedup());
-    std::fflush(stdout);
+/**
+ * Engine-level row: the body receives an explicit BackendKind and
+ * runs once per enabled backend through the engine::EngineBackend
+ * API. The thread profile is never touched — each engine pins its
+ * own tuning for the run.
+ */
+template <typename Fn>
+BenchRow
+runEngineRow(const PerfOptions &opt, const std::string &name,
+             const std::string &unit, bool higherIsBetter, Fn &&body)
+{
+    BenchRow row;
+    row.name = name;
+    row.unit = unit;
+    row.higherIsBetter = higherIsBetter;
+    if (opt.runBaseline)
+        row.baseline = body(engine::BackendKind::Baseline);
+    if (opt.runOptimized)
+        row.optimized = body(engine::BackendKind::Optimized);
+    if (opt.runSoa)
+        row.soa = body(engine::BackendKind::Soa);
+    printRow(row);
     return row;
 }
 
@@ -382,7 +460,7 @@ writeJson(const std::string &path, const PerfOptions &opt,
         PAD_FATAL("cannot open {} for writing", path);
     JsonWriter w(os, 2);
     w.beginObject();
-    w.key("schema").value("pad-perfbench-v1");
+    w.key("schema").value("pad-perfbench-v2");
     w.key("quick").value(opt.quick);
     w.key("benchmarks").beginArray();
     for (const BenchRow &row : rows) {
@@ -404,8 +482,11 @@ writeJson(const std::string &path, const PerfOptions &opt,
         };
         profile("baseline", row.baseline);
         profile("optimized", row.optimized);
+        profile("soa", row.soa);
         if (row.speedup() > 0.0)
             w.key("speedup").value(row.speedup());
+        if (row.speedupSoa() > 0.0)
+            w.key("speedup_soa").value(row.speedupSoa());
         w.endObject();
     }
     w.endArray();
@@ -419,10 +500,42 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--profile baseline|optimized|both] [--json FILE] "
-        "[--quick]\n",
+        "usage: %s [--backend baseline|optimized|soa|all] "
+        "[--json FILE] [--quick]\n"
+        "  --profile NAME is a deprecated alias for --backend\n"
+        "  (accepts the historical value \"both\" = the two scalar\n"
+        "  backends)\n",
         argv0);
     std::exit(2);
+}
+
+/** Map a --backend/--profile value onto the enabled-column set. */
+void
+selectBackends(PerfOptions &opt, const std::string &name,
+               const char *argv0)
+{
+    opt.runBaseline = false;
+    opt.runOptimized = false;
+    opt.runSoa = false;
+    if (name == "baseline") {
+        opt.runBaseline = true;
+    } else if (name == "optimized") {
+        opt.runOptimized = true;
+    } else if (name == "soa") {
+        // SoA speedup is reported against optimized, so asking for
+        // the soa column alone still measures the scalar reference.
+        opt.runOptimized = true;
+        opt.runSoa = true;
+    } else if (name == "both") {
+        opt.runBaseline = true;
+        opt.runOptimized = true;
+    } else if (name == "all") {
+        opt.runBaseline = true;
+        opt.runOptimized = true;
+        opt.runSoa = true;
+    } else {
+        usage(argv0);
+    }
 }
 
 } // namespace
@@ -433,15 +546,12 @@ main(int argc, char **argv)
     PerfOptions opt;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--profile" && i + 1 < argc) {
-            const std::string p = argv[++i];
-            if (p == "baseline") {
-                opt.runOptimized = false;
-            } else if (p == "optimized") {
-                opt.runBaseline = false;
-            } else if (p != "both") {
-                usage(argv[0]);
-            }
+        if (arg == "--backend" && i + 1 < argc) {
+            selectBackends(opt, argv[++i], argv[0]);
+        } else if (arg == "--profile" && i + 1 < argc) {
+            pad::warn("--profile is deprecated; use --backend "
+                      "baseline|optimized|soa|all");
+            selectBackends(opt, argv[++i], argv[0]);
         } else if (arg == "--json" && i + 1 < argc) {
             opt.jsonPath = argv[++i];
         } else if (arg == "--quick") {
@@ -460,26 +570,43 @@ main(int argc, char **argv)
         runner::makeClusterWorkload(3.0);
 
     std::vector<BenchRow> rows;
-    rows.push_back(runRow(opt, "kibam_step", "ns_per_op", false,
-                          [&] { return benchKibamStep(opt); }));
-    rows.push_back(runRow(opt, "event_queue", "ns_per_event", false,
-                          [&] { return benchEventQueue(opt); }));
-    rows.push_back(runRow(opt, "fine_tick", "ns_per_tick", false,
-                          [&] { return benchFineTick(opt, cw); }));
-    rows.push_back(runRow(opt, "alert_eval", "ns_per_op", false,
-                          [&] { return benchAlertEval(opt); }));
-    rows.push_back(runRow(opt, "single_run", "runs_per_sec", true,
-                          [&] { return benchSingleRun(opt, cw); }));
+    rows.push_back(runScalarRow(opt, "kibam_step", "ns_per_op", false,
+                                [&] { return benchKibamStep(opt); }));
     rows.push_back(
-        runRow(opt, "single_run_telemetry", "runs_per_sec", true,
-               [&] { return benchSingleRunTelemetry(opt, cw); }));
+        runScalarRow(opt, "event_queue", "ns_per_event", false,
+                     [&] { return benchEventQueue(opt); }));
     rows.push_back(
-        runRow(opt, "single_run_alerts", "runs_per_sec", true,
-               [&] { return benchSingleRunAlerts(opt, cw); }));
-    rows.push_back(runRow(opt, "sweep_jobs1", "runs_per_sec", true,
-                          [&] { return benchSweep(opt, cw, 1); }));
-    rows.push_back(runRow(opt, "sweep_jobs2", "runs_per_sec", true,
-                          [&] { return benchSweep(opt, cw, 2); }));
+        runEngineRow(opt, "fine_tick", "ns_per_tick", false,
+                     [&](engine::BackendKind backend) {
+                         return benchFineTick(opt, cw, backend);
+                     }));
+    rows.push_back(runScalarRow(opt, "alert_eval", "ns_per_op", false,
+                                [&] { return benchAlertEval(opt); }));
+    rows.push_back(
+        runEngineRow(opt, "single_run", "runs_per_sec", true,
+                     [&](engine::BackendKind backend) {
+                         return benchSingleRun(opt, cw, backend);
+                     }));
+    rows.push_back(runEngineRow(
+        opt, "single_run_telemetry", "runs_per_sec", true,
+        [&](engine::BackendKind backend) {
+            return benchSingleRunTelemetry(opt, cw, backend);
+        }));
+    rows.push_back(runEngineRow(
+        opt, "single_run_alerts", "runs_per_sec", true,
+        [&](engine::BackendKind backend) {
+            return benchSingleRunAlerts(opt, cw, backend);
+        }));
+    rows.push_back(
+        runEngineRow(opt, "sweep_jobs1", "runs_per_sec", true,
+                     [&](engine::BackendKind backend) {
+                         return benchSweep(opt, cw, 1, backend);
+                     }));
+    rows.push_back(
+        runEngineRow(opt, "sweep_jobs2", "runs_per_sec", true,
+                     [&](engine::BackendKind backend) {
+                         return benchSweep(opt, cw, 2, backend);
+                     }));
 
     if (!opt.jsonPath.empty()) {
         writeJson(opt.jsonPath, opt, rows);

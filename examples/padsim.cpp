@@ -9,6 +9,7 @@
  *
  *   padsim [--config FILE]
  *          [--scheme Conv|PS|PSPC|uDEB|vDEB|PAD]
+ *          [--backend baseline|optimized|soa]
  *          [--virus cpu|mem|io] [--style dense|sparse]
  *          [--nodes N] [--racks K] [--duration SEC]
  *          [--budget FRAC] [--cluster-budget FRAC]
@@ -23,11 +24,17 @@
  *          [--incident-html FILE]
  *
  * A --config file supplies the same knobs as `key = value` lines
- * (scheme, virus, style, nodes, racks, duration, budget,
+ * (scheme, backend, virus, style, nodes, racks, duration, budget,
  * cluster_budget, victim_pct, hour, seed, csv, stats, quiet, trace,
  * trace_format, stats_json, manifest, log_level, detector, prom,
  * metrics_port, metrics_linger, alerts, incidents, incident_html);
  * command-line flags override it.
+ *
+ * --backend selects the simulation engine (src/engine): baseline and
+ * optimized are the scalar engine with the hot-path switches off/on
+ * (bit-identical outputs; optimized is the default), soa is the
+ * opt-in structure-of-arrays batch engine (physically equivalent,
+ * not bit-identical). --profile is a deprecated alias.
  *
  * Observability: --prom dumps the final stats registry plus telemetry
  * time-series in Prometheus text exposition format; --metrics-port
@@ -67,6 +74,7 @@
 #include "attack/virus_trace.h"
 #include "core/config.h"
 #include "core/datacenter.h"
+#include "engine/backend.h"
 #include "obs/manifest.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
@@ -87,6 +95,7 @@ namespace {
 
 struct Options {
     core::SchemeKind scheme = core::SchemeKind::Pad;
+    engine::BackendKind backend = engine::BackendKind::Optimized;
     attack::VirusKind virus = attack::VirusKind::CpuIntensive;
     attack::AttackStyle style = attack::AttackStyle::Dense;
     int nodes = 4;
@@ -120,6 +129,7 @@ usage()
     std::cerr
         << "usage: padsim [--config FILE]\n"
            "              [--scheme Conv|PS|PSPC|uDEB|vDEB|PAD]\n"
+           "              [--backend baseline|optimized|soa]\n"
            "              [--virus cpu|mem|io] [--style dense|sparse]\n"
            "              [--nodes N] [--racks K] [--duration SEC]\n"
            "              [--budget FRAC] [--cluster-budget FRAC]\n"
@@ -151,6 +161,16 @@ requireScheme(const std::string &name)
     usage();
 }
 
+/** Same CLI edge for engine-backend names. */
+engine::BackendKind
+requireBackend(const std::string &name)
+{
+    if (const auto kind = engine::backendFromName(name))
+        return *kind;
+    std::cerr << "padsim: unknown backend name: " << name << "\n";
+    usage();
+}
+
 /** Apply a key = value config file as option defaults. */
 void
 applyConfig(Options &opt, const std::string &path)
@@ -158,6 +178,8 @@ applyConfig(Options &opt, const std::string &path)
     const KvConfig cfg = KvConfig::fromFile(path);
     if (cfg.has("scheme"))
         opt.scheme = requireScheme(cfg.getString("scheme"));
+    if (cfg.has("backend"))
+        opt.backend = requireBackend(cfg.getString("backend"));
     if (cfg.has("virus"))
         opt.virus = parseVirus(cfg.getString("virus"));
     if (cfg.has("style"))
@@ -226,6 +248,13 @@ parseArgs(int argc, char **argv)
             need(i); // already applied
         else if (arg == "--scheme")
             opt.scheme = requireScheme(need(i));
+        else if (arg == "--backend")
+            opt.backend = requireBackend(need(i));
+        else if (arg == "--profile") {
+            warn("--profile is deprecated; use --backend "
+                 "baseline|optimized|soa");
+            opt.backend = requireBackend(need(i));
+        }
         else if (arg == "--virus")
             opt.virus = parseVirus(need(i));
         else if (arg == "--style")
@@ -358,7 +387,9 @@ main(int argc, char **argv)
     cfg.deb = core::defaultDebConfig(cfg.rackNameplate());
     cfg.seed = opt.seed;
     cfg.detectorResponse = opt.detector;
-    core::DataCenter dc(cfg, &workload);
+    const auto enginePtr =
+        engine::makeClusterEngine(opt.backend, cfg, &workload);
+    engine::ClusterEngine &dc = *enginePtr;
 
     // Telemetry is recorded only when something will consume it, so
     // plain runs stay byte-identical to a build without these flags.
@@ -448,6 +479,7 @@ main(int argc, char **argv)
     TextTable table("padsim result");
     table.setHeader({"metric", "value"});
     table.addRow({"scheme", core::schemeName(opt.scheme)});
+    table.addRow({"backend", engine::backendName(opt.backend)});
     table.addRow({"virus", attack::virusKindName(opt.virus)});
     table.addRow({"style", attack::attackStyleName(opt.style)});
     table.addRow({"victim rack", std::to_string(sc.targetRack)});
@@ -549,6 +581,7 @@ main(int argc, char **argv)
         manifest.seed = opt.seed;
         manifest.config = {
             {"scheme", std::string(core::schemeName(opt.scheme))},
+            {"backend", std::string(engine::backendName(opt.backend))},
             {"virus", std::string(attack::virusKindName(opt.virus))},
             {"style", std::string(attack::attackStyleName(opt.style))},
             {"nodes", std::to_string(opt.nodes)},

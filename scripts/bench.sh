@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 #
 # Rebuild the perf harness in Release mode and regenerate the
-# committed benchmark results (BENCH_PR4.json) reproducibly:
+# committed benchmark results (BENCH_PR6.json) reproducibly:
 #
-#   scripts/bench.sh                # portable codegen
-#   PAD_NATIVE=ON scripts/bench.sh  # tune for this machine
+#   scripts/bench.sh                     # all backends, portable codegen
+#   scripts/bench.sh --backend soa       # one backend column (+ scalar ref)
+#   PAD_NATIVE=ON scripts/bench.sh       # tune for this machine
 #   BENCH_OUT=my.json scripts/bench.sh
 #
 # Benchmark numbers are only meaningful from Release binaries (O3 +
@@ -16,25 +17,33 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-rel}
-BENCH_OUT=${BENCH_OUT:-BENCH_PR4.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_PR6.json}
 PAD_NATIVE=${PAD_NATIVE:-OFF}
 JOBS=${JOBS:-$(nproc)}
+
+# Extra flags (e.g. --backend soa, --quick) pass straight through to
+# perfbench; the default measures every backend column.
+BACKEND_ARGS=("$@")
+if [ ${#BACKEND_ARGS[@]} -eq 0 ]; then
+    BACKEND_ARGS=(--backend all)
+fi
 
 cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DPAD_NATIVE="$PAD_NATIVE" >/dev/null
 cmake --build "$BUILD_DIR" --target perfbench -j "$JOBS"
 
-"$BUILD_DIR/bench/perfbench" --profile both --json "$BENCH_OUT" \
+"$BUILD_DIR/bench/perfbench" "${BACKEND_ARGS[@]}" --json "$BENCH_OUT" \
     | tee "$BENCH_OUT.txt"
 echo "benchmark results written to $BENCH_OUT"
 
-# Alert-engine rows at a glance. The bars that matter (DESIGN.md
-# §10): alert_eval stays in the tens of ns per sample, and
-# single_run_alerts stays within ~10% of single_run_telemetry (the
-# fair baseline — enabling alerts also turns the telemetry hub on).
+# Engine rows at a glance. The bars that matter: single_run soa_gain
+# >= 3x over the optimized scalar engine (DESIGN.md §11), alert_eval
+# stays in the tens of ns per sample, and single_run_alerts stays
+# within ~10% of single_run_telemetry (the fair baseline — enabling
+# alerts also turns the telemetry hub on).
 echo
-echo "alert-engine micro-bench:"
-grep -A 3 -E '^(alert_eval|single_run|single_run_telemetry|single_run_alerts)$' \
-    "$BENCH_OUT.txt" || echo "  (no alert rows in perfbench output?)"
+echo "engine and alert rows:"
+grep -A 6 -E '^(fine_tick|alert_eval|single_run|single_run_telemetry|single_run_alerts)$' \
+    "$BENCH_OUT.txt" || echo "  (no engine rows in perfbench output?)"
 rm -f "$BENCH_OUT.txt"

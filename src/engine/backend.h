@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Explicit engine-backend selection API.
+ *
+ * PR 4's EngineTuning switches select scalar hot-path optimizations
+ * through a (now thread-local) mutable block — good for measuring
+ * individual switches, bad as a process-wide mode selector. This
+ * header replaces that global mutation path with an explicit,
+ * per-run interface: callers pick a BackendKind, a factory prepares
+ * and creates a ClusterEngine, and nothing about the choice leaks
+ * into other runs or threads.
+ *
+ * Three backends exist:
+ *
+ *  - Baseline   — the scalar core::DataCenter with every tuning
+ *                 switch off (the pre-optimization reference).
+ *  - Optimized  — the scalar core::DataCenter with the default
+ *                 switches on; bit-identical outputs to Baseline.
+ *                 This is the default backend.
+ *  - Soa        — the structure-of-arrays batch engine: rack,
+ *                 battery and server state in parallel arrays, the
+ *                 per-tick KiBaM step / demand evaluation / µDEB
+ *                 shaving as batch loops, arena-backed scratch, and
+ *                 counter-based RNG streams. Physically equivalent
+ *                 to the scalar engines (energy conservation, SoC
+ *                 bounds, survival agreement within tolerance) but
+ *                 not bit-identical: its per-rack summation order
+ *                 differs by design.
+ */
+
+#ifndef PAD_ENGINE_BACKEND_H
+#define PAD_ENGINE_BACKEND_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "attack/attacker.h"
+#include "core/config.h"
+#include "core/datacenter.h"
+#include "sim/stats_registry.h"
+#include "telemetry/hub.h"
+#include "trace/workload.h"
+#include "util/types.h"
+
+namespace pad::engine {
+
+/** Selectable simulation engines. */
+enum class BackendKind {
+    /** Scalar engine, every hot-path optimization off. */
+    Baseline,
+    /** Scalar engine, default optimizations on (the default). */
+    Optimized,
+    /** Structure-of-arrays batch engine (opt-in). */
+    Soa,
+};
+
+/** Canonical lower-case backend name ("baseline"/"optimized"/"soa"). */
+const char *backendName(BackendKind kind);
+
+/** Parse a backend name; nullopt when unknown. */
+std::optional<BackendKind> backendFromName(std::string_view name);
+
+/**
+ * What a backend would build for a configuration, surfaced before
+ * construction so callers can size shared resources (and discover
+ * unsupported configurations without paying for a failed build).
+ */
+struct EnginePlan {
+    /** Racks the engine will simulate. */
+    int racks = 0;
+    /** Total servers across all racks. */
+    int servers = 0;
+    /**
+     * Expected concurrently-live event count for the run's
+     * sim::EventQueue — per-run sizing instead of the historical
+     * fixed 256-entry arena block.
+     */
+    std::size_t eventQueueCapacity = 256;
+    /** False when the backend cannot run this configuration. */
+    bool supported = true;
+    /** Human-readable reason when unsupported. */
+    std::string note;
+};
+
+/**
+ * One running cluster simulation behind a backend-neutral interface:
+ * the subset of core::DataCenter the runner, benches and CLIs drive.
+ * Every method matches the DataCenter semantics documented in
+ * core/datacenter.h.
+ */
+class ClusterEngine
+{
+  public:
+    virtual ~ClusterEngine() = default;
+
+    /** Run coarse (trace-slot) steps until tick @p until. */
+    virtual void runCoarseUntil(Tick until) = 0;
+
+    /** Enable per-step SOC history recording for map figures. */
+    virtual void setRecordHistory(bool on) = 0;
+
+    /** SOC history: one row per coarse step, one column per rack. */
+    virtual const std::vector<std::vector<double>> &socHistory() const = 0;
+
+    /** Shed-ratio history aligned with socHistory. */
+    virtual const std::vector<double> &shedHistory() const = 0;
+
+    /** Run a fine-grained attack window from the current state. */
+    virtual core::AttackOutcome
+    runAttack(attack::TwoPhaseAttacker &attacker,
+              const core::AttackScenario &scenario) = 0;
+
+    /** Force every DEB and µDEB to a given SOC (scenario setup). */
+    virtual void setAllSoc(double soc) = 0;
+
+    /** Present simulation time. */
+    virtual Tick now() const = 0;
+
+    /** SOC of every rack. */
+    virtual std::vector<double> allSocs() const = 0;
+
+    /** Standard deviation of SOC across racks, in percent. */
+    virtual double socStdDevPercent() const = 0;
+
+    /** Anomalies flagged by the optional detector response. */
+    virtual std::uint64_t detectionsFlagged() const = 0;
+
+    /** Attach/detach a telemetry hub (not owned; nullptr detaches). */
+    virtual void setTelemetry(telemetry::TelemetryHub *hub) = 0;
+
+    /** Export run telemetry under the stable stat names. */
+    virtual void exportStats(sim::StatsRegistry &stats) const = 0;
+
+    /** exportStats() rendered as a gem5-style text dump. */
+    virtual void dumpStats(std::ostream &os) const = 0;
+
+    /** Static configuration. */
+    virtual const core::DataCenterConfig &config() const = 0;
+
+    /** The backend this engine was built by. */
+    virtual BackendKind kind() const = 0;
+};
+
+/**
+ * Factory for one backend kind. Stateless and shared; per-run state
+ * lives in the ClusterEngine it creates.
+ */
+class EngineBackend
+{
+  public:
+    virtual ~EngineBackend() = default;
+
+    /** The kind this backend builds. */
+    virtual BackendKind kind() const = 0;
+
+    /**
+     * Size up a run without building it: rack/server counts, the
+     * event-queue capacity the engine wants, and whether the
+     * configuration is supported at all.
+     */
+    virtual EnginePlan prepare(const core::DataCenterConfig &config) const = 0;
+
+    /**
+     * Build an engine. @p workload is not owned and must outlive the
+     * engine. Asserts prepare(config).supported.
+     */
+    virtual std::unique_ptr<ClusterEngine>
+    create(const core::DataCenterConfig &config,
+           const trace::Workload *workload) const = 0;
+};
+
+/** The shared factory for @p kind. */
+const EngineBackend &backendFor(BackendKind kind);
+
+/**
+ * Convenience: prepare + create in one call. When @p kind does not
+ * support the configuration (e.g. the SoA backend with per-server
+ * DEB placement), falls back to the scalar Optimized backend with a
+ * warning instead of failing the run.
+ */
+std::unique_ptr<ClusterEngine>
+makeClusterEngine(BackendKind kind, const core::DataCenterConfig &config,
+                  const trace::Workload *workload);
+
+} // namespace pad::engine
+
+#endif // PAD_ENGINE_BACKEND_H

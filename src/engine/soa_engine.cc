@@ -1,0 +1,1621 @@
+#include "engine/soa_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+#include "obs/tracer.h"
+#include "sched/load_shedding.h"
+#include "util/logging.h"
+
+namespace pad::engine {
+
+namespace {
+
+/** Stable pseudo-random shedding priority (core/datacenter.cc). */
+int
+shedPriority(std::size_t serverIdx)
+{
+    return static_cast<int>((serverIdx * 2654435761ULL) % 97);
+}
+
+/** Numerical slack for well-boundary comparisons, joules. */
+constexpr Joules kEps = 1e-9;
+
+} // namespace
+
+EnginePlan
+SoaBackend::prepare(const core::DataCenterConfig &config) const
+{
+    EnginePlan plan;
+    plan.racks = config.racks;
+    plan.servers = config.totalServers();
+    // Rack-restore events, one live at a time per rack, plus slack.
+    plan.eventQueueCapacity =
+        static_cast<std::size_t>(std::max(config.racks, 1)) + 8;
+    if (config.debPlacement !=
+        core::DataCenterConfig::DebPlacement::RackCabinet) {
+        plan.supported = false;
+        plan.note = "per-server BBU placement keeps per-unit state that "
+                    "does not flatten to one-well-per-rack arrays";
+    }
+    return plan;
+}
+
+std::unique_ptr<ClusterEngine>
+SoaBackend::create(const core::DataCenterConfig &config,
+                   const trace::Workload *workload) const
+{
+    const EnginePlan plan = prepare(config);
+    PAD_ASSERT(plan.supported, "SoA backend cannot run this config: {}",
+               plan.note);
+    return std::make_unique<SoaEngine>(config, workload,
+                                       plan.eventQueueCapacity);
+}
+
+SoaEngine::SoaEngine(const core::DataCenterConfig &config,
+                     const trace::Workload *workload,
+                     std::size_t eventQueueCapacity)
+    : config_(config),
+      traits_(config.overrideTraits ? config.traits
+                                    : core::schemeTraits(config.scheme)),
+      workload_(workload), serverModel_(config.server),
+      vdeb_(config.vdeb), policy_(true), queue_(eventQueueCapacity)
+{
+    PAD_ASSERT(workload_ != nullptr);
+    PAD_ASSERT(config_.racks > 0 && config_.serversPerRack > 0);
+    PAD_ASSERT(config_.debPlacement ==
+                   core::DataCenterConfig::DebPlacement::RackCabinet,
+               "SoA engine supports rack-cabinet DEB placement only");
+    PAD_ASSERT(workload_->machines() >= config_.totalServers(),
+               "workload has fewer machines than the cluster");
+
+    racks_ = config_.racks;
+    serversPerRack_ = config_.serversPerRack;
+    machines_ = config_.totalServers();
+    const auto nr = static_cast<std::size_t>(racks_);
+    const auto nm = static_cast<std::size_t>(machines_);
+
+    // Every cabinet shares one KiBaM parameterization.
+    capJ_ = wattHoursToJoules(config_.deb.capacityWh);
+    kibamC_ = config_.deb.kibamC;
+    kibamK_ = config_.deb.kibamK;
+    maxDischarge_ = config_.deb.maxDischargePower;
+    maxCharge_ = config_.deb.maxChargePower;
+    lvdDisconnectSoc_ = config_.deb.lvdDisconnectSoc;
+    lvdReconnectSoc_ = config_.deb.lvdReconnectSoc;
+    PAD_ASSERT(capJ_ > 0.0 && kibamC_ > 0.0 && kibamC_ < 1.0 &&
+               kibamK_ > 0.0);
+    PAD_ASSERT(maxDischarge_ > 0.0);
+    PAD_ASSERT(lvdDisconnectSoc_ >= 0.0 &&
+               lvdDisconnectSoc_ < lvdReconnectSoc_ &&
+               lvdReconnectSoc_ <= 1.0);
+
+    y1_.assign(nr, kibamC_ * capJ_);
+    y2_.assign(nr, (1.0 - kibamC_) * capJ_);
+    dischargedJ_.assign(nr, 0.0);
+    chargedJ_.assign(nr, 0.0);
+    lvdTripped_.assign(nr, 0);
+    lvdTrips_.assign(nr, 0);
+    chargerLatch_.assign(nr, 0);
+
+    hasUdeb_ = traits_.udebSpikes;
+    if (hasUdeb_) {
+        udebVoltage_.assign(nr, config_.udeb.cap.vMax);
+        udebEngagedFor_.assign(nr, 0.0);
+        udebEngagements_.assign(nr, 0);
+        udebDischargedJ_.assign(nr, 0.0);
+    }
+
+    // Same enforcement point as the scalar rack breaker: the soft
+    // overload limit without sharing, the hard wire rating with it.
+    breakerRated_ =
+        traits_.vdebSharing
+            ? config_.rackBudget() * config_.rackBreakerMargin
+            : config_.rackOverloadLimit();
+    breakerHold_ = 1.02;
+    breakerMagnetic_ = config_.rackBreaker.magneticRatio;
+    breakerThermalCap_ = 0.5;
+    breakerCoolTau_ = config_.rackBreaker.coolTau;
+    PAD_ASSERT(breakerRated_ > 0.0 && breakerCoolTau_ > 0.0);
+    breakerHeat_.assign(nr, 0.0);
+    breakerTrips_.assign(nr, 0);
+    downUntil_.assign(nr, 0);
+
+    if (config_.detectorResponse) {
+        meterNow_.assign(nr, 0);
+        meterIntervalStart_.assign(nr, 0);
+        meterEnergy_.assign(nr, 0.0);
+    }
+
+    dvfs_.assign(nr, 1.0);
+    vpEnergy_.assign(nr, 0.0);
+    shed_.assign(nm, 0);
+
+    demandBase_.assign(nm, 0.0);
+    demandValues_.assign(nm, 0.0);
+    cachePower_.assign(nr, 0.0);
+    cacheUncapped_.assign(nr, 0.0);
+    cacheDemand_.assign(nr, 0.0);
+    cacheExecuted_.assign(nr, 0.0);
+    cacheShedSup_.assign(nr, 0.0);
+    malPower_.assign(nm, 0.0);
+    malUncapped_.assign(nm, 0.0);
+    malExecuted_.assign(nm, 0.0);
+
+    rackPower_.assign(nr, 0.0);
+    rackDraw_.assign(nr, 0.0);
+    rackUncapped_.assign(nr, 0.0);
+    rackShaved_.assign(nr, 0.0);
+    limits_.assign(nr, 0.0);
+    socScratch_.assign(nr, 0.0);
+    planScratch_.power.assign(nr, 0.0);
+    victimMask_.assign(nr, 0);
+
+    udebName_.reserve(nr);
+    breakerName_.reserve(nr);
+    powerName_.reserve(nr);
+    drawName_.reserve(nr);
+    socName_.reserve(nr);
+    udebSocName_.reserve(nr);
+    for (int r = 0; r < racks_; ++r) {
+        const std::string base = "rack" + std::to_string(r);
+        udebName_.push_back(base + ".udeb");
+        breakerName_.push_back(base + ".breaker");
+        powerName_.push_back(base + ".power");
+        drawName_.push_back(base + ".draw");
+        socName_.push_back(base + ".soc");
+        udebSocName_.push_back(base + ".udeb_soc");
+    }
+}
+
+void
+SoaEngine::setShards(int shards)
+{
+    PAD_ASSERT(shards >= 1, "shard count must be positive");
+    shards_ = std::min(shards, racks_);
+}
+
+// ---------------------------------------------------------------------
+// KiBaM batch physics (battery/kibam.cc arithmetic, verbatim)
+// ---------------------------------------------------------------------
+
+const SoaEngine::Coeffs &
+SoaEngine::coeffsFor(double dt) const
+{
+    for (const Coeffs &c : coeffs_)
+        if (c.dt == dt)
+            return c;
+    // Each stored value is the whole original expression — never a
+    // refactored regrouping — so reuse cannot change a bit downstream.
+    Coeffs &c = coeffs_[coeffsNext_];
+    coeffsNext_ = (coeffsNext_ + 1) % coeffs_.size();
+    const double r = std::exp(-kibamK_ * dt);
+    const double kt = kibamK_ * dt;
+    c.dt = dt;
+    c.r = r;
+    c.kt = kt;
+    c.mspDenom = ((1.0 - r) + kibamC_ * (kt - 1.0 + r)) / kibamK_;
+    return c;
+}
+
+void
+SoaEngine::kibamAdvance(std::size_t r, Watts power, double cr, double ckt)
+{
+    // Manwell-McGowan closed form for constant power over dt.
+    const double k = kibamK_;
+    const double c = kibamC_;
+    const double y0 = y1_[r] + y2_[r];
+    const double y1n = y1_[r] * cr +
+                       (y0 * k * c - power) * (1.0 - cr) / k -
+                       power * c * (ckt - 1.0 + cr) / k;
+    const double y2n = y2_[r] * cr + y0 * (1.0 - c) * (1.0 - cr) -
+                       power * (1.0 - c) * (ckt - 1.0 + cr) / k;
+    y1_[r] = y1n;
+    y2_[r] = y2n;
+}
+
+double
+SoaEngine::availableAfter(std::size_t r, Watts power, double t) const
+{
+    const double k = kibamK_;
+    const double c = kibamC_;
+    const double y0 = y1_[r] + y2_[r];
+    const double er = std::exp(-k * t);
+    const double kt = k * t;
+    return y1_[r] * er + (y0 * k * c - power) * (1.0 - er) / k -
+           power * c * (kt - 1.0 + er) / k;
+}
+
+double
+SoaEngine::crossingBisect(std::size_t r, Watts power, double dt) const
+{
+    // The same 60 dyadic midpoints, y1 arithmetic and sign test as the
+    // scalar bisection, so the crossing is bit-identical to it.
+    double lo = 0.0, hi = dt;
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = 0.5 * (lo + hi);
+        if (availableAfter(r, power, mid) > 0.0)
+            lo = mid;
+        else
+            hi = mid;
+    }
+    return 0.5 * (lo + hi);
+}
+
+void
+SoaEngine::clampWells(std::size_t r)
+{
+    y1_[r] = std::clamp(y1_[r], 0.0, kibamC_ * capJ_);
+    y2_[r] = std::clamp(y2_[r], 0.0, (1.0 - kibamC_) * capJ_);
+}
+
+Watts
+SoaEngine::kibamMsp(std::size_t r, double dt) const
+{
+    PAD_ASSERT(dt > 0.0);
+    const Coeffs &cc = coeffsFor(dt);
+    const double numer =
+        y1_[r] * cc.r + (y1_[r] + y2_[r]) * kibamC_ * (1.0 - cc.r);
+    if (cc.mspDenom <= 0.0)
+        return 0.0;
+    return std::max(0.0, numer / cc.mspDenom);
+}
+
+Joules
+SoaEngine::kibamStep(std::size_t r, Watts power, double dt)
+{
+    PAD_ASSERT(dt >= 0.0);
+    if (dt == 0.0 || power == 0.0) {
+        // Even with no load the wells equalize.
+        if (dt > 0.0) {
+            const Coeffs &cc = coeffsFor(dt);
+            kibamAdvance(r, 0.0, cc.r, cc.kt);
+            clampWells(r);
+        }
+        return 0.0;
+    }
+
+    if (power > 0.0) {
+        const Watts sustainable = kibamMsp(r, dt);
+        if (power <= sustainable) {
+            const Coeffs &cc = coeffsFor(dt);
+            kibamAdvance(r, power, cc.r, cc.kt);
+            clampWells(r);
+            return power * dt;
+        }
+        if (sustainable <= 0.0) {
+            const Coeffs &cc = coeffsFor(dt);
+            kibamAdvance(r, 0.0, cc.r, cc.kt);
+            clampWells(r);
+            return 0.0;
+        }
+        // Deliver until y1 empties, then rest for the remainder.
+        const double tcross = crossingBisect(r, power, dt);
+        {
+            const Coeffs &cc = coeffsFor(tcross);
+            kibamAdvance(r, power, cc.r, cc.kt);
+            clampWells(r);
+        }
+        y1_[r] = 0.0;
+        {
+            const Coeffs &cc = coeffsFor(dt - tcross);
+            kibamAdvance(r, 0.0, cc.r, cc.kt);
+            clampWells(r);
+        }
+        return power * tcross;
+    }
+
+    // Charging: conservation first — split accepted charge across the
+    // wells, spilling overflow, then apply the kinetic equalization.
+    const Joules room = capJ_ - (y1_[r] + y2_[r]);
+    const Joules accepted = std::min(-power * dt, room);
+    if (accepted > 0.0) {
+        const Joules y1room = kibamC_ * capJ_ - y1_[r];
+        const Joules y2room = (1.0 - kibamC_) * capJ_ - y2_[r];
+        Joules toY1 = std::min(accepted * kibamC_, y1room);
+        Joules toY2 = std::min(accepted - toY1, y2room);
+        toY1 += std::min(accepted - toY1 - toY2, y1room - toY1);
+        y1_[r] += toY1;
+        y2_[r] += toY2;
+    }
+    const Coeffs &cc = coeffsFor(dt);
+    kibamAdvance(r, 0.0, cc.r, cc.kt);
+    clampWells(r);
+    return -accepted;
+}
+
+// ---------------------------------------------------------------------
+// DEB unit protection (battery/battery_unit.cc; aging not tracked)
+// ---------------------------------------------------------------------
+
+void
+SoaEngine::updateLvd(std::size_t r)
+{
+    // The LVD tracks the available-well head, not total charge.
+    const double head = y1_[r] / (kibamC_ * capJ_);
+    if (!lvdTripped_[r]) {
+        if (head <= lvdDisconnectSoc_ + 1e-9 || y1_[r] <= kEps) {
+            lvdTripped_[r] = 1;
+            ++lvdTrips_[r];
+        }
+    } else if (head >= lvdReconnectSoc_) {
+        lvdTripped_[r] = 0;
+    }
+}
+
+Joules
+SoaEngine::unitDischarge(std::size_t r, Watts requested, double dt)
+{
+    PAD_ASSERT(requested >= 0.0 && dt >= 0.0);
+    if (dt == 0.0 || requested == 0.0 || lvdTripped_[r]) {
+        unitRest(r, dt);
+        return 0.0;
+    }
+    const Watts bounded = std::min(requested, maxDischarge_);
+    const Joules floor = lvdDisconnectSoc_ * capJ_;
+    const Joules headroom = std::max(0.0, rackStored(r) - floor);
+    Joules delivered = 0.0;
+    const Joules want = bounded * dt;
+    if (want <= headroom) {
+        delivered = kibamStep(r, bounded, dt);
+    } else {
+        // Deliver until the LVD floor, then rest for the remainder.
+        const double tcut = headroom / bounded;
+        delivered = kibamStep(r, bounded, tcut);
+        kibamStep(r, 0.0, dt - tcut);
+    }
+    dischargedJ_[r] += delivered;
+    updateLvd(r);
+    return delivered;
+}
+
+Joules
+SoaEngine::unitCharge(std::size_t r, Watts offered, double dt)
+{
+    PAD_ASSERT(offered >= 0.0 && dt >= 0.0);
+    if (dt == 0.0 || offered == 0.0) {
+        unitRest(r, dt);
+        return 0.0;
+    }
+    const Watts bounded = std::min(offered, maxCharge_);
+    const Joules absorbed = -kibamStep(r, -bounded, dt);
+    chargedJ_[r] += absorbed;
+    updateLvd(r);
+    return absorbed;
+}
+
+void
+SoaEngine::unitRest(std::size_t r, double dt)
+{
+    if (dt > 0.0) {
+        kibamStep(r, 0.0, dt);
+        updateLvd(r);
+    }
+}
+
+Watts
+SoaEngine::unitAvailablePower(std::size_t r, double dt) const
+{
+    if (lvdTripped_[r])
+        return 0.0;
+    const Watts sustainable = kibamMsp(r, dt);
+    const Joules floor = lvdDisconnectSoc_ * capJ_;
+    const Joules headroom = std::max(0.0, rackStored(r) - floor);
+    const Watts byEnergy = headroom / dt;
+    return std::min({sustainable, byEnergy, maxDischarge_});
+}
+
+bool
+SoaEngine::unitUnavailable(std::size_t r) const
+{
+    return lvdTripped_[r] || y1_[r] <= kEps;
+}
+
+Watts
+SoaEngine::rackDischarge(std::size_t r, Watts want, double dtSec,
+                         Watts boundW)
+{
+    // RackState::discharge for the single-cabinet case: the unit's
+    // SOC-proportional share of its own rack is exactly 1.
+    if (want <= 0.0) {
+        unitRest(r, dtSec);
+        return 0.0;
+    }
+    const double share = rackStored(r) > 0.0 ? 1.0 : 0.0;
+    const Watts ask = std::min(want * share, boundW);
+    if (ask > 0.0)
+        return unitDischarge(r, ask, dtSec) / dtSec;
+    unitRest(r, dtSec);
+    return 0.0;
+}
+
+bool
+SoaEngine::wantsCharge(std::size_t r)
+{
+    if (config_.charge.kind == battery::ChargePolicyKind::Online)
+        return std::clamp(rackStored(r) / capJ_, 0.0, 1.0) < 0.999;
+    const double soc = std::clamp(rackStored(r) / capJ_, 0.0, 1.0);
+    if (chargerLatch_[r]) {
+        if (soc >= config_.charge.offlineStopSoc)
+            chargerLatch_[r] = 0;
+    } else if (soc <= config_.charge.offlineStartSoc) {
+        chargerLatch_[r] = 1;
+    }
+    return chargerLatch_[r];
+}
+
+void
+SoaEngine::rackRecharge(std::size_t r, Watts headroom, double dtSec)
+{
+    PAD_ASSERT(dtSec >= 0.0);
+    if (headroom <= 0.0 || dtSec == 0.0)
+        return;
+    if (!wantsCharge(r))
+        return;
+    const Watts offer = std::min(headroom, maxCharge_);
+    unitCharge(r, offer, dtSec);
+}
+
+// ---------------------------------------------------------------------
+// µDEB (core/udeb.cc + battery/supercap.cc)
+// ---------------------------------------------------------------------
+
+Joules
+SoaEngine::capUsableEnergy(std::size_t r) const
+{
+    const auto &cap = config_.udeb.cap;
+    const double v2 = udebVoltage_[r] * udebVoltage_[r];
+    const double vmin2 = cap.vMin * cap.vMin;
+    return std::max(0.0, 0.5 * cap.capacitanceF * (v2 - vmin2));
+}
+
+Joules
+SoaEngine::capDischarge(std::size_t r, Watts requested, double dt)
+{
+    PAD_ASSERT(requested >= 0.0 && dt >= 0.0);
+    if (requested == 0.0 || dt == 0.0 || udebDepleted(r))
+        return 0.0;
+    const auto &cap = config_.udeb.cap;
+    const Watts bounded = std::min(requested, cap.maxPower);
+    const Joules wantFromBank = bounded * dt / cap.efficiency;
+    const Joules fromBank = std::min(wantFromBank, capUsableEnergy(r));
+    const double v2 = udebVoltage_[r] * udebVoltage_[r] -
+                      2.0 * fromBank / cap.capacitanceF;
+    udebVoltage_[r] = std::sqrt(std::max(v2, cap.vMin * cap.vMin));
+    const Joules delivered = fromBank * cap.efficiency;
+    udebDischargedJ_[r] += delivered;
+    ++udebEngagements_[r];
+    return delivered;
+}
+
+Joules
+SoaEngine::capCharge(std::size_t r, Watts offered, double dt)
+{
+    PAD_ASSERT(offered >= 0.0 && dt >= 0.0);
+    if (offered == 0.0 || dt == 0.0)
+        return 0.0;
+    const auto &cap = config_.udeb.cap;
+    const Joules room =
+        0.5 * cap.capacitanceF *
+        (cap.vMax * cap.vMax - udebVoltage_[r] * udebVoltage_[r]);
+    const Joules absorbed = std::min(offered * dt, room);
+    const double v2 = udebVoltage_[r] * udebVoltage_[r] +
+                      2.0 * absorbed / cap.capacitanceF;
+    udebVoltage_[r] = std::min(std::sqrt(v2), cap.vMax);
+    return absorbed;
+}
+
+double
+SoaEngine::udebSoc(std::size_t r) const
+{
+    const auto &cap = config_.udeb.cap;
+    const Joules usableCap =
+        0.5 * cap.capacitanceF *
+        (cap.vMax * cap.vMax - cap.vMin * cap.vMin);
+    return std::clamp(capUsableEnergy(r) / usableCap, 0.0, 1.0);
+}
+
+bool
+SoaEngine::udebDepleted(std::size_t r) const
+{
+    return capUsableEnergy(r) <= kEps;
+}
+
+Watts
+SoaEngine::udebShave(std::size_t r, Watts excess, double dt)
+{
+    PAD_ASSERT(excess >= 0.0 && dt >= 0.0);
+    if (excess <= 0.0 || dt == 0.0) {
+        udebEngagedFor_[r] = 0.0;
+        return 0.0;
+    }
+    // Engagement-duration guard: the ORing backs off when the "spike"
+    // turns out to be a sustained peak.
+    if (udebEngagedFor_[r] >= config_.udeb.maxEngagementSec)
+        return 0.0;
+    const double window =
+        std::min(dt, config_.udeb.maxEngagementSec - udebEngagedFor_[r]);
+    const Joules delivered = capDischarge(r, excess, window);
+    udebEngagedFor_[r] += dt;
+    const Watts shaved = delivered / dt;
+    if (shaved > 0.0 && obs::traceEnabled())
+        obs::emit(udebName_[r], "udeb.shave",
+                  {obs::TraceField::num("excess_w", excess),
+                   obs::TraceField::num("shaved_w", shaved),
+                   obs::TraceField::num("soc", udebSoc(r)),
+                   obs::TraceField::num("engaged_sec",
+                                        udebEngagedFor_[r])});
+    return shaved;
+}
+
+Watts
+SoaEngine::udebRecharge(std::size_t r, Watts headroom, double dt)
+{
+    PAD_ASSERT(dt >= 0.0);
+    udebEngagedFor_[r] = 0.0;
+    if (headroom <= 0.0 || dt == 0.0)
+        return 0.0;
+    const Watts offer = std::min(headroom, config_.udeb.rechargePower);
+    return capCharge(r, offer, dt) / dt;
+}
+
+// ---------------------------------------------------------------------
+// Breaker + detector (power/circuit_breaker.cc / power_meter.cc)
+// ---------------------------------------------------------------------
+
+bool
+SoaEngine::breakerObserve(std::size_t r, Watts power, double dt)
+{
+    PAD_ASSERT(dt >= 0.0);
+    if (dt == 0.0)
+        return false;
+    const double ratio = power / breakerRated_;
+    if (ratio >= breakerMagnetic_) {
+        ++breakerTrips_[r];
+        if (obs::traceEnabled())
+            obs::emit(breakerName_[r], "breaker.trip",
+                      {obs::TraceField::str("cause", "magnetic"),
+                       obs::TraceField::num("draw_w", power),
+                       obs::TraceField::num("ratio", ratio)});
+        return true;
+    }
+    if (ratio > breakerHold_) {
+        breakerHeat_[r] += (ratio * ratio - 1.0) * dt;
+        if (breakerHeat_[r] >= breakerThermalCap_) {
+            ++breakerTrips_[r];
+            if (obs::traceEnabled())
+                obs::emit(breakerName_[r], "breaker.trip",
+                          {obs::TraceField::str("cause", "thermal"),
+                           obs::TraceField::num("draw_w", power),
+                           obs::TraceField::num("ratio", ratio),
+                           obs::TraceField::num("heat",
+                                                breakerHeat_[r])});
+            return true;
+        }
+    } else {
+        breakerHeat_[r] *= std::exp(-dt / breakerCoolTau_);
+    }
+    return false;
+}
+
+void
+SoaEngine::detectorStep(Tick dt)
+{
+    if (!config_.detectorResponse)
+        return;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        Tick remaining = dt;
+        while (remaining > 0) {
+            const Tick intervalEnd =
+                meterIntervalStart_[r] + config_.detectorInterval;
+            const Tick slice =
+                std::min(remaining, intervalEnd - meterNow_[r]);
+            meterEnergy_[r] +=
+                rackDraw_[r] * static_cast<double>(slice);
+            meterNow_[r] += slice;
+            remaining -= slice;
+            if (meterNow_[r] != intervalEnd)
+                continue;
+            const Watts avg =
+                meterEnergy_[r] /
+                static_cast<double>(config_.detectorInterval);
+            meterIntervalStart_ [r] += config_.detectorInterval;
+            meterEnergy_[r] = 0.0;
+            // Flag when the metered average rises measurably above
+            // the rack's rolling expectation.
+            if (vpEnergy_[r] > 0.0 &&
+                avg > vpEnergy_[r] * (1.0 + config_.detectorMargin)) {
+                ++detections_;
+                if (firstDetectionTick_ == kTickNever)
+                    firstDetectionTick_ = now_;
+                clusterCapUntil_ =
+                    now_ + secondsToTicks(config_.detectorCapHoldSec);
+                if (obs::traceEnabled())
+                    obs::emit(
+                        "detector", "detector.anomaly",
+                        {obs::TraceField::integer(
+                             "rack", static_cast<std::int64_t>(r)),
+                         obs::TraceField::num("avg_w", avg),
+                         obs::TraceField::num("expected_w",
+                                              vpEnergy_[r])});
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Demand + benign cache
+// ---------------------------------------------------------------------
+
+void
+SoaEngine::rebuildBenign(bool attackMode, int maliciousNodes)
+{
+    if (attackMode != benignAttackMode_ ||
+        maliciousNodes != benignMaliciousNodes_) {
+        benignAttackMode_ = attackMode;
+        benignMaliciousNodes_ = maliciousNodes;
+        benignDirty_ = true;
+    }
+}
+
+void
+SoaEngine::refreshShardRange(std::size_t rackLo, std::size_t rackHi,
+                             bool rebuildBase, bool rebuildValues,
+                             bool fine, std::uint64_t second,
+                             bool rebuildSums, bool attackMode,
+                             int maliciousNodes)
+{
+    const auto perRack = static_cast<std::size_t>(serversPerRack_);
+    if (rebuildBase) {
+        for (std::size_t m = rackLo * perRack; m < rackHi * perRack; ++m)
+            demandBase_[m] = workload_->utilAtSlot(static_cast<int>(m),
+                                                   demandSlot_);
+    }
+    if (rebuildValues) {
+        if (fine) {
+            // CounterRng-backed jitter: each (machine, second) sample
+            // is an O(1) seek, so any shard regenerates its slice
+            // independently with the exact bits the serial pass gets.
+            for (std::size_t m = rackLo * perRack; m < rackHi * perRack;
+                 ++m)
+                demandValues_[m] = trace::Workload::combineFine(
+                    demandBase_[m],
+                    trace::Workload::jitterAt(static_cast<int>(m),
+                                              second),
+                    trace::kDefaultFineNoiseAmp);
+        } else {
+            for (std::size_t m = rackLo * perRack; m < rackHi * perRack;
+                 ++m)
+                demandValues_[m] = demandBase_[m];
+        }
+    }
+    if (!rebuildSums)
+        return;
+    for (std::size_t r = rackLo; r < rackHi; ++r) {
+        const bool victimRack = attackMode && victimMask_[r];
+        const double dvfs = dvfs_[r];
+        const std::size_t rackBase = r * perRack;
+        double power = 0.0, uncapped = 0.0, demand = 0.0;
+        double executed = 0.0, shedSup = 0.0;
+        for (std::size_t s = 0; s < perRack; ++s) {
+            if (victimRack &&
+                s < static_cast<std::size_t>(maliciousNodes)) {
+                // Attacker-controlled: excluded from the benign sums
+                // (re-summed per fine tick), but its benign-demand
+                // evaluation is cached so ticks where the virus does
+                // not outbid the trace skip the pow().
+                const std::size_t idx = rackBase + s;
+                serverModel_.evaluate(demandValues_[idx], dvfs,
+                                      malPower_[idx],
+                                      malUncapped_[idx],
+                                      malExecuted_[idx]);
+                continue;
+            }
+            const std::size_t idx = rackBase + s;
+            const double d = demandValues_[idx];
+            demand += d;
+            if (shed_[idx]) {
+                power += config_.sleepPower;
+                shedSup +=
+                    serverModel_.power(d, dvfs) - config_.sleepPower;
+            } else {
+                double p, unc, e;
+                serverModel_.evaluate(d, dvfs, p, unc, e);
+                power += p;
+                uncapped += unc;
+                executed += e;
+            }
+        }
+        cachePower_[r] = power;
+        cacheUncapped_[r] = uncapped;
+        cacheDemand_[r] = demand;
+        cacheExecuted_[r] = executed;
+        cacheShedSup_[r] = shedSup;
+    }
+}
+
+void
+SoaEngine::refreshDemand(Tick t, bool fine)
+{
+    const std::size_t slot = workload_->slotAt(t);
+    const auto second =
+        fine ? static_cast<std::uint64_t>(t / kTicksPerSecond)
+             : ~std::uint64_t{0};
+    const bool rebuildBase = slot != demandSlot_;
+    const bool rebuildValues =
+        rebuildBase || (fine != demandFine_) ||
+        (fine && second != demandSecond_);
+    const bool rebuildSums = rebuildValues || benignDirty_;
+    demandTick_ = t;
+    if (!rebuildBase && !rebuildValues && !rebuildSums)
+        return;
+    demandSlot_ = slot;
+
+    const auto nRacks = static_cast<std::size_t>(racks_);
+    if (shards_ <= 1) {
+        refreshShardRange(0, nRacks, rebuildBase, rebuildValues, fine,
+                          second, rebuildSums, benignAttackMode_,
+                          benignMaliciousNodes_);
+    } else {
+        // Rack-aligned shard ranges: writes are disjoint and every
+        // per-rack reduction folds in server order inside one shard,
+        // so the result is bit-identical for any shard count.
+        const std::size_t per =
+            (nRacks + static_cast<std::size_t>(shards_) - 1) /
+            static_cast<std::size_t>(shards_);
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<std::size_t>(shards_));
+        for (std::size_t lo = 0; lo < nRacks; lo += per) {
+            const std::size_t hi = std::min(nRacks, lo + per);
+            workers.emplace_back([this, lo, hi, rebuildBase,
+                                  rebuildValues, fine, second,
+                                  rebuildSums] {
+                refreshShardRange(lo, hi, rebuildBase, rebuildValues,
+                                  fine, second, rebuildSums,
+                                  benignAttackMode_,
+                                  benignMaliciousNodes_);
+            });
+        }
+        for (auto &w : workers)
+            w.join();
+    }
+    demandSecond_ = second;
+    demandFine_ = fine;
+    benignDirty_ = false;
+}
+
+// ---------------------------------------------------------------------
+// Per-step pipeline (core/datacenter.cc order)
+// ---------------------------------------------------------------------
+
+void
+SoaEngine::computeStep(StepView &step, Tick t, double dtSec, bool fine,
+                       const attack::TwoPhaseAttacker *attacker,
+                       const core::AttackScenario *scenario,
+                       double attackRelSec, bool attackerActive,
+                       sched::PerfMonitor *windowPerf)
+{
+    refreshDemand(t, fine);
+    step.totalPower = 0.0;
+    step.totalDraw = 0.0;
+    step.shedSuppressed = 0.0;
+
+    // The virus program is node-independent: every controlled slot
+    // demands the same utilization at the same instant. Evaluate it
+    // once per tick and memoize the power-model bundle per distinct
+    // DVFS level; slots the virus does not outbid fall back to the
+    // per-second cache built with the benign sums. Both paths call
+    // the exact evaluate() the per-slot walk would, so the sums stay
+    // bit-identical.
+    const double atkUtil = (attacker && scenario && attackerActive)
+                               ? attacker->demandedUtil(0, attackRelSec)
+                               : -1.0;
+    double memoDvfs = -1.0;
+    double memoPower = 0.0, memoUncapped = 0.0, memoExecuted = 0.0;
+
+    const auto perRack = static_cast<std::size_t>(serversPerRack_);
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        // A rack whose breaker tripped is dark until service is
+        // restored; its demanded (benign) work is lost outright.
+        if (darkRacks_ > 0 && t < downUntil_[r]) {
+            perf_.recordShed(cacheDemand_[r], dtSec);
+            if (windowPerf)
+                windowPerf->recordShed(cacheDemand_[r], dtSec);
+            rackPower_[r] = 0.0;
+            rackUncapped_[r] = 0.0;
+            continue;
+        }
+
+        double rackTotal = cachePower_[r];
+        double rackUncapped = cacheUncapped_[r];
+        step.shedSuppressed += cacheShedSup_[r];
+
+        const bool attackedRack =
+            attacker && scenario && victimMask_[r];
+        if (attackedRack) {
+            const double dvfs = dvfs_[r];
+            const std::size_t rackBase = r * perRack;
+            for (int s = 0; s < scenario->maliciousNodes; ++s) {
+                const std::size_t idx =
+                    rackBase + static_cast<std::size_t>(s);
+                const double benignU = demandValues_[idx];
+                if (shed_[idx]) {
+                    rackTotal += config_.sleepPower;
+                    step.shedSuppressed +=
+                        serverModel_.power(std::max(benignU, atkUtil),
+                                           dvfs) -
+                        config_.sleepPower;
+                } else if (atkUtil > benignU) {
+                    if (dvfs != memoDvfs) {
+                        serverModel_.evaluate(atkUtil, dvfs, memoPower,
+                                              memoUncapped,
+                                              memoExecuted);
+                        memoDvfs = dvfs;
+                    }
+                    rackTotal += memoPower;
+                    rackUncapped += memoUncapped;
+                } else {
+                    rackTotal += malPower_[idx];
+                    rackUncapped += malUncapped_[idx];
+                }
+            }
+        }
+        // Benign work is charged per rack from the cached sums; the
+        // scalar engine charges it per server (same totals, different
+        // FP fold — the documented tolerance-parity point).
+        perf_.record(cacheDemand_[r], cacheExecuted_[r], dtSec);
+        if (windowPerf)
+            windowPerf->record(cacheDemand_[r], cacheExecuted_[r],
+                               dtSec);
+        rackPower_[r] = rackTotal;
+        rackUncapped_[r] = rackUncapped;
+        step.totalPower += rackTotal;
+    }
+}
+
+void
+SoaEngine::applyShaving(StepView &step, double dtSec)
+{
+    const Watts budget = config_.rackBudget();
+    const Watts hardLimit = budget * config_.rackBreakerMargin;
+    const auto nRacks = static_cast<std::size_t>(racks_);
+
+    if (traits_.vdebSharing) {
+        // Cluster-level assignment (Algorithm 1) against the PDU
+        // budget, recomputed from live SOC each step.
+        for (std::size_t r = 0; r < nRacks; ++r)
+            socScratch_[r] = rackStored(r);
+        vdeb_.assignInto(socScratch_, step.totalPower,
+                         config_.clusterBudget(), planScratch_);
+        for (std::size_t r = 0; r < nRacks; ++r) {
+            const double powerW = rackPower_[r];
+            // A rack cannot offset more than its own draw.
+            const Watts want = std::min(planScratch_.power[r], powerW);
+            Watts shaved = 0.0;
+            if (traits_.peakShaving && want > 0.0)
+                shaved = rackDischarge(r, want, dtSec, powerW);
+            else
+                unitRest(r, dtSec);
+            double draw = powerW - shaved;
+            // Protect the rack's own wire: extra local discharge if
+            // the draw still exceeds the hard circuit rating.
+            if (draw > hardLimit) {
+                const Watts extra = rackDischarge(r, draw - hardLimit,
+                                                  dtSec, powerW);
+                draw -= extra;
+                shaved += extra;
+            }
+            rackDraw_[r] = draw;
+            rackShaved_[r] = shaved;
+        }
+    } else {
+        for (std::size_t r = 0; r < nRacks; ++r) {
+            const double powerW = rackPower_[r];
+            Watts shaved = 0.0;
+            if (!traits_.peakShaving) {
+                unitRest(r, dtSec);
+            } else {
+                const Watts excess = std::max(0.0, powerW - budget);
+                if (excess > 0.0)
+                    shaved = rackDischarge(r, excess, dtSec, powerW);
+                else
+                    unitRest(r, dtSec);
+            }
+            rackDraw_[r] = powerW - shaved;
+            rackShaved_[r] = shaved;
+        }
+    }
+
+    step.totalDraw =
+        std::accumulate(rackDraw_.begin(), rackDraw_.end(), 0.0);
+}
+
+void
+SoaEngine::fillRackLimits()
+{
+    const Watts budget = config_.rackBudget();
+    const Watts hardLimit = budget * config_.rackBreakerMargin;
+    const auto nRacks = static_cast<std::size_t>(racks_);
+
+    if (!traits_.vdebSharing) {
+        std::fill(limits_.begin(), limits_.end(),
+                  config_.rackOverloadLimit());
+        return;
+    }
+
+    // Capacity sharing: the iPDU may raise a rack's soft limit by the
+    // headroom the *other* racks actually leave on the PDU, never
+    // beyond the rack's hard circuit rating.
+    Watts totalHeadroom = 0.0;
+    for (std::size_t r = 0; r < nRacks; ++r)
+        totalHeadroom += std::max(0.0, budget - rackDraw_[r]);
+    for (std::size_t r = 0; r < nRacks; ++r) {
+        const Watts own = std::max(0.0, budget - rackDraw_[r]);
+        const Watts shared = totalHeadroom - own;
+        const Watts allocation = std::min(hardLimit, budget + shared);
+        limits_[r] = allocation * (1.0 + config_.overshootTolerance);
+    }
+}
+
+void
+SoaEngine::applyUdeb(StepView &step, double dtSec)
+{
+    // µDEB automatic ORing response; engages only against hidden
+    // spikes (or pool shortfall under sharing). See core/datacenter.cc.
+    if (!traits_.udebSpikes)
+        return;
+    const Watts budget = config_.rackBudget();
+    const bool poolShortfall =
+        step.totalDraw > config_.clusterBudget() + 1e-6;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        Watts residual = 0.0;
+        if (traits_.vdebSharing) {
+            if (poolShortfall)
+                residual = std::max(0.0, rackDraw_[r] - budget);
+        } else {
+            residual =
+                std::max(0.0, rackDraw_[r] - limits_[r] * 0.999);
+        }
+        // A zero-residual step disengages the ORing and resets its
+        // engagement-duration guard.
+        const Watts shaved = udebShave(r, residual, dtSec);
+        if (shaved > 0.0) {
+            rackDraw_[r] -= shaved;
+            step.totalDraw -= shaved;
+        }
+    }
+}
+
+void
+SoaEngine::rechargeAll(const StepView &step, double dtSec)
+{
+    (void)step;
+    const Watts budget = config_.rackBudget();
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        Watts headroom = std::max(0.0, budget - rackDraw_[r]);
+        // µDEB refills first: tiny energy, highest urgency. Called
+        // even with zero headroom so an idle step resets the ORing
+        // engagement guard.
+        if (hasUdeb_ && rackDraw_[r] <= budget)
+            headroom -= udebRecharge(r, headroom, dtSec);
+        if (headroom <= 0.0)
+            continue;
+        // A unit that discharged this step cannot also charge.
+        if (rackShaved_[r] > 0.0)
+            continue;
+        rackRecharge(r, headroom, dtSec);
+    }
+}
+
+void
+SoaEngine::controlDecisions(const StepView &step, double dtSec)
+{
+    const Watts budget = config_.rackBudget();
+    const auto nRacks = static_cast<std::size_t>(racks_);
+
+    // Visible-peak detection: EMA of each rack's power vs its budget.
+    const double alpha =
+        1.0 - std::exp(-dtSec / ticksToSeconds(config_.vpWindow));
+    bool vp = false;
+    for (std::size_t r = 0; r < nRacks; ++r) {
+        vpEnergy_[r] += alpha * (rackPower_[r] - vpEnergy_[r]);
+        if (vpEnergy_[r] > budget)
+            vp = true;
+    }
+    if (vp != visiblePeak_ && obs::traceEnabled())
+        obs::emit("detector", "detector.visible_peak",
+                  {obs::TraceField::boolean("active", vp),
+                   obs::TraceField::num("budget_w", budget)});
+    visiblePeak_ = vp;
+
+    // DVFS capping (PSPC): cap a rack once its DEB's remaining
+    // runtime at the present excess falls under a safety window.
+    if (traits_.dvfsCapping) {
+        constexpr double kRuntimeWindowSec = 300.0;
+        for (std::size_t r = 0; r < nRacks; ++r) {
+            const Watts excess = rackUncapped_[r] - budget;
+            const Joules floor = config_.deb.lvdDisconnectSoc * capJ_;
+            const Joules usable =
+                std::max(0.0, rackStored(r) - floor);
+            const bool needCap =
+                excess > 0.0 && usable < excess * kRuntimeWindowSec;
+            const double next = needCap ? traits_.dvfsFactor : 1.0;
+            if (dvfs_[r] != next) {
+                dvfs_[r] = next;
+                benignDirty_ = true;
+            }
+        }
+    }
+
+    // Detector-triggered cluster-wide capping.
+    if (config_.detectorResponse) {
+        if (now_ < clusterCapUntil_) {
+            for (std::size_t r = 0; r < nRacks; ++r)
+                if (dvfs_[r] != traits_.dvfsFactor) {
+                    dvfs_[r] = traits_.dvfsFactor;
+                    benignDirty_ = true;
+                }
+        } else if (!traits_.dvfsCapping) {
+            for (std::size_t r = 0; r < nRacks; ++r)
+                if (dvfs_[r] != 1.0) {
+                    dvfs_[r] = 1.0;
+                    benignDirty_ = true;
+                }
+        }
+    }
+
+    // Hierarchical policy + Level-3 shedding (PAD).
+    if (traits_.shedding) {
+        Watts poolPower = 0.0;
+        for (std::size_t r = 0; r < nRacks; ++r)
+            poolPower += unitAvailablePower(r, 1.0);
+        bool udebOk = !traits_.udebSpikes;
+        if (hasUdeb_)
+            for (std::size_t r = 0; r < nRacks; ++r)
+                if (!udebDepleted(r))
+                    udebOk = true;
+
+        core::PolicyInputs in;
+        in.vdebAvailable = poolPower > 0.01 * config_.clusterBudget();
+        in.udebAvailable = udebOk;
+        in.visiblePeak = visiblePeak_;
+        level_ = policy_.update(in);
+        if (level_ != core::SecurityLevel::Normal &&
+            firstEscalationTick_ == kTickNever)
+            firstEscalationTick_ = now_;
+
+        // Usable fraction of the pool's charge (above LVD floors).
+        Joules usable = 0.0, usableCap = 0.0;
+        for (std::size_t r = 0; r < nRacks; ++r) {
+            const Joules floor = config_.deb.lvdDisconnectSoc * capJ_;
+            usable += std::max(0.0, rackStored(r) - floor);
+            usableCap += capJ_ - floor;
+        }
+        const double poolUsable = usable / std::max(usableCap, 1.0);
+
+        const Watts deficit =
+            step.totalPower - config_.clusterBudget();
+        const bool extreme =
+            level_ == core::SecurityLevel::Emergency ||
+            (visiblePeak_ &&
+             (poolUsable < 0.5 || sheddedServers() > 0));
+        if (extreme && deficit > config_.shedTriggerFraction *
+                                     config_.clusterBudget()) {
+            std::vector<sched::ShedCandidate> candidates;
+            for (int r = 0; r < racks_; ++r) {
+                for (int s = 0; s < serversPerRack_; ++s) {
+                    const auto idx = static_cast<std::size_t>(
+                        r * serversPerRack_ + s);
+                    if (shed_[idx])
+                        continue;
+                    const double perServer =
+                        rackPower_[static_cast<std::size_t>(r)] /
+                        config_.serversPerRack;
+                    candidates.push_back(sched::ShedCandidate{
+                        static_cast<int>(idx),
+                        perServer - config_.sleepPower,
+                        shedPriority(idx)});
+                }
+            }
+            const auto decision =
+                shedder_.plan(std::move(candidates), deficit);
+            for (int id : decision.serversToSleep)
+                shed_[static_cast<std::size_t>(id)] = 1;
+            if (!decision.serversToSleep.empty())
+                benignDirty_ = true;
+        } else if (step.totalPower + step.shedSuppressed <=
+                   config_.clusterBudget() * 0.98) {
+            // The un-shed demand would fit again: wake everything.
+            if (std::find(shed_.begin(), shed_.end(),
+                          std::uint8_t{1}) != shed_.end()) {
+                std::fill(shed_.begin(), shed_.end(), 0);
+                benignDirty_ = true;
+            }
+        }
+    }
+}
+
+void
+SoaEngine::telemetrySample(const StepView &step)
+{
+    if (!telemetry_)
+        return;
+    auto &hub = *telemetry_;
+    const Watts budget = config_.rackBudget();
+    double score = 0.0;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        hub.record(powerName_[r], now_, rackPower_[r]);
+        hub.record(drawName_[r], now_, rackDraw_[r]);
+        hub.record(socName_[r], now_, rackSoc(r));
+        hub.record(udebSocName_[r], now_,
+                   hasUdeb_ ? udebSoc(r) : 1.0);
+        if (budget > 0.0)
+            score = std::max(score, vpEnergy_[r] / budget);
+    }
+    hub.record("pdu.power", now_, step.totalPower);
+    hub.record("pdu.draw", now_, step.totalDraw);
+    hub.record("policy.level", now_, static_cast<double>(level_));
+    hub.record("shed.servers", now_,
+               static_cast<double>(sheddedServers()));
+    hub.record("detector.score", now_, score);
+}
+
+void
+SoaEngine::stepCoarse()
+{
+    obs::setTraceClock(now_);
+    queue_.runUntil(now_);
+    const double dtSec = ticksToSeconds(config_.coarseStep);
+    StepView step;
+    computeStep(step, now_, dtSec, /*fine=*/false, nullptr, nullptr,
+                0.0, false, nullptr);
+    applyShaving(step, dtSec);
+    detectorStep(config_.coarseStep);
+    rechargeAll(step, dtSec);
+    controlDecisions(step, dtSec);
+    telemetrySample(step);
+
+    if (recordHistory_) {
+        socHistory_.push_back(allSocs());
+        shedHistory_.push_back(
+            static_cast<double>(sheddedServers()) /
+            static_cast<double>(config_.totalServers()));
+    }
+    now_ += config_.coarseStep;
+}
+
+void
+SoaEngine::runCoarseUntil(Tick until)
+{
+    while (now_ < until)
+        stepCoarse();
+}
+
+core::AttackOutcome
+SoaEngine::runAttack(attack::TwoPhaseAttacker &attacker,
+                     const core::AttackScenario &scenario)
+{
+    core::AttackScenario sc = scenario;
+    switch (sc.targetPolicy) {
+      case core::TargetPolicy::Fixed:
+        break;
+      case core::TargetPolicy::MostVulnerable:
+        sc.targetRack = mostVulnerableRack();
+        break;
+      case core::TargetPolicy::Median:
+        sc.targetRack = medianSocRack();
+        break;
+    }
+    PAD_ASSERT(sc.targetRack >= 0 && sc.targetRack < racks_);
+    sc.maliciousNodes = attacker.config().controlledNodes;
+    PAD_ASSERT(sc.maliciousNodes >= 1 &&
+                   sc.maliciousNodes <= serversPerRack_,
+               "attacker controls more nodes than one rack holds");
+
+    core::AttackOutcome out;
+    const Tick start = now_;
+    const Tick horizon = start + secondsToTicks(sc.durationSec);
+    out.rack.setAttackStart(start);
+    out.cluster.setAttackStart(start);
+
+    sched::PerfMonitor windowPerf;
+    const auto target = static_cast<std::size_t>(sc.targetRack);
+    const Watts clusterLimit =
+        config_.clusterBudget() *
+        (1.0 + (traits_.vdebSharing
+                    ? config_.clusterOvershootTolerance
+                    : config_.overshootTolerance));
+
+    std::fill(victimMask_.begin(), victimMask_.end(), 0);
+    victimMask_[target] = 1;
+    for (int r : sc.extraVictimRacks) {
+        PAD_ASSERT(r >= 0 && r < racks_);
+        victimMask_[static_cast<std::size_t>(r)] = 1;
+    }
+    rebuildBenign(/*attackMode=*/true, sc.maliciousNodes);
+
+    Tick nextControl = start;
+    double malDemandAccum = 0.0;
+    double malExecAccum = 0.0;
+    std::size_t rackOnsetsSeen = 0;
+    std::size_t clusterOnsetsSeen = 0;
+    const double dtSec = ticksToSeconds(config_.fineStep);
+
+    while (now_ < horizon) {
+        obs::setTraceClock(now_);
+        queue_.runUntil(now_);
+        const double relSec = ticksToSeconds(now_ - start);
+        const bool active =
+            sc.dutyCycle >= 1.0 ||
+            std::fmod(relSec, sc.dutyPeriodSec) <
+                sc.dutyCycle * sc.dutyPeriodSec;
+
+        if (now_ >= nextControl) {
+            attacker.advance(relSec);
+            if (malDemandAccum > 0.0) {
+                attacker.observePerformance(
+                    relSec, malExecAccum / malDemandAccum,
+                    ticksToSeconds(config_.controlPeriod));
+                malDemandAccum = 0.0;
+                malExecAccum = 0.0;
+            }
+            nextControl += config_.controlPeriod;
+        }
+
+        StepView step;
+        computeStep(step, now_, dtSec, /*fine=*/true, &attacker, &sc,
+                    relSec, active, &windowPerf);
+
+        // The attacker's performance side channel on its own nodes:
+        // demanded vs executed under the target rack's DVFS factor.
+        {
+            const std::size_t rackBase =
+                target * static_cast<std::size_t>(serversPerRack_);
+            for (int s = 0; s < sc.maliciousNodes; ++s) {
+                const std::size_t idx =
+                    rackBase + static_cast<std::size_t>(s);
+                double demand = demandValues_[idx];
+                if (active)
+                    demand = std::max(
+                        demand, attacker.demandedUtil(s, relSec));
+                const double exec =
+                    shed_[idx] ? 0.0
+                               : serverModel_.executed(demand,
+                                                       dvfs_[target]);
+                malDemandAccum += demand * dtSec;
+                malExecAccum += exec * dtSec;
+            }
+        }
+
+        applyShaving(step, dtSec);
+        fillRackLimits();
+        applyUdeb(step, dtSec);
+        detectorStep(config_.fineStep);
+
+        // Overload accounting and breaker thermodynamics. A tripped
+        // rack goes dark for the recovery period, losing its work.
+        bool anyTrip = false;
+        for (std::size_t r = 0; r < static_cast<std::size_t>(racks_);
+             ++r) {
+            if (now_ < downUntil_[r])
+                continue;
+            if (breakerObserve(r, rackDraw_[r], dtSec)) {
+                anyTrip = true;
+                downUntil_[r] =
+                    now_ + secondsToTicks(config_.outageRecoverySec);
+                breakerHeat_[r] = 0.0; // breaker reset after the trip
+                ++darkRacks_;
+                queue_.schedule(downUntil_[r],
+                                [this] { --darkRacks_; });
+                if (obs::traceEnabled())
+                    obs::emit("datacenter", "rack.down",
+                              {obs::TraceField::integer(
+                                   "rack",
+                                   static_cast<std::int64_t>(r)),
+                               obs::TraceField::num(
+                                   "recovery_sec",
+                                   config_.outageRecoverySec)});
+            }
+        }
+        // The attack succeeds at the worst victim rack: the highest
+        // draw/limit ratio across the racks under attack.
+        double worst = 0.0;
+        for (std::size_t r = 0; r < static_cast<std::size_t>(racks_);
+             ++r) {
+            if (!victimMask_[r])
+                continue;
+            worst = std::max(worst, rackDraw_[r] / limits_[r]);
+        }
+        out.rack.observe(now_, worst, 1.0, anyTrip);
+        out.cluster.observe(now_, step.totalDraw, clusterLimit, false);
+
+        if (obs::traceEnabled()) {
+            for (; rackOnsetsSeen < out.rack.overloadOnsets().size();
+                 ++rackOnsetsSeen)
+                obs::emit(
+                    "datacenter", "attack.overload",
+                    {obs::TraceField::str("scope", "rack"),
+                     obs::TraceField::integer(
+                         "onset",
+                         static_cast<std::int64_t>(rackOnsetsSeen))});
+            for (; clusterOnsetsSeen <
+                   out.cluster.overloadOnsets().size();
+                 ++clusterOnsetsSeen)
+                obs::emit("datacenter", "attack.overload",
+                          {obs::TraceField::str("scope", "cluster"),
+                           obs::TraceField::integer(
+                               "onset", static_cast<std::int64_t>(
+                                            clusterOnsetsSeen))});
+        }
+
+        rechargeAll(step, dtSec);
+
+        if (now_ + config_.fineStep >= nextControl) {
+            controlDecisions(step, dtSec);
+            out.rackPower.record(now_, rackPower_[target]);
+            out.rackDraw.record(now_, rackDraw_[target]);
+            out.rackSoc.record(now_, rackSoc(target));
+            out.udebSoc.record(now_,
+                               hasUdeb_ ? udebSoc(target) : 1.0);
+            out.level.record(now_, static_cast<double>(level_));
+            out.maxShedRatio = std::max(
+                out.maxShedRatio,
+                static_cast<double>(sheddedServers()) /
+                    static_cast<double>(config_.totalServers()));
+            telemetrySample(step);
+            // DEB depletion curves for the racks under attack.
+            if (obs::traceEnabled()) {
+                for (std::size_t r = 0;
+                     r < static_cast<std::size_t>(racks_); ++r) {
+                    if (!victimMask_[r])
+                        continue;
+                    obs::emit(
+                        "telemetry", "soc.sample",
+                        {obs::TraceField::integer(
+                             "rack", static_cast<std::int64_t>(r)),
+                         obs::TraceField::num("soc", rackSoc(r)),
+                         obs::TraceField::num(
+                             "udeb_soc",
+                             hasUdeb_ ? udebSoc(r) : 1.0),
+                         obs::TraceField::num("power_w",
+                                              rackPower_[r]),
+                         obs::TraceField::num("draw_w", rackDraw_[r]),
+                         obs::TraceField::integer(
+                             "level",
+                             static_cast<std::int64_t>(level_))});
+                }
+            }
+        }
+
+        now_ += config_.fineStep;
+    }
+
+    // The attack window is over: victim racks fold back into the
+    // benign cache.
+    std::fill(victimMask_.begin(), victimMask_.end(), 0);
+    rebuildBenign(/*attackMode=*/false, 0);
+
+    // Survival: first overload at either scope.
+    Tick firstBad = kTickNever;
+    for (Tick t : {out.rack.firstOverloadTick(),
+                   out.cluster.firstOverloadTick()}) {
+        if (t != kTickNever && (firstBad == kTickNever || t < firstBad))
+            firstBad = t;
+    }
+    out.survivalSec = firstBad == kTickNever
+                          ? sc.durationSec
+                          : ticksToSeconds(firstBad - start);
+    out.throughput = windowPerf.normalizedThroughput();
+    out.phaseTwoStartSec = attacker.phaseTwoStartSec();
+
+    // Enumerate the Phase-II spikes actually launched in-window.
+    if (attacker.phaseTwoStartSec() >= 0.0) {
+        const auto &virus = attacker.virus();
+        const double p2 = attacker.phaseTwoStartSec();
+        for (int i = 0;; ++i) {
+            const double s = p2 + virus.spikeStart(i);
+            const double e = s + virus.train().widthSec;
+            if (e > sc.durationSec)
+                break;
+            const bool activeAtSpike =
+                sc.dutyCycle >= 1.0 ||
+                std::fmod(s, sc.dutyPeriodSec) <
+                    sc.dutyCycle * sc.dutyPeriodSec;
+            if (!activeAtSpike)
+                continue;
+            out.spikeWindows.emplace_back(start + secondsToTicks(s),
+                                          start + secondsToTicks(e));
+        }
+        out.spikesLaunched =
+            static_cast<int>(out.spikeWindows.size());
+    }
+
+    if (obs::traceEnabled()) {
+        obs::setTraceClock(now_);
+        if (out.phaseTwoStartSec >= 0.0)
+            obs::emitAt(
+                start + secondsToTicks(out.phaseTwoStartSec),
+                "attacker", "attack.phase2",
+                {obs::TraceField::num("start_sec",
+                                      out.phaseTwoStartSec)});
+        for (const auto &[s, e] : out.spikeWindows)
+            obs::emitSpan(s, e, "attacker", "attack.spike", {});
+        obs::emitSpan(
+            start, now_, "datacenter", "attack.window",
+            {obs::TraceField::num("survival_sec", out.survivalSec),
+             obs::TraceField::num("throughput", out.throughput),
+             obs::TraceField::integer(
+                 "spikes",
+                 static_cast<std::int64_t>(out.spikesLaunched))});
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// State accessors + stats
+// ---------------------------------------------------------------------
+
+double
+SoaEngine::rackSoc(std::size_t r) const
+{
+    return rackStored(r) / std::max(capJ_, 1e-9);
+}
+
+std::vector<double>
+SoaEngine::allSocs() const
+{
+    std::vector<double> socs;
+    socs.reserve(static_cast<std::size_t>(racks_));
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r)
+        socs.push_back(rackSoc(r));
+    return socs;
+}
+
+double
+SoaEngine::socStdDevPercent() const
+{
+    const auto socs = allSocs();
+    double mean = 0.0;
+    for (double s : socs)
+        mean += s;
+    mean /= static_cast<double>(socs.size());
+    double var = 0.0;
+    for (double s : socs)
+        var += (s - mean) * (s - mean);
+    var /= static_cast<double>(socs.size());
+    return std::sqrt(var) * 100.0;
+}
+
+int
+SoaEngine::medianSocRack() const
+{
+    std::vector<std::pair<Joules, int>> byEnergy;
+    byEnergy.reserve(static_cast<std::size_t>(racks_));
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r)
+        byEnergy.emplace_back(rackStored(r), static_cast<int>(r));
+    std::sort(byEnergy.begin(), byEnergy.end());
+    return byEnergy[byEnergy.size() / 2].second;
+}
+
+int
+SoaEngine::mostVulnerableRack() const
+{
+    int best = 0;
+    Joules lowest = rackStored(0);
+    for (std::size_t r = 1; r < static_cast<std::size_t>(racks_); ++r) {
+        if (rackStored(r) < lowest) {
+            lowest = rackStored(r);
+            best = static_cast<int>(r);
+        }
+    }
+    return best;
+}
+
+void
+SoaEngine::setAllSoc(double soc)
+{
+    PAD_ASSERT(soc >= 0.0 && soc <= 1.0);
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        y1_[r] = soc * kibamC_ * capJ_;
+        y2_[r] = soc * (1.0 - kibamC_) * capJ_;
+        lvdTripped_[r] = 0;
+        updateLvd(r);
+        if (hasUdeb_) {
+            const auto &cap = config_.udeb.cap;
+            const double udeb = soc > 0.0 ? 1.0 : 0.0;
+            const double vmin2 = cap.vMin * cap.vMin;
+            const double vmax2 = cap.vMax * cap.vMax;
+            udebVoltage_[r] = std::sqrt(vmin2 + udeb * (vmax2 - vmin2));
+            udebEngagedFor_[r] = 0.0;
+        }
+    }
+    benignDirty_ = true; // LVD state feeds no demand, but stay safe
+}
+
+int
+SoaEngine::sheddedServers() const
+{
+    return static_cast<int>(
+        std::count(shed_.begin(), shed_.end(), std::uint8_t{1}));
+}
+
+void
+SoaEngine::exportStats(sim::StatsRegistry &stats) const
+{
+    auto scalar = [&](const std::string &name, double value,
+                      const std::string &desc) {
+        stats.registerScalar(name, desc).set(value);
+    };
+
+    scalar("sim.seconds", ticksToSeconds(now_),
+           "simulated time so far");
+    scalar("scheme", static_cast<double>(config_.scheme),
+           "SchemeKind under evaluation");
+    scalar("perf.demanded_work", perf_.demandedWork(),
+           "benign utilization-seconds demanded");
+    scalar("perf.executed_work", perf_.executedWork(),
+           "benign utilization-seconds executed");
+    scalar("perf.throughput", perf_.normalizedThroughput(),
+           "executed / demanded");
+    scalar("policy.transitions",
+           static_cast<double>(policy_.transitions()),
+           "security-level changes");
+    scalar("policy.emergencies",
+           static_cast<double>(policy_.emergencies()),
+           "entries into Level 3");
+    scalar("shed.total", static_cast<double>(shedder_.totalShed()),
+           "lifetime server-shed decisions");
+    scalar("shed.active", static_cast<double>(sheddedServers()),
+           "servers asleep right now");
+    scalar("detector.flags", static_cast<double>(detections_),
+           "anomalies flagged by the detector response");
+    scalar("detector.first_flag_sec",
+           firstDetectionTick_ == kTickNever
+               ? -1.0
+               : ticksToSeconds(firstDetectionTick_),
+           "sim time of the first detector anomaly (-1 = none)");
+    scalar("policy.first_escalation_sec",
+           firstEscalationTick_ == kTickNever
+               ? -1.0
+               : ticksToSeconds(firstEscalationTick_),
+           "sim time the policy first left L1 (-1 = never)");
+
+    std::vector<double> socs, wear;
+    double discharged = 0.0, charged = 0.0;
+    int lvdTrips = 0, breakerTrips = 0, udebEngagements = 0;
+    for (std::size_t r = 0; r < static_cast<std::size_t>(racks_); ++r) {
+        socs.push_back(rackSoc(r));
+        discharged += dischargedJ_[r];
+        charged += chargedJ_[r];
+        lvdTrips += lvdTrips_[r];
+        // Aging/wear telemetry is not tracked by the batch engine.
+        wear.push_back(0.0);
+        breakerTrips += breakerTrips_[r];
+        if (hasUdeb_)
+            udebEngagements += udebEngagements_[r];
+    }
+    scalar("deb.discharged_wh", joulesToWattHours(discharged),
+           "fleet energy discharged");
+    scalar("deb.charged_wh", joulesToWattHours(charged),
+           "fleet energy recharged");
+    scalar("deb.lvd_trips", lvdTrips, "low-voltage disconnects");
+    scalar("breaker.trips", breakerTrips, "rack breaker trips");
+    scalar("udeb.engagements", udebEngagements,
+           "micro-DEB spike engagements");
+    stats.setVector("deb.soc", "state of charge per rack",
+                    std::move(socs));
+    stats.setVector("deb.wear", "worst unit wear per rack",
+                    std::move(wear));
+}
+
+void
+SoaEngine::dumpStats(std::ostream &os) const
+{
+    sim::StatsRegistry stats;
+    exportStats(stats);
+    stats.dump(os);
+}
+
+} // namespace pad::engine

@@ -240,7 +240,7 @@ runRackLabServers(const RackLabSpec &cfg, double windowSec)
 class JobMonitoring
 {
   public:
-    JobMonitoring(core::DataCenter &dc, bool telemetryEnabled,
+    JobMonitoring(engine::ClusterEngine &dc, bool telemetryEnabled,
                   const alert::RuleSet *rules)
     {
         if (telemetryEnabled || rules) {
@@ -296,12 +296,15 @@ resolveConfig(const ClusterAttackSpec &spec)
 ExperimentResult
 runClusterAttack(const ClusterAttackSpec &spec,
                  const ClusterWorkload &cw, std::uint64_t seed,
-                 bool telemetryEnabled, const alert::RuleSet *rules)
+                 engine::BackendKind backend, bool telemetryEnabled,
+                 const alert::RuleSet *rules)
 {
     core::DataCenterConfig cfg = resolveConfig(spec);
     if (seed != kSpecSeed)
         cfg.seed = seed;
-    core::DataCenter dc(cfg, cw.workload.get());
+    auto enginePtr =
+        engine::makeClusterEngine(backend, cfg, cw.workload.get());
+    engine::ClusterEngine &dc = *enginePtr;
     JobMonitoring mon(dc, telemetryEnabled, rules);
     // Warm up through one night and the next morning so batteries
     // carry realistic state, then strike near the diurnal peak.
@@ -380,7 +383,8 @@ runClusterAttack(const ClusterAttackSpec &spec,
 ExperimentResult
 runClusterCoarse(const ClusterCoarseSpec &spec,
                  const ClusterWorkload &cw, std::uint64_t seed,
-                 bool telemetryEnabled, const alert::RuleSet *rules)
+                 engine::BackendKind backend, bool telemetryEnabled,
+                 const alert::RuleSet *rules)
 {
     core::DataCenterConfig cfg;
     if (spec.config) {
@@ -392,7 +396,9 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     }
     if (seed != kSpecSeed)
         cfg.seed = seed;
-    core::DataCenter dc(cfg, cw.workload.get());
+    auto enginePtr =
+        engine::makeClusterEngine(backend, cfg, cw.workload.get());
+    engine::ClusterEngine &dc = *enginePtr;
     JobMonitoring mon(dc, telemetryEnabled, rules);
     dc.setRecordHistory(spec.recordHistory);
     dc.runCoarseUntil(
@@ -560,6 +566,7 @@ runExperiment(const Experiment &experiment)
         return runClusterAttack(experiment.attack,
                                 *experiment.workload,
                                 experiment.seed,
+                                experiment.backend,
                                 experiment.telemetryEnabled,
                                 experiment.alertRules.get());
       case ExperimentKind::ClusterCoarse:
@@ -568,6 +575,7 @@ runExperiment(const Experiment &experiment)
         return runClusterCoarse(experiment.coarse,
                                 *experiment.workload,
                                 experiment.seed,
+                                experiment.backend,
                                 experiment.telemetryEnabled,
                                 experiment.alertRules.get());
     }

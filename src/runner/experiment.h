@@ -39,6 +39,7 @@
 #include "core/config.h"
 #include "core/datacenter.h"
 #include "core/schemes.h"
+#include "engine/backend.h"
 #include "sim/stats_registry.h"
 #include "telemetry/hub.h"
 #include "trace/synthetic_trace.h"
@@ -306,6 +307,16 @@ struct Experiment {
      * enabling it never changes simulation results.
      */
     std::shared_ptr<const alert::RuleSet> alertRules;
+    /**
+     * Engine backend for the cluster kinds. Replaces the deprecated
+     * process-global profile switch: the choice travels with the job,
+     * so concurrent sweep workers can mix backends freely. Baseline
+     * and Optimized produce bit-identical results; Soa is the opt-in
+     * batch engine (physically equivalent, not bit-identical). When
+     * the chosen backend cannot run the configuration, the job falls
+     * back to Optimized with a warning (see engine::makeClusterEngine).
+     */
+    engine::BackendKind backend = engine::BackendKind::Optimized;
 
     /** Make a mini-rack overload-counting experiment. */
     static Experiment rackLab(RackLabSpec spec, double windowSec);

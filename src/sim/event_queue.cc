@@ -8,11 +8,13 @@
 
 namespace pad::sim {
 
-EventQueue::EventQueue() : pooled_(engineTuning().eventPoolAllocation)
+EventQueue::EventQueue(std::size_t capacityHint)
+    : pooled_(engineTuning().eventPoolAllocation),
+      blockSize_(std::max<std::size_t>(capacityHint, 1))
 {
     if (pooled_) {
-        heap_.reserve(kBlockSize);
-        byId_.reserve(kBlockSize);
+        heap_.reserve(blockSize_);
+        byId_.reserve(blockSize_);
     }
 }
 
@@ -31,10 +33,10 @@ EventQueue::allocEntry()
     if (!pooled_)
         return new Entry;
     if (freeList_.empty()) {
-        blocks_.push_back(std::make_unique<Entry[]>(kBlockSize));
+        blocks_.push_back(std::make_unique<Entry[]>(blockSize_));
         Entry *block = blocks_.back().get();
-        freeList_.reserve(freeList_.size() + kBlockSize);
-        for (std::size_t i = kBlockSize; i > 0; --i)
+        freeList_.reserve(freeList_.size() + blockSize_);
+        for (std::size_t i = blockSize_; i > 0; --i)
             freeList_.push_back(&block[i - 1]);
     }
     Entry *entry = freeList_.back();
@@ -60,11 +62,11 @@ EventQueue::reserve(std::size_t events)
     byId_.reserve(events);
     if (!pooled_)
         return;
-    while (blocks_.size() * kBlockSize < events) {
-        blocks_.push_back(std::make_unique<Entry[]>(kBlockSize));
+    while (blocks_.size() * blockSize_ < events) {
+        blocks_.push_back(std::make_unique<Entry[]>(blockSize_));
         Entry *block = blocks_.back().get();
-        freeList_.reserve(freeList_.size() + kBlockSize);
-        for (std::size_t i = kBlockSize; i > 0; --i)
+        freeList_.reserve(freeList_.size() + blockSize_);
+        for (std::size_t i = blockSize_; i > 0; --i)
             freeList_.push_back(&block[i - 1]);
     }
 }

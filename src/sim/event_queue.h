@@ -147,9 +147,6 @@ class EventQueue
         }
     };
 
-    /** Entries per arena block. */
-    static constexpr std::size_t kBlockSize = 256;
-
     Entry *allocEntry();
     void releaseEntry(Entry *entry);
     Entry *popNextLive();
@@ -167,6 +164,8 @@ class EventQueue
     std::vector<Entry *> freeList_;
     /** Allocation mode, latched from the engine tuning at creation. */
     bool pooled_;
+    /** Entries per arena block, latched from the capacity hint. */
+    std::size_t blockSize_;
     std::size_t maxLive_ = 1u << 20;
     Tick now_ = 0;
     std::uint64_t nextSeq_ = 0;
@@ -175,7 +174,15 @@ class EventQueue
     std::size_t live_ = 0;
 
   public:
-    EventQueue();
+    /**
+     * @param capacityHint expected number of concurrently-live
+     *     events; sizes the arena block granularity and the initial
+     *     heap/id-map reservations under pooled allocation. Engine
+     *     backends surface their per-run sizing through
+     *     engine::EnginePlan::eventQueueCapacity. Purely a
+     *     performance hint; the queue grows on demand either way.
+     */
+    explicit EventQueue(std::size_t capacityHint = 256);
     ~EventQueue();
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;

@@ -4,22 +4,9 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/random.h"
 
 namespace pad::trace {
-
-namespace {
-
-/** splitmix64 hash for deterministic per-(machine, second) jitter. */
-std::uint64_t
-splitmix64(std::uint64_t x)
-{
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-}
-
-} // namespace
 
 Workload::Workload(const std::vector<TaskEvent> &events, int machines,
                    Tick horizon, Tick slotTicks)
@@ -91,12 +78,11 @@ Workload::utilAt(int machine, Tick t) const
 double
 Workload::jitterAt(int machine, std::uint64_t second)
 {
-    const std::uint64_t h = splitmix64(
-        (static_cast<std::uint64_t>(machine) << 40) ^ second);
-    // Map hash to [-1, 1].
-    return static_cast<double>(h >> 11) /
-               static_cast<double>(1ULL << 53) * 2.0 -
-           1.0;
+    // One counter-based stream per machine (key = machine << 40),
+    // indexed by wall-clock second; bit-identical to the historical
+    // file-local splitmix64 hash of (machine << 40) ^ second.
+    const CounterRng stream(static_cast<std::uint64_t>(machine) << 40);
+    return stream.signedUnitAt(second);
 }
 
 double

@@ -5,7 +5,7 @@ namespace pad {
 EngineTuning &
 engineTuning()
 {
-    static EngineTuning tuning; // defaults == Optimized
+    thread_local EngineTuning tuning; // defaults == Optimized
     return tuning;
 }
 

@@ -15,10 +15,17 @@
  * pre-optimization engine inside the same binary; engine_parity_test
  * asserts the bit-identity contract.
  *
- * Thread-safety: the tuning block is written only from single-threaded
- * context (process start, bench setup, test fixtures) and read
- * concurrently by sweep workers. Do not flip switches while a
- * SweepRunner is in flight.
+ * Thread-safety: the tuning block is thread_local, so flipping
+ * switches affects only the calling thread. Sweep workers start from
+ * the defaults (Optimized) regardless of what the spawning thread
+ * set — select engine variants per run through the explicit
+ * `engine::BackendKind` field on Experiment/BenchOptions instead.
+ *
+ * Deprecated: setEngineProfile()/ScopedEngineProfile remain for the
+ * perfbench micro-rows and parity tests that measure the scalar
+ * tuning switches in isolation, but new code should not mutate the
+ * tuning block; prefer the engine::EngineBackend selection API
+ * (src/engine/backend.h).
  */
 
 #ifndef PAD_UTIL_ENGINE_TUNING_H
@@ -62,10 +69,13 @@ enum class EngineProfile {
     Optimized,
 };
 
-/** The process-wide tuning block (mutable). */
+/** The calling thread's tuning block (mutable, thread_local). */
 EngineTuning &engineTuning();
 
-/** Reset the tuning block to a named preset. */
+/**
+ * Reset the calling thread's tuning block to a named preset.
+ * Deprecated: prefer selecting an engine::BackendKind per run.
+ */
 void setEngineProfile(EngineProfile profile);
 
 /** Human-readable preset name ("baseline" / "optimized"). */
@@ -74,6 +84,8 @@ const char *engineProfileName(EngineProfile profile);
 /**
  * RAII preset override for tests and benches: applies a profile on
  * construction and restores the previous tuning block on destruction.
+ * Affects the current thread only. Deprecated for new code — select
+ * engine variants via engine::BackendKind instead.
  */
 class ScopedEngineProfile
 {

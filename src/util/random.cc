@@ -6,8 +6,9 @@
 
 namespace pad {
 
+template <typename Engine>
 double
-Rng::boundedPareto(double alpha, double lo, double hi)
+BasicRng<Engine>::boundedPareto(double alpha, double lo, double hi)
 {
     PAD_ASSERT(alpha > 0 && lo > 0 && hi > lo);
     const double u = uniform();
@@ -16,5 +17,10 @@ Rng::boundedPareto(double alpha, double lo, double hi)
     // Inverse-CDF of the bounded Pareto distribution.
     return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
 }
+
+template class BasicRng<std::mt19937_64>;
+template class BasicRng<SplitMix64>;
+template class BasicRng<Xoshiro256pp>;
+template class BasicRng<CounterRng>;
 
 } // namespace pad

@@ -1,16 +1,30 @@
 /**
  * @file
- * Engine-profile parity tests: every optimization gated on
- * EngineTuning must leave simulation results bit-identical to the
- * Baseline (pre-optimization) code paths. These tests run the same
- * experiments under both profiles and require exact equality, plus
- * event-queue ordering stability under the pooled allocator.
+ * Engine-backend parity tests. Two contracts, two strengths:
+ *
+ *  - Baseline vs Optimized (scalar engine, tuning switches off/on):
+ *    bit-identical. Every optimization gated on EngineTuning is
+ *    value-preserving, so the same experiment run under both
+ *    backends must produce exactly equal results — plus event-queue
+ *    ordering stability under the pooled allocator.
+ *  - Scalar vs SoA: physically equivalent, not bit-identical. The
+ *    SoA engine sums rack power benign-first and accounts throughput
+ *    per rack, so floating-point folds reorder by design; the tests
+ *    assert the physical invariants instead (SoC bounds, SoC / shed
+ *    trajectories within tight tolerance, survival-time and
+ *    throughput agreement within tolerance).
+ *
+ * Backends are selected through the explicit Experiment::backend
+ * field — the API that replaced the deprecated process-global
+ * setEngineProfile() switch.
  */
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "engine/backend.h"
 #include "runner/experiment.h"
 #include "sim/event_queue.h"
 #include "util/engine_tuning.h"
@@ -131,6 +145,14 @@ class DataCenterParity : public ::testing::Test
 
 runner::ClusterWorkload *DataCenterParity::workload_ = nullptr;
 
+/** Run one experiment on an explicit backend. */
+runner::ExperimentResult
+runOn(runner::Experiment e, engine::BackendKind backend)
+{
+    e.backend = backend;
+    return runner::runExperiment(e);
+}
+
 TEST_F(DataCenterParity, AttackRunBitIdentical)
 {
     runner::ClusterAttackSpec spec;
@@ -138,16 +160,10 @@ TEST_F(DataCenterParity, AttackRunBitIdentical)
     const runner::Experiment e =
         runner::Experiment::clusterAttack(spec, *workload_);
 
-    runner::ExperimentResult tuned;
-    runner::ExperimentResult reference;
-    {
-        ScopedEngineProfile scope(EngineProfile::Optimized);
-        tuned = runner::runExperiment(e);
-    }
-    {
-        ScopedEngineProfile scope(EngineProfile::Baseline);
-        reference = runner::runExperiment(e);
-    }
+    const runner::ExperimentResult tuned =
+        runOn(e, engine::BackendKind::Optimized);
+    const runner::ExperimentResult reference =
+        runOn(e, engine::BackendKind::Baseline);
 
     EXPECT_EQ(tuned.attackOutcome.survivalSec,
               reference.attackOutcome.survivalSec);
@@ -175,21 +191,108 @@ TEST_F(DataCenterParity, CoarseHistoryBitIdentical)
     const runner::Experiment e =
         runner::Experiment::clusterCoarse(spec, *workload_);
 
-    runner::ExperimentResult tuned;
-    runner::ExperimentResult reference;
-    {
-        ScopedEngineProfile scope(EngineProfile::Optimized);
-        tuned = runner::runExperiment(e);
-    }
-    {
-        ScopedEngineProfile scope(EngineProfile::Baseline);
-        reference = runner::runExperiment(e);
-    }
+    const runner::ExperimentResult tuned =
+        runOn(e, engine::BackendKind::Optimized);
+    const runner::ExperimentResult reference =
+        runOn(e, engine::BackendKind::Baseline);
 
     EXPECT_EQ(tuned.telemetry.socHistory,
               reference.telemetry.socHistory);
     EXPECT_EQ(tuned.telemetry.shedHistory,
               reference.telemetry.shedHistory);
+}
+
+// ---------------------------------------------------------------------
+// Scalar vs SoA: physical-invariant parity
+// ---------------------------------------------------------------------
+
+TEST_F(DataCenterParity, SoaCoarseTrajectoriesMatchScalar)
+{
+    runner::ClusterCoarseSpec spec;
+    spec.untilHours = 8.0;
+    spec.recordHistory = true;
+    const runner::Experiment e =
+        runner::Experiment::clusterCoarse(spec, *workload_);
+
+    const runner::ExperimentResult scalar =
+        runOn(e, engine::BackendKind::Baseline);
+    const runner::ExperimentResult soa =
+        runOn(e, engine::BackendKind::Soa);
+
+    // SoC stays physical everywhere.
+    for (const double soc : soa.telemetry.socs) {
+        EXPECT_GE(soc, 0.0);
+        EXPECT_LE(soc, 1.0 + 1e-12);
+    }
+
+    // The SoA engine walks the same physics with reordered rack
+    // sums, so coarse SOC/shed trajectories track the scalar ones to
+    // floating-point noise, step by step.
+    ASSERT_EQ(soa.telemetry.socHistory.size(),
+              scalar.telemetry.socHistory.size());
+    for (std::size_t step = 0;
+         step < scalar.telemetry.socHistory.size(); ++step) {
+        const auto &a = soa.telemetry.socHistory[step];
+        const auto &b = scalar.telemetry.socHistory[step];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t r = 0; r < a.size(); ++r)
+            EXPECT_NEAR(a[r], b[r], 1e-6)
+                << "step " << step << " rack " << r;
+    }
+    ASSERT_EQ(soa.telemetry.shedHistory.size(),
+              scalar.telemetry.shedHistory.size());
+    for (std::size_t step = 0;
+         step < scalar.telemetry.shedHistory.size(); ++step)
+        EXPECT_NEAR(soa.telemetry.shedHistory[step],
+                    scalar.telemetry.shedHistory[step], 1e-6)
+            << "step " << step;
+}
+
+TEST_F(DataCenterParity, SoaAttackOutcomePhysicallyEquivalent)
+{
+    runner::ClusterAttackSpec spec;
+    spec.durationSec = 240.0;
+    const runner::Experiment e =
+        runner::Experiment::clusterAttack(spec, *workload_);
+
+    const runner::ExperimentResult scalar =
+        runOn(e, engine::BackendKind::Optimized);
+    const runner::ExperimentResult soa =
+        runOn(e, engine::BackendKind::Soa);
+
+    // SoC bounds after the attack window.
+    ASSERT_EQ(soa.telemetry.socs.size(),
+              scalar.telemetry.socs.size());
+    for (const double soc : soa.telemetry.socs) {
+        EXPECT_GE(soc, 0.0);
+        EXPECT_LE(soc, 1.0 + 1e-12);
+    }
+
+    // The attack schedule is attacker-side state, independent of the
+    // engine's floating-point fold order.
+    EXPECT_EQ(soa.attackOutcome.spikesLaunched,
+              scalar.attackOutcome.spikesLaunched);
+    EXPECT_EQ(soa.attackOutcome.spikeWindows,
+              scalar.attackOutcome.spikeWindows);
+    EXPECT_EQ(soa.attackOutcome.phaseTwoStartSec,
+              scalar.attackOutcome.phaseTwoStartSec);
+
+    // Survival and throughput agree within tolerance: the reordered
+    // sums can shift a threshold crossing by a tick or two, not by
+    // whole phases.
+    const double window = spec.durationSec;
+    EXPECT_NEAR(soa.attackOutcome.survivalSec,
+                scalar.attackOutcome.survivalSec, 0.05 * window);
+    EXPECT_NEAR(soa.attackOutcome.throughput,
+                scalar.attackOutcome.throughput, 0.02);
+    EXPECT_NEAR(soa.attackOutcome.maxShedRatio,
+                scalar.attackOutcome.maxShedRatio, 0.02);
+
+    // Per-rack end state tracks the scalar engine tightly.
+    for (std::size_t r = 0; r < soa.telemetry.socs.size(); ++r)
+        EXPECT_NEAR(soa.telemetry.socs[r], scalar.telemetry.socs[r],
+                    1e-3)
+            << "rack " << r;
 }
 
 } // namespace

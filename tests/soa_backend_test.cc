@@ -1,0 +1,241 @@
+/**
+ * @file
+ * SoA backend tests: the EngineBackend selection API (names, plans,
+ * unsupported-configuration fallback) and the SoA engine's headline
+ * determinism guarantee — sharding the per-second demand refresh
+ * across worker threads is bit-identical to its own serial execution,
+ * for coarse operation and for the fine-grained attack loop alike.
+ */
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "attack/attacker.h"
+#include "engine/backend.h"
+#include "engine/soa_engine.h"
+#include "runner/experiment.h"
+
+using namespace pad;
+using engine::BackendKind;
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Backend selection API
+// ---------------------------------------------------------------------
+
+TEST(EngineBackendApi, NamesRoundTrip)
+{
+    for (const BackendKind kind :
+         {BackendKind::Baseline, BackendKind::Optimized,
+          BackendKind::Soa}) {
+        const auto parsed =
+            engine::backendFromName(engine::backendName(kind));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(*parsed, kind);
+    }
+    EXPECT_FALSE(engine::backendFromName("both").has_value());
+    EXPECT_FALSE(engine::backendFromName("").has_value());
+    EXPECT_FALSE(engine::backendFromName("SOA").has_value());
+}
+
+TEST(EngineBackendApi, PlansSizeTheRun)
+{
+    const core::DataCenterConfig cfg =
+        runner::clusterConfig(core::SchemeKind::Pad);
+    for (const BackendKind kind :
+         {BackendKind::Baseline, BackendKind::Optimized,
+          BackendKind::Soa}) {
+        const engine::EnginePlan plan =
+            engine::backendFor(kind).prepare(cfg);
+        EXPECT_TRUE(plan.supported);
+        EXPECT_EQ(plan.racks, cfg.racks);
+        EXPECT_EQ(plan.servers, cfg.racks * cfg.serversPerRack);
+        EXPECT_GE(plan.eventQueueCapacity,
+                  static_cast<std::size_t>(cfg.racks));
+    }
+}
+
+TEST(EngineBackendApi, PerServerPlacementFallsBackToScalar)
+{
+    core::DataCenterConfig cfg =
+        runner::clusterConfig(core::SchemeKind::Pad);
+    cfg.debPlacement =
+        core::DataCenterConfig::DebPlacement::PerServer;
+
+    const engine::EnginePlan plan =
+        engine::backendFor(BackendKind::Soa).prepare(cfg);
+    EXPECT_FALSE(plan.supported);
+    EXPECT_FALSE(plan.note.empty());
+
+    // makeClusterEngine degrades to the scalar Optimized engine
+    // instead of failing the run.
+    const runner::ClusterWorkload cw =
+        runner::makeClusterWorkload(1.0);
+    const auto engine = engine::makeClusterEngine(
+        BackendKind::Soa, cfg, cw.workload.get());
+    ASSERT_NE(engine, nullptr);
+    EXPECT_EQ(engine->kind(), BackendKind::Optimized);
+}
+
+TEST(EngineBackendApi, FactoriesBuildTheirKind)
+{
+    const core::DataCenterConfig cfg =
+        runner::clusterConfig(core::SchemeKind::Pad);
+    const runner::ClusterWorkload cw =
+        runner::makeClusterWorkload(1.0);
+    for (const BackendKind kind :
+         {BackendKind::Baseline, BackendKind::Optimized,
+          BackendKind::Soa}) {
+        const auto engine =
+            engine::makeClusterEngine(kind, cfg, cw.workload.get());
+        ASSERT_NE(engine, nullptr);
+        EXPECT_EQ(engine->kind(), kind);
+        EXPECT_EQ(engine->now(), 0);
+        EXPECT_EQ(engine->allSocs().size(),
+                  static_cast<std::size_t>(cfg.racks));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded vs serial bit-identity
+// ---------------------------------------------------------------------
+
+class SoaSharding : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        workload_ = new runner::ClusterWorkload(
+            runner::makeClusterWorkload(2.0));
+    }
+
+    static void
+    TearDownTestSuite()
+    {
+        delete workload_;
+        workload_ = nullptr;
+    }
+
+    static std::unique_ptr<engine::SoaEngine>
+    makeEngine(int shards)
+    {
+        const core::DataCenterConfig cfg =
+            runner::clusterConfig(core::SchemeKind::Pad);
+        const engine::EnginePlan plan =
+            engine::backendFor(BackendKind::Soa).prepare(cfg);
+        auto engine = std::make_unique<engine::SoaEngine>(
+            cfg, workload_->workload.get(), plan.eventQueueCapacity);
+        engine->setShards(shards);
+        return engine;
+    }
+
+    static runner::ClusterWorkload *workload_;
+};
+
+runner::ClusterWorkload *SoaSharding::workload_ = nullptr;
+
+TEST_F(SoaSharding, CoarseRunBitIdentical)
+{
+    auto serial = makeEngine(1);
+    serial->setRecordHistory(true);
+    serial->runCoarseUntil(12 * kTicksPerHour);
+
+    for (const int shards : {2, 4, 7}) {
+        auto sharded = makeEngine(shards);
+        sharded->setRecordHistory(true);
+        sharded->runCoarseUntil(12 * kTicksPerHour);
+        EXPECT_EQ(sharded->allSocs(), serial->allSocs())
+            << shards << " shards";
+        EXPECT_EQ(sharded->socHistory(), serial->socHistory())
+            << shards << " shards";
+        EXPECT_EQ(sharded->shedHistory(), serial->shedHistory())
+            << shards << " shards";
+        EXPECT_EQ(sharded->socStdDevPercent(),
+                  serial->socStdDevPercent())
+            << shards << " shards";
+    }
+}
+
+/** Warm up, attack, and capture everything comparable. */
+struct AttackRun {
+    core::AttackOutcome outcome;
+    std::vector<double> socs;
+    std::uint64_t detections = 0;
+};
+
+AttackRun
+runShardedAttack(engine::SoaEngine &engine)
+{
+    engine.runCoarseUntil(kTicksPerDay +
+                          static_cast<Tick>(11.0 * kTicksPerHour));
+    attack::AttackerConfig ac;
+    ac.controlledNodes = 4;
+    attack::TwoPhaseAttacker attacker(ac);
+    core::AttackScenario sc;
+    sc.targetPolicy = core::TargetPolicy::MostVulnerable;
+    sc.durationSec = 240.0;
+    AttackRun run;
+    run.outcome = engine.runAttack(attacker, sc);
+    run.socs = engine.allSocs();
+    run.detections = engine.detectionsFlagged();
+    return run;
+}
+
+TEST_F(SoaSharding, AttackRunBitIdentical)
+{
+    auto serialEngine = makeEngine(1);
+    const AttackRun serial = runShardedAttack(*serialEngine);
+
+    for (const int shards : {3, 8}) {
+        auto shardedEngine = makeEngine(shards);
+        const AttackRun sharded = runShardedAttack(*shardedEngine);
+        EXPECT_EQ(sharded.outcome.survivalSec,
+                  serial.outcome.survivalSec)
+            << shards << " shards";
+        EXPECT_EQ(sharded.outcome.throughput,
+                  serial.outcome.throughput)
+            << shards << " shards";
+        EXPECT_EQ(sharded.outcome.spikesLaunched,
+                  serial.outcome.spikesLaunched)
+            << shards << " shards";
+        EXPECT_EQ(sharded.outcome.maxShedRatio,
+                  serial.outcome.maxShedRatio)
+            << shards << " shards";
+        EXPECT_EQ(sharded.socs, serial.socs) << shards << " shards";
+        EXPECT_EQ(sharded.detections, serial.detections)
+            << shards << " shards";
+    }
+}
+
+TEST_F(SoaSharding, ShardCountClampsToRacks)
+{
+    auto engine = makeEngine(10000);
+    const core::DataCenterConfig cfg =
+        runner::clusterConfig(core::SchemeKind::Pad);
+    EXPECT_LE(engine->shards(), cfg.racks);
+    EXPECT_GE(engine->shards(), 1);
+    // Even the clamped maximum stays bit-identical to serial.
+    engine->runCoarseUntil(4 * kTicksPerHour);
+    auto serial = makeEngine(1);
+    serial->runCoarseUntil(4 * kTicksPerHour);
+    EXPECT_EQ(engine->allSocs(), serial->allSocs());
+}
+
+// ---------------------------------------------------------------------
+// setAllSoc: scenario setup applies uniformly
+// ---------------------------------------------------------------------
+
+TEST_F(SoaSharding, SetAllSocAppliesUniformly)
+{
+    auto engine = makeEngine(1);
+    engine->setAllSoc(0.5);
+    for (const double soc : engine->allSocs())
+        EXPECT_NEAR(soc, 0.5, 1e-12);
+    EXPECT_NEAR(engine->socStdDevPercent(), 0.0, 1e-9);
+}
+
+} // namespace
