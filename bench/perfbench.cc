@@ -28,11 +28,20 @@
  * Speedup is reported as baseline-time / optimized-time and soa
  * speedup as optimized-time / soa-time (equivalently the throughput
  * ratios), so > 1 always means the later engine is faster.
+ *
+ * Schema v3 adds engine self-profiling: the single_run_profiled row
+ * re-times the standard attack with the EngineProfiler attached
+ * (its delta against single_run is the profiling overhead — the
+ * acceptance bar is <= 5%) and each profiled measurement carries a
+ * "phases" object with the sampled per-phase seconds and lap counts
+ * the run exported. `padtrace perf` renders and diffs these files.
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -43,9 +52,11 @@
 #include "battery/kibam.h"
 #include "core/datacenter.h"
 #include "engine/backend.h"
+#include "obs/prof.h"
 #include "runner/experiment.h"
 #include "runner/sweep_runner.h"
 #include "sim/event_queue.h"
+#include "sim/stats_registry.h"
 #include "util/engine_tuning.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
@@ -65,11 +76,21 @@ struct PerfOptions {
     std::string jsonPath;
 };
 
+/** One engine phase's contribution to a profiled measurement. */
+struct PhaseBreak {
+    std::string name;
+    /** Sampled seconds the run spent in the phase. */
+    double seconds = 0.0;
+    std::uint64_t laps = 0;
+};
+
 /** One backend's measurement: raw timing plus the derived value. */
 struct ProfileMeasure {
     TimingResult timing;
     /** Value in the benchmark's unit (ns/op or runs/s). */
     double value = 0.0;
+    /** Per-phase breakdown; only profiled rows fill this (v3). */
+    std::vector<PhaseBreak> phases;
 };
 
 struct BenchRow {
@@ -233,6 +254,47 @@ benchSingleRun(const PerfOptions &opt,
     return m;
 }
 
+/**
+ * benchSingleRun with the engine self-profiler attached: the delta
+ * against single_run is the cost of profiling an entire run (<= 5%
+ * is the acceptance bar). The phase breakdown of the last timed
+ * repetition rides along so the JSON doubles as a `padtrace perf`
+ * input.
+ */
+ProfileMeasure
+benchSingleRunProfiled(const PerfOptions &opt,
+                       const runner::ClusterWorkload &cw,
+                       engine::BackendKind backend)
+{
+    const int reps = opt.quick ? 2 : 9;
+    runner::Experiment e = standardAttack(cw, opt.quick);
+    e.backend = backend;
+    e.profileEngine = true;
+    ProfileMeasure m;
+    std::shared_ptr<sim::StatsRegistry> last;
+    m.timing = timeIt(
+        [&] {
+            const runner::ExperimentResult r = runner::runExperiment(e);
+            keep(static_cast<double>(r.telemetry.detections));
+            last = r.stats;
+        },
+        /*warmup=*/1, reps);
+    m.value = 1.0 / m.timing.medianSec;
+    if (last) {
+        for (std::size_t i = 0; i < obs::EngineProfiler::kPhaseCount;
+             ++i) {
+            PhaseBreak pb;
+            pb.name = obs::EngineProfiler::phaseName(i);
+            pb.seconds =
+                last->lookup("engine.phase." + pb.name + ".seconds");
+            pb.laps = last->lookupCounter("engine.phase." + pb.name +
+                                          ".laps");
+            m.phases.push_back(std::move(pb));
+        }
+    }
+    return m;
+}
+
 /** Shipped default rules, loaded once from the source tree. */
 std::shared_ptr<const alert::RuleSet>
 defaultRules()
@@ -385,6 +447,16 @@ printRow(const BenchRow &row)
                     label, pm->value, row.unit.c_str(),
                     pm->timing.medianSec, pm->timing.minSec,
                     pm->timing.reps);
+        if (pm->phases.empty())
+            return;
+        double total = 0.0;
+        for (const PhaseBreak &p : pm->phases)
+            total += p.seconds;
+        for (const PhaseBreak &p : pm->phases)
+            std::printf("    %-16s %10.6f s %5.1f%% (%llu laps)\n",
+                        p.name.c_str(), p.seconds,
+                        total > 0.0 ? 100.0 * p.seconds / total : 0.0,
+                        static_cast<unsigned long long>(p.laps));
     };
     std::printf("%s\n", row.name.c_str());
     print("baseline", row.baseline);
@@ -460,7 +532,7 @@ writeJson(const std::string &path, const PerfOptions &opt,
         PAD_FATAL("cannot open {} for writing", path);
     JsonWriter w(os, 2);
     w.beginObject();
-    w.key("schema").value("pad-perfbench-v2");
+    w.key("schema").value("pad-perfbench-v3");
     w.key("quick").value(opt.quick);
     w.key("benchmarks").beginArray();
     for (const BenchRow &row : rows) {
@@ -478,6 +550,16 @@ writeJson(const std::string &path, const PerfOptions &opt,
             w.key("min_sec").value(pm->timing.minSec);
             w.key("mean_sec").value(pm->timing.meanSec);
             w.key("reps").value(pm->timing.reps);
+            if (!pm->phases.empty()) {
+                w.key("phases").beginObject();
+                for (const PhaseBreak &p : pm->phases) {
+                    w.key(p.name).beginObject();
+                    w.key("seconds").value(p.seconds);
+                    w.key("laps").value(p.laps);
+                    w.endObject();
+                }
+                w.endObject();
+            }
             w.endObject();
         };
         profile("baseline", row.baseline);
@@ -587,6 +669,11 @@ main(int argc, char **argv)
                      [&](engine::BackendKind backend) {
                          return benchSingleRun(opt, cw, backend);
                      }));
+    rows.push_back(runEngineRow(
+        opt, "single_run_profiled", "runs_per_sec", true,
+        [&](engine::BackendKind backend) {
+            return benchSingleRunProfiled(opt, cw, backend);
+        }));
     rows.push_back(runEngineRow(
         opt, "single_run_telemetry", "runs_per_sec", true,
         [&](engine::BackendKind backend) {

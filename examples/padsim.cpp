@@ -21,14 +21,14 @@
  *          [--detector] [--prom FILE]
  *          [--metrics-port N] [--metrics-linger SEC]
  *          [--alerts RULES] [--incidents FILE]
- *          [--incident-html FILE]
+ *          [--incident-html FILE] [--profile-engine]
  *
  * A --config file supplies the same knobs as `key = value` lines
  * (scheme, backend, virus, style, nodes, racks, duration, budget,
  * cluster_budget, victim_pct, hour, seed, csv, stats, quiet, trace,
  * trace_format, stats_json, manifest, log_level, detector, prom,
- * metrics_port, metrics_linger, alerts, incidents, incident_html);
- * command-line flags override it.
+ * metrics_port, metrics_linger, alerts, incidents, incident_html,
+ * profile_engine); command-line flags override it.
  *
  * --backend selects the simulation engine (src/engine): baseline and
  * optimized are the scalar engine with the hot-path switches off/on
@@ -44,6 +44,14 @@
  * collect the final state. Telemetry recording is enabled only when
  * one of the two is requested — otherwise the run is byte-identical
  * to a build without any of this.
+ *
+ * Profiling: --profile-engine attaches the engine self-profiler
+ * (src/obs/prof.h) for the run. Phase timings, cache hit rates and
+ * allocation gauges land in the stats registry as engine.* entries,
+ * so they flow into --stats, --stats-json, --prom and the manifest
+ * automatically; with --trace they additionally appear as Chrome
+ * counter tracks. Off by default — a run without the flag is
+ * byte-identical to one on a build without the profiler.
  *
  * Alerting: --alerts evaluates a JSON rules file online against the
  * run's telemetry and curated trace events (src/alert); --incidents
@@ -75,7 +83,9 @@
 #include "core/config.h"
 #include "core/datacenter.h"
 #include "engine/backend.h"
+#include "engine/prof_stats.h"
 #include "obs/manifest.h"
+#include "obs/prof.h"
 #include "obs/trace_sink.h"
 #include "obs/tracer.h"
 #include "sim/stats_registry.h"
@@ -121,6 +131,7 @@ struct Options {
     std::string alertsPath;
     std::string incidentsPath;
     std::string incidentHtmlPath;
+    bool profileEngine = false;
 };
 
 [[noreturn]] void
@@ -141,7 +152,7 @@ usage()
            "              [--detector] [--prom FILE]\n"
            "              [--metrics-port N] [--metrics-linger SEC]\n"
            "              [--alerts RULES] [--incidents FILE]\n"
-           "              [--incident-html FILE]\n";
+           "              [--incident-html FILE] [--profile-engine]\n";
     std::exit(2);
 }
 
@@ -214,6 +225,8 @@ applyConfig(Options &opt, const std::string &path)
     opt.incidentsPath = cfg.getString("incidents", opt.incidentsPath);
     opt.incidentHtmlPath =
         cfg.getString("incident_html", opt.incidentHtmlPath);
+    opt.profileEngine =
+        cfg.getBool("profile_engine", opt.profileEngine);
 }
 
 attack::VirusKind
@@ -308,6 +321,8 @@ parseArgs(int argc, char **argv)
             opt.incidentsPath = need(i);
         else if (arg == "--incident-html")
             opt.incidentHtmlPath = need(i);
+        else if (arg == "--profile-engine")
+            opt.profileEngine = true;
         else
             usage();
     }
@@ -390,6 +405,10 @@ main(int argc, char **argv)
     const auto enginePtr =
         engine::makeClusterEngine(opt.backend, cfg, &workload);
     engine::ClusterEngine &dc = *enginePtr;
+
+    obs::EngineProfiler prof;
+    if (opt.profileEngine)
+        dc.setProfiler(&prof);
 
     // Telemetry is recorded only when something will consume it, so
     // plain runs stay byte-identical to a build without these flags.
@@ -502,6 +521,8 @@ main(int argc, char **argv)
 
     sim::StatsRegistry stats;
     dc.exportStats(stats);
+    if (opt.profileEngine)
+        engine::exportProfilerStats(prof, stats);
     stats
         .registerScalar("attack.survival_sec",
                         "attack start to first overload")

@@ -11,6 +11,10 @@
  *   padtrace summary  [options] TRACE.jsonl   one-paragraph digest
  *   padtrace incidents [options] INCIDENTS.jsonl
  *                      alert incidents (from padsim/sweep --incidents)
+ *   padtrace perf     [options] PROFILE.json
+ *                      engine phase breakdown (see below)
+ *   padtrace perf --compare OLD.json NEW.json
+ *                      flag perf regressions between two runs
  *
  * Options:
  *   --format md|json|csv   output format (default md)
@@ -18,6 +22,19 @@
  *   --job N                only events from sweep job N
  *   --html FILE            (incidents) write the standalone HTML
  *                          dashboard next to the textual output
+ *
+ * The perf command reads either a stats export from a profiled run
+ * (`padsim --profile-engine --stats-json run.json`, identified by
+ * its engine.phase.* entries) or a perfbench result file
+ * (pad-perfbench-v2/-v3, identified by its schema field) and renders
+ * the engine phase-breakdown table: sampled seconds, share and lap
+ * count per pipeline phase, plus cache hit rates when present. With
+ * --compare it diffs two inputs of the same kind — benchmark
+ * throughput per backend and phase shares — and flags rows that got
+ * more than 5% worse. The comparison is advisory (exit 0; wire it
+ * warn-only into CI), but an input with no profiling data at all —
+ * a stats export from an unprofiled run, or a v2 bench file asked
+ * for a phase table — is a hard error: one line on stderr, exit 1.
  *
  * The report covers the attack window (survival time recomputed from
  * the first overload event, cross-checked against the value the
@@ -36,17 +53,21 @@
  */
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "alert/html.h"
 #include "alert/incident.h"
 #include "telemetry/trace_reader.h"
+#include "util/json.h"
 #include "util/json_writer.h"
 #include "util/table.h"
 #include "util/types.h"
@@ -62,6 +83,8 @@ struct Options {
     std::string htmlPath;
     int job = -1; // -1 = all jobs
     std::string tracePath;
+    std::string secondPath; // perf --compare NEW file
+    bool compare = false;
 };
 
 [[noreturn]] void
@@ -73,7 +96,11 @@ usage()
            "                [--job N] TRACE.jsonl\n"
            "       padtrace incidents [--format md|json]\n"
            "                [--out FILE] [--html FILE]\n"
-           "                INCIDENTS.jsonl\n";
+           "                INCIDENTS.jsonl\n"
+           "       padtrace perf [--format md|json] [--out FILE]\n"
+           "                PROFILE.json\n"
+           "       padtrace perf --compare OLD.json NEW.json\n"
+           "                [--format md|json] [--out FILE]\n";
     std::exit(2);
 }
 
@@ -97,15 +124,19 @@ parseArgs(int argc, char **argv)
             opt.htmlPath = need(i);
         else if (arg == "--job")
             opt.job = std::atoi(need(i).c_str());
+        else if (arg == "--compare")
+            opt.compare = true;
         else if (!commandSet && (arg == "report" || arg == "timeline" ||
                                  arg == "summary" ||
-                                 arg == "incidents")) {
+                                 arg == "incidents" || arg == "perf")) {
             opt.command = arg;
             commandSet = true;
         } else if (!arg.empty() && arg[0] == '-')
             usage();
         else if (opt.tracePath.empty())
             opt.tracePath = arg;
+        else if (opt.secondPath.empty())
+            opt.secondPath = arg;
         else
             usage();
     }
@@ -117,6 +148,12 @@ parseArgs(int argc, char **argv)
     if (opt.command == "incidents" && opt.format == "csv")
         usage();
     if (opt.command != "incidents" && !opt.htmlPath.empty())
+        usage();
+    if (opt.compare != !opt.secondPath.empty())
+        usage(); // --compare takes exactly two files
+    if (opt.command != "perf" && (opt.compare || !opt.secondPath.empty()))
+        usage();
+    if (opt.command == "perf" && opt.format == "csv")
         usage();
     return opt;
 }
@@ -674,6 +711,437 @@ incidentsMarkdown(const std::vector<alert::Incident> &incidents,
     t.print(os);
 }
 
+// ---------------------------------------------------------------------
+// perf: engine phase breakdown and run-to-run regression diff
+// ---------------------------------------------------------------------
+
+/** One engine pipeline phase, as exported by the profiler. */
+struct PhaseRow {
+    std::string name;
+    double seconds = 0.0;
+    std::uint64_t laps = 0;
+};
+
+/** One column of phase data (a backend, or a whole profiled run). */
+struct PerfColumn {
+    std::string label;
+    std::vector<PhaseRow> phases;
+
+    double
+    totalSeconds() const
+    {
+        double t = 0.0;
+        for (const auto &p : phases)
+            t += p.seconds;
+        return t;
+    }
+};
+
+/** One perfbench measurement cell (row x backend). */
+struct BenchValue {
+    std::string row, backend, unit;
+    double value = 0.0;
+    bool higherIsBetter = false;
+};
+
+/** Everything padtrace perf extracts from one input file. */
+struct PerfInput {
+    std::string path;
+    /** "stats" (padsim --stats-json) or "perfbench" (BENCH_*.json). */
+    std::string kind;
+    std::vector<PerfColumn> columns;
+    std::vector<BenchValue> values;
+    std::uint64_t cacheHits = 0, cacheMisses = 0;
+    std::uint64_t profSteps = 0, profSampled = 0, profPeriod = 0;
+    bool hasCache = false;
+};
+
+std::uint64_t
+memberCounter(const JsonValue *obj, const std::string &key)
+{
+    if (!obj)
+        return 0;
+    const JsonValue *v = obj->find(key);
+    return v && v->isNumber() ? static_cast<std::uint64_t>(v->number)
+                              : 0;
+}
+
+/**
+ * Classify and distill one input file. The two producers are told
+ * apart structurally: perfbench files carry a "schema" string,
+ * stats exports a "scalars"/"counters" object pair. Phase entries
+ * are discovered by name prefix rather than a compiled-in list, so
+ * the tool keeps working when the engine grows a new phase.
+ */
+std::optional<PerfInput>
+loadPerfInput(const std::string &path, std::string *error)
+{
+    std::ifstream is(path);
+    if (!is) {
+        *error = "cannot read " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string parseError;
+    const auto root = parseJson(buf.str(), &parseError);
+    if (!root || !root->isObject()) {
+        *error = path + ": " +
+                 (parseError.empty() ? "not a JSON object" : parseError);
+        return std::nullopt;
+    }
+
+    PerfInput in;
+    in.path = path;
+    if (const JsonValue *schema = root->find("schema");
+        schema && schema->isString() &&
+        schema->str.rfind("pad-perfbench-", 0) == 0) {
+        in.kind = "perfbench";
+        const JsonValue *rows = root->find("benchmarks");
+        if (!rows || !rows->isArray()) {
+            *error = path + ": no benchmarks array";
+            return std::nullopt;
+        }
+        for (const JsonValue &row : rows->array) {
+            const JsonValue *name = row.find("name");
+            const JsonValue *unit = row.find("unit");
+            const JsonValue *hib = row.find("higher_is_better");
+            if (!name || !name->isString())
+                continue;
+            for (const char *backend :
+                 {"baseline", "optimized", "soa"}) {
+                const JsonValue *col = row.find(backend);
+                if (!col || !col->isObject())
+                    continue;
+                BenchValue bv;
+                bv.row = name->str;
+                bv.backend = backend;
+                bv.unit = unit && unit->isString() ? unit->str : "";
+                if (const JsonValue *v = col->find("value"))
+                    bv.value = v->number;
+                bv.higherIsBetter = hib && hib->boolean;
+                in.values.push_back(bv);
+                const JsonValue *phases = col->find("phases");
+                if (!phases || !phases->isObject())
+                    continue;
+                PerfColumn pc;
+                pc.label = name->str + "/" + backend;
+                for (const auto &[pname, pval] : phases->members) {
+                    PhaseRow pr;
+                    pr.name = pname;
+                    if (const JsonValue *s = pval.find("seconds"))
+                        pr.seconds = s->number;
+                    pr.laps = memberCounter(&pval, "laps");
+                    pc.phases.push_back(pr);
+                }
+                in.columns.push_back(std::move(pc));
+            }
+        }
+        return in;
+    }
+
+    const JsonValue *scalars = root->find("scalars");
+    const JsonValue *counters = root->find("counters");
+    if (!scalars && !counters) {
+        *error = path + ": neither a perfbench file (no schema) nor "
+                        "a stats export (no scalars/counters)";
+        return std::nullopt;
+    }
+    in.kind = "stats";
+    PerfColumn pc;
+    pc.label = "run";
+    const std::string prefix = "engine.phase.";
+    const std::string suffix = ".seconds";
+    if (scalars) {
+        for (const auto &[key, val] : scalars->members) {
+            if (key.rfind(prefix, 0) != 0 ||
+                key.size() <= prefix.size() + suffix.size() ||
+                key.compare(key.size() - suffix.size(), suffix.size(),
+                            suffix) != 0)
+                continue;
+            PhaseRow pr;
+            pr.name = key.substr(prefix.size(), key.size() -
+                                                    prefix.size() -
+                                                    suffix.size());
+            pr.seconds = val.number;
+            pr.laps = memberCounter(counters,
+                                    prefix + pr.name + ".laps");
+            pc.phases.push_back(pr);
+        }
+    }
+    if (!pc.phases.empty())
+        in.columns.push_back(std::move(pc));
+    if (counters && (counters->contains("engine.cache_hits") ||
+                     counters->contains("engine.cache_misses"))) {
+        in.hasCache = true;
+        in.cacheHits = memberCounter(counters, "engine.cache_hits");
+        in.cacheMisses = memberCounter(counters, "engine.cache_misses");
+    }
+    in.profSteps = memberCounter(counters, "engine.prof.steps");
+    in.profSampled =
+        memberCounter(counters, "engine.prof.sampled_steps");
+    // The period is a configuration gauge, so it lives in scalars.
+    in.profPeriod =
+        memberCounter(scalars, "engine.prof.sample_period");
+    return in;
+}
+
+std::string
+fmtShare(double part, double whole)
+{
+    return whole > 0.0 ? formatPercent(part / whole, 1)
+                       : std::string("n/a");
+}
+
+void
+perfMarkdown(const PerfInput &in, std::ostream &os)
+{
+    os << "# padtrace perf — engine phase breakdown\n\n";
+    os << "Input: " << in.path << " ("
+       << (in.kind == "stats" ? "stats export" : "perfbench")
+       << ")\n\n";
+    for (const PerfColumn &col : in.columns) {
+        const double total = col.totalSeconds();
+        TextTable t(col.label);
+        t.setHeader({"phase", "seconds", "share", "laps"});
+        for (const PhaseRow &p : col.phases)
+            t.addRow({p.name, formatFixed(p.seconds, 6),
+                      fmtShare(p.seconds, total),
+                      std::to_string(p.laps)});
+        t.addRow({"total", formatFixed(total, 6), "100.0%", ""});
+        t.print(os);
+        os << "\n";
+    }
+    if (in.hasCache) {
+        const double lookups =
+            static_cast<double>(in.cacheHits + in.cacheMisses);
+        os << "Caches: " << in.cacheHits << " hits, "
+           << in.cacheMisses << " misses ("
+           << fmtShare(static_cast<double>(in.cacheHits), lookups)
+           << " hit rate).\n";
+    }
+    if (in.profSteps > 0)
+        os << "Sampling: " << in.profSampled << " of " << in.profSteps
+           << " steps timed (period " << in.profPeriod
+           << "); phase seconds are sampled sums, shares are "
+              "unbiased.\n";
+}
+
+void
+perfJson(const PerfInput &in, std::ostream &os)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.key("input").value(in.path);
+    w.key("kind").value(in.kind);
+    w.key("columns").beginArray();
+    for (const PerfColumn &col : in.columns) {
+        const double total = col.totalSeconds();
+        w.beginObject();
+        w.key("label").value(col.label);
+        w.key("total_seconds").value(total);
+        w.key("phases").beginArray();
+        for (const PhaseRow &p : col.phases) {
+            w.beginObject();
+            w.key("name").value(p.name);
+            w.key("seconds").value(p.seconds);
+            w.key("share").value(total > 0.0 ? p.seconds / total
+                                             : 0.0);
+            w.key("laps").value(p.laps);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+    if (in.hasCache) {
+        w.key("cache").beginObject();
+        w.key("hits").value(in.cacheHits);
+        w.key("misses").value(in.cacheMisses);
+        w.endObject();
+    }
+    if (in.profSteps > 0) {
+        w.key("sampling").beginObject();
+        w.key("steps").value(in.profSteps);
+        w.key("sampled_steps").value(in.profSampled);
+        w.key("sample_period").value(in.profPeriod);
+        w.endObject();
+    }
+    w.endObject();
+    os << "\n";
+}
+
+/** A row of the --compare output. */
+struct CompareRow {
+    std::string what, unit;
+    double before = 0.0, after = 0.0;
+    /** Relative change, positive = got worse. */
+    double worse = 0.0;
+    bool regressed = false;
+};
+
+/** Flag anything more than 5% worse than the old run. */
+constexpr double kRegressionThreshold = 0.05;
+
+std::vector<CompareRow>
+comparePerf(const PerfInput &before, const PerfInput &after)
+{
+    std::vector<CompareRow> rows;
+    // Benchmark throughput/latency cells, matched by row x backend.
+    for (const BenchValue &b : before.values) {
+        for (const BenchValue &a : after.values) {
+            if (a.row != b.row || a.backend != b.backend)
+                continue;
+            if (b.value <= 0.0 || a.value <= 0.0)
+                continue;
+            CompareRow r;
+            r.what = b.row + "/" + b.backend;
+            r.unit = b.unit;
+            r.before = b.value;
+            r.after = a.value;
+            r.worse = b.higherIsBetter
+                          ? (b.value - a.value) / b.value
+                          : (a.value - b.value) / b.value;
+            r.regressed = r.worse > kRegressionThreshold;
+            rows.push_back(r);
+        }
+    }
+    // Phase shares, matched by column label x phase name. Shares
+    // rather than raw seconds: two runs of different length still
+    // compare, and a phase claiming a bigger slice of the pipeline
+    // is the regression signal we care about.
+    for (const PerfColumn &bc : before.columns) {
+        for (const PerfColumn &ac : after.columns) {
+            if (ac.label != bc.label)
+                continue;
+            const double bTotal = bc.totalSeconds();
+            const double aTotal = ac.totalSeconds();
+            if (bTotal <= 0.0 || aTotal <= 0.0)
+                continue;
+            for (const PhaseRow &bp : bc.phases) {
+                for (const PhaseRow &ap : ac.phases) {
+                    if (ap.name != bp.name)
+                        continue;
+                    CompareRow r;
+                    r.what = bc.label + ":" + bp.name;
+                    r.unit = "share";
+                    r.before = bp.seconds / bTotal;
+                    r.after = ap.seconds / aTotal;
+                    r.worse = r.after - r.before;
+                    // A share regression is an absolute shift, not
+                    // relative: +5 points of pipeline share.
+                    r.regressed = r.worse > kRegressionThreshold;
+                    rows.push_back(r);
+                }
+            }
+        }
+    }
+    return rows;
+}
+
+void
+compareMarkdown(const PerfInput &before, const PerfInput &after,
+                const std::vector<CompareRow> &rows, std::ostream &os)
+{
+    os << "# padtrace perf — comparison\n\n";
+    os << "Old: " << before.path << "\nNew: " << after.path << "\n\n";
+    std::size_t regressions = 0;
+    TextTable t("perf comparison");
+    t.setHeader({"metric", "unit", "old", "new", "worse by", "flag"});
+    for (const CompareRow &r : rows) {
+        if (r.regressed)
+            ++regressions;
+        t.addRow({r.what, r.unit, formatFixed(r.before, 4),
+                  formatFixed(r.after, 4), formatPercent(r.worse, 1),
+                  r.regressed ? "REGRESSED" : ""});
+    }
+    t.print(os);
+    os << "\n"
+       << regressions << " regression(s) flagged (threshold "
+       << formatPercent(kRegressionThreshold, 0) << " worse).\n";
+}
+
+void
+compareJson(const PerfInput &before, const PerfInput &after,
+            const std::vector<CompareRow> &rows, std::ostream &os)
+{
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.key("old").value(before.path);
+    w.key("new").value(after.path);
+    w.key("threshold").value(kRegressionThreshold);
+    std::size_t regressions = 0;
+    w.key("rows").beginArray();
+    for (const CompareRow &r : rows) {
+        if (r.regressed)
+            ++regressions;
+        w.beginObject();
+        w.key("metric").value(r.what);
+        w.key("unit").value(r.unit);
+        w.key("old").value(r.before);
+        w.key("new").value(r.after);
+        w.key("worse_by").value(r.worse);
+        w.key("regressed").value(r.regressed);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("regressions")
+        .value(static_cast<std::uint64_t>(regressions));
+    w.endObject();
+    os << "\n";
+}
+
+int
+runPerf(const Options &opt, std::ostream &os)
+{
+    std::string error;
+    const auto first = loadPerfInput(opt.tracePath, &error);
+    if (!first) {
+        std::cerr << "padtrace: " << error << "\n";
+        return 1;
+    }
+    if (!opt.compare) {
+        if (first->columns.empty()) {
+            std::cerr << "padtrace: no profiling counters in "
+                      << opt.tracePath
+                      << " (profiled runs need padsim "
+                         "--profile-engine; perfbench files need "
+                         "schema v3)\n";
+            return 1;
+        }
+        if (opt.format == "json")
+            perfJson(*first, os);
+        else
+            perfMarkdown(*first, os);
+        return 0;
+    }
+    const auto second = loadPerfInput(opt.secondPath, &error);
+    if (!second) {
+        std::cerr << "padtrace: " << error << "\n";
+        return 1;
+    }
+    for (const PerfInput *in : {&*first, &*second}) {
+        if (in->columns.empty() && in->values.empty()) {
+            std::cerr << "padtrace: no profiling counters in "
+                      << in->path << "\n";
+            return 1;
+        }
+    }
+    if (first->kind != second->kind) {
+        std::cerr << "padtrace: cannot compare a " << first->kind
+                  << " file against a " << second->kind << " file\n";
+        return 1;
+    }
+    const auto rows = comparePerf(*first, *second);
+    if (opt.format == "json")
+        compareJson(*first, *second, rows, os);
+    else
+        compareMarkdown(*first, *second, rows, os);
+    // Advisory by design: CI wires this in warn-only, so flagged
+    // regressions land in the artifact, not the exit code.
+    return 0;
+}
+
 /**
  * The `incidents` command: reads an incidents.jsonl (strictly — it
  * is a machine-written artifact, unlike a possibly-truncated trace)
@@ -726,6 +1194,8 @@ main(int argc, char **argv)
 
     if (opt.command == "incidents")
         return runIncidents(opt, *os);
+    if (opt.command == "perf")
+        return runPerf(opt, *os);
 
     std::string error;
     const auto log =

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 #
 # Rebuild the perf harness in Release mode and regenerate the
-# committed benchmark results (BENCH_PR6.json) reproducibly:
+# committed benchmark results (BENCH_PR7.json) reproducibly:
 #
 #   scripts/bench.sh                     # all backends, portable codegen
 #   scripts/bench.sh --backend soa       # one backend column (+ scalar ref)
@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-rel}
-BENCH_OUT=${BENCH_OUT:-BENCH_PR6.json}
+BENCH_OUT=${BENCH_OUT:-BENCH_PR7.json}
 PAD_NATIVE=${PAD_NATIVE:-OFF}
 JOBS=${JOBS:-$(nproc)}
 
@@ -31,7 +31,7 @@ fi
 cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DPAD_NATIVE="$PAD_NATIVE" >/dev/null
-cmake --build "$BUILD_DIR" --target perfbench -j "$JOBS"
+cmake --build "$BUILD_DIR" --target perfbench padtrace -j "$JOBS"
 
 "$BUILD_DIR/bench/perfbench" "${BACKEND_ARGS[@]}" --json "$BENCH_OUT" \
     | tee "$BENCH_OUT.txt"
@@ -44,6 +44,17 @@ echo "benchmark results written to $BENCH_OUT"
 # alerts also turns the telemetry hub on).
 echo
 echo "engine and alert rows:"
-grep -A 6 -E '^(fine_tick|alert_eval|single_run|single_run_telemetry|single_run_alerts)$' \
+grep -A 6 -E '^(fine_tick|alert_eval|single_run|single_run_telemetry|single_run_alerts|single_run_profiled)$' \
     "$BENCH_OUT.txt" || echo "  (no engine rows in perfbench output?)"
 rm -f "$BENCH_OUT.txt"
+
+# Per-phase engine breakdown from the profiled row (schema v3), and
+# the profiling-overhead check: single_run_profiled should stay
+# within ~5% of single_run per backend.
+PADTRACE="$BUILD_DIR/examples/padtrace"
+if [ -x "$PADTRACE" ]; then
+    echo
+    "$PADTRACE" perf "$BENCH_OUT"
+else
+    echo "(padtrace not built; skip phase table)"
+fi

@@ -271,8 +271,15 @@ const std::vector<double> &
 DataCenter::refreshDemand(Tick t, bool fine)
 {
     DemandCache &dc = demand_;
-    if (dc.tick == t && dc.fine == fine)
+    if (dc.tick == t && dc.fine == fine) {
+        if (prof_)
+            prof_->demandHit();
         return dc.values;
+    }
+    if (prof_)
+        prof_->demandMiss();
+    const obs::PhaseScope profScope(
+        prof_, obs::EngineProfiler::Phase::DemandEval);
 
     const auto machines =
         static_cast<std::size_t>(config_.totalServers());
@@ -761,6 +768,35 @@ DataCenter::controlDecisions(const StepPower &step, double dtSec)
 }
 
 void
+DataCenter::setProfiler(obs::EngineProfiler *prof)
+{
+    prof_ = prof;
+    if (prof_)
+        profRefreshGauges();
+}
+
+void
+DataCenter::profRefreshGauges()
+{
+    const auto bytes = [](const std::vector<double> &v) {
+        return v.capacity() * sizeof(double);
+    };
+    // Scratch: the per-step buffers PR 4's tick restructuring reuses.
+    std::size_t scratch = bytes(stepScratch_.rackPower) +
+                          bytes(stepScratch_.rackDraw) +
+                          bytes(stepScratch_.rackUncapped) +
+                          bytes(stepScratch_.rackShaved) +
+                          bytes(stepScratch_.serverPower) +
+                          boundsScratch_.capacity() * sizeof(Watts) +
+                          socScratch_.capacity() * sizeof(Joules) +
+                          limitsScratch_.capacity() * sizeof(Watts);
+    // Arena: the persistent demand-cache slot/value tables.
+    std::size_t arena = bytes(demand_.base) + bytes(demand_.values);
+    prof_->setScratchBytes(scratch);
+    prof_->setArenaBytes(arena);
+}
+
+void
 DataCenter::telemetrySample(const StepPower &step)
 {
     if (!telemetry_)
@@ -793,17 +829,44 @@ DataCenter::stepCoarse()
     // Components without their own clock (policy, µDEBs, breakers)
     // stamp events with the thread-local trace clock.
     obs::setTraceClock(now_);
+    if (prof_)
+        prof_->beginStep(/*fine=*/false);
     const double dtSec = ticksToSeconds(config_.coarseStep);
     StepPower localStep;
     StepPower &step =
         engineTuning().stepScratchReuse ? stepScratch_ : localStep;
     computeStep(step, now_, dtSec, /*fine=*/false, nullptr, nullptr,
                 nullptr, 0.0, false, nullptr);
-    applyShaving(step, dtSec);
-    detectorStep(step, config_.coarseStep);
-    rechargeAll(step, dtSec);
-    controlDecisions(step, dtSec);
-    telemetrySample(step);
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::KibamBatch);
+        applyShaving(step, dtSec);
+    }
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::Detector);
+        detectorStep(step, config_.coarseStep);
+    }
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::KibamBatch);
+        rechargeAll(step, dtSec);
+    }
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::Detector);
+        controlDecisions(step, dtSec);
+    }
+    {
+        const obs::PhaseScope ps(
+            prof_, obs::EngineProfiler::Phase::TelemetryFlush);
+        telemetrySample(step);
+    }
+    if (prof_) {
+        profRefreshGauges();
+        if (obs::traceEnabled())
+            prof_->emitTraceCounters();
+    }
 
     if (recordHistory_) {
         socHistory_.push_back(allSocs());
@@ -878,6 +941,8 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
 
     while (now_ < horizon) {
         obs::setTraceClock(now_);
+        if (prof_)
+            prof_->beginStep(/*fine=*/true);
         const double relSec = ticksToSeconds(now_ - start);
         const bool active =
             sc.dutyCycle >= 1.0 ||
@@ -919,12 +984,24 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
             }
         }
 
-        applyShaving(step, dtSec);
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::KibamBatch);
+            applyShaving(step, dtSec);
+        }
         std::vector<Watts> localLimits;
         std::vector<Watts> &limits = reuse ? limitsScratch_ : localLimits;
-        fillRackLimits(step, limits);
-        applyUdeb(step, limits, dtSec);
-        detectorStep(step, config_.fineStep);
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::UdebShave);
+            fillRackLimits(step, limits);
+            applyUdeb(step, limits, dtSec);
+        }
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::Detector);
+            detectorStep(step, config_.fineStep);
+        }
 
         // Overload accounting and breaker thermodynamics. A tripped
         // rack goes dark for the recovery period, losing its work.
@@ -981,10 +1058,18 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
                                             clusterOnsetsSeen))});
         }
 
-        rechargeAll(step, dtSec);
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::KibamBatch);
+            rechargeAll(step, dtSec);
+        }
 
         if (now_ + config_.fineStep >= nextControl) {
-            controlDecisions(step, dtSec);
+            {
+                const obs::PhaseScope ps(
+                    prof_, obs::EngineProfiler::Phase::Detector);
+                controlDecisions(step, dtSec);
+            }
             out.rackPower.record(now_, step.rackPower[target]);
             out.rackDraw.record(now_, step.rackDraw[target]);
             out.rackSoc.record(now_, racks_[target].soc());
@@ -996,7 +1081,16 @@ DataCenter::runAttack(attack::TwoPhaseAttacker &attacker,
                 out.maxShedRatio,
                 static_cast<double>(sheddedServers()) /
                     static_cast<double>(config_.totalServers()));
-            telemetrySample(step);
+            {
+                const obs::PhaseScope ps(
+                    prof_, obs::EngineProfiler::Phase::TelemetryFlush);
+                telemetrySample(step);
+            }
+            if (prof_) {
+                profRefreshGauges();
+                if (obs::traceEnabled())
+                    prof_->emitTraceCounters();
+            }
             // DEB depletion curves for the racks under attack, one
             // event per control period per victim.
             if (obs::traceEnabled()) {

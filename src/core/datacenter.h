@@ -31,6 +31,7 @@
 #include "core/security_policy.h"
 #include "core/udeb.h"
 #include "core/vdeb.h"
+#include "obs/prof.h"
 #include "power/circuit_breaker.h"
 #include "power/power_meter.h"
 #include "power/server_power_model.h"
@@ -217,6 +218,19 @@ class DataCenter
 
     /** The attached telemetry hub, or nullptr. */
     telemetry::TelemetryHub *telemetry() const { return telemetry_; }
+
+    /**
+     * Attach an engine self-profiler: phase timers around demand
+     * evaluation, the KiBaM battery step, µDEB shaving, the detector
+     * and telemetry sampling, plus DemandCache hit/miss counters and
+     * the event-queue high-water mark. Pass nullptr to detach; the
+     * profiler is not owned and the default (detached) reduces every
+     * instrumentation point to one pointer test.
+     */
+    void setProfiler(obs::EngineProfiler *prof);
+
+    /** The attached profiler, or nullptr. */
+    obs::EngineProfiler *profiler() const { return prof_; }
 
     /** Tick of the first detector anomaly; kTickNever if none. */
     Tick firstDetectionTick() const { return firstDetectionTick_; }
@@ -405,7 +419,11 @@ class DataCenter
     std::uint64_t detections_ = 0;
     Tick firstDetectionTick_ = kTickNever;
     Tick firstEscalationTick_ = kTickNever;
+    /** Refresh the profiler's arena/scratch byte gauges. */
+    void profRefreshGauges();
+
     telemetry::TelemetryHub *telemetry_ = nullptr;
+    obs::EngineProfiler *prof_ = nullptr;
 
     Tick now_ = 0;
     bool recordHistory_ = false;

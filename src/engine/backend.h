@@ -42,6 +42,7 @@
 #include "attack/attacker.h"
 #include "core/config.h"
 #include "core/datacenter.h"
+#include "obs/prof.h"
 #include "sim/stats_registry.h"
 #include "telemetry/hub.h"
 #include "trace/workload.h"
@@ -132,6 +133,13 @@ class ClusterEngine
 
     /** Attach/detach a telemetry hub (not owned; nullptr detaches). */
     virtual void setTelemetry(telemetry::TelemetryHub *hub) = 0;
+
+    /**
+     * Attach/detach a self-profiler (not owned; nullptr detaches).
+     * Detached — the default — instrumentation is a pointer test and
+     * the engine's outputs are byte-identical to an unprofiled build.
+     */
+    virtual void setProfiler(obs::EngineProfiler *prof) = 0;
 
     /** Export run telemetry under the stable stat names. */
     virtual void exportStats(sim::StatsRegistry &stats) const = 0;

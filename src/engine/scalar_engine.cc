@@ -141,6 +141,12 @@ ScalarEngine::setTelemetry(telemetry::TelemetryHub *hub)
 }
 
 void
+ScalarEngine::setProfiler(obs::EngineProfiler *prof)
+{
+    dc_->setProfiler(prof);
+}
+
+void
 ScalarEngine::exportStats(sim::StatsRegistry &stats) const
 {
     dc_->exportStats(stats);

@@ -60,6 +60,7 @@ class ScalarEngine final : public ClusterEngine
     double socStdDevPercent() const override;
     std::uint64_t detectionsFlagged() const override;
     void setTelemetry(telemetry::TelemetryHub *hub) override;
+    void setProfiler(obs::EngineProfiler *prof) override;
     void exportStats(sim::StatsRegistry &stats) const override;
     void dumpStats(std::ostream &os) const override;
     const core::DataCenterConfig &config() const override;

@@ -100,6 +100,20 @@ SoaEngine::SoaEngine(const core::DataCenterConfig &config,
     lvdTrips_.assign(nr, 0);
     chargerLatch_.assign(nr, 0);
 
+    // Aging constants hoisted out of the AgingModel arithmetic
+    // (battery/aging_model.cc): wear accrual per discharged joule and
+    // per elapsed second.
+    const battery::AgingModelConfig &aging = config_.deb.aging;
+    PAD_ASSERT(aging.cycleLife > 0.0 && aging.referenceRateC > 0.0 &&
+               aging.stressExponent >= 0.0 &&
+               aging.calendarLifeHours > 0.0);
+    agingReferenceRateC_ = aging.referenceRateC;
+    agingStressExponent_ = aging.stressExponent;
+    agingThroughputInv_ = 1.0 / (aging.cycleLife * capJ_);
+    agingCalendarPerSec_ = 1.0 / (aging.calendarLifeHours * 3600.0);
+    cycleWear_.assign(nr, 0.0);
+    calendarWear_.assign(nr, 0.0);
+
     hasUdeb_ = traits_.udebSpikes;
     if (hasUdeb_) {
         udebVoltage_.assign(nr, config_.udeb.cap.vMax);
@@ -175,6 +189,47 @@ SoaEngine::setShards(int shards)
 {
     PAD_ASSERT(shards >= 1, "shard count must be positive");
     shards_ = std::min(shards, racks_);
+    if (prof_)
+        prof_->setShardCount(static_cast<std::size_t>(shards_));
+}
+
+void
+SoaEngine::setProfiler(obs::EngineProfiler *prof)
+{
+    prof_ = prof;
+    if (!prof_)
+        return;
+    prof_->setShardCount(static_cast<std::size_t>(shards_));
+    const auto dbytes = [](const std::vector<double> &v) {
+        return v.capacity() * sizeof(double);
+    };
+    // Arena: the construct-once rack/server parallel arrays and the
+    // per-second caches.
+    std::size_t arena =
+        dbytes(y1_) + dbytes(y2_) + dbytes(dischargedJ_) +
+        dbytes(chargedJ_) + lvdTripped_.capacity() +
+        lvdTrips_.capacity() * sizeof(int) + chargerLatch_.capacity() +
+        dbytes(cycleWear_) + dbytes(calendarWear_) +
+        dbytes(udebVoltage_) + dbytes(udebEngagedFor_) +
+        udebEngagements_.capacity() * sizeof(int) +
+        dbytes(udebDischargedJ_) + dbytes(breakerHeat_) +
+        breakerTrips_.capacity() * sizeof(int) +
+        downUntil_.capacity() * sizeof(Tick) +
+        meterNow_.capacity() * sizeof(Tick) +
+        meterIntervalStart_.capacity() * sizeof(Tick) +
+        dbytes(meterEnergy_) + dbytes(dvfs_) + dbytes(vpEnergy_) +
+        shed_.capacity() + dbytes(demandBase_) + dbytes(demandValues_) +
+        dbytes(cachePower_) + dbytes(cacheUncapped_) +
+        dbytes(cacheDemand_) + dbytes(cacheExecuted_) +
+        dbytes(cacheShedSup_) + dbytes(malPower_) +
+        dbytes(malUncapped_) + dbytes(malExecuted_);
+    // Scratch: buffers reassigned every step.
+    std::size_t scratch = dbytes(rackPower_) + dbytes(rackDraw_) +
+                          dbytes(rackUncapped_) + dbytes(rackShaved_) +
+                          dbytes(limits_) + dbytes(socScratch_) +
+                          planScratch_.power.capacity() * sizeof(double);
+    prof_->setArenaBytes(arena);
+    prof_->setScratchBytes(scratch);
 }
 
 // ---------------------------------------------------------------------
@@ -367,6 +422,8 @@ SoaEngine::unitDischarge(std::size_t r, Watts requested, double dt)
         kibamStep(r, 0.0, dt - tcut);
     }
     dischargedJ_[r] += delivered;
+    agingOnDischarge(r, delivered / dt, dt);
+    agingOnElapsed(r, dt);
     updateLvd(r);
     return delivered;
 }
@@ -382,6 +439,7 @@ SoaEngine::unitCharge(std::size_t r, Watts offered, double dt)
     const Watts bounded = std::min(offered, maxCharge_);
     const Joules absorbed = -kibamStep(r, -bounded, dt);
     chargedJ_[r] += absorbed;
+    agingOnElapsed(r, dt);
     updateLvd(r);
     return absorbed;
 }
@@ -391,8 +449,25 @@ SoaEngine::unitRest(std::size_t r, double dt)
 {
     if (dt > 0.0) {
         kibamStep(r, 0.0, dt);
+        agingOnElapsed(r, dt);
         updateLvd(r);
     }
+}
+
+void
+SoaEngine::agingOnDischarge(std::size_t r, Watts power, double dt)
+{
+    // battery/aging_model.cc::onDischarge with the lifetime
+    // throughput divisor pre-inverted.
+    if (power <= 0.0 || dt <= 0.0)
+        return;
+    const Joules energy = power * dt;
+    const double rateC = power * 3600.0 / capJ_;
+    double stress = 1.0;
+    if (rateC > agingReferenceRateC_)
+        stress = std::pow(rateC / agingReferenceRateC_,
+                          agingStressExponent_);
+    cycleWear_[r] += stress * energy * agingThroughputInv_;
 }
 
 Watts
@@ -749,12 +824,21 @@ SoaEngine::refreshDemand(Tick t, bool fine)
         (fine && second != demandSecond_);
     const bool rebuildSums = rebuildValues || benignDirty_;
     demandTick_ = t;
-    if (!rebuildBase && !rebuildValues && !rebuildSums)
+    if (!rebuildBase && !rebuildValues && !rebuildSums) {
+        if (prof_)
+            prof_->demandHit();
         return;
+    }
+    if (prof_)
+        prof_->demandMiss();
+    const obs::PhaseScope profScope(
+        prof_, obs::EngineProfiler::Phase::DemandEval);
     demandSlot_ = slot;
 
     const auto nRacks = static_cast<std::size_t>(racks_);
     if (shards_ <= 1) {
+        if (prof_)
+            prof_->shardTick(0);
         refreshShardRange(0, nRacks, rebuildBase, rebuildValues, fine,
                           second, rebuildSums, benignAttackMode_,
                           benignMaliciousNodes_);
@@ -762,13 +846,18 @@ SoaEngine::refreshDemand(Tick t, bool fine)
         // Rack-aligned shard ranges: writes are disjoint and every
         // per-rack reduction folds in server order inside one shard,
         // so the result is bit-identical for any shard count.
+        const obs::PhaseScope mergeScope(
+            prof_, obs::EngineProfiler::Phase::ShardMerge);
         const std::size_t per =
             (nRacks + static_cast<std::size_t>(shards_) - 1) /
             static_cast<std::size_t>(shards_);
         std::vector<std::thread> workers;
         workers.reserve(static_cast<std::size_t>(shards_));
-        for (std::size_t lo = 0; lo < nRacks; lo += per) {
+        std::size_t shard = 0;
+        for (std::size_t lo = 0; lo < nRacks; lo += per, ++shard) {
             const std::size_t hi = std::min(nRacks, lo + per);
+            if (prof_)
+                prof_->shardTick(shard);
             workers.emplace_back([this, lo, hi, rebuildBase,
                                   rebuildValues, fine, second,
                                   rebuildSums] {
@@ -849,14 +938,20 @@ SoaEngine::computeStep(StepView &step, Tick t, double dtSec, bool fine,
                         config_.sleepPower;
                 } else if (atkUtil > benignU) {
                     if (dvfs != memoDvfs) {
+                        if (prof_)
+                            prof_->malMemoMiss();
                         serverModel_.evaluate(atkUtil, dvfs, memoPower,
                                               memoUncapped,
                                               memoExecuted);
                         memoDvfs = dvfs;
+                    } else if (prof_) {
+                        prof_->malMemoHit();
                     }
                     rackTotal += memoPower;
                     rackUncapped += memoUncapped;
                 } else {
+                    if (prof_)
+                        prof_->malMemoHit();
                     rackTotal += malPower_[idx];
                     rackUncapped += malUncapped_[idx];
                 }
@@ -1166,16 +1261,42 @@ void
 SoaEngine::stepCoarse()
 {
     obs::setTraceClock(now_);
+    if (prof_) {
+        prof_->beginStep(/*fine=*/false);
+        prof_->observeQueueDepth(queue_.size());
+    }
     queue_.runUntil(now_);
     const double dtSec = ticksToSeconds(config_.coarseStep);
     StepView step;
     computeStep(step, now_, dtSec, /*fine=*/false, nullptr, nullptr,
                 0.0, false, nullptr);
-    applyShaving(step, dtSec);
-    detectorStep(config_.coarseStep);
-    rechargeAll(step, dtSec);
-    controlDecisions(step, dtSec);
-    telemetrySample(step);
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::KibamBatch);
+        applyShaving(step, dtSec);
+    }
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::Detector);
+        detectorStep(config_.coarseStep);
+    }
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::KibamBatch);
+        rechargeAll(step, dtSec);
+    }
+    {
+        const obs::PhaseScope ps(prof_,
+                                 obs::EngineProfiler::Phase::Detector);
+        controlDecisions(step, dtSec);
+    }
+    {
+        const obs::PhaseScope ps(
+            prof_, obs::EngineProfiler::Phase::TelemetryFlush);
+        telemetrySample(step);
+    }
+    if (prof_ && obs::traceEnabled())
+        prof_->emitTraceCounters();
 
     if (recordHistory_) {
         socHistory_.push_back(allSocs());
@@ -1245,6 +1366,10 @@ SoaEngine::runAttack(attack::TwoPhaseAttacker &attacker,
 
     while (now_ < horizon) {
         obs::setTraceClock(now_);
+        if (prof_) {
+            prof_->beginStep(/*fine=*/true);
+            prof_->observeQueueDepth(queue_.size());
+        }
         queue_.runUntil(now_);
         const double relSec = ticksToSeconds(now_ - start);
         const bool active =
@@ -1289,10 +1414,22 @@ SoaEngine::runAttack(attack::TwoPhaseAttacker &attacker,
             }
         }
 
-        applyShaving(step, dtSec);
-        fillRackLimits();
-        applyUdeb(step, dtSec);
-        detectorStep(config_.fineStep);
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::KibamBatch);
+            applyShaving(step, dtSec);
+        }
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::UdebShave);
+            fillRackLimits();
+            applyUdeb(step, dtSec);
+        }
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::Detector);
+            detectorStep(config_.fineStep);
+        }
 
         // Overload accounting and breaker thermodynamics. A tripped
         // rack goes dark for the recovery period, losing its work.
@@ -1350,10 +1487,18 @@ SoaEngine::runAttack(attack::TwoPhaseAttacker &attacker,
                                             clusterOnsetsSeen))});
         }
 
-        rechargeAll(step, dtSec);
+        {
+            const obs::PhaseScope ps(
+                prof_, obs::EngineProfiler::Phase::KibamBatch);
+            rechargeAll(step, dtSec);
+        }
 
         if (now_ + config_.fineStep >= nextControl) {
-            controlDecisions(step, dtSec);
+            {
+                const obs::PhaseScope ps(
+                    prof_, obs::EngineProfiler::Phase::Detector);
+                controlDecisions(step, dtSec);
+            }
             out.rackPower.record(now_, rackPower_[target]);
             out.rackDraw.record(now_, rackDraw_[target]);
             out.rackSoc.record(now_, rackSoc(target));
@@ -1364,7 +1509,13 @@ SoaEngine::runAttack(attack::TwoPhaseAttacker &attacker,
                 out.maxShedRatio,
                 static_cast<double>(sheddedServers()) /
                     static_cast<double>(config_.totalServers()));
-            telemetrySample(step);
+            {
+                const obs::PhaseScope ps(
+                    prof_, obs::EngineProfiler::Phase::TelemetryFlush);
+                telemetrySample(step);
+            }
+            if (prof_ && obs::traceEnabled())
+                prof_->emitTraceCounters();
             // DEB depletion curves for the racks under attack.
             if (obs::traceEnabled()) {
                 for (std::size_t r = 0;
@@ -1590,8 +1741,7 @@ SoaEngine::exportStats(sim::StatsRegistry &stats) const
         discharged += dischargedJ_[r];
         charged += chargedJ_[r];
         lvdTrips += lvdTrips_[r];
-        // Aging/wear telemetry is not tracked by the batch engine.
-        wear.push_back(0.0);
+        wear.push_back(cycleWear_[r] + calendarWear_[r]);
         breakerTrips += breakerTrips_[r];
         if (hasUdeb_)
             udebEngagements += udebEngagements_[r];

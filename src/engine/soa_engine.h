@@ -37,8 +37,11 @@
  * accounted per rack rather than per server, so outputs against the
  * scalar engines agree physically (energy conservation, SoC bounds,
  * survival within tolerance) without being bit-identical. Battery
- * aging/wear telemetry is not tracked (reported as 0); everything
- * else in exportStats matches the scalar names.
+ * aging replicates battery/aging_model.cc per rack (cycle + calendar
+ * wear arrays, hooks at the same unitDischarge/unitCharge/unitRest
+ * sites as BatteryUnit), so `deb.wear` matches the scalar engines
+ * within the parity-test tolerance; everything else in exportStats
+ * matches the scalar names too.
  *
  * Supported configurations: RackCabinet DEB placement (the paper's
  * evaluation setup). PerServer placement keeps per-unit state that
@@ -106,6 +109,7 @@ class SoaEngine final : public ClusterEngine
     {
         telemetry_ = hub;
     }
+    void setProfiler(obs::EngineProfiler *prof) override;
     void exportStats(sim::StatsRegistry &stats) const override;
     void dumpStats(std::ostream &os) const override;
     const core::DataCenterConfig &config() const override { return config_; }
@@ -149,9 +153,13 @@ class SoaEngine final : public ClusterEngine
     Watts kibamMsp(std::size_t r, double dt) const;
     Joules kibamStep(std::size_t r, Watts power, double dt);
 
-    // --- DEB unit protection (battery/battery_unit.cc, aging
-    //     telemetry skipped) ---
+    // --- DEB unit protection (battery/battery_unit.cc) ---
     void updateLvd(std::size_t r);
+    void agingOnDischarge(std::size_t r, Watts power, double dt);
+    void agingOnElapsed(std::size_t r, double dt)
+    {
+        calendarWear_[r] += dt * agingCalendarPerSec_;
+    }
     Joules unitDischarge(std::size_t r, Watts requested, double dt);
     Joules unitCharge(std::size_t r, Watts offered, double dt);
     void unitRest(std::size_t r, double dt);
@@ -242,6 +250,14 @@ class SoaEngine final : public ClusterEngine
     std::vector<int> lvdTrips_;
     std::vector<std::uint8_t> chargerLatch_; ///< offline-policy state
 
+    // --- battery aging (battery/aging_model.cc arithmetic) ---
+    double agingReferenceRateC_;
+    double agingStressExponent_;
+    double agingThroughputInv_;   ///< 1 / (cycleLife * capacity)
+    double agingCalendarPerSec_;  ///< 1 / (calendarLifeHours * 3600)
+    std::vector<double> cycleWear_;
+    std::vector<double> calendarWear_;
+
     // --- µDEB (sized only when the scheme uses it) ---
     bool hasUdeb_;
     std::vector<double> udebVoltage_;
@@ -325,6 +341,7 @@ class SoaEngine final : public ClusterEngine
     std::vector<std::string> udebSocName_;
 
     telemetry::TelemetryHub *telemetry_ = nullptr;
+    obs::EngineProfiler *prof_ = nullptr;
     Tick now_ = 0;
     bool recordHistory_ = false;
     std::vector<std::vector<double>> socHistory_;

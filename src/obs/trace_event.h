@@ -77,7 +77,12 @@ class TraceField
 
 /** A single trace record handed to a TraceSink. */
 struct TraceEvent {
-    enum class Phase { Instant, Complete };
+    /**
+     * Instant: point-in-time observation. Complete: finished span.
+     * Counter: sampled numeric series (Chrome "ph":"C"); every field
+     * should be numeric — viewers plot them as stacked counter tracks.
+     */
+    enum class Phase { Instant, Complete, Counter };
 
     Phase phase = Phase::Instant;
     /** Sim time of the event (span start for Complete). */

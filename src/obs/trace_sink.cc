@@ -45,6 +45,8 @@ JsonlTraceSink::write(const TraceEvent &event)
     w.key("ts").value(static_cast<std::int64_t>(event.when));
     if (event.phase == TraceEvent::Phase::Complete)
         w.key("dur").value(static_cast<std::int64_t>(event.duration));
+    if (event.phase == TraceEvent::Phase::Counter)
+        w.key("kind").value("counter");
     if (event.job >= 0)
         w.key("job").value(event.job);
     w.key("component").value(event.component);
@@ -127,6 +129,9 @@ ChromeTraceSink::write(const TraceEvent &event)
         w.key("ts").value(static_cast<std::int64_t>(event.when) * 1000);
         w.key("dur").value(static_cast<std::int64_t>(event.duration) *
                            1000);
+    } else if (event.phase == TraceEvent::Phase::Counter) {
+        w.key("ph").value("C");
+        w.key("ts").value(static_cast<std::int64_t>(event.when) * 1000);
     } else {
         w.key("ph").value("i");
         w.key("ts").value(static_cast<std::int64_t>(event.when) * 1000);

@@ -52,6 +52,24 @@ emitAt(Tick when, std::string_view component, std::string_view name,
 }
 
 void
+emitCounter(std::string_view component, std::string_view name,
+            std::initializer_list<TraceField> fields)
+{
+    TraceSink *sink = detail::tlsSink;
+    if (!sink)
+        return;
+    TraceEvent event;
+    event.phase = TraceEvent::Phase::Counter;
+    event.when = detail::tlsClock;
+    event.job = detail::tlsJob;
+    event.component = component;
+    event.name = name;
+    event.fields = fields.begin();
+    event.numFields = fields.size();
+    sink->write(event);
+}
+
+void
 emitSpan(Tick start, Tick end, std::string_view component,
          std::string_view name, std::initializer_list<TraceField> fields)
 {

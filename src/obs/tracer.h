@@ -108,6 +108,14 @@ void emitSpan(Tick start, Tick end, std::string_view component,
               std::string_view name,
               std::initializer_list<TraceField> fields = {});
 
+/**
+ * Emit a counter sample at the current trace clock. Fields should be
+ * numeric; Chrome/Perfetto render them as a stacked counter track
+ * named after the event, so periodic samples become a timeline.
+ */
+void emitCounter(std::string_view component, std::string_view name,
+                 std::initializer_list<TraceField> fields);
+
 } // namespace pad::obs
 
 #endif // PAD_OBS_TRACER_H

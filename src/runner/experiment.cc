@@ -8,6 +8,7 @@
 #include "attack/power_virus.h"
 #include "battery/battery_unit.h"
 #include "core/udeb.h"
+#include "engine/prof_stats.h"
 #include "obs/tracer.h"
 #include "power/server_power_model.h"
 #include "util/logging.h"
@@ -293,11 +294,30 @@ resolveConfig(const ClusterAttackSpec &spec)
     return cfg;
 }
 
+/**
+ * Build the optional per-job engine profiler: attached only when the
+ * experiment asks for it, so the default path stays a null pointer
+ * inside the engine and outputs remain byte-identical.
+ */
+std::unique_ptr<obs::EngineProfiler>
+makeProfiler(engine::ClusterEngine &dc, bool profileEngine,
+             obs::EngineProfiler::ClockFn clock)
+{
+    if (!profileEngine)
+        return nullptr;
+    auto prof = std::make_unique<obs::EngineProfiler>();
+    if (clock)
+        prof->setClock(clock);
+    dc.setProfiler(prof.get());
+    return prof;
+}
+
 ExperimentResult
 runClusterAttack(const ClusterAttackSpec &spec,
                  const ClusterWorkload &cw, std::uint64_t seed,
                  engine::BackendKind backend, bool telemetryEnabled,
-                 const alert::RuleSet *rules)
+                 const alert::RuleSet *rules, bool profileEngine,
+                 obs::EngineProfiler::ClockFn profileClock)
 {
     core::DataCenterConfig cfg = resolveConfig(spec);
     if (seed != kSpecSeed)
@@ -305,6 +325,7 @@ runClusterAttack(const ClusterAttackSpec &spec,
     auto enginePtr =
         engine::makeClusterEngine(backend, cfg, cw.workload.get());
     engine::ClusterEngine &dc = *enginePtr;
+    auto prof = makeProfiler(dc, profileEngine, profileClock);
     JobMonitoring mon(dc, telemetryEnabled, rules);
     // Warm up through one night and the next morning so batteries
     // carry realistic state, then strike near the diurnal peak.
@@ -358,6 +379,8 @@ runClusterAttack(const ClusterAttackSpec &spec,
     out.telemetry.socStdDevPercent = dc.socStdDevPercent();
     out.stats = std::make_shared<sim::StatsRegistry>();
     dc.exportStats(*out.stats);
+    if (prof)
+        engine::exportProfilerStats(*prof, *out.stats);
     out.stats
         ->registerScalar("attack.survival_sec",
                          "attack start to first overload")
@@ -384,7 +407,8 @@ ExperimentResult
 runClusterCoarse(const ClusterCoarseSpec &spec,
                  const ClusterWorkload &cw, std::uint64_t seed,
                  engine::BackendKind backend, bool telemetryEnabled,
-                 const alert::RuleSet *rules)
+                 const alert::RuleSet *rules, bool profileEngine,
+                 obs::EngineProfiler::ClockFn profileClock)
 {
     core::DataCenterConfig cfg;
     if (spec.config) {
@@ -399,6 +423,7 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     auto enginePtr =
         engine::makeClusterEngine(backend, cfg, cw.workload.get());
     engine::ClusterEngine &dc = *enginePtr;
+    auto prof = makeProfiler(dc, profileEngine, profileClock);
     JobMonitoring mon(dc, telemetryEnabled, rules);
     dc.setRecordHistory(spec.recordHistory);
     dc.runCoarseUntil(
@@ -413,6 +438,8 @@ runClusterCoarse(const ClusterCoarseSpec &spec,
     out.telemetry.shedHistory = dc.shedHistory();
     out.stats = std::make_shared<sim::StatsRegistry>();
     dc.exportStats(*out.stats);
+    if (prof)
+        engine::exportProfilerStats(*prof, *out.stats);
     mon.finish(dc.now());
     out.hub = telemetryEnabled ? mon.hub : nullptr;
     out.alerts = mon.engine;
@@ -568,7 +595,9 @@ runExperiment(const Experiment &experiment)
                                 experiment.seed,
                                 experiment.backend,
                                 experiment.telemetryEnabled,
-                                experiment.alertRules.get());
+                                experiment.alertRules.get(),
+                                experiment.profileEngine,
+                                experiment.profileClock);
       case ExperimentKind::ClusterCoarse:
         PAD_ASSERT(experiment.workload != nullptr,
                    "cluster experiments need a workload");
@@ -577,7 +606,9 @@ runExperiment(const Experiment &experiment)
                                 experiment.seed,
                                 experiment.backend,
                                 experiment.telemetryEnabled,
-                                experiment.alertRules.get());
+                                experiment.alertRules.get(),
+                                experiment.profileEngine,
+                                experiment.profileClock);
     }
     PAD_PANIC("unreachable experiment kind");
 }

@@ -317,6 +317,23 @@ struct Experiment {
      * back to Optimized with a warning (see engine::makeClusterEngine).
      */
     engine::BackendKind backend = engine::BackendKind::Optimized;
+    /**
+     * Attach an engine self-profiler to the job's engine (cluster
+     * kinds only): sampled phase timers, cache hit/miss counters,
+     * queue depth high-water and arena/scratch footprint land in
+     * ExperimentResult::stats under "engine.*" (see
+     * engine/prof_stats.h for the names). Off by default — the
+     * zero-cost-when-disabled contract — and purely additive:
+     * enabling it never changes simulation results.
+     */
+    bool profileEngine = false;
+    /**
+     * Replacement wall clock for the profiler's phase timers
+     * (tests). nullptr — the default — keeps steady_clock; a
+     * deterministic clock makes the full "engine.*" stat set
+     * bit-identical between serial and parallel sweeps.
+     */
+    obs::EngineProfiler::ClockFn profileClock = nullptr;
 
     /** Make a mini-rack overload-counting experiment. */
     static Experiment rackLab(RackLabSpec spec, double windowSec);

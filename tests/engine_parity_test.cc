@@ -295,4 +295,43 @@ TEST_F(DataCenterParity, SoaAttackOutcomePhysicallyEquivalent)
             << "rack " << r;
 }
 
+TEST_F(DataCenterParity, SoaWearMatchesScalarPerRack)
+{
+    runner::ClusterAttackSpec spec;
+    spec.durationSec = 240.0;
+    const runner::Experiment e =
+        runner::Experiment::clusterAttack(spec, *workload_);
+
+    const runner::ExperimentResult scalar =
+        runOn(e, engine::BackendKind::Optimized);
+    const runner::ExperimentResult soa =
+        runOn(e, engine::BackendKind::Soa);
+
+    const auto wearOf = [](const runner::ExperimentResult &r) {
+        std::vector<double> wear;
+        r.stats->forEachVector(
+            [&](const std::string &name,
+                const std::vector<double> &values, const std::string &) {
+                if (name == "deb.wear")
+                    wear = values;
+            });
+        return wear;
+    };
+    const std::vector<double> a = wearOf(scalar);
+    const std::vector<double> b = wearOf(soa);
+
+    // The SoA engine replicates the scalar AgingModel arithmetic per
+    // rack (it has no BatteryUnit objects), so deb.wear must agree
+    // to floating-point noise — and must not be the all-zero vector
+    // the SoA backend exported before aging was wired in.
+    ASSERT_FALSE(a.empty());
+    ASSERT_EQ(a.size(), b.size());
+    double totalWear = 0.0;
+    for (std::size_t r = 0; r < a.size(); ++r) {
+        EXPECT_NEAR(b[r], a[r], 1e-6) << "rack " << r;
+        totalWear += b[r];
+    }
+    EXPECT_GT(totalWear, 0.0);
+}
+
 } // namespace
