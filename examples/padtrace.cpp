@@ -11,10 +11,16 @@
  *   padtrace summary  [options] TRACE.jsonl   one-paragraph digest
  *   padtrace incidents [options] INCIDENTS.jsonl
  *                      alert incidents (from padsim/sweep --incidents)
+ *   padtrace incidents --follow INCIDENTS.jsonl
+ *                      poll-tail a growing incidents stream (padd)
  *   padtrace perf     [options] PROFILE.json
  *                      engine phase breakdown (see below)
  *   padtrace perf --compare OLD.json NEW.json
  *                      flag perf regressions between two runs
+ *   padtrace prom     EXPOSITION.txt
+ *                      grammar-check a Prometheus exposition (a padd
+ *                      /metrics scrape or --prom dump); one line on
+ *                      stderr and exit 1 on the first violation
  *
  * Options:
  *   --format md|json|csv   output format (default md)
@@ -22,6 +28,16 @@
  *   --job N                only events from sweep job N
  *   --html FILE            (incidents) write the standalone HTML
  *                          dashboard next to the textual output
+ *   --follow               (incidents) keep polling the file and
+ *                          print each newly sealed incident as one
+ *                          markdown line; only complete (newline-
+ *                          terminated) records are consumed, so
+ *                          tailing a live padd stream never reads a
+ *                          torn write
+ *   --poll-ms N            (--follow) poll interval, default 500
+ *   --idle-exit N          (--follow) stop after N consecutive
+ *                          polls with no new incidents; 0 (default)
+ *                          = follow until killed
  *
  * The perf command reads either a stats export from a profiled run
  * (`padsim --profile-engine --stats-json run.json`, identified by
@@ -53,6 +69,7 @@
  */
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdlib>
@@ -62,10 +79,12 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "alert/html.h"
 #include "alert/incident.h"
+#include "telemetry/prom.h"
 #include "telemetry/trace_reader.h"
 #include "util/json.h"
 #include "util/json_writer.h"
@@ -85,6 +104,9 @@ struct Options {
     std::string tracePath;
     std::string secondPath; // perf --compare NEW file
     bool compare = false;
+    bool follow = false;    // incidents: poll-tail the file
+    int pollMs = 500;       // --follow poll interval
+    int idleExit = 0;       // --follow: stop after N idle polls
 };
 
 [[noreturn]] void
@@ -97,10 +119,13 @@ usage()
            "       padtrace incidents [--format md|json]\n"
            "                [--out FILE] [--html FILE]\n"
            "                INCIDENTS.jsonl\n"
+           "       padtrace incidents --follow [--poll-ms N]\n"
+           "                [--idle-exit N] INCIDENTS.jsonl\n"
            "       padtrace perf [--format md|json] [--out FILE]\n"
            "                PROFILE.json\n"
            "       padtrace perf --compare OLD.json NEW.json\n"
-           "                [--format md|json] [--out FILE]\n";
+           "                [--format md|json] [--out FILE]\n"
+           "       padtrace prom EXPOSITION.txt\n";
     std::exit(2);
 }
 
@@ -126,9 +151,16 @@ parseArgs(int argc, char **argv)
             opt.job = std::atoi(need(i).c_str());
         else if (arg == "--compare")
             opt.compare = true;
+        else if (arg == "--follow")
+            opt.follow = true;
+        else if (arg == "--poll-ms")
+            opt.pollMs = std::atoi(need(i).c_str());
+        else if (arg == "--idle-exit")
+            opt.idleExit = std::atoi(need(i).c_str());
         else if (!commandSet && (arg == "report" || arg == "timeline" ||
                                  arg == "summary" ||
-                                 arg == "incidents" || arg == "perf")) {
+                                 arg == "incidents" ||
+                                 arg == "perf" || arg == "prom")) {
             opt.command = arg;
             commandSet = true;
         } else if (!arg.empty() && arg[0] == '-')
@@ -154,6 +186,18 @@ parseArgs(int argc, char **argv)
     if (opt.command != "perf" && (opt.compare || !opt.secondPath.empty()))
         usage();
     if (opt.command == "perf" && opt.format == "csv")
+        usage();
+    if (opt.command == "prom" &&
+        (opt.format != "md" || !opt.outPath.empty() ||
+         !opt.htmlPath.empty() || opt.job != -1))
+        usage(); // validate-only: no rendering options apply
+    if (opt.follow &&
+        (opt.command != "incidents" || opt.format != "md" ||
+         !opt.htmlPath.empty()))
+        usage();
+    if ((opt.pollMs != 500 || opt.idleExit != 0) && !opt.follow)
+        usage();
+    if (opt.pollMs < 1 || opt.idleExit < 0)
         usage();
     return opt;
 }
@@ -1142,6 +1186,79 @@ runPerf(const Options &opt, std::ostream &os)
     return 0;
 }
 
+/** One-line markdown digest of a sealed incident (--follow). */
+void
+incidentLineMd(const alert::Incident &inc, std::ostream &os)
+{
+    os << "- [" << alert::severityName(inc.severity) << "] "
+       << inc.id() << " signal " << inc.signal << " fired "
+       << formatFixed(ticksToSeconds(inc.firingSince), 1)
+       << "s resolved "
+       << (inc.resolvedAt == kTickNever
+               ? std::string("n/a")
+               : formatFixed(ticksToSeconds(inc.resolvedAt), 1) + "s")
+       << " trigger " << formatFixed(inc.triggerValue, 4)
+       << " limit " << formatFixed(inc.threshold, 4) << "\n"
+       << std::flush;
+}
+
+/**
+ * `incidents --follow`: poll-tail a growing incidents.jsonl — the
+ * live stream a padd daemon writes — and print each newly sealed
+ * incident as one markdown line. Only complete, newline-terminated
+ * records are consumed (the writer flushes per line, so a torn read
+ * can only ever be the in-progress tail); a missing file or a poll
+ * with no new bytes just counts as idle. A shrinking file means the
+ * stream was rotated or restarted: follow starts over from the top.
+ */
+int
+followIncidents(const Options &opt, std::ostream &os)
+{
+    std::size_t offset = 0;
+    int idle = 0;
+    for (;;) {
+        bool gotNew = false;
+        std::ifstream in(opt.tracePath, std::ios::binary);
+        if (in) {
+            in.seekg(0, std::ios::end);
+            const auto size =
+                static_cast<std::size_t>(in.tellg());
+            if (size < offset)
+                offset = 0; // rotated/truncated: start over
+            if (size > offset) {
+                in.seekg(static_cast<std::streamoff>(offset));
+                std::string chunk(size - offset, '\0');
+                in.read(chunk.data(),
+                        static_cast<std::streamsize>(chunk.size()));
+                chunk.resize(
+                    static_cast<std::size_t>(in.gcount()));
+                const auto lastNl = chunk.rfind('\n');
+                if (lastNl != std::string::npos) {
+                    const std::string_view complete(
+                        chunk.data(), lastNl + 1);
+                    std::string error;
+                    const auto incidents =
+                        alert::readIncidentsJsonl(complete, &error);
+                    if (!incidents) {
+                        std::cerr << "padtrace: " << error << "\n";
+                        return 1;
+                    }
+                    for (const auto &inc : *incidents)
+                        incidentLineMd(inc, os);
+                    offset += lastNl + 1;
+                    gotNew = !incidents->empty();
+                }
+            }
+        }
+        if (gotNew)
+            idle = 0;
+        else if (opt.idleExit > 0 && ++idle >= opt.idleExit)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(opt.pollMs));
+    }
+}
+
 /**
  * The `incidents` command: reads an incidents.jsonl (strictly — it
  * is a machine-written artifact, unlike a possibly-truncated trace)
@@ -1150,6 +1267,8 @@ runPerf(const Options &opt, std::ostream &os)
 int
 runIncidents(const Options &opt, std::ostream &os)
 {
+    if (opt.follow)
+        return followIncidents(opt, os);
     std::string error;
     const auto incidents =
         alert::readIncidentsFile(opt.tracePath, &error);
@@ -1170,6 +1289,40 @@ runIncidents(const Options &opt, std::ostream &os)
         }
         alert::writeIncidentDashboard(html, *incidents);
     }
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// prom: exposition grammar check
+// ---------------------------------------------------------------------
+
+/**
+ * Run the in-tree promtool-style grammar validator over a scraped or
+ * dumped exposition, so shell pipelines (the CI padd smoke job) get
+ * the same check the unit tests apply in-process.
+ */
+int
+runProm(const Options &opt)
+{
+    std::ifstream in(opt.tracePath);
+    if (!in) {
+        std::cerr << "padtrace: cannot read " << opt.tracePath
+                  << "\n";
+        return 1;
+    }
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::string error;
+    if (!telemetry::validatePromExposition(text, &error)) {
+        std::cerr << "padtrace: " << opt.tracePath << ": " << error
+                  << "\n";
+        return 1;
+    }
+    const auto lines =
+        std::count(text.begin(), text.end(), '\n');
+    std::cout << opt.tracePath << ": valid Prometheus exposition ("
+              << lines << " lines)\n";
     return 0;
 }
 
@@ -1196,6 +1349,8 @@ main(int argc, char **argv)
         return runIncidents(opt, *os);
     if (opt.command == "perf")
         return runPerf(opt, *os);
+    if (opt.command == "prom")
+        return runProm(opt);
 
     std::string error;
     const auto log =

@@ -197,10 +197,12 @@ AlertEngine::advanceTo(Tick now)
         return;
     std::size_t kept = 0;
     for (const std::size_t idx : openCaptures_) {
-        if (now_ >= incidents_[idx].contextUntil)
+        if (now_ >= incidents_[idx].contextUntil) {
             sealCapture(incidents_[idx], now_);
-        else
+            emitSealed(incidents_[idx]);
+        } else {
             openCaptures_[kept++] = idx;
+        }
     }
     openCaptures_.resize(kept);
 }
@@ -295,6 +297,14 @@ AlertEngine::fire(std::size_t r, Instance &inst, Tick when,
 }
 
 void
+AlertEngine::emitSealed(const Incident &incident)
+{
+    ++sealed_;
+    if (sink_)
+        sink_(incident);
+}
+
+void
 AlertEngine::sealCapture(Incident &incident, Tick upTo)
 {
     const Tick to = std::min(incident.contextUntil, upTo);
@@ -334,8 +344,10 @@ AlertEngine::finalize(Tick endOfRun)
 {
     PAD_ASSERT(!finalized_, "alert engine finalized twice");
     advanceTo(endOfRun);
-    for (const std::size_t idx : openCaptures_)
+    for (const std::size_t idx : openCaptures_) {
         sealCapture(incidents_[idx], now_);
+        emitSealed(incidents_[idx]);
+    }
     openCaptures_.clear();
     std::stable_sort(incidents_.begin(), incidents_.end(),
                      [](const Incident &a, const Incident &b) {

@@ -30,6 +30,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <string>
 #include <string_view>
@@ -100,6 +101,28 @@ class AlertEngine : public telemetry::SampleListener
     const std::vector<Incident> &incidents() const;
 
     /**
+     * Streaming observer of sealed incidents. The sink is invoked
+     * exactly once per incident, at the sim-time moment its flight-
+     * recorder context is sealed (the clock passing contextUntil, or
+     * finalize() for captures still open at end of run), on the
+     * thread driving the engine. Seal order is a pure function of
+     * sim time, so a live padd session and its deterministic replay
+     * stream byte-identical incident sequences (DESIGN.md §13).
+     * Note the ordering caveat: the batch incidents() view is
+     * re-sorted by (firing tick, rule, signal) at finalize(), while
+     * the stream arrives in seal order; and an incident that
+     * resolves *after* its context window closes streams with
+     * resolvedAt still kTickNever.
+     */
+    using IncidentSink = std::function<void(const Incident &)>;
+
+    /** Attach @p sink (empty = detach). Call before driving. */
+    void setIncidentSink(IncidentSink sink) { sink_ = std::move(sink); }
+
+    /** Incidents sealed (and streamed) so far; valid mid-run. */
+    std::size_t sealedCount() const { return sealed_; }
+
+    /**
      * Per-rule exposition snapshot, in rule order: lifecycle state
      * (0 idle, 1 pending, 2 firing — the worst instance wins) and
      * the count of incidents fired so far.
@@ -162,10 +185,13 @@ class AlertEngine : public telemetry::SampleListener
     void fire(std::size_t r, Instance &inst, Tick when,
               double trigger);
     void sealCapture(Incident &incident, Tick upTo);
+    void emitSealed(const Incident &incident);
     void checkWindows(Tick now);
 
     RuleSet rules_;
     Options opts_;
+    IncidentSink sink_;
+    std::size_t sealed_ = 0;
     Tick contextTicks_ = 0;
     /** Per-rule forSec / windowSec, pre-converted to ticks. */
     std::vector<Tick> forTicks_;

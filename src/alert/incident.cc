@@ -19,10 +19,9 @@ Incident::id() const
 }
 
 void
-writeIncidentsJsonl(std::ostream &os,
-                    const std::vector<Incident> &incidents)
+writeIncidentLine(std::ostream &os, const Incident &inc)
 {
-    for (const Incident &inc : incidents) {
+    {
         JsonWriter w(os);
         w.beginObject()
             .key("id").value(inc.id())
@@ -58,8 +57,16 @@ writeIncidentsJsonl(std::ostream &os,
         if (!inc.description.empty())
             w.key("description").value(inc.description);
         w.endObject();
-        os << "\n";
     }
+    os << "\n" << std::flush;
+}
+
+void
+writeIncidentsJsonl(std::ostream &os,
+                    const std::vector<Incident> &incidents)
+{
+    for (const Incident &inc : incidents)
+        writeIncidentLine(os, inc);
 }
 
 std::string

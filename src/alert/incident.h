@@ -67,7 +67,14 @@ struct Incident {
     std::string id() const;
 };
 
-/** Write one JSON object per incident, one per line. */
+/**
+ * Write one incident as a single newline-terminated JSON line and
+ * flush the stream, so a live `tail -f` (or the padd daemon's
+ * streaming mode) never observes a truncated record.
+ */
+void writeIncidentLine(std::ostream &os, const Incident &incident);
+
+/** Write one JSON object per incident, one (flushed) line each. */
 void writeIncidentsJsonl(std::ostream &os,
                          const std::vector<Incident> &incidents);
 

@@ -102,6 +102,15 @@ class ClusterEngine
     /** Run coarse (trace-slot) steps until tick @p until. */
     virtual void runCoarseUntil(Tick until) = 0;
 
+    /**
+     * Advance exactly one coarse (trace-slot) step. The unit of
+     * progress for callers that interleave simulation with external
+     * input — the padd service loop paces and applies control
+     * commands on these boundaries. runCoarseUntil(t) is equivalent
+     * to stepping while now() < t.
+     */
+    virtual void stepCoarse() = 0;
+
     /** Enable per-step SOC history recording for map figures. */
     virtual void setRecordHistory(bool on) = 0;
 

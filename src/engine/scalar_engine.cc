@@ -78,6 +78,13 @@ ScalarEngine::runCoarseUntil(Tick until)
 }
 
 void
+ScalarEngine::stepCoarse()
+{
+    TuningGuard guard(tuning_);
+    dc_->stepCoarse();
+}
+
+void
 ScalarEngine::setRecordHistory(bool on)
 {
     dc_->setRecordHistory(on);

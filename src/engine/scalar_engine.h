@@ -48,6 +48,7 @@ class ScalarEngine final : public ClusterEngine
                  const trace::Workload *workload);
 
     void runCoarseUntil(Tick until) override;
+    void stepCoarse() override;
     void setRecordHistory(bool on) override;
     const std::vector<std::vector<double>> &socHistory() const override;
     const std::vector<double> &shedHistory() const override;

@@ -88,6 +88,7 @@ class SoaEngine final : public ClusterEngine
               std::size_t eventQueueCapacity);
 
     void runCoarseUntil(Tick until) override;
+    void stepCoarse() override;
     void setRecordHistory(bool on) override { recordHistory_ = on; }
     const std::vector<std::vector<double>> &socHistory() const override
     {
@@ -206,7 +207,6 @@ class SoaEngine final : public ClusterEngine
     void rechargeAll(const StepView &step, double dtSec);
     void controlDecisions(const StepView &step, double dtSec);
     void telemetrySample(const StepView &step);
-    void stepCoarse();
 
     double rackSoc(std::size_t r) const;
     Joules rackStored(std::size_t r) const { return y1_[r] + y2_[r]; }

@@ -39,6 +39,10 @@ writeManifest(std::ostream &os, const RunManifest &manifest)
     }
     if (!manifest.statsJsonFile.empty())
         w.key("stats_json").value(manifest.statsJsonFile);
+    if (!manifest.sessionFile.empty())
+        w.key("session").value(manifest.sessionFile);
+    if (!manifest.incidentsFile.empty())
+        w.key("incidents").value(manifest.incidentsFile);
     w.endObject();
 
     if (!manifest.statsJson.empty())

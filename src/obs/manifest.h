@@ -40,6 +40,10 @@ struct RunManifest {
     std::string traceFormat;
     /** Path of the stats JSON export, empty if not written. */
     std::string statsJsonFile;
+    /** Path of the padd session record, empty if not recorded. */
+    std::string sessionFile;
+    /** Path of the streamed incidents JSONL, empty if not written. */
+    std::string incidentsFile;
     /**
      * Inline stats summary as a pre-rendered JSON value (e.g. from
      * StatsRegistry::dumpJson()); spliced verbatim. Empty = omitted.

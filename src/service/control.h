@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Local control channel for the padd daemon: line-delimited JSON
+ * over a localhost TCP socket.
+ *
+ * The protocol is one JSON object per line in each direction: the
+ * client sends a command line ({"cmd":"status"}, {"cmd":
+ * "inject-attack","spec":{...}}, ...) and the server answers with
+ * exactly one response line ({"ok":true,...} or {"ok":false,
+ * "error":"..."}) before reading the next command. Connections are
+ * served one at a time, like the metrics endpoint — a local
+ * operator channel needs no more, and a single accept loop keeps
+ * the threading story trivial.
+ *
+ * The server never touches the simulation itself: every received
+ * line goes through the caller-supplied handler, which (in the
+ * daemon) enqueues the command for the simulation thread and blocks
+ * until it has been applied at a step boundary. The handler runs on
+ * the server's accept thread.
+ *
+ * Port 0 binds an ephemeral port, queryable via port() after
+ * start(); a failed start() reports a one-line error and the caller
+ * must treat it as fatal (see telemetry/http.h for the contract).
+ */
+
+#ifndef PAD_SERVICE_CONTROL_H
+#define PAD_SERVICE_CONTROL_H
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace pad::service {
+
+class ControlServer
+{
+  public:
+    /** Maps one received command line to one response line. */
+    using Handler = std::function<std::string(const std::string &)>;
+
+    ControlServer(int port, Handler handler);
+    ~ControlServer();
+
+    ControlServer(const ControlServer &) = delete;
+    ControlServer &operator=(const ControlServer &) = delete;
+
+    /** Bind 127.0.0.1:<port>, listen, spawn the accept thread. */
+    bool start(std::string *error = nullptr);
+
+    /** Signal the accept loop and join. Idempotent. */
+    void stop();
+
+    bool running() const { return running_; }
+
+    /** Actual bound port (resolves port 0) after start(). */
+    int port() const { return port_; }
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    int requestedPort_;
+    Handler handler_;
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::atomic<bool> stop_{false};
+    bool running_ = false;
+    std::thread thread_;
+};
+
+/**
+ * Blocking single-connection client for the control protocol; used
+ * by `padd --connect` and the service tests. Not thread-safe.
+ */
+class ControlClient
+{
+  public:
+    ControlClient() = default;
+    ~ControlClient();
+
+    ControlClient(const ControlClient &) = delete;
+    ControlClient &operator=(const ControlClient &) = delete;
+
+    /** Connect to 127.0.0.1:<port>. */
+    bool connect(int port, std::string *error = nullptr);
+
+    bool connected() const { return fd_ >= 0; }
+
+    void close();
+
+    /**
+     * Send one command line and wait for the one-line response
+     * (without the trailing newline). Returns nullopt on a closed
+     * connection or after @p timeoutMs without a complete line.
+     */
+    std::optional<std::string> request(const std::string &line,
+                                       int timeoutMs = 30000);
+
+  private:
+    int fd_ = -1;
+    std::string buffer_;
+};
+
+} // namespace pad::service
+
+#endif // PAD_SERVICE_CONTROL_H

@@ -12,8 +12,13 @@
  * (TelemetryHub::summary(), a mutex-guarded stats copy).
  *
  * Port 0 asks the kernel for a free port; port() reports the real
- * one after start(). The server never touches the simulation — if
- * it fails to bind, the run proceeds without metrics.
+ * one after start(), so parallel test jobs and daemons can bind
+ * without coordinating port numbers. The server never touches the
+ * simulation. A failed start() fills the caller's error string with
+ * a one-line reason; callers that promised an endpoint (padsim
+ * --metrics-port, the padd daemon) must treat it as fatal — print
+ * the error and exit nonzero — rather than run with a silently dead
+ * endpoint.
  */
 
 #ifndef PAD_TELEMETRY_HTTP_H

@@ -705,6 +705,97 @@ TEST(MetricsHttp, ServesLiveHubSnapshot)
     server.stop();
 }
 
+TEST(MetricsHttp, EphemeralPortsAreDistinct)
+{
+    // Port 0 asks the kernel for an ephemeral port; two servers must
+    // come up side by side on distinct resolved ports.
+    MetricsHttpServer a(0, [] { return std::string("a 1\n"); });
+    MetricsHttpServer b(0, [] { return std::string("b 2\n"); });
+    std::string error;
+    ASSERT_TRUE(a.start(&error)) << error;
+    ASSERT_TRUE(b.start(&error)) << error;
+    ASSERT_GT(a.port(), 0);
+    ASSERT_GT(b.port(), 0);
+    EXPECT_NE(a.port(), b.port());
+    EXPECT_NE(httpGet(a.port(), "/metrics").find("a 1"),
+              std::string::npos);
+    EXPECT_NE(httpGet(b.port(), "/metrics").find("b 2"),
+              std::string::npos);
+    a.stop();
+    b.stop();
+}
+
+TEST(MetricsHttp, BindFailureIsAOneLineError)
+{
+    MetricsHttpServer first(0, [] { return std::string(); });
+    std::string error;
+    ASSERT_TRUE(first.start(&error)) << error;
+
+    // A second server on the same port must fail fast with a single
+    // diagnostic line — the padd startup contract is one-line error
+    // plus nonzero exit, never a silently dead scrape endpoint.
+    MetricsHttpServer second(first.port(),
+                             [] { return std::string(); });
+    EXPECT_FALSE(second.start(&error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_EQ(error.find('\n'), std::string::npos) << error;
+    EXPECT_FALSE(second.running());
+    first.stop();
+}
+
+TEST(MetricsHttp, ConcurrentScrapesWhileHubIsWritten)
+{
+    // The padd data path: the simulation thread records into the hub
+    // while scrapers render it. Every render must be a coherent
+    // snapshot and the interleaving must be TSan-clean.
+    TelemetryHub hub;
+    MetricsHttpServer server(
+        0, [&hub] { return PromWriter().render(nullptr, &hub); });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    std::thread writer([&hub] {
+        for (int i = 0; i < 400; ++i) {
+            hub.record("rack0.power", i * kTicksPerSecond,
+                       100.0 + i);
+            hub.record("cluster.util", i * kTicksPerSecond,
+                       0.5 + 0.001 * i);
+        }
+    });
+    std::vector<std::thread> scrapers;
+    std::vector<int> failures(3, 0);
+    for (int s = 0; s < 3; ++s)
+        scrapers.emplace_back([&, s] {
+            for (int i = 0; i < 20; ++i) {
+                const std::string reply =
+                    httpGet(server.port(), "/metrics");
+                if (reply.find("200 OK") == std::string::npos) {
+                    ++failures[s];
+                    continue;
+                }
+                const auto split = reply.find("\r\n\r\n");
+                std::string verror;
+                if (split == std::string::npos ||
+                    !validatePromExposition(reply.substr(split + 4),
+                                            &verror))
+                    ++failures[s];
+            }
+        });
+    writer.join();
+    for (auto &t : scrapers)
+        t.join();
+    for (int s = 0; s < 3; ++s)
+        EXPECT_EQ(failures[s], 0) << "scraper " << s;
+
+    // After the writer finished, a final scrape sees its last word.
+    const std::string last = httpGet(server.port(), "/metrics");
+    EXPECT_NE(
+        last.find("pad_series_last{series=\"rack0.power\"} 499"),
+        std::string::npos)
+        << last;
+    server.stop();
+}
+
 // ---------------------------------------------------------------------
 // Trace reader
 // ---------------------------------------------------------------------
