@@ -57,6 +57,8 @@
 #include "runner/sweep_runner.h"
 #include "sim/event_queue.h"
 #include "sim/stats_registry.h"
+#include "telemetry/receiver.h"
+#include "telemetry/remote_write.h"
 #include "util/engine_tuning.h"
 #include "util/json_writer.h"
 #include "util/logging.h"
@@ -405,6 +407,56 @@ benchSingleRunAlerts(const PerfOptions &opt,
     return m;
 }
 
+/**
+ * benchSingleRunTelemetry plus the push pipeline: every rep ships
+ * its whole hub and stats dump to an in-process ReceiverServer over
+ * real localhost TCP. The delta against single_run_telemetry is the
+ * end-to-end export cost — snapshot, codec, framing, socket round
+ * trip and receiver merge. Each rep uses a distinct source label so
+ * the receiver's per-source dedup never short-circuits the merge.
+ */
+ProfileMeasure
+benchSingleRunPush(const PerfOptions &opt,
+                   const runner::ClusterWorkload &cw,
+                   engine::BackendKind backend)
+{
+    const int reps = opt.quick ? 2 : 9;
+    runner::Experiment e = standardAttack(cw, opt.quick);
+    e.backend = backend;
+    e.telemetryEnabled = true;
+
+    telemetry::ReceiverServer rx(0);
+    std::string error;
+    if (!rx.start(&error)) {
+        std::fprintf(stderr, "perfbench: %s\n", error.c_str());
+        std::exit(1);
+    }
+    int rep = 0;
+    ProfileMeasure m;
+    m.timing = timeIt(
+        [&] {
+            const runner::ExperimentResult r = runner::runExperiment(e);
+            telemetry::RemoteWriteOptions rw;
+            rw.port = rx.port();
+            rw.source = "bench" + std::to_string(rep++);
+            telemetry::RemoteWriteShipper shipper(std::move(rw),
+                                                  r.hub.get());
+            if (!shipper.start(&error)) {
+                std::fprintf(stderr, "perfbench: %s\n", error.c_str());
+                std::exit(1);
+            }
+            shipper.observe(0);
+            shipper.finish(secondsToTicks(e.attack.durationSec),
+                           r.stats.get());
+            keep(static_cast<double>(
+                shipper.counters().samplesShipped));
+        },
+        /*warmup=*/1, reps);
+    rx.stop();
+    m.value = 1.0 / m.timing.medianSec;
+    return m;
+}
+
 ProfileMeasure
 benchSweep(const PerfOptions &opt, const runner::ClusterWorkload &cw,
            int jobs, engine::BackendKind backend)
@@ -683,6 +735,11 @@ main(int argc, char **argv)
         opt, "single_run_alerts", "runs_per_sec", true,
         [&](engine::BackendKind backend) {
             return benchSingleRunAlerts(opt, cw, backend);
+        }));
+    rows.push_back(runEngineRow(
+        opt, "single_run_push", "runs_per_sec", true,
+        [&](engine::BackendKind backend) {
+            return benchSingleRunPush(opt, cw, backend);
         }));
     rows.push_back(
         runEngineRow(opt, "sweep_jobs1", "runs_per_sec", true,

@@ -20,6 +20,8 @@
  *        [--metrics-port N] [--control-port N] [--port-file FILE]
  *        [--alerts RULES] [--session FILE] [--incidents FILE]
  *        [--stats-json FILE] [--prom FILE] [--manifest FILE]
+ *        [--push-to HOST:PORT] [--push-interval-s N]
+ *        [--push-spool DIR] [--push-source NAME]
  *        [--quiet] [--log-level L]
  *
  * --speed is sim-seconds per wall-second (default 60, i.e. a sim
@@ -29,15 +31,22 @@
  * 0 (ephemeral); the resolved endpoints are printed on startup and,
  * with --port-file, written as `control=N` / `metrics=N` lines for
  * scripts. --session records the session; --incidents streams
- * sealed incidents (requires --alerts).
+ * sealed incidents (requires --alerts). --push-to streams tick-
+ * stamped telemetry batches to a padrx receiver (DESIGN.md §14);
+ * --push-interval-s sets the sim-time snapshot cadence (default
+ * 60), --push-spool enables the on-disk WAL for receiver outages,
+ * and --push-source names this daemon in the receiver's merged
+ * fleet.<source>.* namespace.
  *
  * Replay mode:
  *
  *   padd --replay SESSION [--incidents FILE] [--stats-json FILE]
- *        [--prom FILE]
+ *        [--prom FILE] [--push-to HOST:PORT ...]
  *
  * re-executes the recorded session at max speed with no endpoints
- * and writes byte-identical artifacts to the live run's.
+ * and writes byte-identical artifacts to the live run's. With
+ * --push-to it also re-ships the live run's exact batch stream
+ * (batches are cut by sim tick, not wall time).
  *
  * Client mode:
  *
@@ -97,9 +106,12 @@ usage()
            "            [--alerts RULES] [--session FILE]\n"
            "            [--incidents FILE] [--stats-json FILE]\n"
            "            [--prom FILE] [--manifest FILE]\n"
+           "            [--push-to HOST:PORT] [--push-interval-s N]\n"
+           "            [--push-spool DIR] [--push-source NAME]\n"
            "            [--quiet] [--log-level L]\n"
            "       padd --replay SESSION [--incidents FILE]\n"
            "            [--stats-json FILE] [--prom FILE]\n"
+           "            [--push-to HOST:PORT ...]\n"
            "       padd --connect PORT --cmd CMD [--cmd CMD ...]\n";
     std::exit(2);
 }
@@ -175,7 +187,19 @@ parseArgs(int argc, char **argv)
             opt.replayPromPath = opt.daemon.promPath;
         } else if (arg == "--manifest")
             opt.daemon.manifestPath = need(i);
-        else if (arg == "--replay")
+        else if (arg == "--push-to")
+            opt.daemon.pushTo = need(i);
+        else if (arg == "--push-interval-s") {
+            opt.daemon.pushIntervalS = std::atof(need(i).c_str());
+            if (opt.daemon.pushIntervalS <= 0.0)
+                usage();
+        } else if (arg == "--push-spool")
+            opt.daemon.pushSpoolDir = need(i);
+        else if (arg == "--push-source") {
+            opt.daemon.pushSource = need(i);
+            if (opt.daemon.pushSource.empty())
+                usage();
+        } else if (arg == "--replay")
             opt.replayPath = need(i);
         else if (arg == "--connect")
             opt.connectPort = std::atoi(need(i).c_str());
@@ -258,6 +282,10 @@ runReplay(const Options &opt)
     artifacts.incidentsPath = opt.replayIncidentsPath;
     artifacts.statsJsonPath = opt.replayStatsJsonPath;
     artifacts.promPath = opt.replayPromPath;
+    artifacts.pushTo = opt.daemon.pushTo;
+    artifacts.pushIntervalS = opt.daemon.pushIntervalS;
+    artifacts.pushSpoolDir = opt.daemon.pushSpoolDir;
+    artifacts.pushSource = opt.daemon.pushSource;
     service::DaemonResult result;
     if (!service::replaySession(*log, artifacts, &error, &result)) {
         std::cerr << "padd: " << error << "\n";

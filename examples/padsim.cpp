@@ -92,6 +92,7 @@
 #include "telemetry/http.h"
 #include "telemetry/hub.h"
 #include "telemetry/prom.h"
+#include "telemetry/remote_write.h"
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 #include "util/csv.h"
@@ -132,6 +133,8 @@ struct Options {
     std::string incidentsPath;
     std::string incidentHtmlPath;
     bool profileEngine = false;
+    std::string pushTo;             // HOST:PORT; empty = push off
+    std::string pushSource = "padsim";
 };
 
 [[noreturn]] void
@@ -152,7 +155,8 @@ usage()
            "              [--detector] [--prom FILE]\n"
            "              [--metrics-port N] [--metrics-linger SEC]\n"
            "              [--alerts RULES] [--incidents FILE]\n"
-           "              [--incident-html FILE] [--profile-engine]\n";
+           "              [--incident-html FILE] [--profile-engine]\n"
+           "              [--push-to HOST:PORT] [--push-source NAME]\n";
     std::exit(2);
 }
 
@@ -227,6 +231,8 @@ applyConfig(Options &opt, const std::string &path)
         cfg.getString("incident_html", opt.incidentHtmlPath);
     opt.profileEngine =
         cfg.getBool("profile_engine", opt.profileEngine);
+    opt.pushTo = cfg.getString("push_to", opt.pushTo);
+    opt.pushSource = cfg.getString("push_source", opt.pushSource);
 }
 
 attack::VirusKind
@@ -323,7 +329,13 @@ parseArgs(int argc, char **argv)
             opt.incidentHtmlPath = need(i);
         else if (arg == "--profile-engine")
             opt.profileEngine = true;
-        else
+        else if (arg == "--push-to")
+            opt.pushTo = need(i);
+        else if (arg == "--push-source") {
+            opt.pushSource = need(i);
+            if (opt.pushSource.empty())
+                usage();
+        } else
             usage();
     }
     if (opt.alertsPath.empty() && (!opt.incidentsPath.empty() ||
@@ -415,8 +427,9 @@ main(int argc, char **argv)
     // The alert engine feeds off hub samples, so --alerts activates
     // the hub too (still observational — results never change).
     telemetry::TelemetryHub hub;
-    const bool wantTelemetry =
-        !opt.promPath.empty() || opt.metricsPort >= 0;
+    const bool wantTelemetry = !opt.promPath.empty() ||
+                               opt.metricsPort >= 0 ||
+                               !opt.pushTo.empty();
     if (wantTelemetry || alerts)
         dc.setTelemetry(&hub);
     if (alerts)
@@ -542,6 +555,39 @@ main(int argc, char **argv)
     if (alerts)
         alertStates = alerts->ruleStates();
 
+    // --push-to: a batch run ships its whole hub plus the final
+    // stats registry as one end-of-run push (DESIGN.md §14). The
+    // drain deadline bounds how long a dead receiver can stall the
+    // exit; anything undelivered shows up in the printed counters.
+    if (!opt.pushTo.empty()) {
+        std::string error;
+        const auto target =
+            telemetry::parseHostPort(opt.pushTo, &error);
+        if (!target) {
+            std::cerr << "padsim: --push-to: " << error << "\n";
+            return 1;
+        }
+        telemetry::RemoteWriteOptions rw;
+        rw.host = target->first;
+        rw.port = target->second;
+        rw.source = opt.pushSource;
+        rw.jitterSeed = opt.seed * 0x9e3779b97f4a7c15ULL + 1;
+        telemetry::RemoteWriteShipper shipper(std::move(rw), &hub);
+        if (!shipper.start(&error)) {
+            std::cerr << "padsim: " << error << "\n";
+            return 1;
+        }
+        shipper.finish(dc.now(), &stats);
+        const auto c = shipper.counters();
+        std::cout << "\npushed " << c.batchesSent << " batches ("
+                  << c.samplesShipped << " samples) to " << opt.pushTo
+                  << " as " << opt.pushSource << "\n";
+        if (c.batchesDropped > 0)
+            warn("padsim: {} push batches dropped (receiver at {} "
+                 "unreachable?)",
+                 c.batchesDropped, opt.pushTo);
+    }
+
     if (!opt.promPath.empty()) {
         std::ofstream prom(opt.promPath);
         if (!prom) {
@@ -618,6 +664,7 @@ main(int argc, char **argv)
         if (!opt.tracePath.empty())
             manifest.traceFormat = opt.traceFormat;
         manifest.statsJsonFile = opt.statsJsonPath;
+        manifest.pushTarget = opt.pushTo;
         manifest.statsJson = stats.dumpJsonString();
         manifest.wallSeconds =
             std::chrono::duration<double>(

@@ -21,6 +21,19 @@
  *                      grammar-check a Prometheus exposition (a padd
  *                      /metrics scrape or --prom dump); one line on
  *                      stderr and exit 1 on the first violation
+ *   padtrace rw       STREAM
+ *                      validate a pad-rw-v1 remote-write stream — a
+ *                      framed wire capture or a bare JSONL spool file
+ *                      (rw_spool-NNNN.jsonl), auto-detected — and print
+ *                      a one-paragraph digest; exit 1 on the first
+ *                      malformed record or sequence violation. A
+ *                      crash-cut final record is tolerated (reported
+ *                      as a truncated tail), matching the shipper's
+ *                      spool-replay contract.
+ *
+ * `prom` and `rw` accept `-` as the input path to read stdin, so CI
+ * can pipe a live scrape straight in: `curl .../metrics | padtrace
+ * prom -`.
  *
  * Options:
  *   --format md|json|csv   output format (default md)
@@ -85,6 +98,7 @@
 #include "alert/html.h"
 #include "alert/incident.h"
 #include "telemetry/prom.h"
+#include "telemetry/remote_write.h"
 #include "telemetry/trace_reader.h"
 #include "util/json.h"
 #include "util/json_writer.h"
@@ -125,7 +139,8 @@ usage()
            "                PROFILE.json\n"
            "       padtrace perf --compare OLD.json NEW.json\n"
            "                [--format md|json] [--out FILE]\n"
-           "       padtrace prom EXPOSITION.txt\n";
+           "       padtrace prom EXPOSITION.txt|-\n"
+           "       padtrace rw STREAM|-\n";
     std::exit(2);
 }
 
@@ -160,9 +175,12 @@ parseArgs(int argc, char **argv)
         else if (!commandSet && (arg == "report" || arg == "timeline" ||
                                  arg == "summary" ||
                                  arg == "incidents" ||
-                                 arg == "perf" || arg == "prom")) {
+                                 arg == "perf" || arg == "prom" ||
+                                 arg == "rw")) {
             opt.command = arg;
             commandSet = true;
+        } else if (arg == "-" && opt.tracePath.empty()) {
+            opt.tracePath = arg; // stdin (prom/rw only, checked below)
         } else if (!arg.empty() && arg[0] == '-')
             usage();
         else if (opt.tracePath.empty())
@@ -187,10 +205,13 @@ parseArgs(int argc, char **argv)
         usage();
     if (opt.command == "perf" && opt.format == "csv")
         usage();
-    if (opt.command == "prom" &&
+    if ((opt.command == "prom" || opt.command == "rw") &&
         (opt.format != "md" || !opt.outPath.empty() ||
          !opt.htmlPath.empty() || opt.job != -1))
         usage(); // validate-only: no rendering options apply
+    if (opt.tracePath == "-" && opt.command != "prom" &&
+        opt.command != "rw")
+        usage(); // only the validators stream from stdin
     if (opt.follow &&
         (opt.command != "incidents" || opt.format != "md" ||
          !opt.htmlPath.empty()))
@@ -1296,6 +1317,29 @@ runIncidents(const Options &opt, std::ostream &os)
 // prom: exposition grammar check
 // ---------------------------------------------------------------------
 
+/** Slurp a validator input: `-` reads stdin (for shell pipelines). */
+std::optional<std::string>
+readValidatorInput(const std::string &path)
+{
+    std::stringstream buf;
+    if (path == "-") {
+        buf << std::cin.rdbuf();
+    } else {
+        std::ifstream in(path);
+        if (!in)
+            return std::nullopt;
+        buf << in.rdbuf();
+    }
+    return buf.str();
+}
+
+/** Display name for validator messages: stdin has no path. */
+std::string
+inputName(const std::string &path)
+{
+    return path == "-" ? std::string("<stdin>") : path;
+}
+
 /**
  * Run the in-tree promtool-style grammar validator over a scraped or
  * dumped exposition, so shell pipelines (the CI padd smoke job) get
@@ -1304,25 +1348,74 @@ runIncidents(const Options &opt, std::ostream &os)
 int
 runProm(const Options &opt)
 {
-    std::ifstream in(opt.tracePath);
-    if (!in) {
+    const auto text = readValidatorInput(opt.tracePath);
+    if (!text) {
         std::cerr << "padtrace: cannot read " << opt.tracePath
                   << "\n";
         return 1;
     }
-    std::stringstream buf;
-    buf << in.rdbuf();
-    const std::string text = buf.str();
     std::string error;
-    if (!telemetry::validatePromExposition(text, &error)) {
-        std::cerr << "padtrace: " << opt.tracePath << ": " << error
-                  << "\n";
+    if (!telemetry::validatePromExposition(*text, &error)) {
+        std::cerr << "padtrace: " << inputName(opt.tracePath) << ": "
+                  << error << "\n";
         return 1;
     }
     const auto lines =
-        std::count(text.begin(), text.end(), '\n');
-    std::cout << opt.tracePath << ": valid Prometheus exposition ("
-              << lines << " lines)\n";
+        std::count(text->begin(), text->end(), '\n');
+    std::cout << inputName(opt.tracePath)
+              << ": valid Prometheus exposition (" << lines
+              << " lines)\n";
+    return 0;
+}
+
+// ---------------------------------------------------------------------
+// rw: remote-write stream / spool validator
+// ---------------------------------------------------------------------
+
+/**
+ * Validate a pad-rw-v1 stream — a framed wire capture or a bare
+ * JSONL spool file, auto-detected by the frame header — and print a
+ * one-paragraph digest. The checks mirror what the receiver enforces
+ * (parseable records, strictly increasing per-source sequence
+ * numbers, non-decreasing ticks within a chunk), so a stream that
+ * passes here merges cleanly.
+ */
+int
+runRw(const Options &opt)
+{
+    const auto text = readValidatorInput(opt.tracePath);
+    if (!text) {
+        std::cerr << "padtrace: cannot read " << opt.tracePath
+                  << "\n";
+        return 1;
+    }
+    std::string error;
+    telemetry::RwStreamInfo info;
+    if (!telemetry::validateRwStream(*text, &error, &info)) {
+        std::cerr << "padtrace: " << inputName(opt.tracePath) << ": "
+                  << error << "\n";
+        return 1;
+    }
+    std::cout << inputName(opt.tracePath) << ": valid pad-rw-v1 "
+              << (info.framed ? "framed stream" : "spool") << "; "
+              << info.batches << " batch(es), " << info.statsBatches
+              << " stats dump(s), " << info.samples << " samples from "
+              << info.sources.size() << " source(s)";
+    if (!info.sources.empty()) {
+        std::cout << " [";
+        for (std::size_t i = 0; i < info.sources.size(); ++i)
+            std::cout << (i ? ", " : "") << info.sources[i];
+        std::cout << "]";
+    }
+    if (info.firstTick != kTickNever)
+        std::cout << "; ticks "
+                  << formatFixed(ticksToSeconds(info.firstTick), 1)
+                  << "s.."
+                  << formatFixed(ticksToSeconds(info.lastTick), 1)
+                  << "s";
+    if (info.truncatedTail)
+        std::cout << "; truncated tail record ignored (crash-cut)";
+    std::cout << "\n";
     return 0;
 }
 
@@ -1351,6 +1444,8 @@ main(int argc, char **argv)
         return runPerf(opt, *os);
     if (opt.command == "prom")
         return runProm(opt);
+    if (opt.command == "rw")
+        return runRw(opt);
 
     std::string error;
     const auto log =

@@ -39,12 +39,15 @@ echo "benchmark results written to $BENCH_OUT"
 
 # Engine rows at a glance. The bars that matter: single_run soa_gain
 # >= 3x over the optimized scalar engine (DESIGN.md §11), alert_eval
-# stays in the tens of ns per sample, and single_run_alerts stays
+# stays in the tens of ns per sample, single_run_alerts stays
 # within ~10% of single_run_telemetry (the fair baseline — enabling
-# alerts also turns the telemetry hub on).
+# alerts also turns the telemetry hub on), and single_run_push — the
+# same run plus a full end-of-run export through the pad-rw-v1 push
+# pipeline to an in-process receiver (DESIGN.md §14) — prices the
+# whole export envelope, not just the snapshot.
 echo
 echo "engine and alert rows:"
-grep -A 6 -E '^(fine_tick|alert_eval|single_run|single_run_telemetry|single_run_alerts|single_run_profiled)$' \
+grep -A 6 -E '^(fine_tick|alert_eval|single_run|single_run_telemetry|single_run_alerts|single_run_profiled|single_run_push)$' \
     "$BENCH_OUT.txt" || echo "  (no engine rows in perfbench output?)"
 rm -f "$BENCH_OUT.txt"
 

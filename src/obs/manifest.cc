@@ -43,6 +43,11 @@ writeManifest(std::ostream &os, const RunManifest &manifest)
         w.key("session").value(manifest.sessionFile);
     if (!manifest.incidentsFile.empty())
         w.key("incidents").value(manifest.incidentsFile);
+    if (!manifest.pushTarget.empty()) {
+        w.key("push_target").value(manifest.pushTarget);
+        if (!manifest.pushSpoolDir.empty())
+            w.key("push_spool").value(manifest.pushSpoolDir);
+    }
     w.endObject();
 
     if (!manifest.statsJson.empty())

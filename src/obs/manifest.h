@@ -44,6 +44,10 @@ struct RunManifest {
     std::string sessionFile;
     /** Path of the streamed incidents JSONL, empty if not written. */
     std::string incidentsFile;
+    /** Remote-write target (HOST:PORT), empty if push was off. */
+    std::string pushTarget;
+    /** Remote-write spool directory, empty if the WAL was off. */
+    std::string pushSpoolDir;
     /**
      * Inline stats summary as a pre-rendered JSON value (e.g. from
      * StatsRegistry::dumpJson()); spliced verbatim. Empty = omitted.

@@ -21,6 +21,7 @@
 #include "telemetry/http.h"
 #include "telemetry/hub.h"
 #include "telemetry/prom.h"
+#include "telemetry/remote_write.h"
 #include "trace/synthetic_trace.h"
 #include "trace/workload.h"
 #include "util/json.h"
@@ -311,6 +312,43 @@ errorResponse(const std::string &what)
     return os.str();
 }
 
+/**
+ * Build and start a remote-write shipper for @p pushTo (live daemon
+ * and replay share this). Returns nullptr with a one-line @p error
+ * on a bad target or unusable spool directory.
+ */
+std::unique_ptr<telemetry::RemoteWriteShipper>
+makePushShipper(const std::string &pushTo, double intervalS,
+                const std::string &spoolDir, const std::string &source,
+                std::uint64_t seed, const telemetry::TelemetryHub *hub,
+                std::string *error)
+{
+    std::string what;
+    const auto target = telemetry::parseHostPort(pushTo, &what);
+    if (!target) {
+        if (error)
+            *error = "push target: " + what;
+        return nullptr;
+    }
+    telemetry::RemoteWriteOptions rw;
+    rw.host = target->first;
+    rw.port = target->second;
+    rw.source = source;
+    rw.intervalS = intervalS;
+    rw.spoolDir = spoolDir;
+    // Decorrelate reconnect jitter across a fleet launched from one
+    // seed sweep; the jitter never reaches the simulation.
+    rw.jitterSeed = seed * 0x9e3779b97f4a7c15ULL + 1;
+    auto shipper = std::make_unique<telemetry::RemoteWriteShipper>(
+        std::move(rw), hub);
+    if (!shipper->start(&what)) {
+        if (error)
+            *error = what;
+        return nullptr;
+    }
+    return shipper;
+}
+
 } // namespace
 
 ServiceDaemon::ServiceDaemon(DaemonOptions opts)
@@ -356,6 +394,15 @@ ServiceDaemon::start(std::string *error)
 
     speed_ = std::max(0.0, opts_.speed);
     speedGauge_.store(speed_, std::memory_order_relaxed);
+
+    if (!opts_.pushTo.empty()) {
+        shipper_ = makePushShipper(
+            opts_.pushTo, opts_.pushIntervalS, opts_.pushSpoolDir,
+            opts_.pushSource, opts_.config.seed, &runtime_->hub(),
+            &what);
+        if (!shipper_)
+            return fail("cannot push metrics: " + what);
+    }
 
     if (opts_.metricsPort >= 0) {
         metrics_ = std::make_unique<telemetry::MetricsHttpServer>(
@@ -430,6 +477,8 @@ ServiceDaemon::run()
     tickGauge_.store(runtime_->now(), std::memory_order_relaxed);
     incidentsGauge_.store(runtime_->incidentsSealed(),
                           std::memory_order_relaxed);
+    if (shipper_)
+        shipper_->observe(runtime_->now()); // anchors the interval
     if (session_)
         session_->writeHeader(opts_.config, opts_.rulesText);
 
@@ -491,6 +540,8 @@ ServiceDaemon::run()
         tickGauge_.store(runtime_->now(), std::memory_order_relaxed);
         incidentsGauge_.store(runtime_->incidentsSealed(),
                               std::memory_order_relaxed);
+        if (shipper_)
+            shipper_->observe(runtime_->now());
     }
 
     const Tick endTick = runtime_->now();
@@ -505,6 +556,10 @@ ServiceDaemon::run()
     // exactly once, never written again.
     scrapeStats_.store(&runtime_->stats(),
                        std::memory_order_release);
+    // Flush the push pipeline while the endpoints are still up: one
+    // final snapshot, the stats dump, then a bounded drain.
+    if (shipper_)
+        shipper_->finish(endTick, &runtime_->stats());
 
     std::string what;
     if (!opts_.statsJsonPath.empty() &&
@@ -536,6 +591,8 @@ ServiceDaemon::run()
         manifest.statsJson = runtime_->stats().dumpJsonString();
         manifest.sessionFile = opts_.sessionPath;
         manifest.incidentsFile = opts_.incidentsPath;
+        manifest.pushTarget = opts_.pushTo;
+        manifest.pushSpoolDir = opts_.pushSpoolDir;
         obs::writeManifestFile(opts_.manifestPath, manifest);
     }
     if (session_)
@@ -703,6 +760,8 @@ ServiceDaemon::applyCommand(const std::string &line)
                          std::memory_order_relaxed);
         incidentsGauge_.store(runtime_->incidentsSealed(),
                               std::memory_order_relaxed);
+        if (shipper_)
+            shipper_->observe(runtime_->now());
         reanchor_ = true;
         return respond([&](JsonWriter &w) {
             w.key("victim_rack").value(outcome.victimRack)
@@ -755,6 +814,9 @@ ServiceDaemon::renderMetrics() const
           "# TYPE pad_service_incidents_total counter\n"
           "pad_service_incidents_total "
        << incidentsGauge_.load(std::memory_order_relaxed) << "\n";
+    if (shipper_)
+        os << telemetry::RemoteWriteShipper::renderPromCounters(
+            shipper_->counters());
     os << telemetry::PromWriter().render(
         scrapeStats_.load(std::memory_order_acquire),
         &runtime_->hub());
@@ -787,19 +849,41 @@ replaySession(const SessionLog &log, const ReplayArtifacts &out,
     if (rt.traceFeed())
         alertScope.emplace(rt.traceFeed());
 
+    // Push batches are cut purely by sim tick, at the same points
+    // the live loop cuts them (after warmup, every coarse step,
+    // every injected attack), so a replay re-ships the live run's
+    // exact batch stream.
+    std::unique_ptr<telemetry::RemoteWriteShipper> shipper;
+    if (!out.pushTo.empty()) {
+        shipper = makePushShipper(out.pushTo, out.pushIntervalS,
+                                  out.pushSpoolDir, out.pushSource,
+                                  log.config.seed, &rt.hub(), &what);
+        if (!shipper)
+            return fail("cannot push metrics: " + what);
+    }
+    const auto observe = [&] {
+        if (shipper)
+            shipper->observe(rt.now());
+    };
+
     rt.warmup();
+    observe(); // anchors the interval, exactly like the live loop
     std::uint64_t commands = 0;
     for (const SessionCommand &cmd : log.commands) {
-        while (rt.now() < cmd.tick)
+        while (rt.now() < cmd.tick) {
             rt.stepCoarse();
+            observe();
+        }
         if (rt.now() != cmd.tick)
             return fail("session cmd " + std::to_string(cmd.seq) +
                         " tick " + std::to_string(cmd.tick) +
                         " is not a step boundary of this "
                         "configuration (sim is at " +
                         std::to_string(rt.now()) + ")");
-        if (cmd.name == "inject-attack")
+        if (cmd.name == "inject-attack") {
             rt.injectAttack(*cmd.spec);
+            observe();
+        }
         // pause / resume / set-speed shaped wall time only; in sim
         // time they are no-ops by construction.
         ++commands;
@@ -808,14 +892,18 @@ replaySession(const SessionLog &log, const ReplayArtifacts &out,
     // its last command, which may predate warmup's end: replay at
     // least as far as the sim has already advanced.
     const Tick endTick = std::max(log.endTick, rt.now());
-    while (rt.now() < endTick)
+    while (rt.now() < endTick) {
         rt.stepCoarse();
+        observe();
+    }
     if (rt.now() != endTick)
         return fail("session end tick " + std::to_string(endTick) +
                     " is not reachable (sim is at " +
                     std::to_string(rt.now()) + ")");
 
     rt.finalize(endTick, commands);
+    if (shipper)
+        shipper->finish(endTick, &rt.stats());
     if (result) {
         result->endTick = endTick;
         result->attacks = rt.attackCount();

@@ -51,6 +51,7 @@
 
 namespace pad::telemetry {
 class MetricsHttpServer;
+class RemoteWriteShipper;
 } // namespace pad::telemetry
 
 namespace pad::service {
@@ -76,6 +77,14 @@ struct DaemonOptions {
     std::string promPath;
     /** Run manifest (includes the session pointer); empty = off. */
     std::string manifestPath;
+    /** Remote-write push target (HOST:PORT); empty = push off. */
+    std::string pushTo;
+    /** Sim-time push snapshot interval in seconds. */
+    double pushIntervalS = 60.0;
+    /** Push spool (WAL) directory; empty = no disk spill. */
+    std::string pushSpoolDir;
+    /** Source label for pushed series (fleet.<source>.*). */
+    std::string pushSource = "padd";
 };
 
 /** Summary of a completed session (live or replayed). */
@@ -150,6 +159,9 @@ class ServiceDaemon
     std::unique_ptr<SessionRuntime> runtime_;
     std::unique_ptr<class ControlServer> control_;
     std::unique_ptr<telemetry::MetricsHttpServer> metrics_;
+    // Declared after runtime_: destroyed first, so the shipper can
+    // never outlive the hub it snapshots.
+    std::unique_ptr<telemetry::RemoteWriteShipper> shipper_;
     std::unique_ptr<SessionWriter> session_;
 
     // Command hand-off: control thread -> simulation thread.
@@ -186,6 +198,16 @@ struct ReplayArtifacts {
     std::string incidentsPath;
     std::string statsJsonPath;
     std::string promPath;
+    /**
+     * Optional remote-write target: the replay re-ships the exact
+     * batch stream the live run shipped (push batches are cut by sim
+     * tick, so a receiver fed from two replays of one session merges
+     * byte-identically).
+     */
+    std::string pushTo;
+    double pushIntervalS = 60.0;
+    std::string pushSpoolDir;
+    std::string pushSource = "padd";
 };
 
 /**

@@ -142,6 +142,13 @@ MetricsHttpServer::handleConnection(int fd)
         status = "200 OK";
         body = renderer_ ? renderer_() : std::string();
         contentType = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (firstLine.rfind("GET /healthz", 0) == 0) {
+        // Liveness probe: the accept thread answering at all is the
+        // health signal, so the body is a constant — the same
+        // pad_service_up sample the full exposition carries, without
+        // paying for a renderer pass on every probe.
+        status = "200 OK";
+        body = "pad_service_up 1\n";
     }
 
     std::string response = "HTTP/1.1 " + status +

@@ -4,7 +4,9 @@
  *
  * Binds 127.0.0.1:<port> and serves `GET /metrics` (and `GET /`)
  * with whatever the caller-supplied renderer returns at request
- * time; every other path is a 404. One background thread accepts
+ * time, plus a constant `GET /healthz` liveness probe (200 with the
+ * `pad_service_up 1` sample, no renderer call); every other path is
+ * a 404. One background thread accepts
  * and answers one connection at a time — a scrape endpoint for a
  * simulator needs nothing more, and a single thread keeps the
  * determinism story trivial: the renderer is the only code that

@@ -70,6 +70,23 @@ TelemetryHub::summary() const
     return out;
 }
 
+std::vector<TelemetryHub::RawSeries>
+TelemetryHub::rawSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<RawSeries> out;
+    out.reserve(series_.size());
+    for (const auto &[name, entry] : series_) {
+        RawSeries s;
+        s.name = name;
+        s.id = entry.id;
+        s.totalSamples = entry.series.totalSamples();
+        s.raw = entry.series.raw();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
 void
 TelemetryHub::mergeFrom(const TelemetryHub &other, const std::string &prefix)
 {

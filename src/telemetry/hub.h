@@ -105,6 +105,27 @@ class TelemetryHub
     std::vector<SeriesSummary> summary() const;
 
     /**
+     * Point-in-time copy of one series' retained raw samples plus
+     * the exact total-ever-recorded count, for incremental consumers
+     * (the remote-write shipper) that keep a per-series cursor: the
+     * newest (totalSamples - cursor) samples of `raw` are the ones
+     * not yet seen, and any shortfall beyond the ring's retention is
+     * known to be lost rather than silently skipped.
+     */
+    struct RawSeries {
+        std::string name;
+        /** Dense hub-local series id (creation order). */
+        std::uint32_t id = 0;
+        /** Samples ever recorded, including evicted ones. */
+        std::uint64_t totalSamples = 0;
+        /** Retained ring contents, chronological. */
+        std::vector<Sample> raw;
+    };
+
+    /** Raw snapshot of every series, sorted by name, under the lock. */
+    std::vector<RawSeries> rawSnapshot() const;
+
+    /**
      * Copy every series of @p other into this hub under
      * @p prefix + name. Existing series with colliding names are
      * replaced, keeping the operation idempotent.

@@ -673,6 +673,51 @@ TEST(MetricsHttp, ServesRenderedMetricsAndFourOhFour)
     server.stop(); // idempotent
 }
 
+TEST(MetricsHttp, HealthzAnswersWithoutRenderingMetrics)
+{
+    // /healthz must stay cheap: a liveness probe cannot pay for a
+    // full exposition render, so the handler answers before the
+    // renderer runs. A throwing renderer proves it was never called.
+    bool rendered = false;
+    MetricsHttpServer server(0, [&rendered] {
+        rendered = true;
+        return std::string("demo_metric 1\n");
+    });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const std::string health = httpGet(server.port(), "/healthz");
+    EXPECT_NE(health.find("200 OK"), std::string::npos) << health;
+    EXPECT_NE(health.find("pad_service_up 1"), std::string::npos)
+        << health;
+    EXPECT_FALSE(rendered);
+    server.stop();
+}
+
+TEST(MetricsHttp, ContentTypePinsUtf8Charset)
+{
+    // Prometheus scrapers key on the exact content type; pin it so a
+    // refactor cannot silently drop the charset.
+    MetricsHttpServer server(0,
+                             [] { return std::string("m 1\n"); });
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+
+    const std::string metrics = httpGet(server.port(), "/metrics");
+    EXPECT_NE(metrics.find("Content-Type: text/plain; "
+                           "version=0.0.4; charset=utf-8"),
+              std::string::npos)
+        << metrics;
+    for (const char *path : {"/healthz", "/nope"}) {
+        const std::string reply = httpGet(server.port(), path);
+        EXPECT_NE(reply.find(
+                      "Content-Type: text/plain; charset=utf-8"),
+                  std::string::npos)
+            << path << ": " << reply;
+    }
+    server.stop();
+}
+
 TEST(MetricsHttp, ServesLiveHubSnapshot)
 {
     TelemetryHub hub;
